@@ -1,0 +1,65 @@
+// Microbenchmark: edit distance — full DP vs the banded early-exit
+// variant used by the entity matcher and the FastJoin baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/edit_distance.h"
+
+namespace {
+
+std::vector<std::string> RandomWords(int count, int length, uint64_t seed) {
+  kjoin::Rng rng(seed);
+  std::vector<std::string> words;
+  words.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    std::string word;
+    for (int k = 0; k < length; ++k) {
+      word.push_back(static_cast<char>('a' + rng.NextUint64(26)));
+    }
+    words.push_back(word);
+  }
+  return words;
+}
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  const auto a = RandomWords(256, length, 1);
+  const auto b = RandomWords(256, length, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kjoin::EditDistance(a[i & 255], b[i & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistanceFull)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EditDistanceBounded(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  const auto a = RandomWords(256, length, 1);
+  const auto b = RandomWords(256, length, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kjoin::EditDistanceBounded(a[i & 255], b[i & 255], 2));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistanceBounded)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EditSimilarityAtLeast(benchmark::State& state) {
+  const auto a = RandomWords(256, 12, 1);
+  const auto b = RandomWords(256, 12, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kjoin::EditSimilarityAtLeast(a[i & 255], b[i & 255], 0.8));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditSimilarityAtLeast);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Microbenchmark: maximum-weight matching and its bounds — the inner loop
+// of verification (paper §5).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "matching/bounds.h"
+#include "matching/greedy_matching.h"
+#include "matching/hungarian.h"
+
+namespace {
+
+kjoin::Bigraph MakeGraph(int n, double density, uint64_t seed) {
+  kjoin::Rng rng(seed);
+  kjoin::Bigraph graph(n, n);
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) {
+      if (rng.NextBool(density)) graph.AddEdge(l, r, 0.5 + 0.5 * rng.NextDouble());
+    }
+  }
+  return graph;
+}
+
+void BM_Hungarian(benchmark::State& state) {
+  const kjoin::Bigraph graph = MakeGraph(static_cast<int>(state.range(0)), 0.3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kjoin::MaxWeightMatching(graph));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GreedyMaxWeight(benchmark::State& state) {
+  const kjoin::Bigraph graph = MakeGraph(static_cast<int>(state.range(0)), 0.3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kjoin::GreedyMaxWeightLowerBound(graph));
+  }
+}
+BENCHMARK(BM_GreedyMaxWeight)->Arg(8)->Arg(32);
+
+void BM_GreedyMinDegree(benchmark::State& state) {
+  const kjoin::Bigraph graph = MakeGraph(static_cast<int>(state.range(0)), 0.3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kjoin::GreedyMinDegreeLowerBound(graph));
+  }
+}
+BENCHMARK(BM_GreedyMinDegree)->Arg(8)->Arg(32);
+
+void BM_PerVertexUpperBound(benchmark::State& state) {
+  const kjoin::Bigraph graph = MakeGraph(static_cast<int>(state.range(0)), 0.3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kjoin::PerVertexUpperBound(graph));
+  }
+}
+BENCHMARK(BM_PerVertexUpperBound)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

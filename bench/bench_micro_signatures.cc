@@ -1,0 +1,91 @@
+// Microbenchmark: signature generation and prefix computation — the
+// filter-side per-object cost (paper §3.1, §4.2).
+
+#include <benchmark/benchmark.h>
+
+#include "core/object_similarity.h"
+#include "core/prefix.h"
+#include "core/signature.h"
+#include "data/benchmark_suite.h"
+
+namespace {
+
+struct Setup {
+  kjoin::BenchmarkData data;
+  kjoin::PreparedObjects prepared;
+};
+
+const Setup& GetSetup() {
+  static const Setup* const setup = [] {
+    auto* s = new Setup{kjoin::MakePoiBenchmark(2000), {}};
+    s->prepared = kjoin::BuildObjects(s->data.hierarchy, s->data.dataset, false);
+    return s;
+  }();
+  return *setup;
+}
+
+void BM_SignatureGeneration(benchmark::State& state) {
+  const Setup& setup = GetSetup();
+  const auto scheme = static_cast<kjoin::SignatureScheme>(state.range(0));
+  const kjoin::SignatureGenerator gen(setup.data.hierarchy, kjoin::ElementMetric::kKJoin,
+                                      scheme, 0.8);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Generate(setup.prepared.objects[i % 2000]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SignatureGeneration)
+    ->Arg(static_cast<int>(kjoin::SignatureScheme::kNode))
+    ->Arg(static_cast<int>(kjoin::SignatureScheme::kShallowPath))
+    ->Arg(static_cast<int>(kjoin::SignatureScheme::kDeepPath));
+
+void BM_PrefixDistinct(benchmark::State& state) {
+  const Setup& setup = GetSetup();
+  const kjoin::SignatureGenerator gen(setup.data.hierarchy, kjoin::ElementMetric::kKJoin,
+                                      kjoin::SignatureScheme::kDeepPath, 0.8);
+  kjoin::GlobalSignatureOrder order;
+  std::vector<std::vector<kjoin::Signature>> sigs;
+  for (const auto& object : setup.prepared.objects) {
+    sigs.push_back(gen.Generate(object));
+    order.CountObject(sigs.back());
+  }
+  order.Finalize();
+  for (auto& s : sigs) kjoin::SortByGlobalOrder(order, &s);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& object_sigs = sigs[i % sigs.size()];
+    const int32_t tau_s = kjoin::MinSimilarElements(
+        setup.prepared.objects[i % sigs.size()].size(), 0.9, kjoin::SetMetric::kJaccard);
+    benchmark::DoNotOptimize(kjoin::PrefixLengthDistinct(object_sigs, tau_s));
+    ++i;
+  }
+}
+BENCHMARK(BM_PrefixDistinct);
+
+void BM_PrefixWeighted(benchmark::State& state) {
+  const Setup& setup = GetSetup();
+  const kjoin::SignatureGenerator gen(setup.data.hierarchy, kjoin::ElementMetric::kKJoin,
+                                      kjoin::SignatureScheme::kDeepPath, 0.8);
+  kjoin::GlobalSignatureOrder order;
+  std::vector<std::vector<kjoin::Signature>> sigs;
+  for (const auto& object : setup.prepared.objects) {
+    sigs.push_back(gen.Generate(object));
+    order.CountObject(sigs.back());
+  }
+  order.Finalize();
+  for (auto& s : sigs) kjoin::SortByGlobalOrder(order, &s);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& object_sigs = sigs[i % sigs.size()];
+    const double budget = kjoin::MinOverlapWithAnyPartner(
+        setup.prepared.objects[i % sigs.size()].size(), 0.9, kjoin::SetMetric::kJaccard);
+    benchmark::DoNotOptimize(kjoin::PrefixLengthWeighted(object_sigs, budget));
+    ++i;
+  }
+}
+BENCHMARK(BM_PrefixWeighted);
+
+}  // namespace
+
+BENCHMARK_MAIN();

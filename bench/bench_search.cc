@@ -1,0 +1,55 @@
+// Extension bench (not a paper figure): KJoinIndex similarity-search
+// throughput vs collection size, threshold and mode.
+//
+//   ./bench_search [--n 20000] [--queries 2000]
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/kjoin_index.h"
+
+namespace {
+
+using kjoin::bench::Fmt;
+using kjoin::bench::PrintRow;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kjoin::FlagSet flags("bench_search");
+  int64_t* n = flags.Int("n", 20000, "indexed records");
+  int64_t* num_queries = flags.Int("queries", 2000, "queries to run");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  const kjoin::BenchmarkData data = kjoin::MakePoiBenchmark(*n);
+  const kjoin::PreparedObjects prepared =
+      kjoin::BuildObjects(data.hierarchy, data.dataset, /*multi_mapping=*/false);
+
+  kjoin::bench::PrintHeader("Similarity search (POI, n=" + std::to_string(*n) + ", " +
+                            std::to_string(*num_queries) + " queries)");
+  PrintRow({"tau", "build-s", "qps", "avg-cand", "avg-hits"}, 12);
+  for (double tau : {0.6, 0.7, 0.8, 0.9}) {
+    kjoin::KJoinOptions options;
+    options.delta = 0.8;
+    options.tau = tau;
+    kjoin::WallTimer build_timer;
+    const kjoin::KJoinIndex index(data.hierarchy, options, prepared.objects);
+    const double build_seconds = build_timer.ElapsedSeconds();
+
+    kjoin::WallTimer query_timer;
+    int64_t total_candidates = 0;
+    int64_t total_hits = 0;
+    for (int64_t q = 0; q < *num_queries; ++q) {
+      const kjoin::Object& query = prepared.objects[(q * 131) % prepared.objects.size()];
+      total_hits += static_cast<int64_t>(index.Search(query).size());
+      total_candidates += index.last_candidates();
+    }
+    const double seconds = query_timer.ElapsedSeconds();
+    PrintRow({Fmt(tau, 2), Fmt(build_seconds, 2),
+              Fmt(*num_queries / std::max(seconds, 1e-9), 0),
+              Fmt(static_cast<double>(total_candidates) / *num_queries, 1),
+              Fmt(static_cast<double>(total_hits) / *num_queries, 2)},
+             12);
+  }
+  return 0;
+}

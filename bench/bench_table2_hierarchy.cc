@@ -1,0 +1,33 @@
+// Table 2: knowledge-hierarchy shape statistics.
+//
+// The paper's hierarchy was crawled from Factual; ours is generated to the
+// same published shape (DESIGN.md §3). This bench prints the generated
+// stats next to the paper's row.
+//
+//   ./bench_table2_hierarchy [--seed 42]
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "hierarchy/hierarchy_generator.h"
+
+int main(int argc, char** argv) {
+  kjoin::FlagSet flags("bench_table2_hierarchy");
+  int64_t* seed = flags.Int("seed", 42, "generator seed");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  kjoin::HierarchyGenParams params;
+  params.seed = static_cast<uint64_t>(*seed);
+  const kjoin::Hierarchy tree = kjoin::GenerateHierarchy(params);
+  const kjoin::HierarchyStats stats = tree.ComputeStats();
+
+  kjoin::bench::PrintHeader("Table 2: Knowledge Hierarchy");
+  kjoin::bench::PrintRow({"", "#Nodes", "Height", "AvgFanout", "MaxFanout", "MinFanout"});
+  kjoin::bench::PrintRow({"paper", "4222", "6", "7", "49", "1"});
+  kjoin::bench::PrintRow({"ours", std::to_string(stats.num_nodes),
+                          std::to_string(stats.height), kjoin::bench::Fmt(stats.avg_fanout, 1),
+                          std::to_string(stats.max_fanout),
+                          std::to_string(stats.min_fanout)});
+  std::printf("\n(%lld leaves, average leaf depth %.2f)\n",
+              static_cast<long long>(stats.num_leaves), stats.avg_leaf_depth);
+  return 0;
+}

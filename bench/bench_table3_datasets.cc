@@ -1,0 +1,42 @@
+// Table 3: dataset shape statistics for Pub, Res, POI, Tweet.
+//
+//   ./bench_table3_datasets [--poi 20000] [--tweet 20000]
+//
+// POI/Tweet default to laptop scale; pass --poi 100000 etc. for the
+// paper's "small" scale.
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "text/entity_matcher.h"
+
+namespace {
+
+void PrintStats(const std::string& name, const kjoin::BenchmarkData& data) {
+  const kjoin::EntityMatcher matcher(data.hierarchy);
+  const kjoin::DatasetStats stats = kjoin::ComputeDatasetStats(data.dataset, matcher);
+  kjoin::bench::PrintRow({name, std::to_string(stats.size),
+                          kjoin::bench::Fmt(stats.avg_len, 1), std::to_string(stats.max_len),
+                          std::to_string(stats.min_len),
+                          kjoin::bench::Fmt(stats.avg_depth, 1),
+                          std::to_string(stats.num_truth_pairs)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kjoin::FlagSet flags("bench_table3_datasets");
+  int64_t* poi = flags.Int("poi", 20000, "POI records");
+  int64_t* tweet = flags.Int("tweet", 20000, "Tweet records");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  kjoin::bench::PrintHeader("Table 3: Datasets");
+  kjoin::bench::PrintRow(
+      {"Dataset", "Size", "AvgLen", "MaxLen", "MinLen", "AvgDep", "TruthPairs"});
+  PrintStats("Pub", kjoin::MakePubBenchmark());
+  PrintStats("Res", kjoin::MakeResBenchmark());
+  PrintStats("POI", kjoin::MakePoiBenchmark(*poi));
+  PrintStats("Tweet", kjoin::MakeTweetBenchmark(*tweet));
+  std::printf(
+      "\npaper: Pub 1879/6/16/4/3, Res 864/4/4/4/5, POI 11/21/2/4, Tweet ~8/23/2/5\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef KJOIN_BENCH_BENCH_UTIL_H_
+#define KJOIN_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harnesses in bench/. Each bench binary
+// regenerates one table or figure of the paper; these helpers provide
+// dataset plumbing and homogeneous table output.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/kjoin.h"
+#include "data/benchmark_suite.h"
+#include "data/dataset.h"
+#include "data/quality.h"
+
+namespace kjoin::bench {
+
+// Raw token records (for the hierarchy-less baselines).
+inline std::vector<std::vector<std::string>> RawRecords(const Dataset& dataset) {
+  std::vector<std::vector<std::string>> records;
+  records.reserve(dataset.records.size());
+  for (const Record& record : dataset.records) records.push_back(record.tokens);
+  return records;
+}
+
+inline std::vector<int32_t> Clusters(const Dataset& dataset) {
+  std::vector<int32_t> clusters;
+  clusters.reserve(dataset.records.size());
+  for (const Record& record : dataset.records) clusters.push_back(record.cluster);
+  return clusters;
+}
+
+// One K-Join run with the given thresholds/scheme over prebuilt objects.
+inline JoinResult RunKJoin(const Hierarchy& hierarchy, const std::vector<Object>& objects,
+                           KJoinOptions options) {
+  const KJoin join(hierarchy, options);
+  return join.SelfJoin(objects);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double value, int precision = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+inline std::string FmtCount(int64_t value) { return std::to_string(value); }
+
+}  // namespace kjoin::bench
+
+#endif  // KJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// POI deduplication — the paper's motivating application (§1: Factual
+// integrating crawled points of interest).
+//
+// Generates a POI dataset with planted duplicate clusters (category
+// sibling swaps, typos, synonyms), deduplicates it with K-Join+, and
+// scores the result against the ground truth.
+//
+//   ./poi_dedup [--n 5000] [--delta 0.8] [--tau 0.7] [--seed 19]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/clustering.h"
+#include "core/kjoin.h"
+#include "data/benchmark_suite.h"
+#include "data/quality.h"
+
+int main(int argc, char** argv) {
+  kjoin::FlagSet flags("poi_dedup");
+  int64_t* n = flags.Int("n", 5000, "number of POI records");
+  double* delta = flags.Double("delta", 0.8, "element similarity threshold");
+  double* tau = flags.Double("tau", 0.7, "object similarity threshold");
+  int64_t* seed = flags.Int("seed", 19, "dataset seed");
+  int64_t* threads = flags.Int("threads", 4, "verification threads");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  const kjoin::BenchmarkData data =
+      kjoin::MakePoiBenchmark(*n, static_cast<uint64_t>(*seed));
+  std::printf("generated %zu POI records over a %lld-node hierarchy\n",
+              data.dataset.records.size(),
+              static_cast<long long>(data.hierarchy.num_nodes()));
+
+  // K-Join+ objects: tokens map to multiple nodes via synonyms and typo
+  // tolerance.
+  const kjoin::PreparedObjects prepared =
+      kjoin::BuildObjects(data.hierarchy, data.dataset, /*multi_mapping=*/true, *delta);
+
+  kjoin::KJoinOptions options;
+  options.delta = *delta;
+  options.tau = *tau;
+  options.plus_mode = true;
+  options.num_threads = static_cast<int>(*threads);
+  const kjoin::KJoin join(data.hierarchy, options);
+  const kjoin::JoinResult result = join.SelfJoin(prepared.objects);
+
+  const auto truth = kjoin::GroundTruthPairs(data.dataset);
+  const kjoin::QualityReport report = kjoin::EvaluateQuality(result.pairs, truth);
+
+  std::printf("\njoin finished in %.3fs (filter %.3fs, verify %.3fs)\n",
+              result.stats.total_seconds, result.stats.filter_seconds,
+              result.stats.verify_seconds);
+  std::printf("candidates: %lld   results: %zu   truth pairs: %zu\n",
+              static_cast<long long>(result.stats.candidates), result.pairs.size(),
+              truth.size());
+  std::printf("precision %.3f   recall %.3f   F-measure %.3f\n", report.precision,
+              report.recall, report.f_measure);
+
+  // Fold pairs into entity clusters (transitive closure) and score them.
+  const kjoin::Clustering clustering =
+      kjoin::ClusterPairs(static_cast<int64_t>(prepared.objects.size()), result.pairs);
+  std::vector<int32_t> truth_clusters;
+  for (const auto& record : data.dataset.records) truth_clusters.push_back(record.cluster);
+  const kjoin::ClusterQuality cluster_quality =
+      kjoin::EvaluateClustering(clustering, truth_clusters);
+  std::printf("entity clusters: %d (pairwise cluster F1 %.3f)\n", clustering.num_clusters,
+              cluster_quality.f1);
+
+  // Show a few detected duplicate pairs with their records.
+  std::printf("\nsample duplicates found:\n");
+  int shown = 0;
+  for (const auto& [x, y] : result.pairs) {
+    if (shown++ >= 3) break;
+    std::string left, right;
+    for (const auto& t : data.dataset.records[x].tokens) left += t + " ";
+    for (const auto& t : data.dataset.records[y].tokens) right += t + " ";
+    std::printf("  #%d: %s\n  #%d: %s\n  SIM = %.3f\n", x, left.c_str(), y, right.c_str(),
+                join.ExactSimilarity(prepared.objects[x], prepared.objects[y]));
+  }
+  return 0;
+}

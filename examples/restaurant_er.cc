@@ -1,0 +1,57 @@
+// Restaurant entity resolution (the paper's Res benchmark, §7.2).
+//
+// Resolves duplicate restaurant listings whose inconsistencies come from
+// synonyms and knowledge-hierarchy errors ("Californian food" listed as
+// "American food"). Compares plain K-Join (exact element mapping) against
+// K-Join+ (synonyms + typo tolerance) — the knowledge-aware matching is
+// what recovers the hard duplicates.
+//
+//   ./restaurant_er [--delta 0.5] [--tau 0.6]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/kjoin.h"
+#include "data/benchmark_suite.h"
+#include "data/quality.h"
+
+namespace {
+
+void RunOnce(const kjoin::BenchmarkData& data, bool plus_mode, double delta, double tau) {
+  const kjoin::PreparedObjects prepared =
+      kjoin::BuildObjects(data.hierarchy, data.dataset, plus_mode);
+
+  kjoin::KJoinOptions options;
+  options.delta = delta;
+  options.tau = tau;
+  options.plus_mode = plus_mode;
+  const kjoin::KJoin join(data.hierarchy, options);
+  const kjoin::JoinResult result = join.SelfJoin(prepared.objects);
+  const kjoin::QualityReport report =
+      kjoin::EvaluateQuality(result.pairs, kjoin::GroundTruthPairs(data.dataset));
+
+  std::printf("%-8s  precision %.3f  recall %.3f  F %.3f  (%zu pairs, %.3fs)\n",
+              plus_mode ? "K-Join+" : "K-Join", report.precision, report.recall,
+              report.f_measure, result.pairs.size(), result.stats.total_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kjoin::FlagSet flags("restaurant_er");
+  double* delta = flags.Double("delta", 0.5, "element similarity threshold");
+  double* tau = flags.Double("tau", 0.6, "object similarity threshold");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  const kjoin::BenchmarkData data = kjoin::MakeResBenchmark();
+  std::printf("Res benchmark: %zu restaurant records, %zu synonym rules\n\n",
+              data.dataset.records.size(), data.dataset.synonyms.size());
+
+  RunOnce(data, /*plus_mode=*/false, *delta, *tau);
+  RunOnce(data, /*plus_mode=*/true, *delta, *tau);
+
+  std::printf(
+      "\nK-Join+ recovers the synonym/typo duplicates plain K-Join misses\n"
+      "(paper Table 4: Res F-measure 79.2 -> 84.0).\n");
+  return 0;
+}

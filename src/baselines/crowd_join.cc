@@ -1,0 +1,80 @@
+#include "baselines/crowd_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "text/tokenizer.h"
+
+namespace kjoin {
+
+CrowdJoin::CrowdJoin(CrowdJoinOptions options) : options_(options) {}
+
+JoinResult CrowdJoin::SelfJoin(const std::vector<std::vector<std::string>>& records,
+                               const std::vector<int32_t>& clusters) const {
+  KJOIN_CHECK_EQ(records.size(), clusters.size());
+  JoinResult result;
+  result.stats.num_objects_left = static_cast<int64_t>(records.size());
+  result.stats.num_objects_right = result.stats.num_objects_left;
+  WallTimer total_timer;
+  Rng rng(options_.seed);
+  const Tokenizer tokenizer;
+
+  // Blocking: shared-token candidate generation + cheap set Jaccard.
+  std::vector<std::vector<std::string>> normalized(records.size());
+  std::unordered_map<std::string, std::vector<int32_t>> postings;
+  for (int32_t i = 0; i < static_cast<int32_t>(records.size()); ++i) {
+    std::unordered_set<std::string> seen;
+    for (const std::string& token : records[i]) {
+      std::string norm = tokenizer.Normalize(token);
+      if (norm.empty() || !seen.insert(norm).second) continue;
+      normalized[i].push_back(norm);
+      postings[norm].push_back(i);
+    }
+    std::sort(normalized[i].begin(), normalized[i].end());
+  }
+
+  auto set_jaccard = [&](int32_t a, int32_t b) {
+    const auto& x = normalized[a];
+    const auto& y = normalized[b];
+    size_t i = 0, j = 0, common = 0;
+    while (i < x.size() && j < y.size()) {
+      if (x[i] == y[j]) {
+        ++common;
+        ++i;
+        ++j;
+      } else if (x[i] < y[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    const size_t total = x.size() + y.size() - common;
+    return total == 0 ? 1.0 : static_cast<double>(common) / total;
+  };
+
+  std::vector<int32_t> last_probe(records.size(), -1);
+  for (int32_t x = 0; x < static_cast<int32_t>(records.size()); ++x) {
+    for (const std::string& token : normalized[x]) {
+      for (int32_t y : postings.at(token)) {
+        if (y >= x || last_probe[y] == x) continue;
+        last_probe[y] = x;
+        if (set_jaccard(x, y) < options_.blocking_jaccard) continue;
+        ++result.stats.candidates;  // one crowd question
+        const bool duplicate = clusters[x] >= 0 && clusters[x] == clusters[y];
+        const bool answer = duplicate ? !rng.NextBool(options_.false_negative_rate)
+                                      : rng.NextBool(options_.false_positive_rate);
+        if (answer) result.pairs.emplace_back(y, x);
+      }
+    }
+  }
+
+  result.stats.results = static_cast<int64_t>(result.pairs.size());
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kjoin

@@ -1,0 +1,46 @@
+#ifndef KJOIN_BASELINES_CROWD_JOIN_H_
+#define KJOIN_BASELINES_CROWD_JOIN_H_
+
+// Crowdsourced entity-resolution baseline (CrowdER-style; Wang, Kraska,
+// Franklin, Feng, VLDB 2012), with a *simulated* crowd.
+//
+// The real system blocks pairs with a cheap machine similarity and asks
+// human workers to label the survivors. We cannot hire workers inside a
+// benchmark, so the oracle answers from ground truth with configurable
+// error rates (DESIGN.md §3): a duplicate pair is confirmed with
+// probability 1 − false_negative_rate, a non-duplicate is wrongly
+// confirmed with probability false_positive_rate. This reproduces the
+// published profile — near-perfect recall bounded by blocking, precision
+// dented by worker noise.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/kjoin.h"  // JoinResult
+
+namespace kjoin {
+
+struct CrowdJoinOptions {
+  // Pairs must share >= 1 token and reach this token-Jaccard to be asked.
+  double blocking_jaccard = 0.10;
+  double false_negative_rate = 0.03;
+  double false_positive_rate = 0.004;
+  uint64_t seed = 17;
+};
+
+class CrowdJoin {
+ public:
+  explicit CrowdJoin(CrowdJoinOptions options);
+
+  // `clusters[i]` is record i's ground-truth entity cluster (-1 = unique).
+  JoinResult SelfJoin(const std::vector<std::vector<std::string>>& records,
+                      const std::vector<int32_t>& clusters) const;
+
+ private:
+  CrowdJoinOptions options_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_BASELINES_CROWD_JOIN_H_

@@ -1,0 +1,53 @@
+#include "baselines/naive_join.h"
+
+#include "common/timer.h"
+
+namespace kjoin {
+
+NaiveJoin::NaiveJoin(const Hierarchy& hierarchy, KJoinOptions options)
+    : options_(options),
+      lca_(hierarchy),
+      element_sim_(lca_, options.element_metric),
+      object_sim_(element_sim_, options.delta, options.set_metric) {}
+
+JoinResult NaiveJoin::SelfJoin(const std::vector<Object>& objects) const {
+  JoinResult result;
+  WallTimer timer;
+  const int32_t n = static_cast<int32_t>(objects.size());
+  result.stats.num_objects_left = n;
+  result.stats.num_objects_right = n;
+  for (int32_t x = 0; x < n; ++x) {
+    for (int32_t y = x + 1; y < n; ++y) {
+      ++result.stats.candidates;
+      if (object_sim_.Similarity(objects[x], objects[y]) >= options_.tau - 1e-9) {
+        result.pairs.emplace_back(x, y);
+      }
+    }
+  }
+  result.stats.results = static_cast<int64_t>(result.pairs.size());
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  result.stats.verify_seconds = result.stats.total_seconds;
+  return result;
+}
+
+JoinResult NaiveJoin::Join(const std::vector<Object>& left,
+                           const std::vector<Object>& right) const {
+  JoinResult result;
+  WallTimer timer;
+  result.stats.num_objects_left = static_cast<int64_t>(left.size());
+  result.stats.num_objects_right = static_cast<int64_t>(right.size());
+  for (int32_t l = 0; l < static_cast<int32_t>(left.size()); ++l) {
+    for (int32_t r = 0; r < static_cast<int32_t>(right.size()); ++r) {
+      ++result.stats.candidates;
+      if (object_sim_.Similarity(left[l], right[r]) >= options_.tau - 1e-9) {
+        result.pairs.emplace_back(l, r);
+      }
+    }
+  }
+  result.stats.results = static_cast<int64_t>(result.pairs.size());
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  result.stats.verify_seconds = result.stats.total_seconds;
+  return result;
+}
+
+}  // namespace kjoin

@@ -1,0 +1,33 @@
+#ifndef KJOIN_BASELINES_NAIVE_JOIN_H_
+#define KJOIN_BASELINES_NAIVE_JOIN_H_
+
+// Exhaustive all-pairs knowledge-aware join.
+//
+// Computes the exact SIMδ of every pair with the Hungarian matcher and no
+// filtering. O(n²) — the correctness oracle the K-Join tests compare
+// against, and the "no filter" datapoint for ablations.
+
+#include <vector>
+
+#include "core/kjoin.h"
+
+namespace kjoin {
+
+class NaiveJoin {
+ public:
+  // Only delta/tau/element_metric/set_metric of `options` are used.
+  NaiveJoin(const Hierarchy& hierarchy, KJoinOptions options);
+
+  JoinResult SelfJoin(const std::vector<Object>& objects) const;
+  JoinResult Join(const std::vector<Object>& left, const std::vector<Object>& right) const;
+
+ private:
+  KJoinOptions options_;
+  LcaIndex lca_;
+  ElementSimilarity element_sim_;
+  ObjectSimilarity object_sim_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_BASELINES_NAIVE_JOIN_H_

@@ -1,0 +1,186 @@
+#include "baselines/ppjoin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace kjoin {
+namespace {
+
+// Multiset expansion: the k-th occurrence of a token becomes a distinct
+// key (token, k), so multiset Jaccard reduces to set Jaccard.
+std::vector<std::pair<std::string, int32_t>> ExpandMultiset(
+    const std::vector<std::string>& record) {
+  std::unordered_map<std::string, int32_t> seen;
+  std::vector<std::pair<std::string, int32_t>> expanded;
+  expanded.reserve(record.size());
+  for (const std::string& token : record) expanded.emplace_back(token, seen[token]++);
+  return expanded;
+}
+
+int64_t MultisetOverlap(const std::vector<std::string>& x, const std::vector<std::string>& y) {
+  std::unordered_map<std::string, int32_t> counts;
+  for (const std::string& token : x) ++counts[token];
+  int64_t overlap = 0;
+  for (const std::string& token : y) {
+    auto it = counts.find(token);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++overlap;
+    }
+  }
+  return overlap;
+}
+
+}  // namespace
+
+PpJoin::PpJoin(PpJoinOptions options) : options_(options) {
+  KJOIN_CHECK(options.tau > 0.0 && options.tau <= 1.0);
+}
+
+double PpJoin::Similarity(const std::vector<std::string>& x,
+                          const std::vector<std::string>& y) {
+  if (x.empty() && y.empty()) return 1.0;
+  const double overlap = static_cast<double>(MultisetOverlap(x, y));
+  const double denom = static_cast<double>(x.size()) + y.size() - overlap;
+  return denom <= 0.0 ? 1.0 : overlap / denom;
+}
+
+JoinResult PpJoin::SelfJoin(const std::vector<std::vector<std::string>>& records) const {
+  JoinResult result;
+  result.stats.num_objects_left = static_cast<int64_t>(records.size());
+  result.stats.num_objects_right = result.stats.num_objects_left;
+  WallTimer total_timer;
+  const double tau = options_.tau;
+
+  // Intern expanded tokens and count document frequencies.
+  WallTimer phase_timer;
+  struct PairHash {
+    size_t operator()(const std::pair<std::string, int32_t>& key) const {
+      return std::hash<std::string>()(key.first) * 1315423911u ^
+             static_cast<size_t>(key.second);
+    }
+  };
+  std::unordered_map<std::pair<std::string, int32_t>, int32_t, PairHash> token_ids;
+  std::vector<int32_t> df;
+  std::vector<std::vector<int32_t>> tokens(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (const auto& key : ExpandMultiset(records[i])) {
+      auto [it, inserted] = token_ids.emplace(key, static_cast<int32_t>(token_ids.size()));
+      if (inserted) df.push_back(0);
+      ++df[it->second];
+      tokens[i].push_back(it->second);
+    }
+  }
+  // Global order: df ascending, ties by id; remap ids to ranks.
+  std::vector<int32_t> by_rank(df.size());
+  for (size_t t = 0; t < df.size(); ++t) by_rank[t] = static_cast<int32_t>(t);
+  std::sort(by_rank.begin(), by_rank.end(), [&](int32_t a, int32_t b) {
+    if (df[a] != df[b]) return df[a] < df[b];
+    return a < b;
+  });
+  std::vector<int32_t> rank_of(df.size());
+  for (size_t r = 0; r < by_rank.size(); ++r) rank_of[by_rank[r]] = static_cast<int32_t>(r);
+  for (auto& record : tokens) {
+    for (int32_t& t : record) t = rank_of[t];
+    std::sort(record.begin(), record.end());
+  }
+
+  // Size-ascending processing order (the size filter assumes the indexed
+  // record is never longer than the probing one).
+  std::vector<int32_t> order(records.size());
+  for (size_t i = 0; i < records.size(); ++i) order[i] = static_cast<int32_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return tokens[a].size() < tokens[b].size();
+  });
+  result.stats.signature_seconds = phase_timer.ElapsedSeconds();
+
+  // token rank -> postings of (record, prefix position).
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> index(df.size());
+  // Shared-prefix overlap accumulator, reset per probe via stamping.
+  std::vector<int64_t> shared(records.size(), 0);
+  std::vector<int32_t> stamp(records.size(), -1);
+  constexpr int64_t kPruned = -1;
+
+  StopWatch filter_watch, verify_watch;
+  for (size_t step = 0; step < order.size(); ++step) {
+    const int32_t x = order[step];
+    const auto& tx = tokens[x];
+    const int32_t sx = static_cast<int32_t>(tx.size());
+    if (sx == 0) continue;
+    const int32_t prefix = sx - static_cast<int32_t>(std::ceil(tau * sx - 1e-9)) + 1;
+
+    filter_watch.Start();
+    std::vector<int32_t> candidates;
+    for (int32_t i = 0; i < prefix; ++i) {
+      for (const auto& [y, j] : index[tx[i]]) {
+        const int32_t sy = static_cast<int32_t>(tokens[y].size());
+        if (static_cast<double>(sy) < tau * sx - 1e-9) continue;  // size filter
+        if (stamp[y] != static_cast<int32_t>(step)) {
+          stamp[y] = static_cast<int32_t>(step);
+          shared[y] = 0;
+          candidates.push_back(y);
+        }
+        if (shared[y] == kPruned) continue;
+        if (options_.position_filter) {
+          // Overlap can still grow by at most 1 + remaining suffix length
+          // on either side.
+          const double needed = tau / (1.0 + tau) * (sx + sy);
+          const int64_t upper = shared[y] + 1 + std::min(sx - i - 1, sy - j - 1);
+          if (static_cast<double>(upper) < needed - 1e-9) {
+            shared[y] = kPruned;
+            continue;
+          }
+        }
+        ++shared[y];
+      }
+    }
+    filter_watch.Stop();
+
+    verify_watch.Start();
+    for (int32_t y : candidates) {
+      ++result.stats.verify.pairs_verified;
+      if (shared[y] == kPruned) {
+        ++result.stats.verify.rejected_by_upper_bound;
+        continue;
+      }
+      // Exact overlap via sorted-merge count.
+      const auto& ty = tokens[y];
+      size_t a = 0, b = 0;
+      int64_t overlap = 0;
+      while (a < tx.size() && b < ty.size()) {
+        if (tx[a] == ty[b]) {
+          ++overlap;
+          ++a;
+          ++b;
+        } else if (tx[a] < ty[b]) {
+          ++a;
+        } else {
+          ++b;
+        }
+      }
+      const double needed = tau / (1.0 + tau) * (sx + static_cast<double>(ty.size()));
+      if (static_cast<double>(overlap) >= needed - 1e-9) {
+        result.pairs.emplace_back(std::min(x, y), std::max(x, y));
+      }
+    }
+    result.stats.candidates += static_cast<int64_t>(candidates.size());
+    verify_watch.Stop();
+
+    filter_watch.Start();
+    for (int32_t i = 0; i < prefix; ++i) index[tx[i]].emplace_back(x, i);
+    filter_watch.Stop();
+  }
+
+  result.stats.filter_seconds = filter_watch.TotalSeconds();
+  result.stats.verify_seconds = verify_watch.TotalSeconds();
+  result.stats.results = static_cast<int64_t>(result.pairs.size());
+  result.stats.verify.results = result.stats.results;
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kjoin

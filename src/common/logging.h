@@ -1,0 +1,113 @@
+#ifndef KJOIN_COMMON_LOGGING_H_
+#define KJOIN_COMMON_LOGGING_H_
+
+// Minimal logging and invariant-checking facility.
+//
+// The library follows the Google style rule of not throwing exceptions;
+// programming errors (broken invariants, out-of-range arguments) terminate
+// the process through the CHECK family below, while recoverable conditions
+// are reported through return values (std::optional and friends).
+//
+// Usage:
+//   KJOIN_LOG(INFO) << "indexed " << n << " objects";
+//   KJOIN_CHECK(depth >= 0) << "negative depth " << depth;
+//   KJOIN_CHECK_LE(lo, hi);
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace kjoin {
+
+enum class LogSeverity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Messages below this severity are dropped. Defaults to kInfo.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+// A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  LogSeverity severity_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace kjoin
+
+#define KJOIN_LOG_DEBUG \
+  ::kjoin::internal_logging::LogMessage(__FILE__, __LINE__, ::kjoin::LogSeverity::kDebug).stream()
+#define KJOIN_LOG_INFO \
+  ::kjoin::internal_logging::LogMessage(__FILE__, __LINE__, ::kjoin::LogSeverity::kInfo).stream()
+#define KJOIN_LOG_WARNING \
+  ::kjoin::internal_logging::LogMessage(__FILE__, __LINE__, ::kjoin::LogSeverity::kWarning).stream()
+#define KJOIN_LOG_ERROR \
+  ::kjoin::internal_logging::LogMessage(__FILE__, __LINE__, ::kjoin::LogSeverity::kError).stream()
+#define KJOIN_LOG_FATAL \
+  ::kjoin::internal_logging::LogMessage(__FILE__, __LINE__, ::kjoin::LogSeverity::kFatal).stream()
+
+#define KJOIN_LOG(severity) KJOIN_LOG_##severity
+
+// CHECK: always-on invariant checks. The streamed text (if any) is appended
+// to the failure message.
+#define KJOIN_CHECK(condition)                                    \
+  if (condition) {                                                \
+  } else                                                          \
+    ::kjoin::internal_logging::LogMessage(__FILE__, __LINE__,     \
+                                          ::kjoin::LogSeverity::kFatal) \
+            .stream()                                             \
+        << "Check failed: " #condition " "
+
+#define KJOIN_CHECK_OP(lhs, rhs, op) \
+  KJOIN_CHECK((lhs)op(rhs)) << "(" << (lhs) << " vs " << (rhs) << ") "
+
+#define KJOIN_CHECK_EQ(lhs, rhs) KJOIN_CHECK_OP(lhs, rhs, ==)
+#define KJOIN_CHECK_NE(lhs, rhs) KJOIN_CHECK_OP(lhs, rhs, !=)
+#define KJOIN_CHECK_LT(lhs, rhs) KJOIN_CHECK_OP(lhs, rhs, <)
+#define KJOIN_CHECK_LE(lhs, rhs) KJOIN_CHECK_OP(lhs, rhs, <=)
+#define KJOIN_CHECK_GT(lhs, rhs) KJOIN_CHECK_OP(lhs, rhs, >)
+#define KJOIN_CHECK_GE(lhs, rhs) KJOIN_CHECK_OP(lhs, rhs, >=)
+
+// DCHECK: compiled out in release builds (NDEBUG).
+#ifdef NDEBUG
+#define KJOIN_DCHECK(condition) \
+  while (false) ::kjoin::internal_logging::NullStream()
+#define KJOIN_DCHECK_EQ(lhs, rhs) KJOIN_DCHECK((lhs) == (rhs))
+#define KJOIN_DCHECK_LE(lhs, rhs) KJOIN_DCHECK((lhs) <= (rhs))
+#define KJOIN_DCHECK_LT(lhs, rhs) KJOIN_DCHECK((lhs) < (rhs))
+#else
+#define KJOIN_DCHECK(condition) KJOIN_CHECK(condition)
+#define KJOIN_DCHECK_EQ(lhs, rhs) KJOIN_CHECK_EQ(lhs, rhs)
+#define KJOIN_DCHECK_LE(lhs, rhs) KJOIN_CHECK_LE(lhs, rhs)
+#define KJOIN_DCHECK_LT(lhs, rhs) KJOIN_CHECK_LT(lhs, rhs)
+#endif
+
+#endif  // KJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,36 @@
+#ifndef KJOIN_COMMON_STRING_UTIL_H_
+#define KJOIN_COMMON_STRING_UTIL_H_
+
+// Small string helpers shared by the tokenizer, data generators and the
+// experiment harnesses.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kjoin {
+
+// ASCII lower-casing (the datasets in this repository are ASCII).
+std::string ToLowerAscii(std::string_view text);
+
+// Splits on a single separator character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+// Splits on runs of whitespace; empty pieces are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+// Joins pieces with the separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view separator);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Formats n with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(int64_t n);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,44 @@
+#ifndef KJOIN_COMMON_TIMER_H_
+#define KJOIN_COMMON_TIMER_H_
+
+// Wall-clock timing helpers for the experiment harnesses.
+
+#include <chrono>
+
+namespace kjoin {
+
+// Measures elapsed wall-clock time. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across several start/stop intervals, e.g. to separate
+// filter time from verification time inside one join.
+class StopWatch {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  void Reset() { total_seconds_ = 0.0; }
+  double TotalSeconds() const { return total_seconds_; }
+
+ private:
+  WallTimer timer_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_COMMON_TIMER_H_

@@ -1,0 +1,111 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace kjoin {
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n) : parent_(n) {
+    for (int64_t i = 0; i < n; ++i) parent_[i] = static_cast<int32_t>(i);
+  }
+  int32_t Find(int32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int32_t a, int32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int32_t> parent_;
+};
+
+// Number of unordered pairs implied by cluster sizes: sum of C(size, 2).
+int64_t ImpliedPairs(const std::vector<int64_t>& sizes) {
+  int64_t total = 0;
+  for (int64_t size : sizes) total += size * (size - 1) / 2;
+  return total;
+}
+
+}  // namespace
+
+Clustering ClusterPairs(int64_t num_records,
+                        const std::vector<std::pair<int32_t, int32_t>>& pairs) {
+  UnionFind uf(num_records);
+  for (const auto& [a, b] : pairs) {
+    KJOIN_CHECK(a >= 0 && a < num_records) << "pair index out of range: " << a;
+    KJOIN_CHECK(b >= 0 && b < num_records) << "pair index out of range: " << b;
+    uf.Union(a, b);
+  }
+
+  Clustering clustering;
+  clustering.cluster_of.assign(num_records, -1);
+  // Assign dense ids in order of first appearance (== smallest member).
+  std::unordered_map<int32_t, int32_t> id_of_root;
+  for (int64_t i = 0; i < num_records; ++i) {
+    const int32_t root = uf.Find(static_cast<int32_t>(i));
+    auto [it, inserted] = id_of_root.emplace(root, clustering.num_clusters);
+    if (inserted) {
+      ++clustering.num_clusters;
+      clustering.clusters.emplace_back();
+    }
+    clustering.cluster_of[i] = it->second;
+    clustering.clusters[it->second].push_back(static_cast<int32_t>(i));
+  }
+  return clustering;
+}
+
+ClusterQuality EvaluateClustering(const Clustering& predicted,
+                                  const std::vector<int32_t>& truth_cluster_of) {
+  KJOIN_CHECK_EQ(predicted.cluster_of.size(), truth_cluster_of.size());
+  const int64_t n = static_cast<int64_t>(truth_cluster_of.size());
+
+  std::vector<int64_t> predicted_sizes(predicted.num_clusters, 0);
+  for (int32_t cluster : predicted.cluster_of) ++predicted_sizes[cluster];
+
+  std::unordered_map<int32_t, int64_t> truth_sizes;
+  for (int32_t cluster : truth_cluster_of) {
+    if (cluster >= 0) ++truth_sizes[cluster];
+  }
+
+  // Common pairs: group records by (predicted, truth) cluster pair; each
+  // group of size s contributes C(s, 2) pairs in both clusterings.
+  std::unordered_map<int64_t, int64_t> joint_sizes;
+  for (int64_t i = 0; i < n; ++i) {
+    if (truth_cluster_of[i] < 0) continue;
+    const int64_t key = (static_cast<int64_t>(predicted.cluster_of[i]) << 32) |
+                        static_cast<uint32_t>(truth_cluster_of[i]);
+    ++joint_sizes[key];
+  }
+
+  ClusterQuality quality;
+  quality.predicted_pairs = ImpliedPairs(predicted_sizes);
+  std::vector<int64_t> truth_size_list;
+  truth_size_list.reserve(truth_sizes.size());
+  for (const auto& [cluster, size] : truth_sizes) truth_size_list.push_back(size);
+  quality.truth_pairs = ImpliedPairs(truth_size_list);
+  std::vector<int64_t> joint_size_list;
+  joint_size_list.reserve(joint_sizes.size());
+  for (const auto& [key, size] : joint_sizes) joint_size_list.push_back(size);
+  quality.common_pairs = ImpliedPairs(joint_size_list);
+
+  quality.precision = quality.predicted_pairs == 0
+                          ? 1.0
+                          : static_cast<double>(quality.common_pairs) / quality.predicted_pairs;
+  quality.recall = quality.truth_pairs == 0
+                       ? 1.0
+                       : static_cast<double>(quality.common_pairs) / quality.truth_pairs;
+  quality.f1 = (quality.precision + quality.recall) == 0.0
+                   ? 0.0
+                   : 2.0 * quality.precision * quality.recall /
+                         (quality.precision + quality.recall);
+  return quality;
+}
+
+}  // namespace kjoin

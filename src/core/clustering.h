@@ -1,0 +1,51 @@
+#ifndef KJOIN_CORE_CLUSTERING_H_
+#define KJOIN_CORE_CLUSTERING_H_
+
+// Turning join results into entity clusters.
+//
+// Deduplication and web clustering — the applications the paper's
+// introduction motivates — consume the join's similar pairs as an
+// equivalence signal: records connected through chains of similar pairs
+// describe one entity. This module builds those connected components and
+// evaluates them against ground-truth clusters.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kjoin {
+
+struct Clustering {
+  // cluster_of[i] = dense cluster id of record i (singletons included).
+  std::vector<int32_t> cluster_of;
+  int32_t num_clusters = 0;
+
+  // Members per cluster, each sorted ascending; clusters ordered by their
+  // smallest member.
+  std::vector<std::vector<int32_t>> clusters;
+};
+
+// Connected components of the pair graph over `num_records` records.
+// Pairs may repeat and may be unordered; out-of-range indices are
+// rejected with a CHECK.
+Clustering ClusterPairs(int64_t num_records,
+                        const std::vector<std::pair<int32_t, int32_t>>& pairs);
+
+// Pairwise cluster quality: precision/recall/F1 over the *implied pair
+// sets* of the two clusterings (the standard pairwise measure for entity
+// resolution). `truth_cluster_of[i] < 0` marks records with no duplicate.
+struct ClusterQuality {
+  int64_t predicted_pairs = 0;
+  int64_t truth_pairs = 0;
+  int64_t common_pairs = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+ClusterQuality EvaluateClustering(const Clustering& predicted,
+                                  const std::vector<int32_t>& truth_cluster_of);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_CORE_CLUSTERING_H_

@@ -1,0 +1,13 @@
+#include "core/element.h"
+
+#include <algorithm>
+
+namespace kjoin {
+
+double Element::max_phi() const {
+  double best = 0.0;
+  for (const ElementMapping& mapping : mappings) best = std::max(best, mapping.phi);
+  return best;
+}
+
+}  // namespace kjoin

@@ -1,0 +1,221 @@
+#include "core/kjoin.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/inverted_index.h"
+#include "core/prefix.h"
+
+namespace kjoin {
+
+KJoin::KJoin(const Hierarchy& hierarchy, KJoinOptions options)
+    : hierarchy_(&hierarchy),
+      options_(options),
+      lca_(hierarchy),
+      element_sim_(lca_, options.element_metric),
+      signatures_(hierarchy, options.element_metric, options.scheme, options.delta),
+      verifier_(element_sim_, signatures_,
+                VerifierOptions{options.delta, options.tau, options.verify_mode,
+                                options.set_metric, options.count_pruning,
+                                options.weighted_count_pruning, options.plus_mode}) {
+  KJOIN_CHECK(options.delta > 0.0 && options.delta <= 1.0);
+  KJOIN_CHECK(options.tau >= 0.0 && options.tau <= 1.0);
+  KJOIN_CHECK_GE(options.num_threads, 1);
+  if (options.weighted_prefix) {
+    KJOIN_CHECK(options.scheme == SignatureScheme::kDeepPath)
+        << "the weighted prefix (Definition 9) is defined on deep path signatures";
+  }
+}
+
+int32_t KJoin::PrefixLengthFor(const std::vector<Signature>& sigs, int32_t object_size) const {
+  if (options_.weighted_prefix) {
+    return PrefixLengthWeighted(
+        sigs, MinOverlapWithAnyPartner(object_size, options_.tau, options_.set_metric));
+  }
+  return PrefixLengthDistinct(
+      sigs, MinSimilarElements(object_size, options_.tau, options_.set_metric));
+}
+
+KJoin::Prepared KJoin::Prepare(const std::vector<const std::vector<Object>*>& collections,
+                               GlobalSignatureOrder* order, JoinStats* stats) const {
+  Prepared prepared;
+  int64_t total_objects = 0;
+  for (const auto* collection : collections) {
+    total_objects += static_cast<int64_t>(collection->size());
+  }
+  prepared.sigs.reserve(total_objects);
+  prepared.prefix_len.reserve(total_objects);
+
+  for (const auto* collection : collections) {
+    for (const Object& object : *collection) {
+      prepared.sigs.push_back(signatures_.Generate(object));
+      order->CountObject(prepared.sigs.back());
+      stats->total_signatures += static_cast<int64_t>(prepared.sigs.back().size());
+    }
+  }
+  order->Finalize();
+
+  size_t index = 0;
+  for (const auto* collection : collections) {
+    for (const Object& object : *collection) {
+      SortByGlobalOrder(*order, &prepared.sigs[index]);
+      const int32_t prefix = PrefixLengthFor(prepared.sigs[index], object.size());
+      prepared.prefix_len.push_back(prefix);
+      stats->prefix_signatures += prefix;
+      ++index;
+    }
+  }
+  return prepared;
+}
+
+void KJoin::VerifyCandidates(const std::vector<Object>& left,
+                             const std::vector<Object>& right,
+                             const std::vector<std::pair<int32_t, int32_t>>& candidates,
+                             JoinResult* result) const {
+  WallTimer timer;
+  result->stats.candidates += static_cast<int64_t>(candidates.size());
+  const int num_threads = std::max(1, options_.num_threads);
+
+  if (num_threads == 1 || candidates.size() < 2048) {
+    for (const auto& [l, r] : candidates) {
+      if (verifier_.Verify(left[l], right[r], &result->stats.verify)) {
+        result->pairs.emplace_back(l, r);
+      }
+    }
+    result->stats.verify_seconds += timer.ElapsedSeconds();
+    return;
+  }
+
+  // Contiguous chunks keep the output in candidate order after an
+  // in-order merge.
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> found(num_threads);
+  std::vector<VerifyStats> stats(num_threads);
+  const size_t chunk = (candidates.size() + num_threads - 1) / num_threads;
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    const size_t begin = std::min(candidates.size(), t * chunk);
+    const size_t end = std::min(candidates.size(), begin + chunk);
+    workers.emplace_back([&, t, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        const auto& [l, r] = candidates[i];
+        if (verifier_.Verify(left[l], right[r], &stats[t])) {
+          found[t].emplace_back(l, r);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int t = 0; t < num_threads; ++t) {
+    result->stats.verify.Add(stats[t]);
+    result->pairs.insert(result->pairs.end(), found[t].begin(), found[t].end());
+  }
+  result->stats.verify_seconds += timer.ElapsedSeconds();
+}
+
+JoinResult KJoin::SelfJoin(const std::vector<Object>& objects) const {
+  JoinResult result;
+  result.stats.num_objects_left = static_cast<int64_t>(objects.size());
+  result.stats.num_objects_right = result.stats.num_objects_left;
+  WallTimer total_timer;
+
+  WallTimer phase_timer;
+  GlobalSignatureOrder order;
+  const Prepared prepared = Prepare({&objects}, &order, &result.stats);
+  result.stats.signature_seconds = phase_timer.ElapsedSeconds();
+
+  // Candidate generation: stream objects through the inverted index.
+  phase_timer.Restart();
+  InvertedIndex index(order.num_signatures());
+  std::vector<int32_t> last_probe(objects.size(), -1);
+  std::vector<std::pair<int32_t, int32_t>> candidates;
+  for (int32_t x = 0; x < static_cast<int32_t>(objects.size()); ++x) {
+    const std::vector<Signature>& sigs = prepared.sigs[x];
+    const int32_t prefix = prepared.prefix_len[x];
+    int32_t previous_rank = -1;
+    for (int32_t k = 0; k < prefix; ++k) {
+      const int32_t rank = order.Rank(sigs[k].id);
+      if (rank == previous_rank) continue;  // duplicate signature value
+      previous_rank = rank;
+      for (int32_t y : index.List(rank)) {
+        if (last_probe[y] == x) continue;
+        last_probe[y] = x;
+        candidates.emplace_back(y, x);
+      }
+    }
+    previous_rank = -1;
+    for (int32_t k = 0; k < prefix; ++k) {
+      const int32_t rank = order.Rank(sigs[k].id);
+      if (rank == previous_rank) continue;
+      previous_rank = rank;
+      index.Add(rank, x);
+    }
+  }
+  result.stats.filter_seconds = phase_timer.ElapsedSeconds();
+
+  VerifyCandidates(objects, objects, candidates, &result);
+
+  result.stats.results = static_cast<int64_t>(result.pairs.size());
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+JoinResult KJoin::Join(const std::vector<Object>& left,
+                       const std::vector<Object>& right) const {
+  JoinResult result;
+  result.stats.num_objects_left = static_cast<int64_t>(left.size());
+  result.stats.num_objects_right = static_cast<int64_t>(right.size());
+  WallTimer total_timer;
+
+  WallTimer phase_timer;
+  GlobalSignatureOrder order;
+  // Signatures and the global order span both collections (§6.1).
+  const Prepared prepared = Prepare({&left, &right}, &order, &result.stats);
+  result.stats.signature_seconds = phase_timer.ElapsedSeconds();
+  const size_t right_offset = left.size();
+
+  // Index the left collection's prefixes, probe with the right's.
+  phase_timer.Restart();
+  InvertedIndex index(order.num_signatures());
+  for (int32_t l = 0; l < static_cast<int32_t>(left.size()); ++l) {
+    const std::vector<Signature>& sigs = prepared.sigs[l];
+    int32_t previous_rank = -1;
+    for (int32_t k = 0; k < prepared.prefix_len[l]; ++k) {
+      const int32_t rank = order.Rank(sigs[k].id);
+      if (rank == previous_rank) continue;
+      previous_rank = rank;
+      index.Add(rank, l);
+    }
+  }
+  std::vector<int32_t> last_probe(left.size(), -1);
+  std::vector<std::pair<int32_t, int32_t>> candidates;
+  for (int32_t r = 0; r < static_cast<int32_t>(right.size()); ++r) {
+    const std::vector<Signature>& sigs = prepared.sigs[right_offset + r];
+    int32_t previous_rank = -1;
+    for (int32_t k = 0; k < prepared.prefix_len[right_offset + r]; ++k) {
+      const int32_t rank = order.Rank(sigs[k].id);
+      if (rank == previous_rank) continue;
+      previous_rank = rank;
+      for (int32_t l : index.List(rank)) {
+        if (last_probe[l] == r) continue;
+        last_probe[l] = r;
+        candidates.emplace_back(l, r);
+      }
+    }
+  }
+  result.stats.filter_seconds = phase_timer.ElapsedSeconds();
+
+  VerifyCandidates(left, right, candidates, &result);
+
+  result.stats.results = static_cast<int64_t>(result.pairs.size());
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+double KJoin::ExactSimilarity(const Object& x, const Object& y) const {
+  return verifier_.ExactSimilarity(x, y);
+}
+
+}  // namespace kjoin

@@ -1,0 +1,136 @@
+#ifndef KJOIN_CORE_KJOIN_H_
+#define KJOIN_CORE_KJOIN_H_
+
+// The K-Join driver: knowledge-aware similarity join (paper Definition 3).
+//
+// Pipeline (§3.3, §4.2.3):
+//   1. generate signatures for every object under the configured scheme;
+//   2. fix the global signature order (document frequency ascending);
+//   3. compute each object's (weighted) prefix;
+//   4. stream objects through an inverted index on prefix signatures —
+//      objects sharing a prefix signature become candidate pairs;
+//   5. verify candidates (count pruning -> weighted count pruning ->
+//      Basic/SubGraph/Adaptive matching).
+//
+// Usage:
+//   Hierarchy tree = ...;
+//   EntityMatcher matcher(tree);
+//   ObjectBuilder builder(matcher, /*multi_mapping=*/true);   // K-Join+
+//   std::vector<Object> objects = ...;                        // via builder
+//   KJoin join(tree, options);
+//   JoinResult result = join.SelfJoin(objects);
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/element_similarity.h"
+#include "core/object.h"
+#include "core/object_similarity.h"
+#include "core/prefix.h"
+#include "core/signature.h"
+#include "core/verifier.h"
+#include "hierarchy/hierarchy.h"
+#include "hierarchy/lca.h"
+
+namespace kjoin {
+
+struct KJoinOptions {
+  // Element similarity threshold δ (edges below it are dropped).
+  double delta = 0.7;
+  // Object similarity threshold τ.
+  double tau = 0.8;
+  // Filter scheme: node signatures (§3.1) or depth-aware path signatures
+  // (§4.1). kDeepPath is the paper's best performer and the default.
+  SignatureScheme scheme = SignatureScheme::kDeepPath;
+  // Weighted path prefix (Definition 9) instead of the plain distinct-
+  // element rule; only meaningful for kDeepPath.
+  bool weighted_prefix = true;
+  VerifyMode verify_mode = VerifyMode::kAdaptive;
+  ElementMetric element_metric = ElementMetric::kKJoin;
+  SetMetric set_metric = SetMetric::kJaccard;
+  bool count_pruning = true;
+  bool weighted_count_pruning = true;
+  // K-Join+ semantics (multi-node element mappings). Objects must then be
+  // built with ObjectBuilder(matcher, /*multi_mapping=*/true).
+  bool plus_mode = false;
+  // Worker threads for the verification phase (candidate generation stays
+  // single-threaded; it is index-order dependent and rarely the
+  // bottleneck). 1 = fully sequential.
+  int num_threads = 1;
+};
+
+struct JoinStats {
+  int64_t num_objects_left = 0;
+  int64_t num_objects_right = 0;
+  int64_t total_signatures = 0;
+  int64_t prefix_signatures = 0;
+  // Distinct candidate pairs produced by the filter (each verified once).
+  int64_t candidates = 0;
+  int64_t results = 0;
+  double signature_seconds = 0.0;
+  double filter_seconds = 0.0;  // candidate generation (probing + indexing)
+  double verify_seconds = 0.0;
+  double total_seconds = 0.0;
+  VerifyStats verify;
+};
+
+struct JoinResult {
+  // Similar pairs as indices into the input vector(s); for a self join
+  // first < second.
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  JoinStats stats;
+};
+
+class KJoin {
+ public:
+  // The hierarchy must outlive the KJoin instance.
+  KJoin(const Hierarchy& hierarchy, KJoinOptions options);
+
+  // All pairs x < y with SIMδ(objects[x], objects[y]) >= τ.
+  JoinResult SelfJoin(const std::vector<Object>& objects) const;
+
+  // R-S join (§6.1): all (r, s) in R × S with SIMδ >= τ. Both collections
+  // must come from the same ObjectBuilder (shared token interner).
+  JoinResult Join(const std::vector<Object>& left, const std::vector<Object>& right) const;
+
+  // Exact similarity under this join's configuration (no filtering).
+  double ExactSimilarity(const Object& x, const Object& y) const;
+
+  const KJoinOptions& options() const { return options_; }
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+
+ private:
+  // Per-object signature lists sorted by global order plus prefix length.
+  struct Prepared {
+    std::vector<std::vector<Signature>> sigs;
+    std::vector<int32_t> prefix_len;
+  };
+
+  // Signature generation + global ordering + prefixes over one or two
+  // collections.
+  Prepared Prepare(const std::vector<const std::vector<Object>*>& collections,
+                   GlobalSignatureOrder* order, JoinStats* stats) const;
+
+  int32_t PrefixLengthFor(const std::vector<Signature>& sigs, int32_t object_size) const;
+
+  // Verifies candidate (left-index, right-index) pairs — in parallel when
+  // options_.num_threads > 1 — and appends the similar ones to
+  // result->pairs (kept in candidate order). Timing goes to
+  // verify_seconds, per-pair counters to result->stats.verify.
+  void VerifyCandidates(const std::vector<Object>& left, const std::vector<Object>& right,
+                        const std::vector<std::pair<int32_t, int32_t>>& candidates,
+                        JoinResult* result) const;
+
+  const Hierarchy* hierarchy_;
+  KJoinOptions options_;
+  LcaIndex lca_;
+  ElementSimilarity element_sim_;
+  SignatureGenerator signatures_;
+  Verifier verifier_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_CORE_KJOIN_H_

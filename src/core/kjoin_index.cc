@@ -1,0 +1,120 @@
+#include "core/kjoin_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/prefix.h"
+
+namespace kjoin {
+
+KJoinIndex::KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options,
+                       std::vector<Object> objects)
+    : hierarchy_(&hierarchy),
+      options_(options),
+      objects_(std::move(objects)),
+      lca_(hierarchy),
+      element_sim_(lca_, options.element_metric),
+      signatures_(hierarchy, options.element_metric, options.scheme, options.delta),
+      object_sim_(element_sim_, options.delta, options.set_metric),
+      verifier_(element_sim_, signatures_,
+                VerifierOptions{options.delta, options.tau, options.verify_mode,
+                                options.set_metric, options.count_pruning,
+                                options.weighted_count_pruning, options.plus_mode}) {
+  for (int32_t i = 0; i < static_cast<int32_t>(objects_.size()); ++i) IndexObject(i);
+}
+
+void KJoinIndex::IndexObject(int32_t index) {
+  // Full signature set, deduplicated per object.
+  std::vector<SigId> ids;
+  for (const Signature& sig : signatures_.Generate(objects_[index])) ids.push_back(sig.id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (SigId id : ids) postings_[id].push_back(index);
+}
+
+int32_t KJoinIndex::Insert(const Object& object) {
+  objects_.push_back(object);
+  const int32_t index = static_cast<int32_t>(objects_.size() - 1);
+  IndexObject(index);
+  return index;
+}
+
+std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
+  std::vector<Signature> sigs = signatures_.Generate(query);
+  // Order by indexed-side document frequency ascending (posting-list
+  // length; absent signatures have df 0). Any fixed order is sound for
+  // the asymmetric search argument; df-ascending keeps probed lists
+  // short.
+  auto df_of = [&](SigId id) {
+    auto it = postings_.find(id);
+    return it == postings_.end() ? int64_t{0} : static_cast<int64_t>(it->second.size());
+  };
+  std::sort(sigs.begin(), sigs.end(), [&](const Signature& a, const Signature& b) {
+    const int64_t dfa = df_of(a.id);
+    const int64_t dfb = df_of(b.id);
+    if (dfa != dfb) return dfa < dfb;
+    if (a.id != b.id) return a.id < b.id;
+    return a.element < b.element;
+  });
+
+  int32_t prefix;
+  if (options_.weighted_prefix) {
+    prefix = PrefixLengthWeighted(
+        sigs, MinOverlapWithAnyPartner(query.size(), options_.tau, options_.set_metric));
+  } else {
+    prefix = PrefixLengthDistinct(
+        sigs, MinSimilarElements(query.size(), options_.tau, options_.set_metric));
+  }
+
+  std::vector<int32_t> candidates;
+  std::vector<char> seen(objects_.size(), 0);
+  SigId previous = 0;
+  bool have_previous = false;
+  for (int32_t k = 0; k < prefix; ++k) {
+    if (have_previous && sigs[k].id == previous) continue;
+    previous = sigs[k].id;
+    have_previous = true;
+    auto it = postings_.find(sigs[k].id);
+    if (it == postings_.end()) continue;
+    for (int32_t i : it->second) {
+      if (!seen[i]) {
+        seen[i] = 1;
+        candidates.push_back(i);
+      }
+    }
+  }
+  last_candidates_ = static_cast<int64_t>(candidates.size());
+  return candidates;
+}
+
+std::vector<SearchHit> KJoinIndex::Search(const Object& query) const {
+  std::vector<SearchHit> hits;
+  VerifyStats stats;
+  for (int32_t i : Candidates(query)) {
+    if (!verifier_.Verify(query, objects_[i], &stats)) continue;
+    hits.push_back({i, object_sim_.Similarity(query, objects_[i])});
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.object_index < b.object_index;
+  });
+  return hits;
+}
+
+std::vector<SearchHit> KJoinIndex::SearchTopK(const Object& query, int32_t k,
+                                              double min_similarity) const {
+  // Candidates are generated at the index's configured τ, so searching
+  // below it would be incomplete.
+  KJOIN_CHECK_GE(min_similarity, options_.tau)
+      << "SearchTopK cannot go below the index's configured tau";
+  std::vector<SearchHit> hits = Search(query);
+  std::vector<SearchHit> result;
+  for (const SearchHit& hit : hits) {
+    if (hit.similarity + 1e-9 < min_similarity) continue;
+    result.push_back(hit);
+    if (k > 0 && static_cast<int32_t>(result.size()) >= k) break;
+  }
+  return result;
+}
+
+}  // namespace kjoin

@@ -1,0 +1,87 @@
+#ifndef KJOIN_CORE_KJOIN_INDEX_H_
+#define KJOIN_CORE_KJOIN_INDEX_H_
+
+// Knowledge-aware similarity *search*: index a collection once (and grow
+// it incrementally), then answer per-object queries.
+//
+// The paper's related work (§2.3) distinguishes joins from searches; the
+// same signature machinery supports both. KJoinIndex stores every indexed
+// object's FULL signature set in an inverted index; a query probes with
+// its own prefix only. That asymmetry keeps the index insertable and the
+// search complete: if a τ-similar indexed object shared no signature with
+// the query's prefix, all its common signatures would sit in the query's
+// suffix — which the prefix rules cap below the τ requirement.
+//
+//   KJoinIndex index(tree, options, objects);
+//   index.Insert(more_objects[i]);
+//   std::vector<SearchHit> hits = index.Search(query);
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/kjoin.h"
+#include "core/verifier.h"
+
+namespace kjoin {
+
+struct SearchHit {
+  int32_t object_index = -1;  // position in the indexed collection
+  double similarity = 0.0;
+
+  friend bool operator==(const SearchHit&, const SearchHit&) = default;
+};
+
+class KJoinIndex {
+ public:
+  // Copies `objects` into the index (it owns its collection so that
+  // Insert can grow it). The hierarchy must outlive the index. Options
+  // are interpreted as for KJoin; verify_mode/prunings control how
+  // candidates are checked at query time.
+  KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options, std::vector<Object> objects);
+
+  // Appends one object; it becomes immediately searchable. Returns its
+  // index.
+  int32_t Insert(const Object& object);
+
+  // All indexed objects with SIMδ(query, object) >= τ, sorted by
+  // descending similarity (ties: ascending index). The query must come
+  // from the same ObjectBuilder as the indexed collection.
+  std::vector<SearchHit> Search(const Object& query) const;
+
+  // The top-k most similar indexed objects with SIMδ >= min_similarity
+  // (which must be >= the index's τ). k <= 0 returns everything.
+  std::vector<SearchHit> SearchTopK(const Object& query, int32_t k,
+                                    double min_similarity) const;
+
+  // Candidate count of the last Search on this thread (observability for
+  // benches; not synchronized across threads).
+  int64_t last_candidates() const { return last_candidates_; }
+
+  int64_t num_indexed() const { return static_cast<int64_t>(objects_.size()); }
+  const Object& object_at(int32_t index) const { return objects_[index]; }
+  const KJoinOptions& options() const { return options_; }
+
+ private:
+  std::vector<int32_t> Candidates(const Object& query) const;
+  void IndexObject(int32_t index);
+
+  const Hierarchy* hierarchy_;
+  KJoinOptions options_;
+  std::vector<Object> objects_;
+  LcaIndex lca_;
+  ElementSimilarity element_sim_;
+  SignatureGenerator signatures_;
+  ObjectSimilarity object_sim_;
+  Verifier verifier_;
+  // signature -> indexed objects carrying it (full sets, deduplicated per
+  // object). The list length doubles as the signature's document
+  // frequency for ordering query prefixes.
+  std::unordered_map<SigId, std::vector<int32_t>> postings_;
+  mutable int64_t last_candidates_ = 0;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_CORE_KJOIN_INDEX_H_

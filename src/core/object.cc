@@ -1,0 +1,90 @@
+#include "core/object.h"
+
+namespace kjoin {
+
+ObjectBuilder::ObjectBuilder(const EntityMatcher& matcher, bool multi_mapping)
+    : matcher_(&matcher), multi_mapping_(multi_mapping) {}
+
+int32_t ObjectBuilder::InternToken(const std::string& token) {
+  auto [it, inserted] = token_ids_.emplace(token, static_cast<int32_t>(token_ids_.size()));
+  return it->second;
+}
+
+Object ObjectBuilder::Build(int32_t id, const std::vector<std::string>& tokens) {
+  Object object;
+  object.id = id;
+  object.elements.reserve(tokens.size());
+  for (const std::string& raw : tokens) {
+    const std::string token = tokenizer_.Normalize(raw);
+    if (token.empty()) continue;
+    Element element;
+    element.token = token;
+    element.token_id = InternToken(token);
+    if (multi_mapping_) {
+      for (const EntityMatch& match : matcher_->MatchAll(token)) {
+        element.mappings.push_back({match.node, match.phi});
+      }
+    } else if (auto match = matcher_->MatchOne(token); match.has_value()) {
+      element.mappings.push_back({match->node, match->phi});
+    }
+    object.elements.push_back(std::move(element));
+  }
+  return object;
+}
+
+Object ObjectBuilder::BuildFromText(int32_t id, std::string_view text) {
+  return Build(id, tokenizer_.Tokenize(text));
+}
+
+Object ObjectBuilder::BuildWithSpans(int32_t id, const std::vector<std::string>& tokens,
+                                     int max_span) {
+  Object object;
+  object.id = id;
+  // Normalize once.
+  std::vector<std::string> normalized;
+  normalized.reserve(tokens.size());
+  for (const std::string& raw : tokens) {
+    std::string token = tokenizer_.Normalize(raw);
+    if (!token.empty()) normalized.push_back(std::move(token));
+  }
+
+  size_t i = 0;
+  while (i < normalized.size()) {
+    size_t taken = 1;
+    Element element;
+    // Longest span first; multi-token spans must match exactly (φ = 1).
+    for (size_t span = std::min<size_t>(max_span, normalized.size() - i); span >= 2; --span) {
+      std::string concatenated;
+      for (size_t k = 0; k < span; ++k) concatenated += normalized[i + k];
+      const auto match = matcher_->MatchOne(concatenated);
+      if (!match.has_value()) continue;
+      element.token = concatenated;
+      element.token_id = InternToken(concatenated);
+      if (multi_mapping_) {
+        for (const EntityMatch& m : matcher_->MatchAll(concatenated)) {
+          element.mappings.push_back({m.node, m.phi});
+        }
+      } else {
+        element.mappings.push_back({match->node, match->phi});
+      }
+      taken = span;
+      break;
+    }
+    if (taken == 1) {
+      element.token = normalized[i];
+      element.token_id = InternToken(normalized[i]);
+      if (multi_mapping_) {
+        for (const EntityMatch& m : matcher_->MatchAll(normalized[i])) {
+          element.mappings.push_back({m.node, m.phi});
+        }
+      } else if (auto match = matcher_->MatchOne(normalized[i]); match.has_value()) {
+        element.mappings.push_back({match->node, match->phi});
+      }
+    }
+    object.elements.push_back(std::move(element));
+    i += taken;
+  }
+  return object;
+}
+
+}  // namespace kjoin

@@ -1,0 +1,66 @@
+#ifndef KJOIN_CORE_OBJECT_H_
+#define KJOIN_CORE_OBJECT_H_
+
+// Objects (records) and their construction from raw text.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/element.h"
+#include "text/entity_matcher.h"
+#include "text/tokenizer.h"
+
+namespace kjoin {
+
+// A record as K-Join sees it: a multiset of elements. |S| in the paper is
+// size().
+struct Object {
+  int32_t id = -1;
+  std::vector<Element> elements;
+
+  int32_t size() const { return static_cast<int32_t>(elements.size()); }
+};
+
+// Turns token lists into Objects: interns tokens (identical tokens across
+// *both* join sides must share token ids, so use one builder per join) and
+// resolves each token against the knowledge hierarchy through the
+// EntityMatcher.
+class ObjectBuilder {
+ public:
+  // `matcher` must outlive the builder. multi_mapping=false gives the
+  // paper's K-Join (one exact/synonym node per element), true gives
+  // K-Join+ (§6.4: multiple nodes via ambiguity, synonyms and typos).
+  ObjectBuilder(const EntityMatcher& matcher, bool multi_mapping);
+
+  Object Build(int32_t id, const std::vector<std::string>& tokens);
+
+  // Tokenizes `text` first (lower-case alphanumeric tokens).
+  Object BuildFromText(int32_t id, std::string_view text);
+
+  // Greedy longest-span entity recognition: runs of up to `max_span`
+  // consecutive tokens whose concatenation matches a hierarchy label or
+  // synonym exactly become ONE element ("mountain view" ->
+  // MountainView). Multi-token spans require an exact/synonym match
+  // (φ = 1) — approximate matching on concatenations would produce junk
+  // entities. Remaining tokens are handled as in Build.
+  Object BuildWithSpans(int32_t id, const std::vector<std::string>& tokens, int max_span = 3);
+
+  // Dense id of `token`, creating one if new.
+  int32_t InternToken(const std::string& token);
+
+  int64_t num_distinct_tokens() const { return static_cast<int64_t>(token_ids_.size()); }
+  bool multi_mapping() const { return multi_mapping_; }
+
+ private:
+  const EntityMatcher* matcher_;
+  bool multi_mapping_;
+  Tokenizer tokenizer_;
+  std::unordered_map<std::string, int32_t> token_ids_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_CORE_OBJECT_H_

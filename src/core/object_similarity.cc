@@ -1,0 +1,87 @@
+#include "core/object_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "matching/hungarian.h"
+
+namespace kjoin {
+namespace {
+
+int32_t CeilSafe(double x) { return static_cast<int32_t>(std::ceil(x - 1e-9)); }
+
+}  // namespace
+
+double MinOverlapWithAnyPartner(int32_t size, double tau, SetMetric metric) {
+  KJOIN_CHECK(tau >= 0.0 && tau <= 1.0) << "tau out of range: " << tau;
+  switch (metric) {
+    case SetMetric::kJaccard:
+      return tau * size;
+    case SetMetric::kDice:
+      return tau / (2.0 - tau) * size;
+    case SetMetric::kCosine:
+      return tau * tau * size;
+  }
+  return 0.0;
+}
+
+int32_t MinSimilarElements(int32_t size, double tau, SetMetric metric) {
+  return CeilSafe(MinOverlapWithAnyPartner(size, tau, metric));
+}
+
+double MinFuzzyOverlap(int32_t size_x, int32_t size_y, double tau, SetMetric metric) {
+  switch (metric) {
+    case SetMetric::kJaccard:
+      return tau / (1.0 + tau) * (size_x + size_y);
+    case SetMetric::kDice:
+      return tau / 2.0 * (size_x + size_y);
+    case SetMetric::kCosine:
+      return tau * std::sqrt(static_cast<double>(size_x) * size_y);
+  }
+  return 0.0;
+}
+
+double CombineOverlap(double overlap, int32_t size_x, int32_t size_y, SetMetric metric) {
+  if (size_x == 0 && size_y == 0) return 1.0;
+  if (size_x == 0 || size_y == 0) return 0.0;
+  switch (metric) {
+    case SetMetric::kJaccard: {
+      const double denom = size_x + size_y - overlap;
+      return denom <= 0.0 ? 1.0 : overlap / denom;
+    }
+    case SetMetric::kDice:
+      return 2.0 * overlap / (size_x + size_y);
+    case SetMetric::kCosine:
+      return overlap / std::sqrt(static_cast<double>(size_x) * size_y);
+  }
+  return 0.0;
+}
+
+ObjectSimilarity::ObjectSimilarity(const ElementSimilarity& element_sim, double delta,
+                                   SetMetric metric)
+    : element_sim_(&element_sim), delta_(delta), metric_(metric) {
+  KJOIN_CHECK(delta > 0.0 && delta <= 1.0) << "delta out of range: " << delta;
+}
+
+Bigraph ObjectSimilarity::BuildBigraph(const Object& x, const Object& y) const {
+  Bigraph graph(x.size(), y.size());
+  for (int32_t i = 0; i < x.size(); ++i) {
+    for (int32_t j = 0; j < y.size(); ++j) {
+      const double sim = element_sim_->Sim(x.elements[i], y.elements[j]);
+      if (sim >= delta_ - 1e-12) graph.AddEdge(i, j, sim);
+    }
+  }
+  return graph;
+}
+
+double ObjectSimilarity::FuzzyOverlap(const Object& x, const Object& y) const {
+  const Bigraph graph = BuildBigraph(x, y);
+  return MaxWeightMatching(graph);
+}
+
+double ObjectSimilarity::Similarity(const Object& x, const Object& y) const {
+  return CombineOverlap(FuzzyOverlap(x, y), x.size(), y.size(), metric_);
+}
+
+}  // namespace kjoin

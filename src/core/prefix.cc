@@ -1,0 +1,134 @@
+#include "core/prefix.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+void GlobalSignatureOrder::CountObject(const std::vector<Signature>& sigs) {
+  KJOIN_CHECK(!finalized_);
+  // Dedupe within the object: df counts objects, not occurrences.
+  // Signature lists are short; a sorted scratch of ids is cheap.
+  static thread_local std::vector<SigId> scratch;
+  scratch.clear();
+  for (const Signature& sig : sigs) scratch.push_back(sig.id);
+  std::sort(scratch.begin(), scratch.end());
+  scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+  for (SigId id : scratch) ++df_[id];
+}
+
+void GlobalSignatureOrder::Finalize() {
+  KJOIN_CHECK(!finalized_);
+  finalized_ = true;
+  by_rank_.reserve(df_.size());
+  for (const auto& [id, df] : df_) by_rank_.push_back(id);
+  std::sort(by_rank_.begin(), by_rank_.end(), [this](SigId a, SigId b) {
+    const int32_t dfa = df_.at(a);
+    const int32_t dfb = df_.at(b);
+    if (dfa != dfb) return dfa < dfb;
+    return a < b;
+  });
+  rank_.reserve(by_rank_.size());
+  for (int32_t r = 0; r < static_cast<int32_t>(by_rank_.size()); ++r) {
+    rank_.emplace(by_rank_[r], r);
+  }
+}
+
+int32_t GlobalSignatureOrder::Rank(SigId id) const {
+  KJOIN_CHECK(finalized_);
+  auto it = rank_.find(id);
+  KJOIN_CHECK(it != rank_.end()) << "signature " << id << " was never counted";
+  return it->second;
+}
+
+int32_t GlobalSignatureOrder::RankOr(SigId id, int32_t fallback) const {
+  KJOIN_CHECK(finalized_);
+  auto it = rank_.find(id);
+  return it == rank_.end() ? fallback : it->second;
+}
+
+int32_t GlobalSignatureOrder::DocumentFrequency(SigId id) const {
+  auto it = df_.find(id);
+  return it == df_.end() ? 0 : it->second;
+}
+
+void SortByGlobalOrder(const GlobalSignatureOrder& order, std::vector<Signature>* sigs) {
+  // Precompute ranks once, then sort by them.
+  std::vector<std::pair<int32_t, Signature>> keyed;
+  keyed.reserve(sigs->size());
+  for (const Signature& sig : *sigs) keyed.emplace_back(order.Rank(sig.id), sig);
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.element < b.second.element;
+  });
+  for (size_t i = 0; i < keyed.size(); ++i) (*sigs)[i] = keyed[i].second;
+}
+
+int32_t PrefixLengthDistinct(const std::vector<Signature>& sigs,
+                             int32_t min_similar_elements) {
+  if (sigs.empty()) return 0;
+  if (min_similar_elements <= 0) return static_cast<int32_t>(sigs.size());
+  // Walk from the tail, removing signatures while the removed set touches
+  // at most τ_S − 1 distinct elements.
+  std::unordered_map<int32_t, int32_t> removed_of_element;
+  int32_t prefix = static_cast<int32_t>(sigs.size());
+  while (prefix > 1) {
+    const Signature& sig = sigs[prefix - 1];
+    auto it = removed_of_element.find(sig.element);
+    const bool new_element = (it == removed_of_element.end());
+    if (new_element &&
+        static_cast<int32_t>(removed_of_element.size()) + 1 > min_similar_elements - 1) {
+      break;  // removing this signature would let the suffix cover τ_S elements
+    }
+    if (new_element) {
+      removed_of_element.emplace(sig.element, 1);
+    } else {
+      ++it->second;
+    }
+    --prefix;
+  }
+  return prefix;
+}
+
+int32_t PrefixLengthWeighted(const std::vector<Signature>& sigs, double overlap_budget) {
+  if (sigs.empty()) return 0;
+  if (overlap_budget <= 0.0) return static_cast<int32_t>(sigs.size());
+
+  // Total signature count per element, to detect full removal.
+  std::unordered_map<int32_t, int32_t> total_of_element;
+  for (const Signature& sig : sigs) ++total_of_element[sig.element];
+
+  struct Removed {
+    int32_t count = 0;
+    double max_weight = 0.0;
+  };
+  std::unordered_map<int32_t, Removed> removed;
+  double mass = 0.0;
+
+  auto contribution = [&](const Removed& r, int32_t total) {
+    if (r.count == 0) return 0.0;
+    // A fully removed element can still be matched (similarity 1) by an
+    // identical token whose own prefix survived, so it costs at least 1.
+    return r.count >= total ? std::max(1.0, r.max_weight) : r.max_weight;
+  };
+
+  int32_t prefix = static_cast<int32_t>(sigs.size());
+  while (prefix > 1) {
+    const Signature& sig = sigs[prefix - 1];
+    Removed& r = removed[sig.element];
+    const int32_t total = total_of_element.at(sig.element);
+    const double before = contribution(r, total);
+    Removed after = r;
+    ++after.count;
+    after.max_weight = std::max(after.max_weight, static_cast<double>(sig.weight));
+    const double new_mass = mass - before + contribution(after, total);
+    if (new_mass >= overlap_budget - 1e-9) break;  // Definition 9's stop condition
+    r = after;
+    mass = new_mass;
+    --prefix;
+  }
+  return prefix;
+}
+
+}  // namespace kjoin

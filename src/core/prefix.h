@@ -1,0 +1,74 @@
+#ifndef KJOIN_CORE_PREFIX_H_
+#define KJOIN_CORE_PREFIX_H_
+
+// Global signature ordering and prefix computation (paper §3.1, §4.2).
+//
+// All signatures of all objects are sorted by document frequency
+// ascending (rare signatures first), then each object keeps only a prefix
+// of its sorted signature list:
+//   * distinct-element rule (node prefix / path prefix, Definitions 5, 8):
+//     drop suffix signatures while the dropped ones touch at most
+//     τ_S − 1 distinct elements;
+//   * weighted rule (weighted path prefix, Definition 9): drop suffix
+//     signatures while the per-element-deduplicated maximum-similarity
+//     mass of the dropped ones stays < τ|S|. An element whose signatures
+//     are all dropped is accounted with mass max(1, its max weight):
+//     an identical copy of the element on the other side matches it with
+//     similarity 1 through any of its signatures.
+// If two objects' prefixes share no signature, the objects cannot be
+// τ-similar (Lemmas 2, 6, 7).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/signature.h"
+
+namespace kjoin {
+
+// Maps SigId -> dense rank. Rank order = (document frequency ascending,
+// SigId ascending). Build by feeding every object's signature list, then
+// Finalize.
+class GlobalSignatureOrder {
+ public:
+  // Counts each distinct SigId of the object once (document frequency).
+  void CountObject(const std::vector<Signature>& sigs);
+
+  // Freezes the order. No CountObject afterwards.
+  void Finalize();
+
+  // Dense rank in [0, num_signatures()). The id must have been counted.
+  int32_t Rank(SigId id) const;
+
+  // Rank, or `fallback` for ids never counted. Unknown signatures have
+  // document frequency 0, so callers ordering "rarest first" should pass
+  // a fallback below every real rank (e.g. -1). Used by KJoinIndex, whose
+  // queries may carry signatures the indexed collection never produced.
+  int32_t RankOr(SigId id, int32_t fallback) const;
+
+  int32_t num_signatures() const { return static_cast<int32_t>(by_rank_.size()); }
+  int32_t DocumentFrequency(SigId id) const;
+
+ private:
+  bool finalized_ = false;
+  std::unordered_map<SigId, int32_t> df_;     // until Finalize: counts
+  std::unordered_map<SigId, int32_t> rank_;   // after Finalize
+  std::vector<SigId> by_rank_;
+};
+
+// Sorts `sigs` by global rank (ties: element index) — the layout the
+// prefix routines and the join driver expect.
+void SortByGlobalOrder(const GlobalSignatureOrder& order, std::vector<Signature>* sigs);
+
+// Prefix length under the distinct-element rule. `sigs` must be sorted by
+// global order. `min_similar_elements` is τ_S. Returns a value in
+// [1, sigs.size()] for non-empty input (0 only for empty input).
+int32_t PrefixLengthDistinct(const std::vector<Signature>& sigs, int32_t min_similar_elements);
+
+// Prefix length under the weighted rule; `overlap_budget` is τ|S| (or the
+// metric-equivalent from MinSimilarElements' derivation).
+int32_t PrefixLengthWeighted(const std::vector<Signature>& sigs, double overlap_budget);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_CORE_PREFIX_H_

@@ -1,0 +1,48 @@
+#include "core/topk_join.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+TopKJoin::TopKJoin(const Hierarchy& hierarchy, TopKOptions options)
+    : hierarchy_(&hierarchy), options_(options) {
+  KJOIN_CHECK(options.tau_floor > 0.0 && options.tau_floor <= options.tau_start);
+  KJOIN_CHECK_GT(options.tau_step, 0.0);
+}
+
+TopKResult TopKJoin::SelfJoinTopK(const std::vector<Object>& objects, int32_t k) const {
+  KJOIN_CHECK_GT(k, 0);
+  TopKResult result;
+
+  double tau = options_.tau_start;
+  for (;;) {
+    ++result.rounds;
+    KJoinOptions join_options = options_.join;
+    join_options.tau = tau;
+    const KJoin join(*hierarchy_, join_options);
+    const JoinResult round = join.SelfJoin(objects);
+
+    const bool last_round = tau <= options_.tau_floor + 1e-12;
+    if (static_cast<int32_t>(round.pairs.size()) >= k || last_round) {
+      result.final_tau = tau;
+      result.saturated = static_cast<int32_t>(round.pairs.size()) >= k;
+      result.pairs.reserve(round.pairs.size());
+      for (const auto& [a, b] : round.pairs) {
+        result.pairs.push_back({a, b, join.ExactSimilarity(objects[a], objects[b])});
+      }
+      std::sort(result.pairs.begin(), result.pairs.end(),
+                [](const ScoredPair& x, const ScoredPair& y) {
+                  if (x.similarity != y.similarity) return x.similarity > y.similarity;
+                  if (x.first != y.first) return x.first < y.first;
+                  return x.second < y.second;
+                });
+      if (static_cast<int32_t>(result.pairs.size()) > k) result.pairs.resize(k);
+      return result;
+    }
+    tau = std::max(options_.tau_floor, tau - options_.tau_step);
+  }
+}
+
+}  // namespace kjoin

@@ -1,0 +1,64 @@
+#ifndef KJOIN_CORE_TOPK_JOIN_H_
+#define KJOIN_CORE_TOPK_JOIN_H_
+
+// Top-k knowledge-aware similarity join: the k most similar object pairs,
+// without choosing τ up front.
+//
+// Strategy (threshold descent): run the threshold join at a high τ; if it
+// yields fewer than k pairs, lower τ and rerun. Once a run returns >= k
+// pairs, every pair outside the result has similarity < τ, so the k best
+// pairs of the whole collection are among them — rank by exact similarity
+// and cut. `tau_floor` bounds the descent: with fewer than k pairs above
+// the floor, all of them are returned (flagged via `saturated = false`).
+
+#include <utility>
+#include <vector>
+
+#include "core/kjoin.h"
+
+namespace kjoin {
+
+struct TopKOptions {
+  // Threshold-join configuration (tau is managed by the descent).
+  KJoinOptions join;
+  // Descent schedule.
+  double tau_start = 0.95;
+  double tau_step = 0.10;
+  double tau_floor = 0.50;
+};
+
+struct ScoredPair {
+  int32_t first = -1;
+  int32_t second = -1;
+  double similarity = 0.0;
+
+  friend bool operator==(const ScoredPair&, const ScoredPair&) = default;
+};
+
+struct TopKResult {
+  // At most k pairs, sorted by similarity descending (ties: pair order).
+  std::vector<ScoredPair> pairs;
+  // True iff k pairs were certified (i.e. the k-th best pair overall is
+  // included); false when the collection has fewer than k pairs above
+  // tau_floor.
+  bool saturated = false;
+  // The final threshold the certifying join ran at.
+  double final_tau = 0.0;
+  // Total threshold-join invocations.
+  int rounds = 0;
+};
+
+class TopKJoin {
+ public:
+  TopKJoin(const Hierarchy& hierarchy, TopKOptions options);
+
+  TopKResult SelfJoinTopK(const std::vector<Object>& objects, int32_t k) const;
+
+ private:
+  const Hierarchy* hierarchy_;
+  TopKOptions options_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_CORE_TOPK_JOIN_H_

@@ -1,0 +1,356 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "matching/bounds.h"
+#include "matching/greedy_matching.h"
+#include "matching/hungarian.h"
+
+namespace kjoin {
+namespace {
+
+// Accept/reject comparisons tolerate float noise in favour of accepting:
+// borderline pairs go through the exact matcher rather than being pruned.
+constexpr double kEps = 1e-9;
+
+// Minimal union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(int32_t n) : parent_(n) {
+    for (int32_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int32_t Find(int32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int32_t a, int32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int32_t> parent_;
+};
+
+}  // namespace
+
+void VerifyStats::Add(const VerifyStats& other) {
+  pairs_verified += other.pairs_verified;
+  pruned_by_count += other.pruned_by_count;
+  pruned_by_weighted_count += other.pruned_by_weighted_count;
+  accepted_by_lower_bound += other.accepted_by_lower_bound;
+  rejected_by_upper_bound += other.rejected_by_upper_bound;
+  hungarian_runs += other.hungarian_runs;
+  results += other.results;
+}
+
+Verifier::Verifier(const ElementSimilarity& element_sim, const SignatureGenerator& signatures,
+                   VerifierOptions options)
+    : element_sim_(&element_sim),
+      signatures_(&signatures),
+      options_(options),
+      object_sim_(element_sim, options.delta, options.set_metric) {}
+
+std::vector<Verifier::Group> Verifier::BuildGroups(const Object& x, const Object& y) const {
+  // Fast path (pure K-Join): every element carries at most one mapping,
+  // hence exactly one node signature — grouping is a sort-merge over
+  // (signature, side, element) triples, no hashing or union-find.
+  if (!options_.plus_mode) {
+    struct Entry {
+      SigId sig;
+      int8_t side;  // 0 = x, 1 = y
+      int32_t element;
+    };
+    static thread_local std::vector<Entry> entries;
+    entries.clear();
+    static thread_local std::vector<SigId> scratch;
+    auto append_side = [&](const Object& object, int8_t side) {
+      for (int32_t i = 0; i < object.size(); ++i) {
+        scratch.clear();
+        signatures_->AppendNodeSignatures(object.elements[i], &scratch);
+        for (SigId sig : scratch) entries.push_back({sig, side, i});
+      }
+    };
+    append_side(x, 0);
+    append_side(y, 1);
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+      if (a.sig != b.sig) return a.sig < b.sig;
+      return a.side < b.side;
+    });
+    std::vector<Group> groups;
+    size_t i = 0;
+    while (i < entries.size()) {
+      size_t j = i;
+      while (j < entries.size() && entries[j].sig == entries[i].sig) ++j;
+      // Populated on both sides iff the run starts with side 0 and ends
+      // with side 1.
+      if (entries[i].side == 0 && entries[j - 1].side == 1) {
+        Group group;
+        for (size_t k = i; k < j; ++k) {
+          (entries[k].side == 0 ? group.left : group.right).push_back(entries[k].element);
+        }
+        groups.push_back(std::move(group));
+      }
+      i = j;
+    }
+    return groups;
+  }
+
+  // Collect node signatures per element for both sides.
+  std::vector<std::vector<SigId>> sigs_x(x.size()), sigs_y(y.size());
+  std::unordered_map<SigId, int32_t> sig_index;
+  auto intern = [&](SigId id) {
+    auto [it, inserted] = sig_index.emplace(id, static_cast<int32_t>(sig_index.size()));
+    return it->second;
+  };
+  for (int32_t i = 0; i < x.size(); ++i) {
+    signatures_->AppendNodeSignatures(x.elements[i], &sigs_x[i]);
+    for (SigId id : sigs_x[i]) intern(id);
+  }
+  for (int32_t j = 0; j < y.size(); ++j) {
+    signatures_->AppendNodeSignatures(y.elements[j], &sigs_y[j]);
+    for (SigId id : sigs_y[j]) intern(id);
+  }
+
+  // Merge signatures co-occurring on one element (§6.4): elements of one
+  // merged component can only be δ-similar within the component.
+  UnionFind uf(static_cast<int32_t>(sig_index.size()));
+  auto unite_element = [&](const std::vector<SigId>& sigs) {
+    for (size_t k = 1; k < sigs.size(); ++k) {
+      uf.Union(sig_index.at(sigs[0]), sig_index.at(sigs[k]));
+    }
+  };
+  for (const auto& sigs : sigs_x) unite_element(sigs);
+  for (const auto& sigs : sigs_y) unite_element(sigs);
+
+  std::unordered_map<int32_t, int32_t> group_of_root;
+  std::vector<Group> groups;
+  auto group_for = [&](SigId first_sig) -> Group& {
+    const int32_t root = uf.Find(sig_index.at(first_sig));
+    auto [it, inserted] = group_of_root.emplace(root, static_cast<int32_t>(groups.size()));
+    if (inserted) groups.emplace_back();
+    return groups[it->second];
+  };
+  for (int32_t i = 0; i < x.size(); ++i) {
+    if (!sigs_x[i].empty()) group_for(sigs_x[i][0]).left.push_back(i);
+  }
+  for (int32_t j = 0; j < y.size(); ++j) {
+    if (!sigs_y[j].empty()) group_for(sigs_y[j][0]).right.push_back(j);
+  }
+
+  // Only groups populated on both sides can contribute to the matching.
+  std::vector<Group> populated;
+  populated.reserve(groups.size());
+  for (Group& group : groups) {
+    if (!group.left.empty() && !group.right.empty()) populated.push_back(std::move(group));
+  }
+  return populated;
+}
+
+bool Verifier::CountPrune(const std::vector<Group>& groups, double needed,
+                          VerifyStats* stats) const {
+  int64_t upper = 0;
+  for (const Group& group : groups) {
+    upper += std::min(group.left.size(), group.right.size());
+  }
+  if (static_cast<double>(upper) < needed - kEps) {
+    ++stats->pruned_by_count;
+    return true;
+  }
+  return false;
+}
+
+bool Verifier::WeightedCountPrune(const Object& x, const Object& y,
+                                  const std::vector<Group>& groups, double needed,
+                                  VerifyStats* stats) const {
+  const Hierarchy& hierarchy = element_sim_->hierarchy();
+  double upper = 0.0;
+  for (const Group& group : groups) {
+    // Exact part: multiset intersection on token ids.
+    std::unordered_map<int32_t, int32_t> token_balance;
+    for (int32_t i : group.left) ++token_balance[x.elements[i].token_id];
+    int32_t exact = 0;
+    for (int32_t j : group.right) {
+      auto it = token_balance.find(y.elements[j].token_id);
+      if (it != token_balance.end() && it->second > 0) {
+        --it->second;
+        ++exact;
+      }
+    }
+    // Leftovers: the per-side sum of each element's best possible
+    // similarity to a *non-identical* counterpart. In pure mode two
+    // distinct tokens map to distinct nodes, so Lemma 4's d/(d+1) bound
+    // applies; in plus mode only φ is sound.
+    auto leftover_sum = [&](const Object& object, const std::vector<int32_t>& members,
+                            std::unordered_map<int32_t, int32_t> balance) {
+      double sum = 0.0;
+      for (int32_t index : members) {
+        const Element& element = object.elements[index];
+        auto it = balance.find(element.token_id);
+        if (it != balance.end() && it->second > 0) {
+          --it->second;  // consumed by the exact part
+          continue;
+        }
+        if (!element.has_node()) continue;  // identical-token-only elements
+        double weight = 0.0;
+        for (const ElementMapping& mapping : element.mappings) {
+          const double cap =
+              options_.plus_mode
+                  ? mapping.phi
+                  : mapping.phi * ElementSimilarity::MaxSimToDistinctNode(
+                                      hierarchy.depth(mapping.node), element_sim_->metric());
+          weight = std::max(weight, cap);
+        }
+        sum += weight;
+      }
+      return sum;
+    };
+    std::unordered_map<int32_t, int32_t> left_tokens, right_tokens;
+    for (int32_t i : group.left) ++left_tokens[x.elements[i].token_id];
+    for (int32_t j : group.right) ++right_tokens[y.elements[j].token_id];
+    // Intersect balances: what each side can consume as "exact".
+    std::unordered_map<int32_t, int32_t> left_consumable, right_consumable;
+    for (const auto& [token, count] : left_tokens) {
+      auto it = right_tokens.find(token);
+      if (it != right_tokens.end()) {
+        left_consumable[token] = std::min(count, it->second);
+        right_consumable[token] = std::min(count, it->second);
+      }
+    }
+    const double left_rest = leftover_sum(x, group.left, left_consumable);
+    const double right_rest = leftover_sum(y, group.right, right_consumable);
+    upper += exact + std::min(left_rest, right_rest);
+  }
+  if (upper < needed - kEps) {
+    ++stats->pruned_by_weighted_count;
+    return true;
+  }
+  return false;
+}
+
+bool Verifier::VerifyBasic(const Object& x, const Object& y, double needed,
+                           VerifyStats* stats) const {
+  const Bigraph graph = object_sim_.BuildBigraph(x, y);
+  ++stats->hungarian_runs;
+  return MaxWeightMatching(graph) >= needed - kEps;
+}
+
+namespace {
+
+// The δ-thresholded bigraph restricted to one group.
+Bigraph BuildGroupBigraph(const ObjectSimilarity& object_sim, const Object& x, const Object& y,
+                          const std::vector<int32_t>& left, const std::vector<int32_t>& right) {
+  Bigraph graph(static_cast<int32_t>(left.size()), static_cast<int32_t>(right.size()));
+  const ElementSimilarity& esim = object_sim.element_similarity();
+  for (size_t a = 0; a < left.size(); ++a) {
+    for (size_t b = 0; b < right.size(); ++b) {
+      const double sim = esim.Sim(x.elements[left[a]], y.elements[right[b]]);
+      if (sim >= object_sim.delta() - 1e-12) {
+        graph.AddEdge(static_cast<int32_t>(a), static_cast<int32_t>(b), sim);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace
+
+bool Verifier::VerifySubGraph(const Object& x, const Object& y,
+                              const std::vector<Group>& groups, double needed,
+                              VerifyStats* stats) const {
+  double overlap = 0.0;
+  for (const Group& group : groups) {
+    const Bigraph graph = BuildGroupBigraph(object_sim_, x, y, group.left, group.right);
+    if (graph.edges().empty()) continue;
+    ++stats->hungarian_runs;
+    overlap += MaxWeightMatching(graph);
+  }
+  return overlap >= needed - kEps;
+}
+
+bool Verifier::VerifyAdaptive(const Object& x, const Object& y,
+                              const std::vector<Group>& groups, double needed,
+                              VerifyStats* stats) const {
+  struct Bounded {
+    Bigraph graph;
+    double upper;
+    double lower;
+  };
+  std::vector<Bounded> bounded;
+  bounded.reserve(groups.size());
+  double total_upper = 0.0;
+  double total_lower = 0.0;
+  for (const Group& group : groups) {
+    Bigraph graph = BuildGroupBigraph(object_sim_, x, y, group.left, group.right);
+    if (graph.edges().empty()) continue;
+    const double upper = PerVertexUpperBound(graph);
+    const double lower = CombinedLowerBound(graph);
+    total_upper += upper;
+    total_lower += lower;
+    bounded.push_back({std::move(graph), upper, lower});
+  }
+
+  if (total_lower >= needed - kEps) {
+    ++stats->accepted_by_lower_bound;
+    return true;
+  }
+  if (total_upper < needed - kEps) {
+    ++stats->rejected_by_upper_bound;
+    return false;
+  }
+
+  // Resolve the loosest groups first (§5.2.3): they move the bounds most.
+  std::sort(bounded.begin(), bounded.end(), [](const Bounded& a, const Bounded& b) {
+    return (a.upper - a.lower) > (b.upper - b.lower);
+  });
+  for (const Bounded& entry : bounded) {
+    ++stats->hungarian_runs;
+    const double exact = MaxWeightMatching(entry.graph);
+    total_upper += exact - entry.upper;
+    total_lower += exact - entry.lower;
+    if (total_upper < needed - kEps) return false;
+    if (total_lower >= needed - kEps) return true;
+  }
+  // All groups resolved: both bounds equal the true overlap.
+  return total_lower >= needed - kEps;
+}
+
+bool Verifier::Verify(const Object& x, const Object& y, VerifyStats* stats) const {
+  ++stats->pairs_verified;
+  const double needed =
+      MinFuzzyOverlap(x.size(), y.size(), options_.tau, options_.set_metric);
+  if (needed <= kEps) {
+    ++stats->results;
+    return true;
+  }
+
+  const std::vector<Group> groups = BuildGroups(x, y);
+  if (options_.count_pruning && CountPrune(groups, needed, stats)) return false;
+  if (options_.weighted_count_pruning &&
+      WeightedCountPrune(x, y, groups, needed, stats)) {
+    return false;
+  }
+
+  bool similar = false;
+  switch (options_.mode) {
+    case VerifyMode::kBasic:
+      similar = VerifyBasic(x, y, needed, stats);
+      break;
+    case VerifyMode::kSubGraph:
+      similar = VerifySubGraph(x, y, groups, needed, stats);
+      break;
+    case VerifyMode::kAdaptive:
+      similar = VerifyAdaptive(x, y, groups, needed, stats);
+      break;
+  }
+  if (similar) ++stats->results;
+  return similar;
+}
+
+double Verifier::ExactSimilarity(const Object& x, const Object& y) const {
+  return object_sim_.Similarity(x, y);
+}
+
+}  // namespace kjoin

@@ -1,0 +1,103 @@
+#ifndef KJOIN_CORE_VERIFIER_H_
+#define KJOIN_CORE_VERIFIER_H_
+
+// Candidate verification (paper §3.2 count pruning, §5 subgraph matching
+// and adaptive verification).
+//
+// Given a candidate pair that survived the signature filter, decide
+// whether SIMδ(Sx, Sy) >= τ:
+//   kBasic    — build the full element bigraph and run one Hungarian
+//               matching.
+//   kSubGraph — partition elements by node signature (elements in
+//               different groups cannot be δ-similar, Lemma 1), match each
+//               subgraph separately and sum (Lemma 8).
+//   kAdaptive — additionally bound each subgraph's matching from above
+//               (per-vertex max, Eq. 6) and below (two greedy matchings,
+//               §5.2.2), accept/reject early, and resolve the remaining
+//               groups in decreasing Bu − Bl order (§5.2.3).
+// Count pruning (Lemma 3) and weighted count pruning (Lemma 4) run first
+// when enabled; they need no edge weights at all.
+
+#include <cstdint>
+
+#include "core/element_similarity.h"
+#include "core/object.h"
+#include "core/object_similarity.h"
+#include "core/signature.h"
+
+namespace kjoin {
+
+enum class VerifyMode {
+  kBasic,
+  kSubGraph,
+  kAdaptive,
+};
+
+struct VerifierOptions {
+  double delta = 0.7;
+  double tau = 0.8;
+  VerifyMode mode = VerifyMode::kAdaptive;
+  SetMetric set_metric = SetMetric::kJaccard;
+  bool count_pruning = true;
+  bool weighted_count_pruning = true;
+  // K-Join+ (multi-node mappings): two distinct tokens may map to the
+  // same node, so the d/(d+1) refinement of Lemma 4 is unsound; the
+  // weighted count pruning then falls back to φ-based weights, and
+  // verification groups sharing an element are merged (§6.4).
+  bool plus_mode = false;
+};
+
+struct VerifyStats {
+  int64_t pairs_verified = 0;
+  int64_t pruned_by_count = 0;
+  int64_t pruned_by_weighted_count = 0;
+  int64_t accepted_by_lower_bound = 0;
+  int64_t rejected_by_upper_bound = 0;
+  int64_t hungarian_runs = 0;
+  int64_t results = 0;
+
+  void Add(const VerifyStats& other);
+};
+
+class Verifier {
+ public:
+  // All referenced objects must outlive the verifier.
+  Verifier(const ElementSimilarity& element_sim, const SignatureGenerator& signatures,
+           VerifierOptions options);
+
+  // True iff SIMδ(x, y) >= τ.
+  bool Verify(const Object& x, const Object& y, VerifyStats* stats) const;
+
+  // Exact similarity, bypassing every pruning step (test/quality oracle).
+  double ExactSimilarity(const Object& x, const Object& y) const;
+
+  const VerifierOptions& options() const { return options_; }
+
+ private:
+  struct Group {
+    std::vector<int32_t> left;   // element indices in x
+    std::vector<int32_t> right;  // element indices in y
+  };
+
+  // Partitions both objects' elements into node-signature groups,
+  // merging groups that share an element (plus mode).
+  std::vector<Group> BuildGroups(const Object& x, const Object& y) const;
+
+  bool CountPrune(const std::vector<Group>& groups, double needed, VerifyStats* stats) const;
+  bool WeightedCountPrune(const Object& x, const Object& y, const std::vector<Group>& groups,
+                          double needed, VerifyStats* stats) const;
+  bool VerifyBasic(const Object& x, const Object& y, double needed, VerifyStats* stats) const;
+  bool VerifySubGraph(const Object& x, const Object& y, const std::vector<Group>& groups,
+                      double needed, VerifyStats* stats) const;
+  bool VerifyAdaptive(const Object& x, const Object& y, const std::vector<Group>& groups,
+                      double needed, VerifyStats* stats) const;
+
+  const ElementSimilarity* element_sim_;
+  const SignatureGenerator* signatures_;
+  VerifierOptions options_;
+  ObjectSimilarity object_sim_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_CORE_VERIFIER_H_

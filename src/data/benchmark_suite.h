@@ -1,0 +1,52 @@
+#ifndef KJOIN_DATA_BENCHMARK_SUITE_H_
+#define KJOIN_DATA_BENCHMARK_SUITE_H_
+
+// The four evaluation datasets of the paper (§7.1, Table 3), rebuilt
+// synthetically with ground truth, plus helpers to turn them into Object
+// collections. See DESIGN.md §3 for the substitution rationale.
+//
+//  Pub   — 1879 records, ~6 tokens, 2-level publication hierarchy;
+//          errors dominated by typos and abbreviations (§7.2).
+//  Res   — 864 records, 4 tokens, 4-level category hierarchy; errors
+//          dominated by synonyms and sibling categories.
+//  POI   — shape of Table 3's POI crawl: ~11 tokens, element depth ~4,
+//          over a Table 2-shaped hierarchy.
+//  Tweet — ~8 tokens, element depth ~5, noisier free text.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/object.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "hierarchy/hierarchy.h"
+
+namespace kjoin {
+
+struct BenchmarkData {
+  Hierarchy hierarchy;
+  Dataset dataset;
+};
+
+BenchmarkData MakePubBenchmark(uint64_t seed = 101);
+BenchmarkData MakeResBenchmark(uint64_t seed = 102);
+BenchmarkData MakePoiBenchmark(int64_t num_records, uint64_t seed = 103);
+BenchmarkData MakeTweetBenchmark(int64_t num_records, uint64_t seed = 104);
+
+// Objects plus the matcher/builder that own their shared state.
+struct PreparedObjects {
+  std::unique_ptr<EntityMatcher> matcher;
+  std::unique_ptr<ObjectBuilder> builder;
+  std::vector<Object> objects;
+};
+
+// Registers the dataset's synonyms with a fresh matcher and builds every
+// record. multi_mapping=true produces K-Join+ objects (synonyms + typo
+// tolerance), false the single-mapping K-Join objects.
+PreparedObjects BuildObjects(const Hierarchy& hierarchy, const Dataset& dataset,
+                             bool multi_mapping, double min_phi = 0.6);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_DATA_BENCHMARK_SUITE_H_

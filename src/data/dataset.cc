@@ -1,0 +1,53 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace kjoin {
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset, const EntityMatcher& matcher) {
+  DatasetStats stats;
+  stats.size = static_cast<int64_t>(dataset.records.size());
+  if (dataset.records.empty()) return stats;
+
+  int64_t token_total = 0;
+  int64_t depth_total = 0;
+  int64_t matched = 0;
+  stats.min_len = static_cast<int>(dataset.records[0].tokens.size());
+  for (const Record& record : dataset.records) {
+    const int len = static_cast<int>(record.tokens.size());
+    token_total += len;
+    stats.max_len = std::max(stats.max_len, len);
+    stats.min_len = std::min(stats.min_len, len);
+    for (const std::string& token : record.tokens) {
+      if (auto match = matcher.MatchOne(token); match.has_value()) {
+        depth_total += matcher.hierarchy().depth(match->node);
+        ++matched;
+      }
+    }
+  }
+  stats.avg_len = static_cast<double>(token_total) / stats.size;
+  stats.avg_depth = matched > 0 ? static_cast<double>(depth_total) / matched : 0.0;
+  stats.num_truth_pairs = static_cast<int64_t>(GroundTruthPairs(dataset).size());
+  return stats;
+}
+
+std::vector<std::pair<int32_t, int32_t>> GroundTruthPairs(const Dataset& dataset) {
+  std::unordered_map<int32_t, std::vector<int32_t>> clusters;
+  for (int32_t i = 0; i < static_cast<int32_t>(dataset.records.size()); ++i) {
+    const int32_t cluster = dataset.records[i].cluster;
+    if (cluster >= 0) clusters[cluster].push_back(i);
+  }
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  for (const auto& [cluster, members] : clusters) {
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        pairs.emplace_back(members[a], members[b]);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace kjoin

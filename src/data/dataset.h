@@ -1,0 +1,53 @@
+#ifndef KJOIN_DATA_DATASET_H_
+#define KJOIN_DATA_DATASET_H_
+
+// Datasets with ground truth.
+//
+// A Record is a raw tokenized entry plus the id of its duplicate cluster
+// (records in one cluster describe the same real-world entity). Datasets
+// also carry the synonym table their generator created, which callers
+// register with the EntityMatcher before building objects.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/entity_matcher.h"
+
+namespace kjoin {
+
+struct Record {
+  int32_t id = -1;
+  // Ground-truth entity cluster; records sharing a cluster are duplicates.
+  // -1 = singleton with no duplicates.
+  int32_t cluster = -1;
+  std::vector<std::string> tokens;
+};
+
+struct Dataset {
+  std::string name;
+  std::vector<Record> records;
+  // (alias, node label): aliases to register via EntityMatcher::AddSynonym.
+  std::vector<std::pair<std::string, std::string>> synonyms;
+};
+
+// Shape statistics in the form of the paper's Table 3.
+struct DatasetStats {
+  int64_t size = 0;
+  double avg_len = 0.0;
+  int max_len = 0;
+  int min_len = 0;
+  // Average hierarchy depth of tokens that match an entity (via `matcher`).
+  double avg_depth = 0.0;
+  int64_t num_truth_pairs = 0;
+};
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset, const EntityMatcher& matcher);
+
+// All ground-truth duplicate pairs (i < j, indices into records).
+std::vector<std::pair<int32_t, int32_t>> GroundTruthPairs(const Dataset& dataset);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_DATA_DATASET_H_

@@ -1,0 +1,98 @@
+#include "data/dataset_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace kjoin {
+
+std::string SerializeDataset(const Dataset& dataset) {
+  std::ostringstream os;
+  os << "# kjoin dataset: " << dataset.name << ", " << dataset.records.size()
+     << " records, " << dataset.synonyms.size() << " synonyms\n";
+  for (const auto& [alias, label] : dataset.synonyms) {
+    os << "S\t" << alias << "\t" << label << "\n";
+  }
+  for (const Record& record : dataset.records) {
+    os << "R\t" << record.cluster;
+    for (const std::string& token : record.tokens) os << "\t" << token;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<Dataset> ParseDataset(std::string_view text, std::string name) {
+  Dataset dataset;
+  dataset.name = std::move(name);
+  int line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = StripAsciiWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields[0] == "S") {
+      if (fields.size() != 3) {
+        KJOIN_LOG(WARNING) << "dataset line " << line_number
+                           << ": synonym lines need 3 fields";
+        return std::nullopt;
+      }
+      dataset.synonyms.emplace_back(fields[1], fields[2]);
+      continue;
+    }
+    if (fields[0] == "R") {
+      if (fields.size() < 3) {
+        KJOIN_LOG(WARNING) << "dataset line " << line_number
+                           << ": record lines need a cluster and >= 1 token";
+        return std::nullopt;
+      }
+      char* end = nullptr;
+      const long cluster = std::strtol(fields[1].c_str(), &end, 10);
+      if (*end != '\0') {
+        KJOIN_LOG(WARNING) << "dataset line " << line_number << ": bad cluster '"
+                           << fields[1] << "'";
+        return std::nullopt;
+      }
+      Record record;
+      record.id = static_cast<int32_t>(dataset.records.size());
+      record.cluster = static_cast<int32_t>(cluster);
+      record.tokens.assign(fields.begin() + 2, fields.end());
+      dataset.records.push_back(std::move(record));
+      continue;
+    }
+    KJOIN_LOG(WARNING) << "dataset line " << line_number << ": unknown line type '"
+                       << fields[0] << "'";
+    return std::nullopt;
+  }
+  return dataset;
+}
+
+bool WriteDatasetFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    KJOIN_LOG(WARNING) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << SerializeDataset(dataset);
+  return static_cast<bool>(out);
+}
+
+std::optional<Dataset> ReadDatasetFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    KJOIN_LOG(WARNING) << "cannot open " << path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // Use the file's basename as the dataset name.
+  std::string name = path;
+  if (const size_t slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  return ParseDataset(buffer.str(), name);
+}
+
+}  // namespace kjoin

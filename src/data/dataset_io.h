@@ -1,0 +1,30 @@
+#ifndef KJOIN_DATA_DATASET_IO_H_
+#define KJOIN_DATA_DATASET_IO_H_
+
+// Plain-text serialization of datasets, so users can bring real record
+// collections (and persist generated ones for external analysis).
+//
+// Record line:   R<tab><cluster><tab><token>[<tab><token>...]
+// Synonym line:  S<tab><alias><tab><canonical-label>
+// '#' comments and blank lines are ignored. Record ids are assigned in
+// file order; cluster is an integer (-1 = no duplicates).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "data/dataset.h"
+
+namespace kjoin {
+
+std::string SerializeDataset(const Dataset& dataset);
+
+// Returns nullopt (and logs the offending line) on malformed input.
+std::optional<Dataset> ParseDataset(std::string_view text, std::string name = "dataset");
+
+bool WriteDatasetFile(const Dataset& dataset, const std::string& path);
+std::optional<Dataset> ReadDatasetFile(const std::string& path);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_DATA_DATASET_IO_H_

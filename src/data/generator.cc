@@ -1,0 +1,300 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kjoin {
+namespace {
+
+// Small pronounceable word for free-text tokens and synonym aliases.
+std::string RandomWord(Rng& rng, int syllables) {
+  static constexpr const char* kOnsets[] = {"b", "d", "f", "g", "k", "l", "m",
+                                            "n", "p", "r", "s", "t", "v", "z"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u"};
+  std::string word;
+  for (int i = 0; i < syllables; ++i) {
+    word += kOnsets[rng.NextUint64(std::size(kOnsets))];
+    word += kVowels[rng.NextUint64(std::size(kVowels))];
+  }
+  return word;
+}
+
+// One random character edit (substitute / delete / insert).
+std::string ApplyTypo(const std::string& token, Rng& rng) {
+  if (token.empty()) return token;
+  std::string out = token;
+  const char letter = static_cast<char>('a' + rng.NextUint64(26));
+  switch (rng.NextUint64(3)) {
+    case 0:  // substitute
+      out[rng.NextUint64(out.size())] = letter;
+      break;
+    case 1:  // delete (keep at least one character)
+      if (out.size() > 1) out.erase(rng.NextUint64(out.size()), 1);
+      break;
+    default:  // insert
+      out.insert(out.begin() + rng.NextUint64(out.size() + 1), letter);
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+DatasetGenerator::DatasetGenerator(const Hierarchy& hierarchy, RecordGenParams params)
+    : hierarchy_(&hierarchy), params_(params) {
+  KJOIN_CHECK_GE(params.min_elements, 1);
+  KJOIN_CHECK_LE(params.min_elements, params.avg_elements);
+  KJOIN_CHECK_LE(params.avg_elements, params.max_elements);
+
+  const int lo = std::max(1, params.min_depth);
+  const int hi = std::min(hierarchy.height(), params.max_depth);
+  KJOIN_CHECK_LE(lo, hi) << "no hierarchy nodes in the requested depth range";
+  std::vector<std::vector<NodeId>> buckets(hi + 1);
+  for (NodeId v = 1; v < hierarchy.num_nodes(); ++v) {
+    const int d = hierarchy.depth(v);
+    if (d >= lo && d <= hi) buckets[d].push_back(v);
+  }
+  for (auto& bucket : buckets) {
+    if (!bucket.empty()) depth_buckets_.push_back(std::move(bucket));
+  }
+  KJOIN_CHECK(!depth_buckets_.empty());
+
+  // Synonym aliases and the free-text vocabulary are derived from the
+  // seed so that a (hierarchy, params) pair is fully reproducible.
+  Rng rng(params.seed ^ 0xabcdef1234567890ULL);
+  alias_of_node_.assign(hierarchy.num_nodes(), "");
+  for (const auto& bucket : depth_buckets_) {
+    for (NodeId node : bucket) {
+      if (rng.NextBool(params.synonym_vocabulary_fraction)) {
+        alias_of_node_[node] = RandomWord(rng, 4);
+      }
+    }
+  }
+  free_vocabulary_.reserve(512);
+  for (int i = 0; i < 512; ++i) free_vocabulary_.push_back(RandomWord(rng, 2));
+
+  // Hierarchical (path-skewed) popularity: the i-th child of a node gets
+  // a 1/(i+1)^s share of its parent's mass, so a few top-level categories
+  // dominate and *deep descendants of popular categories stay popular*.
+  // This mirrors real POI data, where hub categories ("CA", "Food") cover
+  // large record fractions — and it is what separates coarse node
+  // signatures from fine deep signatures (paper Fig. 9).
+  std::vector<double> node_weight(hierarchy.num_nodes(), 0.0);
+  node_weight[hierarchy.root()] = 1.0;
+  for (NodeId v = 0; v < hierarchy.num_nodes(); ++v) {
+    const auto& kids = hierarchy.children(v);
+    if (kids.empty()) continue;
+    double z = 0.0;
+    for (size_t i = 0; i < kids.size(); ++i) {
+      z += params_.zipf_exponent <= 0.0
+               ? 1.0
+               : 1.0 / std::pow(static_cast<double>(i + 1), params_.zipf_exponent);
+    }
+    for (size_t i = 0; i < kids.size(); ++i) {
+      const double share = params_.zipf_exponent <= 0.0
+                               ? 1.0
+                               : 1.0 / std::pow(static_cast<double>(i + 1),
+                                                params_.zipf_exponent);
+      node_weight[kids[i]] = node_weight[v] * share / z;
+    }
+  }
+  bucket_cumulative_.resize(depth_buckets_.size());
+  for (size_t b = 0; b < depth_buckets_.size(); ++b) {
+    double total = 0.0;
+    bucket_cumulative_[b].reserve(depth_buckets_[b].size());
+    for (NodeId node : depth_buckets_[b]) {
+      total += node_weight[node];
+      bucket_cumulative_[b].push_back(total);
+    }
+  }
+}
+
+NodeId DatasetGenerator::SampleNode(Rng& rng) const {
+  const size_t b = rng.NextUint64(depth_buckets_.size());
+  const auto& bucket = depth_buckets_[b];
+  const auto& cumulative = bucket_cumulative_[b];
+  const double r = rng.NextDouble() * cumulative.back();
+  const size_t index = static_cast<size_t>(
+      std::lower_bound(cumulative.begin(), cumulative.end(), r) - cumulative.begin());
+  return bucket[std::min(index, bucket.size() - 1)];
+}
+
+NodeId DatasetGenerator::SampleSibling(NodeId node, Rng& rng) const {
+  const NodeId parent = hierarchy_->parent(node);
+  if (parent == kInvalidNode) return node;
+  const auto& siblings = hierarchy_->children(parent);
+  if (siblings.size() > 1) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const NodeId pick = siblings[rng.NextUint64(siblings.size())];
+      if (pick != node) return pick;
+    }
+  }
+  // Fall back to a cousin: a child of a sibling of the parent, at the
+  // same depth (LCA = grandparent).
+  const NodeId grandparent = hierarchy_->parent(parent);
+  if (grandparent == kInvalidNode) return node;
+  const auto& uncles = hierarchy_->children(grandparent);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const NodeId uncle = uncles[rng.NextUint64(uncles.size())];
+    if (uncle == parent || hierarchy_->children(uncle).empty()) continue;
+    const auto& cousins = hierarchy_->children(uncle);
+    return cousins[rng.NextUint64(cousins.size())];
+  }
+  return node;
+}
+
+std::string DatasetGenerator::RandomFreeToken(Rng& rng) const {
+  return free_vocabulary_[rng.NextUint64(free_vocabulary_.size())];
+}
+
+std::vector<DatasetGenerator::BaseToken> DatasetGenerator::MakeBase(Rng& rng) const {
+  // Uniform size over [min, 2·avg − min] (clamped) averages at `avg`.
+  const int hi = std::min(params_.max_elements, 2 * params_.avg_elements - params_.min_elements);
+  const int size = static_cast<int>(rng.NextInt(params_.min_elements, std::max(params_.min_elements, hi)));
+  std::vector<BaseToken> base;
+  base.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    if (rng.NextBool(params_.unmatched_token_rate)) {
+      base.push_back({kInvalidNode, RandomFreeToken(rng)});
+    } else {
+      const NodeId node = SampleNode(rng);
+      base.push_back({node, hierarchy_->label(node)});
+    }
+  }
+  return base;
+}
+
+std::vector<DatasetGenerator::BaseToken> DatasetGenerator::MakeConfusable(
+    const std::vector<BaseToken>& base, Rng& rng) const {
+  std::vector<BaseToken> out;
+  out.reserve(base.size());
+  for (const BaseToken& token : base) {
+    if (rng.NextBool(params_.confusable_keep)) {
+      out.push_back(token);
+    } else if (rng.NextBool(params_.unmatched_token_rate)) {
+      out.push_back({kInvalidNode, RandomFreeToken(rng)});
+    } else {
+      const NodeId node = SampleNode(rng);
+      out.push_back({node, hierarchy_->label(node)});
+    }
+  }
+  if (out.empty()) out = MakeBase(rng);
+  return out;
+}
+
+std::vector<std::string> DatasetGenerator::Render(const std::vector<BaseToken>& base) const {
+  std::vector<std::string> tokens;
+  tokens.reserve(base.size());
+  for (const BaseToken& token : base) tokens.push_back(token.text);
+  return tokens;
+}
+
+std::vector<std::string> DatasetGenerator::Perturb(const std::vector<BaseToken>& base,
+                                                   Rng& rng) const {
+  std::vector<std::string> tokens;
+  tokens.reserve(base.size() + 1);
+  for (const BaseToken& token : base) {
+    if (rng.NextBool(params_.drop_rate) && base.size() > 1) continue;
+    const bool entity_token = token.node != kInvalidNode;
+    BaseToken current = token;
+    if (entity_token && rng.NextBool(params_.sibling_swap_rate)) {
+      current.node = SampleSibling(current.node, rng);
+      current.text = hierarchy_->label(current.node);
+    }
+    if (current.node != kInvalidNode && rng.NextBool(params_.synonym_rate) &&
+        !alias_of_node_[current.node].empty()) {
+      current.text = alias_of_node_[current.node];
+      current.node = kInvalidNode;  // aliases are plain text now
+    }
+    const double typo_rate =
+        entity_token ? params_.typo_rate
+                     : (params_.free_typo_rate < 0.0 ? params_.typo_rate
+                                                     : params_.free_typo_rate);
+    if (rng.NextBool(typo_rate)) {
+      current.text = ApplyTypo(current.text, rng);
+    }
+    tokens.push_back(current.text);
+  }
+  if (tokens.empty()) tokens.push_back(base.front().text);
+  if (rng.NextBool(params_.add_rate)) {
+    const NodeId extra = SampleNode(rng);
+    tokens.push_back(hierarchy_->label(extra));
+  }
+  return tokens;
+}
+
+Dataset DatasetGenerator::Generate(std::string name) {
+  Dataset dataset;
+  dataset.name = std::move(name);
+  dataset.records.reserve(params_.num_records);
+  for (NodeId v = 0; v < hierarchy_->num_nodes(); ++v) {
+    if (!alias_of_node_[v].empty()) {
+      dataset.synonyms.emplace_back(alias_of_node_[v], hierarchy_->label(v));
+    }
+  }
+
+  Rng rng(params_.seed);
+  int32_t next_cluster = 0;
+  std::vector<BaseToken> previous_base;
+  while (static_cast<int64_t>(dataset.records.size()) < params_.num_records) {
+    const std::vector<BaseToken> base =
+        (!previous_base.empty() && rng.NextBool(params_.confusable_fraction))
+            ? MakeConfusable(previous_base, rng)
+            : MakeBase(rng);
+    previous_base = base;
+    int duplicates = 0;
+    if (rng.NextBool(params_.duplicate_fraction)) {
+      duplicates = static_cast<int>(rng.NextInt(1, params_.max_duplicates_per_record));
+    }
+    const int32_t cluster = duplicates > 0 ? next_cluster++ : -1;
+
+    Record record;
+    record.id = static_cast<int32_t>(dataset.records.size());
+    record.cluster = cluster;
+    record.tokens = Render(base);
+    dataset.records.push_back(std::move(record));
+
+    for (int d = 0; d < duplicates; ++d) {
+      if (static_cast<int64_t>(dataset.records.size()) >= params_.num_records) break;
+      Record dup;
+      dup.id = static_cast<int32_t>(dataset.records.size());
+      dup.cluster = cluster;
+      dup.tokens = Perturb(base, rng);
+      dataset.records.push_back(std::move(dup));
+    }
+  }
+  return dataset;
+}
+
+RecordGenParams PoiParams(int64_t num_records, uint64_t seed) {
+  RecordGenParams params;
+  params.num_records = num_records;
+  params.avg_elements = 11;
+  params.min_elements = 2;
+  params.max_elements = 21;
+  params.min_depth = 2;
+  params.max_depth = 6;  // avg element depth ~4 (Table 3)
+  params.zipf_exponent = 1.6;  // strong hub-category skew (see header)
+  params.unmatched_token_rate = 0.08;
+  params.seed = seed;
+  return params;
+}
+
+RecordGenParams TweetParams(int64_t num_records, uint64_t seed) {
+  RecordGenParams params;
+  params.num_records = num_records;
+  params.avg_elements = 8;
+  params.min_elements = 2;
+  params.max_elements = 23;
+  params.min_depth = 4;
+  params.max_depth = 6;  // avg element depth ~5 (Table 3)
+  params.zipf_exponent = 1.6;
+  params.unmatched_token_rate = 0.15;
+  params.typo_rate = 0.15;
+  params.seed = seed;
+  return params;
+}
+
+}  // namespace kjoin

@@ -1,0 +1,114 @@
+#ifndef KJOIN_DATA_GENERATOR_H_
+#define KJOIN_DATA_GENERATOR_H_
+
+// Synthetic dataset generation with planted ground truth.
+//
+// The paper's POI and Tweet crawls are not public; these generators
+// reproduce their published shape (Table 3) and, crucially, their error
+// structure: duplicate records differ through the channels §7.2 names —
+// sub-category substitutions that only the knowledge hierarchy can bridge
+// (sibling swaps), typos, synonyms/abbreviations, and token noise. See
+// DESIGN.md §3.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "hierarchy/hierarchy.h"
+
+namespace kjoin {
+
+struct RecordGenParams {
+  int64_t num_records = 100000;
+
+  // --- record shape ----------------------------------------------------
+  int avg_elements = 11;
+  int min_elements = 2;
+  int max_elements = 21;
+  // Element depths are sampled uniformly from [min_depth, max_depth]
+  // (clamped to the hierarchy height); a node of that depth is then drawn
+  // Zipf-skewed. POI ~ [2, 6] (avg depth 4), Tweet ~ [4, 6] (avg depth 5).
+  int min_depth = 2;
+  int max_depth = 6;
+  // Popularity skew of elements within a depth (1/rank^s). Real POI data
+  // has hub categories ("CA", "Food") shared by large record fractions —
+  // this is what makes coarse node signatures collide massively (the
+  // paper's Fig. 9 Node-vs-Deep gap). 0 = uniform.
+  double zipf_exponent = 1.0;
+  // Probability that a token is free text (matches no entity).
+  double unmatched_token_rate = 0.1;
+
+  // --- duplicate structure ---------------------------------------------
+  // Probability that a freshly generated base record spawns duplicates.
+  double duplicate_fraction = 0.3;
+  int max_duplicates_per_record = 3;
+
+  // --- per-token perturbation rates for duplicates ----------------------
+  double sibling_swap_rate = 0.15;  // knowledge-hierarchy errors
+  double typo_rate = 0.10;          // single character edits (entity tokens)
+  // Typo rate for free-text tokens; defaults to typo_rate when negative.
+  // Pub concentrates typos on venue names (entity tokens), which is what
+  // K-Join+'s approximate mapping bridges.
+  double free_typo_rate = -1.0;
+  double synonym_rate = 0.10;       // replace by a registered alias
+  double drop_rate = 0.05;          // delete the token
+  double add_rate = 0.05;           // append a random extra token
+
+  // Fraction of eligible nodes that get a synonym alias.
+  double synonym_vocabulary_fraction = 0.2;
+
+  // --- confusable records ------------------------------------------------
+  // Probability that a new base record is derived from an earlier one
+  // (sharing `confusable_keep` of its tokens) without being a duplicate.
+  // These near-misses are what keeps precision below 1 on real data.
+  double confusable_fraction = 0.15;
+  double confusable_keep = 0.6;
+
+  uint64_t seed = 7;
+};
+
+class DatasetGenerator {
+ public:
+  // The hierarchy must outlive the generator (the dataset only holds
+  // strings, so it is independent afterwards).
+  DatasetGenerator(const Hierarchy& hierarchy, RecordGenParams params);
+
+  Dataset Generate(std::string name);
+
+ private:
+  // A base token remembers the node it came from so perturbation channels
+  // (sibling swap, synonym) can act on the hierarchy; free-text tokens
+  // carry kInvalidNode.
+  struct BaseToken {
+    NodeId node = kInvalidNode;
+    std::string text;
+  };
+
+  std::vector<BaseToken> MakeBase(Rng& rng) const;
+  // A non-duplicate neighbour of `base`: keeps ~confusable_keep of its
+  // tokens, resamples the rest.
+  std::vector<BaseToken> MakeConfusable(const std::vector<BaseToken>& base, Rng& rng) const;
+  std::vector<std::string> Render(const std::vector<BaseToken>& base) const;
+  std::vector<std::string> Perturb(const std::vector<BaseToken>& base, Rng& rng) const;
+  NodeId SampleNode(Rng& rng) const;
+  NodeId SampleSibling(NodeId node, Rng& rng) const;
+  std::string RandomFreeToken(Rng& rng) const;
+
+  const Hierarchy* hierarchy_;
+  RecordGenParams params_;
+  // Depth buckets within [min_depth, max_depth] that are non-empty.
+  std::vector<std::vector<NodeId>> depth_buckets_;
+  // Per-bucket cumulative Zipf weights for O(log n) skewed sampling.
+  std::vector<std::vector<double>> bucket_cumulative_;
+  // node -> alias ("" when none); filled at construction.
+  std::vector<std::string> alias_of_node_;
+  std::vector<std::string> free_vocabulary_;
+};
+
+// Parameter presets reproducing Table 3 shapes.
+RecordGenParams PoiParams(int64_t num_records, uint64_t seed = 11);
+RecordGenParams TweetParams(int64_t num_records, uint64_t seed = 13);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_DATA_GENERATOR_H_

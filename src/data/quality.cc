@@ -1,0 +1,50 @@
+#include "data/quality.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kjoin {
+namespace {
+
+uint64_t PairKey(int32_t a, int32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+std::unordered_set<uint64_t> ToKeySet(const std::vector<std::pair<int32_t, int32_t>>& pairs) {
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(pairs.size() * 2);
+  for (const auto& [a, b] : pairs) {
+    if (a == b) continue;
+    keys.insert(PairKey(a, b));
+  }
+  return keys;
+}
+
+}  // namespace
+
+QualityReport EvaluateQuality(const std::vector<std::pair<int32_t, int32_t>>& reported,
+                              const std::vector<std::pair<int32_t, int32_t>>& truth) {
+  const std::unordered_set<uint64_t> reported_keys = ToKeySet(reported);
+  const std::unordered_set<uint64_t> truth_keys = ToKeySet(truth);
+
+  QualityReport report;
+  report.reported = static_cast<int64_t>(reported_keys.size());
+  report.truth = static_cast<int64_t>(truth_keys.size());
+  for (uint64_t key : reported_keys) {
+    if (truth_keys.contains(key)) ++report.true_positives;
+  }
+  report.precision = report.reported == 0
+                         ? 1.0
+                         : static_cast<double>(report.true_positives) / report.reported;
+  report.recall =
+      report.truth == 0 ? 1.0 : static_cast<double>(report.true_positives) / report.truth;
+  report.f_measure = (report.precision + report.recall) == 0.0
+                         ? 0.0
+                         : 2.0 * report.precision * report.recall /
+                               (report.precision + report.recall);
+  return report;
+}
+
+}  // namespace kjoin

@@ -1,0 +1,28 @@
+#ifndef KJOIN_DATA_QUALITY_H_
+#define KJOIN_DATA_QUALITY_H_
+
+// Result-quality metrics against ground truth (paper §7.2).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kjoin {
+
+struct QualityReport {
+  int64_t reported = 0;        // pairs the algorithm returned
+  int64_t truth = 0;           // ground-truth duplicate pairs
+  int64_t true_positives = 0;
+  double precision = 0.0;      // TP / reported (1 when nothing reported)
+  double recall = 0.0;         // TP / truth   (1 when no truth pairs)
+  double f_measure = 0.0;      // harmonic mean
+};
+
+// Pairs are unordered; (a, b) and (b, a) are identical. Inputs need not be
+// sorted or deduplicated.
+QualityReport EvaluateQuality(const std::vector<std::pair<int32_t, int32_t>>& reported,
+                              const std::vector<std::pair<int32_t, int32_t>>& truth);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_DATA_QUALITY_H_

@@ -1,0 +1,103 @@
+#include "hierarchy/dag.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+Dag::Dag(std::string root_label) {
+  labels_.push_back(std::move(root_label));
+  parents_.emplace_back();
+  children_.emplace_back();
+}
+
+int32_t Dag::AddNode(std::string label) {
+  labels_.push_back(std::move(label));
+  parents_.emplace_back();
+  children_.emplace_back();
+  return static_cast<int32_t>(labels_.size() - 1);
+}
+
+void Dag::AddEdge(int32_t parent, int32_t child) {
+  KJOIN_CHECK(parent >= 0 && parent < num_nodes());
+  KJOIN_CHECK(child >= 0 && child < num_nodes());
+  KJOIN_CHECK_NE(parent, child);
+  auto& kids = children_[parent];
+  if (std::find(kids.begin(), kids.end(), child) != kids.end()) return;
+  kids.push_back(child);
+  parents_[child].push_back(parent);
+}
+
+namespace {
+
+// Returns true if the DAG (restricted to nodes reachable from the root)
+// is acyclic, via iterative three-color DFS.
+bool IsAcyclicFromRoot(const Dag& dag) {
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::vector<uint8_t> color(dag.num_nodes(), kWhite);
+  std::vector<std::pair<int32_t, size_t>> stack;
+  stack.emplace_back(0, 0);
+  color[0] = kGray;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    const auto& kids = dag.children(node);
+    if (next < kids.size()) {
+      const int32_t child = kids[next++];
+      if (color[child] == kGray) return false;
+      if (color[child] == kWhite) {
+        color[child] = kGray;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      color[node] = kBlack;
+      stack.pop_back();
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Hierarchy> ConvertDagToTree(const Dag& dag, int64_t max_tree_nodes) {
+  if (!IsAcyclicFromRoot(dag)) return std::nullopt;
+
+  // Depth-first unfolding: each (tree-parent, dag-node) visit creates a
+  // fresh tree node, so a DAG node with v parents yields v copies of its
+  // whole subtree, as §6.5 prescribes.
+  std::vector<NodeId> tree_parents;
+  std::vector<std::string> tree_labels;
+  std::vector<bool> reachable(dag.num_nodes(), false);
+
+  struct Frame {
+    int32_t dag_node;
+    NodeId tree_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, kInvalidNode});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (static_cast<int64_t>(tree_parents.size()) >= max_tree_nodes) return std::nullopt;
+    const NodeId tree_node = static_cast<NodeId>(tree_parents.size());
+    tree_parents.push_back(frame.tree_parent);
+    tree_labels.push_back(dag.label(frame.dag_node));
+    reachable[frame.dag_node] = true;
+    const auto& kids = dag.children(frame.dag_node);
+    // Push in reverse so children unfold in declaration order.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, tree_node});
+    }
+  }
+
+  // But the DFS above only descends, so a child is only expanded when its
+  // parent frame is; reachability from the root is exactly what got
+  // visited. Reject DAGs with unreachable nodes: they would silently
+  // disappear from the tree.
+  for (int32_t v = 0; v < dag.num_nodes(); ++v) {
+    if (!reachable[v]) return std::nullopt;
+  }
+  return Hierarchy(std::move(tree_parents), std::move(tree_labels));
+}
+
+}  // namespace kjoin

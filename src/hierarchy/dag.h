@@ -1,0 +1,57 @@
+#ifndef KJOIN_HIERARCHY_DAG_H_
+#define KJOIN_HIERARCHY_DAG_H_
+
+// DAG-shaped knowledge bases and the paper's DAG -> tree reduction (§6.5).
+//
+// Real knowledge bases (Yago, Freebase) let a concept have several parents
+// ("Pizza" under both "ItalianFood" and "Fastfood"). K-Join's machinery is
+// defined on trees, so §6.5 duplicates every multi-parent node once per
+// parent, turning the DAG into a tree in which one concept label maps to
+// multiple tree nodes — exactly the multi-mapping case §6.4 (K-Join+)
+// already handles.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+
+namespace kjoin {
+
+// A rooted DAG under construction. Node 0 is the root.
+class Dag {
+ public:
+  explicit Dag(std::string root_label = "Root");
+
+  // Adds a node with no parents yet (link it with AddEdge) and returns its
+  // id.
+  int32_t AddNode(std::string label);
+
+  // Declares `parent` -> `child`. Duplicate edges are ignored. Edges that
+  // would make the graph cyclic are detected by ConvertDagToTree.
+  void AddEdge(int32_t parent, int32_t child);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(labels_.size()); }
+  const std::string& label(int32_t node) const { return labels_[node]; }
+  const std::vector<int32_t>& parents(int32_t node) const { return parents_[node]; }
+  const std::vector<int32_t>& children(int32_t node) const { return children_[node]; }
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::vector<int32_t>> parents_;
+  std::vector<std::vector<int32_t>> children_;
+};
+
+// Unfolds the DAG into a tree by duplicating the subtree below every
+// multi-parent node under each of its parents (§6.5). Labels are preserved,
+// so Hierarchy::NodesWithLabel returns every copy of a duplicated concept.
+//
+// Returns nullopt when the DAG has a cycle, when some node is unreachable
+// from the root, or when unfolding would exceed `max_tree_nodes` (diamond
+// stacks blow up exponentially; callers must bound the result).
+std::optional<Hierarchy> ConvertDagToTree(const Dag& dag, int64_t max_tree_nodes = 1 << 22);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_HIERARCHY_DAG_H_

@@ -1,0 +1,98 @@
+#include "hierarchy/hierarchy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+Hierarchy::Hierarchy(std::vector<NodeId> parents, std::vector<std::string> labels)
+    : parents_(std::move(parents)), labels_(std::move(labels)) {
+  KJOIN_CHECK(!parents_.empty()) << "a hierarchy needs at least a root";
+  KJOIN_CHECK_EQ(parents_.size(), labels_.size());
+  KJOIN_CHECK_EQ(parents_[0], kInvalidNode) << "node 0 must be the root";
+
+  const int64_t n = num_nodes();
+  depths_.assign(n, 0);
+  children_.assign(n, {});
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId p = parents_[v];
+    KJOIN_CHECK(p >= 0 && p < v) << "parents must precede children (node " << v << ")";
+    depths_[v] = depths_[p] + 1;
+    children_[p].push_back(v);
+    height_ = std::max(height_, depths_[v]);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (children_[v].empty()) leaves_.push_back(v);
+    label_index_[labels_[v]].push_back(v);
+  }
+}
+
+const std::vector<NodeId>& Hierarchy::NodesWithLabel(std::string_view label) const {
+  static const std::vector<NodeId>* const kEmpty = new std::vector<NodeId>();
+  auto it = label_index_.find(std::string(label));
+  return it == label_index_.end() ? *kEmpty : it->second;
+}
+
+std::optional<NodeId> Hierarchy::FindByLabel(std::string_view label) const {
+  const std::vector<NodeId>& nodes = NodesWithLabel(label);
+  if (nodes.size() != 1) return std::nullopt;
+  return nodes[0];
+}
+
+NodeId Hierarchy::AncestorAtDepth(NodeId node, int target_depth) const {
+  KJOIN_CHECK_GE(target_depth, 0);
+  KJOIN_CHECK_LE(target_depth, depth(node));
+  while (depths_[node] > target_depth) node = parents_[node];
+  return node;
+}
+
+bool Hierarchy::IsAncestor(NodeId ancestor, NodeId node) const {
+  if (depth(ancestor) > depth(node)) return false;
+  return AncestorAtDepth(node, depth(ancestor)) == ancestor;
+}
+
+NodeId Hierarchy::LowestCommonAncestorNaive(NodeId x, NodeId y) const {
+  CheckId(x);
+  CheckId(y);
+  while (depths_[x] > depths_[y]) x = parents_[x];
+  while (depths_[y] > depths_[x]) y = parents_[y];
+  while (x != y) {
+    x = parents_[x];
+    y = parents_[y];
+  }
+  return x;
+}
+
+HierarchyStats Hierarchy::ComputeStats() const {
+  HierarchyStats stats;
+  stats.num_nodes = num_nodes();
+  stats.height = height_;
+  stats.num_leaves = static_cast<int64_t>(leaves_.size());
+
+  int64_t fanout_sum = 0;
+  int64_t internal = 0;
+  stats.min_fanout = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    const int fanout = static_cast<int>(children_[v].size());
+    if (fanout == 0) continue;
+    ++internal;
+    fanout_sum += fanout;
+    stats.max_fanout = std::max(stats.max_fanout, fanout);
+    stats.min_fanout = (internal == 1) ? fanout : std::min(stats.min_fanout, fanout);
+  }
+  stats.avg_fanout = internal > 0 ? static_cast<double>(fanout_sum) / internal : 0.0;
+
+  int64_t leaf_depth_sum = 0;
+  for (NodeId leaf : leaves_) leaf_depth_sum += depths_[leaf];
+  stats.avg_leaf_depth =
+      leaves_.empty() ? 0.0 : static_cast<double>(leaf_depth_sum) / leaves_.size();
+  return stats;
+}
+
+NodeId Hierarchy::CheckId(NodeId node) const {
+  KJOIN_DCHECK(node >= 0 && node < num_nodes()) << "bad node id " << node;
+  return node;
+}
+
+}  // namespace kjoin

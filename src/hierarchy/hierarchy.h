@@ -1,0 +1,103 @@
+#ifndef KJOIN_HIERARCHY_HIERARCHY_H_
+#define KJOIN_HIERARCHY_HIERARCHY_H_
+
+// The knowledge hierarchy: an immutable rooted, labeled tree.
+//
+// K-Join (Shang et al., ICDE 2017) models the knowledge base as a tree T.
+// Elements of objects are mapped to tree nodes; the element similarity
+// (Definition 1) is d_LCA / max(d_x, d_y), where d_x is the depth of node x
+// and the root has depth 0. This class stores the tree plus the derived
+// data every K-Join component consumes: depths, children, label lookup and
+// ancestor-at-depth walks. Instances are created by HierarchyBuilder,
+// HierarchyGenerator, ConvertDagToTree, or ParseHierarchy.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kjoin {
+
+// Index of a node inside one Hierarchy. Nodes are dense: 0..num_nodes()-1,
+// with 0 always the root. Parents always precede children.
+using NodeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+// Shape statistics in the form the paper reports (its Table 2).
+struct HierarchyStats {
+  int64_t num_nodes = 0;
+  int height = 0;           // max depth of any node
+  double avg_fanout = 0.0;  // over internal (non-leaf) nodes
+  int max_fanout = 0;
+  int min_fanout = 0;  // over internal nodes
+  int64_t num_leaves = 0;
+  double avg_leaf_depth = 0.0;
+};
+
+class Hierarchy {
+ public:
+  // Use HierarchyBuilder to construct instances.
+  Hierarchy(std::vector<NodeId> parents, std::vector<std::string> labels);
+
+  Hierarchy(const Hierarchy&) = delete;
+  Hierarchy& operator=(const Hierarchy&) = delete;
+  Hierarchy(Hierarchy&&) = default;
+  Hierarchy& operator=(Hierarchy&&) = default;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(parents_.size()); }
+  NodeId root() const { return 0; }
+
+  NodeId parent(NodeId node) const { return parents_[CheckId(node)]; }
+  int depth(NodeId node) const { return depths_[CheckId(node)]; }
+  const std::string& label(NodeId node) const { return labels_[CheckId(node)]; }
+  const std::vector<NodeId>& children(NodeId node) const { return children_[CheckId(node)]; }
+  bool IsLeaf(NodeId node) const { return children(node).empty(); }
+
+  // Max depth over all nodes (root alone => 0).
+  int height() const { return height_; }
+
+  // All leaf nodes in id order. K-Join treats leaves as the entity
+  // vocabulary that records are drawn from.
+  const std::vector<NodeId>& leaves() const { return leaves_; }
+
+  // All nodes carrying `label` (several when a DAG was unfolded into a
+  // tree, or when distinct entities share a surface form). Empty vector if
+  // none. The returned reference is valid for the Hierarchy's lifetime.
+  const std::vector<NodeId>& NodesWithLabel(std::string_view label) const;
+
+  // The unique node with `label`, or nullopt when absent/ambiguous.
+  std::optional<NodeId> FindByLabel(std::string_view label) const;
+
+  // The ancestor of `node` at depth `target_depth`. Requires
+  // 0 <= target_depth <= depth(node). O(depth - target_depth).
+  NodeId AncestorAtDepth(NodeId node, int target_depth) const;
+
+  // True iff `ancestor` lies on the root path of `node` (a node is its own
+  // ancestor).
+  bool IsAncestor(NodeId ancestor, NodeId node) const;
+
+  // The paper's O(d_x + d_y) bottom-up LCA: lift the deeper node to the
+  // shallower depth, then walk both up in lock step. LcaIndex provides the
+  // O(1) alternative.
+  NodeId LowestCommonAncestorNaive(NodeId x, NodeId y) const;
+
+  HierarchyStats ComputeStats() const;
+
+ private:
+  NodeId CheckId(NodeId node) const;
+
+  std::vector<NodeId> parents_;       // parents_[0] == kInvalidNode
+  std::vector<std::string> labels_;   // node labels, not necessarily unique
+  std::vector<int> depths_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<NodeId> leaves_;
+  int height_ = 0;
+  std::unordered_map<std::string, std::vector<NodeId>> label_index_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_HIERARCHY_HIERARCHY_H_

@@ -1,0 +1,67 @@
+#include "hierarchy/hierarchy_builder.h"
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+HierarchyBuilder::HierarchyBuilder(std::string root_label) {
+  parents_.push_back(kInvalidNode);
+  labels_.push_back(std::move(root_label));
+  depths_.push_back(0);
+}
+
+NodeId HierarchyBuilder::AddChild(NodeId parent, std::string label) {
+  KJOIN_CHECK(parent >= 0 && parent < num_nodes()) << "unknown parent " << parent;
+  parents_.push_back(parent);
+  labels_.push_back(std::move(label));
+  depths_.push_back(depths_[parent] + 1);
+  return static_cast<NodeId>(parents_.size() - 1);
+}
+
+NodeId HierarchyBuilder::AddPath(const std::vector<std::string>& labels) {
+  NodeId current = root();
+  for (const std::string& label : labels) {
+    // Linear scan over the current node's children; paths are short and
+    // AddPath is a construction-time convenience, not a hot path.
+    NodeId next = kInvalidNode;
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      if (parents_[v] == current && labels_[v] == label) {
+        next = v;
+        break;
+      }
+    }
+    current = (next != kInvalidNode) ? next : AddChild(current, label);
+  }
+  return current;
+}
+
+Hierarchy HierarchyBuilder::Build() && {
+  return Hierarchy(std::move(parents_), std::move(labels_));
+}
+
+Hierarchy MakeFigure1Hierarchy() {
+  HierarchyBuilder b("Root");
+  const NodeId food = b.AddChild(b.root(), "Food");
+  const NodeId western = b.AddChild(food, "WesternFood");
+  const NodeId fastfood = b.AddChild(western, "Fastfood");
+  b.AddChild(fastfood, "BurgerKing");
+  b.AddChild(fastfood, "KFC");
+  const NodeId pizza = b.AddChild(western, "Pizza");
+  b.AddChild(pizza, "PizzaHut");
+  b.AddChild(pizza, "Dominos");
+
+  const NodeId location = b.AddChild(b.root(), "Location");
+  const NodeId us = b.AddChild(location, "US");
+  const NodeId ca = b.AddChild(us, "CA");
+  const NodeId sf = b.AddChild(ca, "SanFrancisco");
+  const NodeId mv = b.AddChild(sf, "MountainView");
+  b.AddChild(mv, "GoogleHeadquarters");
+  b.AddChild(sf, "PaloAlto");
+  const NodeId ny = b.AddChild(us, "NY");
+  const NodeId nyc = b.AddChild(ny, "NewYork");
+  b.AddChild(nyc, "Manhattan");
+  b.AddChild(nyc, "Brooklyn");
+  return std::move(b).Build();
+}
+
+}  // namespace kjoin

@@ -1,0 +1,55 @@
+#ifndef KJOIN_HIERARCHY_HIERARCHY_BUILDER_H_
+#define KJOIN_HIERARCHY_HIERARCHY_BUILDER_H_
+
+// Incremental construction of a Hierarchy.
+//
+//   HierarchyBuilder builder("Root");
+//   NodeId food = builder.AddChild(builder.root(), "Food");
+//   NodeId pizza = builder.AddChild(food, "Pizza");
+//   Hierarchy tree = std::move(builder).Build();
+//
+// Also provides MakeFigure1Hierarchy(), the food/location tree the paper
+// uses as its running example, which the unit tests replay the paper's
+// worked numbers against.
+
+#include <string>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+
+namespace kjoin {
+
+class HierarchyBuilder {
+ public:
+  explicit HierarchyBuilder(std::string root_label = "Root");
+
+  NodeId root() const { return 0; }
+  int64_t num_nodes() const { return static_cast<int64_t>(parents_.size()); }
+  int depth(NodeId node) const { return depths_[node]; }
+
+  // Adds a child of `parent` (which must already exist) and returns its id.
+  NodeId AddChild(NodeId parent, std::string label);
+
+  // Adds label-path root/.../labels.back(), reusing existing nodes with
+  // matching labels along the way. Returns the final node.
+  NodeId AddPath(const std::vector<std::string>& labels);
+
+  // Consumes the builder.
+  Hierarchy Build() &&;
+
+ private:
+  std::vector<NodeId> parents_;
+  std::vector<std::string> labels_;
+  std::vector<int> depths_;
+};
+
+// The knowledge hierarchy of the paper's Figure 1 (food & US locations).
+// Node labels match the paper: Root, Food, Location, WesternFood, Fastfood,
+// Pizza, BurgerKing, KFC, PizzaHut, Dominos, US, CA, NY, SanFrancisco,
+// MountainView, PaloAlto, NewYork, Manhattan, Brooklyn,
+// GoogleHeadquarters.
+Hierarchy MakeFigure1Hierarchy();
+
+}  // namespace kjoin
+
+#endif  // KJOIN_HIERARCHY_HIERARCHY_BUILDER_H_

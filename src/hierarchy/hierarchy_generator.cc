@@ -1,0 +1,168 @@
+#include "hierarchy/hierarchy_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kjoin {
+namespace {
+
+// Level sizes L[0..height] with L[0] = 1, geometric-ish growth, summing to
+// exactly num_nodes, every level non-empty.
+std::vector<int64_t> PlanLevelSizes(int64_t num_nodes, int height) {
+  KJOIN_CHECK_GE(height, 1);
+  KJOIN_CHECK_GE(num_nodes, height + 1) << "too few nodes for the requested height";
+
+  auto total_for_growth = [&](double g) {
+    double level = 1.0;
+    double total = 1.0;
+    for (int i = 1; i <= height; ++i) {
+      level = std::max(1.0, level * g);
+      total += level;
+    }
+    return total;
+  };
+
+  double lo = 1.0, hi = 64.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (total_for_growth(mid) < static_cast<double>(num_nodes)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  std::vector<int64_t> sizes(height + 1, 1);
+  double level = 1.0;
+  int64_t total = 1;
+  for (int i = 1; i <= height; ++i) {
+    level = std::max(1.0, level * hi);
+    sizes[i] = std::max<int64_t>(1, static_cast<int64_t>(std::llround(level)));
+    total += sizes[i];
+  }
+  // Absorb the rounding error in the deepest level (kept >= 1).
+  sizes[height] = std::max<int64_t>(1, sizes[height] + (num_nodes - total));
+  total = 0;
+  for (int64_t s : sizes) total += s;
+  // If the deepest level hit its floor we may still be over; trim the
+  // widest level.
+  while (total > num_nodes) {
+    auto widest = std::max_element(sizes.begin() + 1, sizes.end());
+    KJOIN_CHECK_GT(*widest, 1);
+    --*widest;
+    --total;
+  }
+  while (total < num_nodes) {
+    ++sizes[height];
+    ++total;
+  }
+  return sizes;
+}
+
+// A pronounceable pseudo-word: 2-4 consonant+vowel syllables.
+std::string RandomWord(Rng& rng) {
+  static constexpr const char* kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "k", "l",
+                                            "m",  "n",  "p",  "r",  "s",  "t",  "v", "z",
+                                            "br", "ch", "cr", "dr", "gr", "pl", "sh", "st",
+                                            "th", "tr"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+  const int syllables = static_cast<int>(rng.NextInt(2, 4));
+  std::string word;
+  for (int i = 0; i < syllables; ++i) {
+    word += kOnsets[rng.NextUint64(std::size(kOnsets))];
+    word += kVowels[rng.NextUint64(std::size(kVowels))];
+  }
+  return word;
+}
+
+}  // namespace
+
+Hierarchy GenerateHierarchy(const HierarchyGenParams& params) {
+  KJOIN_CHECK_GE(params.avg_fanout, 1.0);
+  KJOIN_CHECK_GE(params.max_fanout, 2);
+  Rng rng(params.seed);
+  const std::vector<int64_t> level_sizes = PlanLevelSizes(params.num_nodes, params.height);
+
+  std::vector<NodeId> parents;
+  std::vector<std::string> labels;
+  parents.reserve(params.num_nodes);
+  labels.reserve(params.num_nodes);
+
+  std::unordered_set<std::string> used_labels;
+  auto fresh_label = [&]() {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      std::string word = RandomWord(rng);
+      if (used_labels.insert(word).second) return word;
+    }
+    // Rare: disambiguate with a numeric suffix.
+    for (int64_t i = 0;; ++i) {
+      std::string word = RandomWord(rng) + std::to_string(i);
+      if (used_labels.insert(word).second) return word;
+    }
+  };
+
+  parents.push_back(kInvalidNode);
+  labels.push_back("Root");
+  used_labels.insert("Root");
+
+  std::vector<NodeId> current_level = {0};
+  for (int level = 0; level < params.height; ++level) {
+    const int64_t child_count = level_sizes[level + 1];
+
+    // How many of this level's nodes become internal. Their fanouts
+    // average ~avg_fanout; the rest of the level stays leaves so the tree
+    // has leaves at every depth.
+    int64_t num_internal = std::clamp<int64_t>(
+        static_cast<int64_t>(std::llround(child_count / params.avg_fanout)), 1,
+        static_cast<int64_t>(current_level.size()));
+    // A single internal parent cannot exceed max_fanout.
+    while (num_internal * params.max_fanout < child_count &&
+           num_internal < static_cast<int64_t>(current_level.size())) {
+      ++num_internal;
+    }
+    KJOIN_CHECK_LE(child_count, num_internal * params.max_fanout)
+        << "level " << level << " cannot host " << child_count << " children";
+
+    std::vector<NodeId> shuffled = current_level;
+    rng.Shuffle(&shuffled);
+    std::vector<NodeId> internal(shuffled.begin(), shuffled.begin() + num_internal);
+
+    // Zipf-skewed fanout split: everyone gets one child, the remainder is
+    // distributed with weights 1/rank so a few hubs grow large.
+    std::vector<int64_t> fanouts(num_internal, 1);
+    std::vector<double> weights(num_internal);
+    for (int64_t j = 0; j < num_internal; ++j) weights[j] = 1.0 / static_cast<double>(j + 1);
+    int64_t remaining = child_count - num_internal;
+    KJOIN_CHECK_GE(remaining, 0);
+    while (remaining > 0) {
+      const size_t j = rng.NextWeighted(weights);
+      if (fanouts[j] >= params.max_fanout) {
+        weights[j] = 0.0;  // saturated hub
+        continue;
+      }
+      ++fanouts[j];
+      --remaining;
+    }
+
+    std::vector<NodeId> next_level;
+    next_level.reserve(child_count);
+    for (int64_t j = 0; j < num_internal; ++j) {
+      for (int64_t c = 0; c < fanouts[j]; ++c) {
+        parents.push_back(internal[j]);
+        labels.push_back(fresh_label());
+        next_level.push_back(static_cast<NodeId>(parents.size() - 1));
+      }
+    }
+    current_level = std::move(next_level);
+  }
+
+  KJOIN_CHECK_EQ(static_cast<int64_t>(parents.size()), params.num_nodes);
+  return Hierarchy(std::move(parents), std::move(labels));
+}
+
+}  // namespace kjoin

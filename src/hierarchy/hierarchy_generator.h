@@ -1,0 +1,40 @@
+#ifndef KJOIN_HIERARCHY_HIERARCHY_GENERATOR_H_
+#define KJOIN_HIERARCHY_HIERARCHY_GENERATOR_H_
+
+// Synthetic knowledge hierarchies.
+//
+// The paper evaluates on a hierarchy crawled from Factual whose shape is
+// published in its Table 2 (4222 nodes, height 6, average fanout 7, max
+// fanout 49, min fanout 1) but whose content is not public. K-Join's
+// algorithms only consume structure — depths, LCAs, fanouts — so this
+// generator produces a tree with the same shape statistics plus unique,
+// pronounceable labels that the typo/synonym channels of the dataset
+// generators can perturb. See DESIGN.md §3 for the substitution rationale.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "hierarchy/hierarchy.h"
+
+namespace kjoin {
+
+struct HierarchyGenParams {
+  // Defaults reproduce the paper's Table 2 shape.
+  int64_t num_nodes = 4222;
+  int height = 6;
+  double avg_fanout = 7.0;
+  int max_fanout = 49;
+  uint64_t seed = 42;
+};
+
+// Generates a random hierarchy matching the requested shape:
+//  * exactly `num_nodes` nodes and height exactly `height`;
+//  * internal-node fanout averaging ~`avg_fanout`, skewed (Zipf-like) so
+//    a few hubs approach `max_fanout` while others have a single child;
+//  * leaves occur at every level >= 2 so elements have varied depths, as
+//    in the POI/Tweet datasets (avg element depth 4-5).
+Hierarchy GenerateHierarchy(const HierarchyGenParams& params);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_HIERARCHY_HIERARCHY_GENERATOR_H_

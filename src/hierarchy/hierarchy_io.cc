@@ -1,0 +1,91 @@
+#include "hierarchy/hierarchy_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace kjoin {
+
+std::string SerializeHierarchy(const Hierarchy& hierarchy) {
+  std::ostringstream os;
+  os << "# kjoin hierarchy: " << hierarchy.num_nodes() << " nodes, height "
+     << hierarchy.height() << "\n";
+  for (NodeId v = 0; v < hierarchy.num_nodes(); ++v) {
+    const NodeId parent = (v == hierarchy.root()) ? kInvalidNode : hierarchy.parent(v);
+    os << v << "\t" << parent << "\t" << hierarchy.label(v) << "\n";
+  }
+  return os.str();
+}
+
+std::optional<Hierarchy> ParseHierarchy(std::string_view text) {
+  std::vector<NodeId> parents;
+  std::vector<std::string> labels;
+  int line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = StripAsciiWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 3) {
+      KJOIN_LOG(WARNING) << "hierarchy line " << line_number << ": expected 3 fields, got "
+                         << fields.size();
+      return std::nullopt;
+    }
+    char* end = nullptr;
+    const long id = std::strtol(fields[0].c_str(), &end, 10);
+    if (*end != '\0' || id != static_cast<long>(parents.size())) {
+      KJOIN_LOG(WARNING) << "hierarchy line " << line_number << ": ids must be dense, got '"
+                         << fields[0] << "'";
+      return std::nullopt;
+    }
+    const long parent = std::strtol(fields[1].c_str(), &end, 10);
+    if (*end != '\0') {
+      KJOIN_LOG(WARNING) << "hierarchy line " << line_number << ": bad parent '" << fields[1]
+                         << "'";
+      return std::nullopt;
+    }
+    if (id == 0) {
+      if (parent != -1) {
+        KJOIN_LOG(WARNING) << "hierarchy line " << line_number << ": root parent must be -1";
+        return std::nullopt;
+      }
+    } else if (parent < 0 || parent >= id) {
+      KJOIN_LOG(WARNING) << "hierarchy line " << line_number
+                         << ": parent must precede child, got " << parent;
+      return std::nullopt;
+    }
+    parents.push_back(static_cast<NodeId>(parent));
+    labels.push_back(fields[2]);
+  }
+  if (parents.empty()) {
+    KJOIN_LOG(WARNING) << "hierarchy text has no nodes";
+    return std::nullopt;
+  }
+  return Hierarchy(std::move(parents), std::move(labels));
+}
+
+bool WriteHierarchyFile(const Hierarchy& hierarchy, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    KJOIN_LOG(WARNING) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << SerializeHierarchy(hierarchy);
+  return static_cast<bool>(out);
+}
+
+std::optional<Hierarchy> ReadHierarchyFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    KJOIN_LOG(WARNING) << "cannot open " << path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseHierarchy(buffer.str());
+}
+
+}  // namespace kjoin

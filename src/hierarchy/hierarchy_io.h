@@ -1,0 +1,33 @@
+#ifndef KJOIN_HIERARCHY_HIERARCHY_IO_H_
+#define KJOIN_HIERARCHY_HIERARCHY_IO_H_
+
+// Plain-text serialization of hierarchies.
+//
+// Format: one node per line, "<id>\t<parent-id>\t<label>", ids dense and
+// parent-before-child, the root with parent -1. Lines starting with '#'
+// and blank lines are ignored. This is the interchange format for loading
+// a real taxonomy (e.g. a Yago category export) into the library.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "hierarchy/hierarchy.h"
+
+namespace kjoin {
+
+// Renders the hierarchy in the text format above.
+std::string SerializeHierarchy(const Hierarchy& hierarchy);
+
+// Parses the text format. Returns nullopt (and logs the offending line)
+// on malformed input: non-dense ids, forward parent references, missing
+// fields.
+std::optional<Hierarchy> ParseHierarchy(std::string_view text);
+
+// File convenience wrappers.
+bool WriteHierarchyFile(const Hierarchy& hierarchy, const std::string& path);
+std::optional<Hierarchy> ReadHierarchyFile(const std::string& path);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_HIERARCHY_HIERARCHY_IO_H_

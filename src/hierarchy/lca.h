@@ -1,0 +1,45 @@
+#ifndef KJOIN_HIERARCHY_LCA_H_
+#define KJOIN_HIERARCHY_LCA_H_
+
+// Constant-time lowest-common-ancestor queries.
+//
+// The paper computes element similarity as d_LCA / max(d_x, d_y) and calls
+// LCA inside every edge-weight computation of every candidate bigraph, so
+// the query cost matters. LcaIndex reduces LCA to range-minimum over the
+// Euler tour and answers it with a sparse table: O(n log n) preprocessing,
+// O(1) per query. Hierarchy::LowestCommonAncestorNaive is the paper's
+// O(depth) walk, kept as the correctness reference and ablation baseline.
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+
+namespace kjoin {
+
+class LcaIndex {
+ public:
+  // The hierarchy must outlive the index.
+  explicit LcaIndex(const Hierarchy& hierarchy);
+
+  NodeId Lca(NodeId x, NodeId y) const;
+
+  // Depth of the LCA — the `d_{x,y}` of the paper's Definition 1.
+  int LcaDepth(NodeId x, NodeId y) const { return hierarchy_->depth(Lca(x, y)); }
+
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+
+ private:
+  const Hierarchy* hierarchy_;
+  std::vector<int32_t> first_visit_;   // node -> first index in the Euler tour
+  std::vector<NodeId> tour_node_;      // Euler tour nodes
+  std::vector<int32_t> tour_depth_;    // depths along the tour
+  // sparse_[k][i] = index (into the tour) of the min-depth entry in
+  // [i, i + 2^k).
+  std::vector<std::vector<int32_t>> sparse_;
+  std::vector<int8_t> log2_floor_;     // log2_floor_[len] = floor(log2(len))
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_HIERARCHY_LCA_H_

@@ -1,0 +1,24 @@
+#include "matching/bigraph.h"
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+Bigraph::Bigraph(int32_t num_left, int32_t num_right)
+    : num_left_(num_left), num_right_(num_right) {
+  KJOIN_CHECK_GE(num_left, 0);
+  KJOIN_CHECK_GE(num_right, 0);
+  left_edges_.resize(num_left);
+  right_edges_.resize(num_right);
+}
+
+void Bigraph::AddEdge(int32_t left, int32_t right, double weight) {
+  KJOIN_DCHECK(left >= 0 && left < num_left_);
+  KJOIN_DCHECK(right >= 0 && right < num_right_);
+  const int32_t edge_index = static_cast<int32_t>(edges_.size());
+  edges_.push_back({left, right, weight});
+  left_edges_[left].push_back(edge_index);
+  right_edges_[right].push_back(edge_index);
+}
+
+}  // namespace kjoin

@@ -1,0 +1,54 @@
+#ifndef KJOIN_MATCHING_BIGRAPH_H_
+#define KJOIN_MATCHING_BIGRAPH_H_
+
+// A weighted bipartite graph between the elements of two objects.
+//
+// K-Join defines the fuzzy overlap of two objects (Definition 2) as the
+// maximum-weight matching of the bigraph whose edges connect δ-similar
+// element pairs, weighted by their knowledge-aware similarity. This type
+// is the shared input of the Hungarian solver, the greedy lower bounds and
+// the per-vertex upper bound.
+
+#include <cstdint>
+#include <vector>
+
+namespace kjoin {
+
+struct BigraphEdge {
+  int32_t left;    // index into the left vertex set
+  int32_t right;   // index into the right vertex set
+  double weight;   // element similarity, in (0, 1]
+};
+
+class Bigraph {
+ public:
+  Bigraph(int32_t num_left, int32_t num_right);
+
+  void AddEdge(int32_t left, int32_t right, double weight);
+
+  int32_t num_left() const { return num_left_; }
+  int32_t num_right() const { return num_right_; }
+  const std::vector<BigraphEdge>& edges() const { return edges_; }
+
+  // Edges incident to a left vertex (indices into edges()).
+  const std::vector<int32_t>& left_edges(int32_t left) const { return left_edges_[left]; }
+  const std::vector<int32_t>& right_edges(int32_t right) const { return right_edges_[right]; }
+
+  int32_t left_degree(int32_t left) const {
+    return static_cast<int32_t>(left_edges_[left].size());
+  }
+  int32_t right_degree(int32_t right) const {
+    return static_cast<int32_t>(right_edges_[right].size());
+  }
+
+ private:
+  int32_t num_left_;
+  int32_t num_right_;
+  std::vector<BigraphEdge> edges_;
+  std::vector<std::vector<int32_t>> left_edges_;
+  std::vector<std::vector<int32_t>> right_edges_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_MATCHING_BIGRAPH_H_

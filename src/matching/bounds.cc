@@ -1,0 +1,23 @@
+#include "matching/bounds.h"
+
+#include <algorithm>
+
+namespace kjoin {
+
+double PerVertexUpperBound(const Bigraph& graph) {
+  double left_sum = 0.0;
+  for (int32_t l = 0; l < graph.num_left(); ++l) {
+    double best = 0.0;
+    for (int32_t e : graph.left_edges(l)) best = std::max(best, graph.edges()[e].weight);
+    left_sum += best;
+  }
+  double right_sum = 0.0;
+  for (int32_t r = 0; r < graph.num_right(); ++r) {
+    double best = 0.0;
+    for (int32_t e : graph.right_edges(r)) best = std::max(best, graph.edges()[e].weight);
+    right_sum += best;
+  }
+  return std::min(left_sum, right_sum);
+}
+
+}  // namespace kjoin

@@ -1,0 +1,17 @@
+#ifndef KJOIN_MATCHING_BOUNDS_H_
+#define KJOIN_MATCHING_BOUNDS_H_
+
+// Upper bound on the maximum-weight matching (paper §5.2.1, Eq. 6).
+
+#include "matching/bigraph.h"
+
+namespace kjoin {
+
+// Bu = min( Σ_left max-incident-weight, Σ_right max-incident-weight ).
+// Every matching covers each vertex at most once with at most its
+// heaviest incident edge, so both sums dominate the optimum.
+double PerVertexUpperBound(const Bigraph& graph);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_MATCHING_BOUNDS_H_

@@ -1,0 +1,77 @@
+#include "matching/greedy_matching.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace kjoin {
+
+double GreedyMaxWeightLowerBound(const Bigraph& graph) {
+  std::vector<int32_t> order(graph.edges().size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return graph.edges()[a].weight > graph.edges()[b].weight;
+  });
+  std::vector<char> left_used(graph.num_left(), 0), right_used(graph.num_right(), 0);
+  double total = 0.0;
+  for (int32_t e : order) {
+    const BigraphEdge& edge = graph.edges()[e];
+    if (left_used[edge.left] || right_used[edge.right]) continue;
+    left_used[edge.left] = 1;
+    right_used[edge.right] = 1;
+    total += edge.weight;
+  }
+  return total;
+}
+
+double GreedyMinDegreeLowerBound(const Bigraph& graph) {
+  // Remaining degrees change as vertices are removed; with the tiny
+  // per-object graphs K-Join sees, recomputing live degrees on demand is
+  // simpler and still linear-ish.
+  std::vector<char> left_used(graph.num_left(), 0), right_used(graph.num_right(), 0);
+  double total = 0.0;
+  for (int step = 0; step < graph.num_left(); ++step) {
+    // Left vertex with the smallest positive live degree.
+    int32_t best_left = -1;
+    int32_t best_degree = 0;
+    for (int32_t l = 0; l < graph.num_left(); ++l) {
+      if (left_used[l]) continue;
+      int32_t degree = 0;
+      for (int32_t e : graph.left_edges(l)) {
+        if (!right_used[graph.edges()[e].right]) ++degree;
+      }
+      if (degree > 0 && (best_left == -1 || degree < best_degree)) {
+        best_left = l;
+        best_degree = degree;
+      }
+    }
+    if (best_left == -1) break;  // no edges remain
+    // Its smallest-live-degree right neighbour (ties: heavier edge).
+    int32_t best_edge = -1;
+    int32_t best_right_degree = 0;
+    for (int32_t e : graph.left_edges(best_left)) {
+      const int32_t r = graph.edges()[e].right;
+      if (right_used[r]) continue;
+      int32_t degree = 0;
+      for (int32_t e2 : graph.right_edges(r)) {
+        if (!left_used[graph.edges()[e2].left]) ++degree;
+      }
+      if (best_edge == -1 || degree < best_right_degree ||
+          (degree == best_right_degree &&
+           graph.edges()[e].weight > graph.edges()[best_edge].weight)) {
+        best_edge = e;
+        best_right_degree = degree;
+      }
+    }
+    const BigraphEdge& edge = graph.edges()[best_edge];
+    left_used[edge.left] = 1;
+    right_used[edge.right] = 1;
+    total += edge.weight;
+  }
+  return total;
+}
+
+double CombinedLowerBound(const Bigraph& graph) {
+  return std::max(GreedyMaxWeightLowerBound(graph), GreedyMinDegreeLowerBound(graph));
+}
+
+}  // namespace kjoin

@@ -1,0 +1,30 @@
+#ifndef KJOIN_MATCHING_GREEDY_MATCHING_H_
+#define KJOIN_MATCHING_GREEDY_MATCHING_H_
+
+// Greedy lower bounds for the maximum-weight matching (paper §5.2.2).
+//
+// The adaptive verifier avoids running the Hungarian algorithm on a
+// subgraph whenever a cheap lower bound already certifies the candidate
+// (accept) or a cheap upper bound already refutes it (reject). Any greedy
+// matching is a valid lower bound because the optimum can only be larger.
+
+#include "matching/bigraph.h"
+
+namespace kjoin {
+
+// `lw`: repeatedly takes the heaviest remaining edge and removes its two
+// endpoints. O(|E| log |E|).
+double GreedyMaxWeightLowerBound(const Bigraph& graph);
+
+// `le`: repeatedly takes the left vertex with the smallest remaining
+// degree, matches it to its smallest-degree right neighbour, and removes
+// both — covering as many vertices as possible.
+// O((|V| + |E|) log |V|) with lazy degree updates.
+double GreedyMinDegreeLowerBound(const Bigraph& graph);
+
+// max(lw, le) — the combined bound Bl of §5.2.2.
+double CombinedLowerBound(const Bigraph& graph);
+
+}  // namespace kjoin
+
+#endif  // KJOIN_MATCHING_GREEDY_MATCHING_H_

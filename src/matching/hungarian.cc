@@ -1,0 +1,107 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+double MaxWeightMatching(const Bigraph& graph,
+                         std::vector<std::pair<int32_t, int32_t>>* matched) {
+  if (matched != nullptr) matched->clear();
+  const int n = graph.num_left();
+  const int m_real = graph.num_right();
+  if (n == 0 || m_real == 0 || graph.edges().empty()) return 0.0;
+
+  // Minimize cost = -weight over an n x (m_real + n) matrix; the n dummy
+  // columns (cost 0) let every row stay effectively unmatched.
+  const int m = m_real + n;
+  std::vector<double> cost(static_cast<size_t>(n) * m, 0.0);
+  for (const BigraphEdge& edge : graph.edges()) {
+    double& cell = cost[static_cast<size_t>(edge.left) * m + edge.right];
+    cell = std::min(cell, -edge.weight);  // keep the best parallel edge
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // 1-based rows/columns; p[j] = row matched to column j (0 = none).
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0), way(m + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = -1;
+      const double* row = cost.data() + static_cast<size_t>(i0 - 1) * m;
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = row[j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      KJOIN_DCHECK(j1 != -1);
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  double total = 0.0;
+  for (int j = 1; j <= m_real; ++j) {
+    const int i = p[j];
+    if (i == 0) continue;
+    const double weight = -cost[static_cast<size_t>(i - 1) * m + (j - 1)];
+    if (weight > 0.0) {
+      total += weight;
+      if (matched != nullptr) matched->emplace_back(i - 1, j - 1);
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// Recursively assigns left vertices [index..n) given the used-right mask.
+double BruteForceFrom(const Bigraph& graph, int32_t index, uint32_t used_right) {
+  if (index >= graph.num_left()) return 0.0;
+  // Option 1: leave `index` unmatched.
+  double best = BruteForceFrom(graph, index + 1, used_right);
+  for (int32_t e : graph.left_edges(index)) {
+    const BigraphEdge& edge = graph.edges()[e];
+    if ((used_right >> edge.right) & 1u) continue;
+    best = std::max(best, edge.weight + BruteForceFrom(graph, index + 1,
+                                                       used_right | (1u << edge.right)));
+  }
+  return best;
+}
+
+}  // namespace
+
+double MaxWeightMatchingBruteForce(const Bigraph& graph) {
+  KJOIN_CHECK_LE(graph.num_right(), 31) << "brute force oracle is for tiny graphs";
+  return BruteForceFrom(graph, 0, 0);
+}
+
+}  // namespace kjoin

@@ -1,0 +1,85 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+int EditDistance(std::string_view x, std::string_view y) {
+  if (x.size() < y.size()) std::swap(x, y);  // y is the shorter string
+  const int n = static_cast<int>(x.size());
+  const int m = static_cast<int>(y.size());
+  if (m == 0) return n;
+
+  std::vector<int> prev(m + 1), curr(m + 1);
+  for (int j = 0; j <= m; ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (int j = 1; j <= m; ++j) {
+      const int substitute = prev[j - 1] + (x[i - 1] == y[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitute});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+int EditDistanceBounded(std::string_view x, std::string_view y, int max_distance) {
+  KJOIN_DCHECK(max_distance >= 0);
+  if (x.size() < y.size()) std::swap(x, y);
+  const int n = static_cast<int>(x.size());
+  const int m = static_cast<int>(y.size());
+  if (n - m > max_distance) return max_distance + 1;
+  if (m == 0) return n;
+
+  // Band of half-width max_distance around the diagonal. Cells outside the
+  // band are treated as > max_distance.
+  const int kBig = max_distance + 1;
+  std::vector<int> prev(m + 1, kBig), curr(m + 1, kBig);
+  for (int j = 0; j <= std::min(m, max_distance); ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    const int lo = std::max(1, i - max_distance);
+    const int hi = std::min(m, i + max_distance);
+    if (lo > hi) return kBig;
+    std::fill(curr.begin(), curr.end(), kBig);
+    if (lo == 1 && i <= max_distance) curr[0] = i;
+    int row_min = kBig;
+    for (int j = lo; j <= hi; ++j) {
+      const int substitute = prev[j - 1] + (x[i - 1] == y[j - 1] ? 0 : 1);
+      const int del = prev[j] + 1;
+      const int ins = curr[j - 1] + 1;
+      curr[j] = std::min({substitute, del, ins, kBig});
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > max_distance) return kBig;  // early exit: band exhausted
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double EditSimilarity(std::string_view x, std::string_view y) {
+  const size_t max_len = std::max(x.size(), y.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(x, y)) / static_cast<double>(max_len);
+}
+
+bool EditSimilarityAtLeast(std::string_view x, std::string_view y, double threshold) {
+  const int max_len = static_cast<int>(std::max(x.size(), y.size()));
+  if (max_len == 0) return true;
+  if (threshold <= 0.0) return true;
+  const int budget = MaxEditErrors(max_len, threshold);
+  return EditDistanceBounded(x, y, budget) <= budget;
+}
+
+int MaxEditErrors(int max_len, double threshold) {
+  if (threshold <= 0.0) return max_len;
+  const double budget = (1.0 - threshold) * max_len;
+  // Guard against 0.30000000000000004-style float noise just above an
+  // integral budget.
+  return std::max(0, static_cast<int>(std::floor(budget + 1e-9)));
+}
+
+}  // namespace kjoin

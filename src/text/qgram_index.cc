@@ -1,0 +1,110 @@
+#include "text/qgram_index.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "text/edit_distance.h"
+
+namespace kjoin {
+namespace {
+
+constexpr char kLeftPad = '\x01';
+constexpr char kRightPad = '\x02';
+
+// gram -> multiplicity within one string.
+std::unordered_map<std::string, int32_t> GramMultiset(std::string_view text, int q) {
+  std::unordered_map<std::string, int32_t> multiset;
+  for (std::string& gram : QGramIndex::PaddedQGrams(text, q)) ++multiset[std::move(gram)];
+  return multiset;
+}
+
+}  // namespace
+
+std::vector<std::string> QGramIndex::PaddedQGrams(std::string_view text, int q) {
+  KJOIN_CHECK_GE(q, 1);
+  std::string padded;
+  padded.reserve(text.size() + 2 * (q - 1));
+  padded.append(q - 1, kLeftPad);
+  padded.append(text);
+  padded.append(q - 1, kRightPad);
+  std::vector<std::string> grams;
+  if (padded.size() < static_cast<size_t>(q)) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) grams.push_back(padded.substr(i, q));
+  return grams;
+}
+
+QGramIndex::QGramIndex(std::vector<std::string> strings, int q)
+    : q_(q), strings_(std::move(strings)) {
+  KJOIN_CHECK_GE(q, 1);
+  std::unordered_map<std::string, std::vector<std::pair<int32_t, int32_t>>> map;
+  for (int32_t id = 0; id < static_cast<int32_t>(strings_.size()); ++id) {
+    for (const auto& [gram, mult] : GramMultiset(strings_[id], q_)) {
+      map[gram].emplace_back(id, mult);
+    }
+  }
+  postings_.reserve(map.size());
+  for (auto& [gram, ids] : map) {
+    std::sort(ids.begin(), ids.end());
+    postings_.emplace_back(gram, std::move(ids));
+  }
+  std::sort(postings_.begin(), postings_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+const std::vector<std::pair<int32_t, int32_t>>* QGramIndex::Postings(
+    const std::string& gram) const {
+  auto it = std::lower_bound(
+      postings_.begin(), postings_.end(), gram,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it == postings_.end() || it->first != gram) return nullptr;
+  return &it->second;
+}
+
+std::vector<int32_t> QGramIndex::Candidates(std::string_view query, int max_errors) const {
+  KJOIN_CHECK_GE(max_errors, 0);
+  const int query_len = static_cast<int>(query.size());
+  std::vector<int32_t> result;
+
+  // If the count-filter bound can reach <= 0 for some admissible length,
+  // it is vacuous: fall back to the plain length filter.
+  if (query_len + q_ - 1 - q_ * max_errors <= 0) {
+    for (int32_t id = 0; id < static_cast<int32_t>(strings_.size()); ++id) {
+      if (std::abs(static_cast<int>(strings_[id].size()) - query_len) <= max_errors) {
+        result.push_back(id);
+      }
+    }
+    return result;
+  }
+
+  // Exact multiset q-gram intersection sizes via merged postings.
+  std::unordered_map<int32_t, int32_t> common;
+  for (const auto& [gram, query_mult] : GramMultiset(query, q_)) {
+    const auto* ids = Postings(gram);
+    if (ids == nullptr) continue;
+    for (const auto& [id, mult] : *ids) common[id] += std::min(query_mult, mult);
+  }
+  for (const auto& [id, overlap] : common) {
+    const int cand_len = static_cast<int>(strings_[id].size());
+    if (std::abs(cand_len - query_len) > max_errors) continue;
+    const int required = std::max(cand_len, query_len) + q_ - 1 - q_ * max_errors;
+    if (overlap >= required) result.push_back(id);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<int32_t> QGramIndex::SearchWithinDistance(std::string_view query,
+                                                      int max_errors) const {
+  std::vector<int32_t> result;
+  for (int32_t id : Candidates(query, max_errors)) {
+    if (EditDistanceBounded(query, strings_[id], max_errors) <= max_errors) {
+      result.push_back(id);
+    }
+  }
+  return result;
+}
+
+}  // namespace kjoin

@@ -1,0 +1,51 @@
+#ifndef KJOIN_TEXT_QGRAM_INDEX_H_
+#define KJOIN_TEXT_QGRAM_INDEX_H_
+
+// A q-gram inverted index for approximate string lookup.
+//
+// Used by the entity matcher (mapping typo-carrying tokens onto
+// knowledge-base labels, paper §2.1.1) and by the FastJoin baseline. Uses
+// padded q-grams: the string is framed with q−1 sentinel characters on
+// each side, giving |s| + q − 1 grams, so the classic count filter
+//   ED(x, y) <= e  =>  |grams(x) ∩ grams(y)| >= max(|x|,|y|) + q − 1 − q·e
+// holds for strings of any length >= 1.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kjoin {
+
+class QGramIndex {
+ public:
+  // Indexes `strings` (ids are positions in the vector). q >= 1.
+  QGramIndex(std::vector<std::string> strings, int q = 2);
+
+  int q() const { return q_; }
+  int64_t num_strings() const { return static_cast<int64_t>(strings_.size()); }
+  const std::string& string_at(int32_t id) const { return strings_[id]; }
+
+  // Ids of indexed strings whose edit distance to `query` *may* be
+  // <= max_errors (count filter + length filter; no verification).
+  std::vector<int32_t> Candidates(std::string_view query, int max_errors) const;
+
+  // Candidates verified with the banded edit-distance algorithm; every
+  // returned id is truly within max_errors.
+  std::vector<int32_t> SearchWithinDistance(std::string_view query, int max_errors) const;
+
+  // The padded q-grams of `text` (exposed for tests and FastJoin).
+  static std::vector<std::string> PaddedQGrams(std::string_view text, int q);
+
+ private:
+  int q_;
+  std::vector<std::string> strings_;
+  // gram -> sorted (string id, gram multiplicity) pairs; vector sorted by
+  // gram for binary search.
+  std::vector<std::pair<std::string, std::vector<std::pair<int32_t, int32_t>>>> postings_;
+  const std::vector<std::pair<int32_t, int32_t>>* Postings(const std::string& gram) const;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_TEXT_QGRAM_INDEX_H_

@@ -1,0 +1,50 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace kjoin {
+namespace {
+
+bool IsTokenChar(char c, bool strip_punctuation) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  if (strip_punctuation) return std::isalnum(u) != 0;
+  return std::isspace(u) == 0;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (static_cast<int>(current.size()) >= options_.min_token_length && !current.empty()) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    if (IsTokenChar(c, options_.strip_punctuation)) {
+      if (options_.lowercase && c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      current.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::string Tokenizer::Normalize(std::string_view token) const {
+  std::string out;
+  out.reserve(token.size());
+  for (char c : token) {
+    if (!IsTokenChar(c, options_.strip_punctuation)) continue;
+    if (options_.lowercase && c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace kjoin

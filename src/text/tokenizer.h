@@ -1,0 +1,44 @@
+#ifndef KJOIN_TEXT_TOKENIZER_H_
+#define KJOIN_TEXT_TOKENIZER_H_
+
+// Record tokenization and normalization.
+//
+// The paper models an object as the set of elements obtained by tokenizing
+// the record (§2.1). Tokens are normalized (ASCII lower-case, punctuation
+// stripped) before entity matching so that "Pizza," and "pizza" map to the
+// same knowledge-base node.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kjoin {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  // Characters other than [a-z0-9] become separators when true; otherwise
+  // only whitespace separates tokens.
+  bool strip_punctuation = true;
+  // Tokens shorter than this are dropped (0 keeps everything).
+  int min_token_length = 1;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  // Splits and normalizes. Duplicate tokens are preserved: the paper's
+  // object model is a multiset (its Table 1 objects carry duplicate
+  // signatures).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Normalizes one token (no splitting).
+  std::string Normalize(std::string_view token) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_TEXT_TOKENIZER_H_

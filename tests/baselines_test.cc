@@ -1,0 +1,210 @@
+// Tests for src/baselines: FastJoin, SynonymJoin, CrowdJoin, NaiveJoin.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/crowd_join.h"
+#include "baselines/fastjoin.h"
+#include "baselines/naive_join.h"
+#include "baselines/synonym_join.h"
+#include "common/rng.h"
+#include "data/benchmark_suite.h"
+#include "data/quality.h"
+
+namespace kjoin {
+namespace {
+
+using PairSet = std::set<std::pair<int32_t, int32_t>>;
+
+PairSet ToSet(const std::vector<std::pair<int32_t, int32_t>>& pairs) {
+  PairSet set;
+  for (auto [a, b] : pairs) {
+    if (a > b) std::swap(a, b);
+    set.emplace(a, b);
+  }
+  return set;
+}
+
+// ------------------------------------------------------------- FastJoin
+
+TEST(FastJoinTest, SimilaritySemantics) {
+  FastJoin join(FastJoinOptions{/*delta=*/0.8, /*tau=*/0.5, /*qgram_q=*/2});
+  // Identical records.
+  EXPECT_DOUBLE_EQ(join.Similarity({"pizza", "hut"}, {"pizza", "hut"}), 1.0);
+  // A typo pair: "pizzahut" vs "pizzahat": token similarity 7/8 = 0.875.
+  const double sim = join.Similarity({"pizzahut"}, {"pizzahat"});
+  EXPECT_NEAR(sim, 0.875 / (2 - 0.875), 1e-12);
+  // Below-δ tokens contribute nothing.
+  EXPECT_DOUBLE_EQ(join.Similarity({"abcdefgh"}, {"zzzzzzzz"}), 0.0);
+}
+
+TEST(FastJoinTest, SelfJoinMatchesBruteForce) {
+  Rng rng(404);
+  const std::vector<std::string> vocabulary = {
+      "pizza", "pizzeria", "burger",  "burgers", "sushi", "ramen",
+      "tacos", "coffee",   "coffees", "brunch",  "diner", "dinner"};
+  std::vector<std::vector<std::string>> records;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<std::string> record;
+    const int n = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int k = 0; k < n; ++k) {
+      record.push_back(vocabulary[rng.NextUint64(vocabulary.size())]);
+    }
+    records.push_back(record);
+  }
+  for (double tau : {0.6, 0.8}) {
+    FastJoin join(FastJoinOptions{0.8, tau, 2});
+    PairSet expected;
+    for (int32_t x = 0; x < 60; ++x) {
+      for (int32_t y = x + 1; y < 60; ++y) {
+        if (join.Similarity(records[x], records[y]) >= tau - 1e-9) expected.emplace(x, y);
+      }
+    }
+    EXPECT_EQ(ToSet(join.SelfJoin(records).pairs), expected) << "tau " << tau;
+    EXPECT_FALSE(expected.empty());
+  }
+}
+
+TEST(FastJoinTest, ToleratesTyposThatExactJaccardMisses) {
+  FastJoin join(FastJoinOptions{0.8, 0.6, 2});
+  const JoinResult result =
+      join.SelfJoin({{"mountainview", "burgerking"}, {"mountainviev", "burgerking"}});
+  EXPECT_EQ(result.pairs.size(), 1u);
+}
+
+TEST(FastJoinTest, RejectsTooLowDelta) {
+  EXPECT_DEATH(FastJoin(FastJoinOptions{0.3, 0.5, 2}), "delta");
+}
+
+// ----------------------------------------------------------- SynonymJoin
+
+TEST(SynonymJoinTest, CanonicalizationBridgesSynonyms) {
+  SynonymJoin join({{"bigapple", "newyork"}}, SynonymJoinOptions{0.6});
+  EXPECT_EQ(join.Canonicalize("BigApple"), "newyork");
+  EXPECT_EQ(join.Canonicalize("other"), "other");
+  EXPECT_DOUBLE_EQ(join.Similarity({"bigapple", "pizza"}, {"newyork", "pizza"}), 1.0);
+}
+
+TEST(SynonymJoinTest, DoesNotToleratTypos) {
+  SynonymJoin join({}, SynonymJoinOptions{0.6});
+  EXPECT_DOUBLE_EQ(join.Similarity({"pizzahut"}, {"pizzahat"}), 0.0);
+}
+
+TEST(SynonymJoinTest, SelfJoinMatchesBruteForce) {
+  Rng rng(505);
+  const std::vector<std::string> vocabulary = {"a", "b", "c", "d", "alias1", "canon1",
+                                               "alias2", "canon2"};
+  const std::vector<std::pair<std::string, std::string>> rules = {{"alias1", "canon1"},
+                                                                  {"alias2", "canon2"}};
+  std::vector<std::vector<std::string>> records;
+  for (int i = 0; i < 80; ++i) {
+    std::vector<std::string> record;
+    const int n = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int k = 0; k < n; ++k) {
+      record.push_back(vocabulary[rng.NextUint64(vocabulary.size())]);
+    }
+    records.push_back(record);
+  }
+  SynonymJoin join(rules, SynonymJoinOptions{0.6});
+  PairSet expected;
+  for (int32_t x = 0; x < 80; ++x) {
+    for (int32_t y = x + 1; y < 80; ++y) {
+      if (join.Similarity(records[x], records[y]) >= 0.6 - 1e-9) expected.emplace(x, y);
+    }
+  }
+  EXPECT_EQ(ToSet(join.SelfJoin(records).pairs), expected);
+  EXPECT_FALSE(expected.empty());
+}
+
+TEST(SynonymJoinTest, MultisetSemantics) {
+  SynonymJoin join({}, SynonymJoinOptions{0.5});
+  // {a, a} vs {a}: overlap 1, sim = 1/2.
+  EXPECT_DOUBLE_EQ(join.Similarity({"a", "a"}, {"a"}), 0.5);
+}
+
+// ------------------------------------------------------------- CrowdJoin
+
+TEST(CrowdJoinTest, PerfectOracleRecoversClusters) {
+  CrowdJoinOptions options;
+  options.false_negative_rate = 0.0;
+  options.false_positive_rate = 0.0;
+  options.blocking_jaccard = 0.01;
+  const CrowdJoin join(options);
+  const std::vector<std::vector<std::string>> records = {
+      {"pizza", "nyc"}, {"pizza", "nyc", "east"}, {"sushi", "sf"}, {"sushi", "sf", "bay"}};
+  const std::vector<int32_t> clusters = {0, 0, 1, 1};
+  const JoinResult result = join.SelfJoin(records, clusters);
+  EXPECT_EQ(ToSet(result.pairs), (PairSet{{0, 1}, {2, 3}}));
+}
+
+TEST(CrowdJoinTest, BlockingMissesTokenDisjointDuplicates) {
+  CrowdJoinOptions options;
+  options.false_negative_rate = 0.0;
+  options.false_positive_rate = 0.0;
+  const CrowdJoin join(options);
+  // Same cluster but no shared token: the crowd never sees the pair.
+  const JoinResult result = join.SelfJoin({{"alpha"}, {"beta"}}, {0, 0});
+  EXPECT_TRUE(result.pairs.empty());
+}
+
+TEST(CrowdJoinTest, NoisyOracleDegradesPrecision) {
+  CrowdJoinOptions options;
+  options.false_negative_rate = 0.0;
+  options.false_positive_rate = 1.0;  // every asked non-duplicate is confirmed
+  options.blocking_jaccard = 0.01;
+  const CrowdJoin join(options);
+  const JoinResult result =
+      join.SelfJoin({{"x", "y"}, {"x", "z"}, {"x", "w"}}, {-1, -1, -1});
+  EXPECT_EQ(result.pairs.size(), 3u);  // all blocked pairs confirmed wrongly
+}
+
+TEST(CrowdJoinTest, DeterministicPerSeed) {
+  const BenchmarkData data = MakeResBenchmark();
+  std::vector<std::vector<std::string>> records;
+  std::vector<int32_t> clusters;
+  for (const Record& r : data.dataset.records) {
+    records.push_back(r.tokens);
+    clusters.push_back(r.cluster);
+  }
+  CrowdJoinOptions options;
+  options.seed = 7;
+  const JoinResult a = CrowdJoin(options).SelfJoin(records, clusters);
+  const JoinResult b = CrowdJoin(options).SelfJoin(records, clusters);
+  EXPECT_EQ(ToSet(a.pairs), ToSet(b.pairs));
+}
+
+TEST(CrowdJoinTest, HighRecallOnResBenchmark) {
+  const BenchmarkData data = MakeResBenchmark();
+  std::vector<std::vector<std::string>> records;
+  std::vector<int32_t> clusters;
+  for (const Record& r : data.dataset.records) {
+    records.push_back(r.tokens);
+    clusters.push_back(r.cluster);
+  }
+  const JoinResult result = CrowdJoin(CrowdJoinOptions{}).SelfJoin(records, clusters);
+  const QualityReport report =
+      EvaluateQuality(result.pairs, GroundTruthPairs(data.dataset));
+  EXPECT_GT(report.recall, 0.75);  // paper Table 4: Crowd recall 88.8 on Res
+}
+
+// ------------------------------------------------------------- NaiveJoin
+
+TEST(NaiveJoinTest, SymmetricSelfJoin) {
+  const BenchmarkData data = MakeResBenchmark();
+  Dataset small = data.dataset;
+  small.records.resize(60);
+  const PreparedObjects prepared = BuildObjects(data.hierarchy, small, true);
+  KJoinOptions options;
+  options.delta = 0.7;
+  options.tau = 0.5;
+  options.plus_mode = true;
+  const NaiveJoin naive(data.hierarchy, options);
+  const JoinResult result = naive.SelfJoin(prepared.objects);
+  EXPECT_EQ(result.stats.candidates, 60 * 59 / 2);
+  for (auto [a, b] : result.pairs) EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace kjoin

@@ -1,0 +1,550 @@
+// Tests for src/core primitives: element/object similarity, signatures,
+// global order, prefixes, verifier. Most expectations replay worked
+// examples from the paper (Figure 1 tree, Table 1 objects).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "core/element_similarity.h"
+#include "core/object.h"
+#include "core/object_similarity.h"
+#include "core/prefix.h"
+#include "core/signature.h"
+#include "core/verifier.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "hierarchy/lca.h"
+#include "matching/hungarian.h"
+#include "text/entity_matcher.h"
+
+namespace kjoin {
+namespace {
+
+// Shared fixture: Figure 1 hierarchy + matcher + builders.
+class PaperFixture : public testing::Test {
+ protected:
+  PaperFixture()
+      : tree_(MakeFigure1Hierarchy()),
+        lca_(tree_),
+        esim_(lca_),
+        matcher_(tree_),
+        builder_(matcher_, /*multi_mapping=*/false) {}
+
+  Object Make(int32_t id, const std::vector<std::string>& tokens) {
+    return builder_.Build(id, tokens);
+  }
+
+  NodeId Node(const std::string& label) { return *tree_.FindByLabel(label); }
+
+  Hierarchy tree_;
+  LcaIndex lca_;
+  ElementSimilarity esim_;
+  EntityMatcher matcher_;
+  ObjectBuilder builder_;
+};
+
+// ---------------------------------------------------------------- elements
+
+TEST_F(PaperFixture, ElementSimilarityPaperExamples) {
+  // §2.1.1: SIM(BurgerKing, KFC) = 3/4.
+  EXPECT_DOUBLE_EQ(esim_.NodeSim(Node("BurgerKing"), Node("KFC")), 3.0 / 4.0);
+  // §2.2: SIM(MountainView, GoogleHeadquarters) = 5/6.
+  EXPECT_DOUBLE_EQ(esim_.NodeSim(Node("MountainView"), Node("GoogleHeadquarters")), 5.0 / 6.0);
+  // §3.1: SIM(BurgerKing, Manhattan) = 0 (LCA is the root).
+  EXPECT_DOUBLE_EQ(esim_.NodeSim(Node("BurgerKing"), Node("Manhattan")), 0.0);
+  // §2.1.2 Figure 2 edges: BK-PizzaHut 0.5, MV-CA 0.6.
+  EXPECT_DOUBLE_EQ(esim_.NodeSim(Node("BurgerKing"), Node("PizzaHut")), 0.5);
+  EXPECT_DOUBLE_EQ(esim_.NodeSim(Node("MountainView"), Node("CA")), 0.6);
+  // Identity.
+  EXPECT_DOUBLE_EQ(esim_.NodeSim(Node("KFC"), Node("KFC")), 1.0);
+  // §4.1: SIM(BurgerKing, Dominos) = 2/4.
+  EXPECT_DOUBLE_EQ(esim_.NodeSim(Node("BurgerKing"), Node("Dominos")), 0.5);
+}
+
+TEST_F(PaperFixture, ElementSimilaritySymmetric) {
+  for (NodeId x = 0; x < tree_.num_nodes(); ++x) {
+    for (NodeId y = 0; y < tree_.num_nodes(); ++y) {
+      ASSERT_DOUBLE_EQ(esim_.NodeSim(x, y), esim_.NodeSim(y, x));
+    }
+  }
+}
+
+TEST_F(PaperFixture, WuPalmerMetric) {
+  const ElementSimilarity wp(lca_, ElementMetric::kWuPalmer);
+  // Wu&Palmer: 2*3/(4+4) = 3/4 for BurgerKing-KFC.
+  EXPECT_DOUBLE_EQ(wp.NodeSim(Node("BurgerKing"), Node("KFC")), 3.0 / 4.0);
+  // MountainView-GoogleHeadquarters: 2*5/(5+6) = 10/11.
+  EXPECT_DOUBLE_EQ(wp.NodeSim(Node("MountainView"), Node("GoogleHeadquarters")), 10.0 / 11.0);
+  EXPECT_DOUBLE_EQ(wp.NodeSim(Node("KFC"), Node("KFC")), 1.0);
+}
+
+TEST_F(PaperFixture, IdenticalTokensAreSimilarEvenUnmatched) {
+  const Object a = Make(0, {"zzztoken"});
+  const Object b = Make(1, {"zzztoken"});
+  EXPECT_DOUBLE_EQ(esim_.Sim(a.elements[0], b.elements[0]), 1.0);
+  const Object c = Make(2, {"othertoken"});
+  EXPECT_DOUBLE_EQ(esim_.Sim(a.elements[0], c.elements[0]), 0.0);
+}
+
+TEST_F(PaperFixture, MultiMappingUsesPhiProduct) {
+  // K-Join+ object with a typo: "pizzahat" maps to PizzaHut with φ = 7/8.
+  ObjectBuilder plus_builder(matcher_, /*multi_mapping=*/true);
+  const Object typo = plus_builder.Build(0, {"pizzahat"});
+  const Object exact = plus_builder.Build(1, {"pizzahut"});
+  ASSERT_TRUE(typo.elements[0].has_node());
+  // Eq. 2: SIM = (d_lca / max depth) * φ * φ' = 1 * 7/8 * 1.
+  EXPECT_DOUBLE_EQ(esim_.Sim(typo.elements[0], exact.elements[0]), 7.0 / 8.0);
+  // Against a sibling: (3/4) * (7/8).
+  const Object dominos = plus_builder.Build(2, {"dominos"});
+  EXPECT_DOUBLE_EQ(esim_.Sim(typo.elements[0], dominos.elements[0]), 3.0 / 4.0 * 7.0 / 8.0);
+}
+
+TEST(ThresholdGeometryTest, MinSignatureDepth) {
+  // §3.1: δ = 0.7 -> d_δ = 3; δ = 0.6 -> 2; δ = 0.5 -> 1; δ = 0.8 -> 4.
+  EXPECT_EQ(ElementSimilarity::MinSignatureDepth(0.7, ElementMetric::kKJoin), 3);
+  EXPECT_EQ(ElementSimilarity::MinSignatureDepth(0.6, ElementMetric::kKJoin), 2);
+  EXPECT_EQ(ElementSimilarity::MinSignatureDepth(0.5, ElementMetric::kKJoin), 1);
+  EXPECT_EQ(ElementSimilarity::MinSignatureDepth(0.8, ElementMetric::kKJoin), 4);
+  // §6.2 Wu&Palmer: δ/(2(1−δ)); δ = 0.8 -> 2.
+  EXPECT_EQ(ElementSimilarity::MinSignatureDepth(0.8, ElementMetric::kWuPalmer), 2);
+}
+
+TEST(ThresholdGeometryTest, MinLcaDepthFor) {
+  // Deep signature range lower ends (§4.1): δ = 0.6, d = 4 -> ⌈2.4⌉ = 3.
+  EXPECT_EQ(ElementSimilarity::MinLcaDepthFor(4, 0.6, ElementMetric::kKJoin), 3);
+  EXPECT_EQ(ElementSimilarity::MinLcaDepthFor(5, 0.7, ElementMetric::kKJoin), 4);
+  EXPECT_EQ(ElementSimilarity::MinLcaDepthFor(3, 0.7, ElementMetric::kKJoin), 3);
+  // Exactly integral products stay put.
+  EXPECT_EQ(ElementSimilarity::MinLcaDepthFor(5, 0.6, ElementMetric::kKJoin), 3);
+}
+
+TEST(ThresholdGeometryTest, MaxSimBounds) {
+  EXPECT_DOUBLE_EQ(ElementSimilarity::MaxSimToDistinctNode(4, ElementMetric::kKJoin),
+                   4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(ElementSimilarity::MaxSimToDistinctNode(3, ElementMetric::kWuPalmer),
+                   6.0 / 7.0);
+  EXPECT_DOUBLE_EQ(ElementSimilarity::MaxSimThroughDepth(3, 4, ElementMetric::kKJoin),
+                   3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(ElementSimilarity::MaxSimThroughDepth(4, 4, ElementMetric::kKJoin), 1.0);
+}
+
+// ----------------------------------------------------------------- objects
+
+TEST_F(PaperFixture, FuzzyOverlapPaperFigure2) {
+  // §2.1.2: S1 ∩̃0.5 S4 = 3/4 + 3/5 = 27/20 and SIMδ = 27/73.
+  const Object s1 = Make(1, {"BurgerKing", "MountainView"});
+  const Object s4 = Make(4, {"PizzaHut", "KFC", "CA"});
+  const ObjectSimilarity osim(esim_, /*delta=*/0.5);
+  EXPECT_NEAR(osim.FuzzyOverlap(s1, s4), 27.0 / 20.0, 1e-12);
+  EXPECT_NEAR(osim.Similarity(s1, s4), 27.0 / 73.0, 1e-12);
+}
+
+TEST_F(PaperFixture, SimilarityPaperSection22) {
+  // §2.2: SIMδ(S1, S3) = 19/29 with δ = 0.7.
+  const Object s1 = Make(1, {"BurgerKing", "MountainView"});
+  const Object s3 = Make(3, {"Fastfood", "GoogleHeadquarters"});
+  const ObjectSimilarity osim(esim_, /*delta=*/0.7);
+  EXPECT_NEAR(osim.FuzzyOverlap(s1, s3), 19.0 / 12.0, 1e-12);
+  EXPECT_NEAR(osim.Similarity(s1, s3), 19.0 / 29.0, 1e-12);
+  EXPECT_GT(osim.Similarity(s1, s3), 0.6);  // ⟨S1,S3⟩ is an answer
+}
+
+TEST_F(PaperFixture, DeltaThresholdDropsWeakEdges) {
+  const Object s1 = Make(1, {"BurgerKing", "MountainView"});
+  const Object s4 = Make(4, {"PizzaHut", "KFC", "CA"});
+  // With δ = 0.7 only BK-KFC (0.75) survives; MV-CA (0.6) is dropped.
+  const ObjectSimilarity osim(esim_, /*delta=*/0.7);
+  EXPECT_NEAR(osim.FuzzyOverlap(s1, s4), 0.75, 1e-12);
+}
+
+TEST(SetMetricTest, MinSimilarElements) {
+  EXPECT_EQ(MinSimilarElements(3, 0.6, SetMetric::kJaccard), 2);   // ⌈1.8⌉
+  EXPECT_EQ(MinSimilarElements(2, 0.6, SetMetric::kJaccard), 2);   // ⌈1.2⌉
+  EXPECT_EQ(MinSimilarElements(5, 0.8, SetMetric::kJaccard), 4);   // exactly 4.0
+  EXPECT_EQ(MinSimilarElements(4, 0.5, SetMetric::kDice), 2);      // ⌈4/3⌉
+  EXPECT_EQ(MinSimilarElements(4, 0.5, SetMetric::kCosine), 1);    // ⌈1.0⌉
+  EXPECT_EQ(MinSimilarElements(10, 0.0, SetMetric::kJaccard), 0);
+}
+
+TEST(SetMetricTest, MinFuzzyOverlapJaccard) {
+  // §3.2: τ/(1+τ)(|Sx|+|Sy|); τ = 0.6, sizes 2+2 -> 1.5.
+  EXPECT_NEAR(MinFuzzyOverlap(2, 2, 0.6, SetMetric::kJaccard), 1.5, 1e-12);
+  EXPECT_NEAR(MinFuzzyOverlap(2, 3, 0.6, SetMetric::kJaccard), 15.0 / 8.0, 1e-12);
+}
+
+TEST(SetMetricTest, CombineOverlapAllMetrics) {
+  EXPECT_NEAR(CombineOverlap(1.5, 2, 3, SetMetric::kJaccard), 1.5 / 3.5, 1e-12);
+  EXPECT_NEAR(CombineOverlap(1.5, 2, 3, SetMetric::kDice), 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(CombineOverlap(1.5, 2, 3, SetMetric::kCosine), 1.5 / std::sqrt(6.0), 1e-12);
+  EXPECT_DOUBLE_EQ(CombineOverlap(0.0, 0, 0, SetMetric::kJaccard), 1.0);
+  EXPECT_DOUBLE_EQ(CombineOverlap(0.0, 0, 3, SetMetric::kJaccard), 0.0);
+}
+
+TEST(SetMetricTest, ConsistencyBetweenBounds) {
+  // If SIM >= τ then overlap >= MinFuzzyOverlap: check the algebra by
+  // inverting CombineOverlap at the boundary.
+  for (SetMetric metric : {SetMetric::kJaccard, SetMetric::kDice, SetMetric::kCosine}) {
+    for (double tau : {0.5, 0.7, 0.9}) {
+      const int sx = 5, sy = 8;
+      const double needed = MinFuzzyOverlap(sx, sy, tau, metric);
+      EXPECT_NEAR(CombineOverlap(needed, sx, sy, metric), tau, 1e-9);
+    }
+  }
+}
+
+// -------------------------------------------------------------- signatures
+
+TEST_F(PaperFixture, NodeSignaturesTable1) {
+  // δ = 0.7 -> d_δ = 3. Table 1 column "Node Signature".
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.7);
+  auto labels_of = [&](const Object& object) {
+    std::multiset<std::string> labels;
+    for (const Signature& sig : gen.Generate(object)) {
+      if (sig.id < tree_.num_nodes()) {
+        labels.insert(tree_.label(static_cast<NodeId>(sig.id)));
+      } else {
+        labels.insert("<token>");
+      }
+    }
+    return labels;
+  };
+  EXPECT_EQ(labels_of(Make(1, {"BurgerKing", "MountainView"})),
+            (std::multiset<std::string>{"Fastfood", "CA"}));
+  EXPECT_EQ(labels_of(Make(2, {"Pizza", "PaloAlto", "Brooklyn"})),
+            (std::multiset<std::string>{"Pizza", "CA", "NY"}));
+  EXPECT_EQ(labels_of(Make(4, {"PizzaHut", "KFC", "CA"})),
+            (std::multiset<std::string>{"Pizza", "Fastfood", "CA"}));
+  EXPECT_EQ(labels_of(Make(7, {"Brooklyn", "Food"})),
+            (std::multiset<std::string>{"NY", "Food"}));
+  // S8 has duplicate signatures (multiset semantics).
+  EXPECT_EQ(labels_of(Make(8, {"Pizza", "KFC", "Dominos", "SanFrancisco", "Manhattan",
+                               "Brooklyn"})),
+            (std::multiset<std::string>{"Pizza", "Fastfood", "Pizza", "CA", "NY", "NY"}));
+}
+
+TEST_F(PaperFixture, DeepPathSignaturesTable1) {
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kDeepPath, 0.7);
+  auto labels_of = [&](const Object& object) {
+    std::multiset<std::string> labels;
+    for (const Signature& sig : gen.Generate(object)) {
+      labels.insert(tree_.label(static_cast<NodeId>(sig.id)));
+    }
+    return labels;
+  };
+  // Table 1, "(Deep) Path Signature" column.
+  EXPECT_EQ(labels_of(Make(1, {"BurgerKing", "MountainView"})),
+            (std::multiset<std::string>{"BurgerKing", "MountainView", "SanFrancisco",
+                                        "Fastfood"}));
+  EXPECT_EQ(labels_of(Make(3, {"Fastfood", "GoogleHeadquarters"})),
+            (std::multiset<std::string>{"GoogleHeadquarters", "MountainView", "Fastfood"}));
+  EXPECT_EQ(labels_of(Make(4, {"PizzaHut", "KFC", "CA"})),
+            (std::multiset<std::string>{"PizzaHut", "CA", "KFC", "Pizza", "Fastfood"}));
+  EXPECT_EQ(labels_of(Make(6, {"Fastfood", "Manhattan"})),
+            (std::multiset<std::string>{"Manhattan", "Fastfood", "NewYork"}));
+}
+
+TEST_F(PaperFixture, ShallowSignaturesSection41) {
+  // §4.1, δ = 0.6: BurgerKing -> {Fastfood, WesternFood};
+  // Dominos -> {Pizza, WesternFood}.
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kShallowPath,
+                               0.6);
+  auto labels_of = [&](const Object& object) {
+    std::multiset<std::string> labels;
+    for (const Signature& sig : gen.Generate(object)) {
+      labels.insert(tree_.label(static_cast<NodeId>(sig.id)));
+    }
+    return labels;
+  };
+  EXPECT_EQ(labels_of(Make(0, {"BurgerKing"})),
+            (std::multiset<std::string>{"Fastfood", "WesternFood"}));
+  EXPECT_EQ(labels_of(Make(1, {"Dominos"})),
+            (std::multiset<std::string>{"Pizza", "WesternFood"}));
+}
+
+TEST_F(PaperFixture, DeepSignaturesSection41) {
+  // §4.1, δ = 0.6: deep signatures of BurgerKing = {Fastfood, BurgerKing},
+  // of Dominos = {Pizza, Dominos} — they do not overlap, pruning the pair
+  // node/shallow signatures cannot prune.
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kDeepPath, 0.6);
+  auto ids_of = [&](const Object& object) {
+    std::set<SigId> ids;
+    for (const Signature& sig : gen.Generate(object)) ids.insert(sig.id);
+    return ids;
+  };
+  const auto burger = ids_of(Make(0, {"BurgerKing"}));
+  const auto dominos = ids_of(Make(1, {"Dominos"}));
+  EXPECT_EQ(burger.size(), 2u);
+  EXPECT_EQ(dominos.size(), 2u);
+  std::vector<SigId> common;
+  std::set_intersection(burger.begin(), burger.end(), dominos.begin(), dominos.end(),
+                        std::back_inserter(common));
+  EXPECT_TRUE(common.empty());
+}
+
+TEST_F(PaperFixture, SimilarElementsShareDeepSignature) {
+  // Property behind Lemma 5: for all node pairs and several δ, δ-similar
+  // nodes share a deep signature and a shallow signature.
+  for (double delta : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    const SignatureGenerator deep(tree_, ElementMetric::kKJoin, SignatureScheme::kDeepPath,
+                                  delta);
+    const SignatureGenerator shallow(tree_, ElementMetric::kKJoin,
+                                     SignatureScheme::kShallowPath, delta);
+    const SignatureGenerator node(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, delta);
+    for (NodeId x = 1; x < tree_.num_nodes(); ++x) {
+      for (NodeId y = 1; y < tree_.num_nodes(); ++y) {
+        if (esim_.NodeSim(x, y) < delta) continue;
+        for (const SignatureGenerator* gen : {&deep, &shallow, &node}) {
+          Object ox, oy;
+          ox.elements.push_back({tree_.label(x), 0, {{x, 1.0}}});
+          oy.elements.push_back({tree_.label(y), 1, {{y, 1.0}}});
+          std::set<SigId> sx, sy;
+          for (const Signature& s : gen->Generate(ox)) sx.insert(s.id);
+          for (const Signature& s : gen->Generate(oy)) sy.insert(s.id);
+          std::vector<SigId> common;
+          std::set_intersection(sx.begin(), sx.end(), sy.begin(), sy.end(),
+                                std::back_inserter(common));
+          ASSERT_FALSE(common.empty())
+              << tree_.label(x) << " ~ " << tree_.label(y) << " @ delta " << delta;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- prefixes
+
+std::vector<Signature> MakeSigs(const std::vector<std::pair<int32_t, double>>& entries) {
+  // Builds a signature list already in "global order": ids are positions.
+  std::vector<Signature> sigs;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    sigs.push_back({static_cast<SigId>(i), entries[i].first,
+                    static_cast<float>(entries[i].second)});
+  }
+  return sigs;
+}
+
+TEST(PrefixTest, PathPrefixPaperS4) {
+  // §4.2.1: PS4 = {PizzaHut, CA, KFC, Pizza, Fastfood} with elements
+  // PizzaHut=0, CA=2, KFC=1, Pizza=0, Fastfood=1; τ_S4 = 2 -> keep 4.
+  const auto sigs = MakeSigs({{0, 1.0}, {2, 1.0}, {1, 1.0}, {0, 0.75}, {1, 0.75}});
+  EXPECT_EQ(PrefixLengthDistinct(sigs, 2), 4);
+}
+
+TEST(PrefixTest, PathPrefixPaperS1) {
+  // §4.2.1: PS1 = {BurgerKing, MountainView, SanFrancisco, Fastfood},
+  // elements BK=0, MV=1, SF=1, FF=0; τ_S1 = 2 -> keep 3.
+  const auto sigs = MakeSigs({{0, 1.0}, {1, 1.0}, {1, 0.8}, {0, 0.75}});
+  EXPECT_EQ(PrefixLengthDistinct(sigs, 2), 3);
+}
+
+TEST(PrefixTest, WeightedPathPrefixPaperS4) {
+  // §4.2.2: weights {PizzaHut:1, CA:1, KFC:1, Pizza:3/4, Fastfood:3/4},
+  // τ|S4| = 1.8 -> weighted prefix keeps only {PizzaHut, CA}.
+  const auto sigs = MakeSigs({{0, 1.0}, {2, 1.0}, {1, 1.0}, {0, 0.75}, {1, 0.75}});
+  EXPECT_EQ(PrefixLengthWeighted(sigs, 1.8), 2);
+}
+
+TEST(PrefixTest, WeightedPrefixFullRemovalCostsOne) {
+  // An element whose low-weight signatures are all removed must be charged
+  // similarity 1 (an identical token matches it fully).
+  const auto sigs = MakeSigs({{0, 1.0}, {1, 0.5}, {1, 0.4}});
+  // Budget 0.95: removing both of element 1's signatures costs 1 >= 0.95,
+  // so only one can go... in fact removing the *second* one already makes
+  // the element fully removed -> cost 1 -> stop after removing none?
+  // Walk: remove sig id=2 (w=.4, element 1 partial, mass .4 < .95 ok);
+  // remove sig id=1 (element 1 now fully removed, mass = 1 >= .95 stop).
+  EXPECT_EQ(PrefixLengthWeighted(sigs, 0.95), 2);
+}
+
+TEST(PrefixTest, PrefixNeverEmpty) {
+  const auto sigs = MakeSigs({{0, 0.3}, {0, 0.2}});
+  EXPECT_GE(PrefixLengthDistinct(sigs, 1), 1);
+  EXPECT_GE(PrefixLengthWeighted(sigs, 10.0), 1);
+  EXPECT_EQ(PrefixLengthDistinct({}, 3), 0);
+}
+
+TEST(PrefixTest, ZeroThresholdKeepsEverything) {
+  const auto sigs = MakeSigs({{0, 1.0}, {1, 1.0}});
+  EXPECT_EQ(PrefixLengthDistinct(sigs, 0), 2);
+  EXPECT_EQ(PrefixLengthWeighted(sigs, 0.0), 2);
+}
+
+TEST(GlobalOrderTest, RareSignaturesFirst) {
+  GlobalSignatureOrder order;
+  // Object A has sigs {1, 2}, B has {2, 3}, C has {2}. df: 1->1, 3->1, 2->3.
+  const auto a = MakeSigs({{0, 1.0}, {0, 1.0}});
+  std::vector<Signature> oa = {{1, 0, 1.0f}, {2, 1, 1.0f}};
+  std::vector<Signature> ob = {{2, 0, 1.0f}, {3, 1, 1.0f}};
+  std::vector<Signature> oc = {{2, 0, 1.0f}};
+  order.CountObject(oa);
+  order.CountObject(ob);
+  order.CountObject(oc);
+  order.Finalize();
+  EXPECT_EQ(order.DocumentFrequency(2), 3);
+  EXPECT_EQ(order.DocumentFrequency(1), 1);
+  EXPECT_LT(order.Rank(1), order.Rank(2));
+  EXPECT_LT(order.Rank(3), order.Rank(2));
+  EXPECT_LT(order.Rank(1), order.Rank(3));  // tie broken by id
+  SortByGlobalOrder(order, &oa);
+  EXPECT_EQ(oa[0].id, 1);
+  EXPECT_EQ(oa[1].id, 2);
+}
+
+TEST(GlobalOrderTest, RankOrFallsBackForUnknownIds) {
+  GlobalSignatureOrder order;
+  std::vector<Signature> object = {{7, 0, 1.0f}};
+  order.CountObject(object);
+  order.Finalize();
+  EXPECT_EQ(order.RankOr(7, -1), order.Rank(7));
+  EXPECT_EQ(order.RankOr(999, -1), -1);
+}
+
+TEST(GlobalOrderTest, DuplicateSigsInOneObjectCountOnce) {
+  GlobalSignatureOrder order;
+  std::vector<Signature> object = {{5, 0, 1.0f}, {5, 1, 1.0f}};
+  order.CountObject(object);
+  order.Finalize();
+  EXPECT_EQ(order.DocumentFrequency(5), 1);
+}
+
+// ---------------------------------------------------------------- verifier
+
+class VerifierFixture : public PaperFixture {
+ protected:
+  Verifier MakeVerifier(double delta, double tau, VerifyMode mode,
+                        const SignatureGenerator& gen) {
+    VerifierOptions options;
+    options.delta = delta;
+    options.tau = tau;
+    options.mode = mode;
+    return Verifier(esim_, gen, options);
+  }
+};
+
+TEST_F(VerifierFixture, CountPruningPaperExampleS1S6) {
+  // §3.2: S1 and S6 with δ = 0.7, τ = 0.6: Σ min sizes = 1 < 1.5 -> prune.
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.7);
+  VerifierOptions options;
+  options.delta = 0.7;
+  options.tau = 0.6;
+  options.weighted_count_pruning = false;
+  const Verifier verifier(esim_, gen, options);
+  VerifyStats stats;
+  EXPECT_FALSE(verifier.Verify(Make(1, {"BurgerKing", "MountainView"}),
+                               Make(6, {"Fastfood", "Manhattan"}), &stats));
+  EXPECT_EQ(stats.pruned_by_count, 1);
+  EXPECT_EQ(stats.hungarian_runs, 0);
+}
+
+TEST_F(VerifierFixture, WeightedCountPruningPaperExampleS1S4) {
+  // §3.2: count pruning cannot prune ⟨S1, S4⟩ but the weighted bound
+  // 31/20 < 15/8 does.
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.7);
+  VerifierOptions options;
+  options.delta = 0.7;
+  options.tau = 0.6;
+  const Verifier verifier(esim_, gen, options);
+  VerifyStats stats;
+  EXPECT_FALSE(verifier.Verify(Make(1, {"BurgerKing", "MountainView"}),
+                               Make(4, {"PizzaHut", "KFC", "CA"}), &stats));
+  EXPECT_EQ(stats.pruned_by_count, 0);
+  EXPECT_EQ(stats.pruned_by_weighted_count, 1);
+  EXPECT_EQ(stats.hungarian_runs, 0);
+}
+
+TEST_F(VerifierFixture, AcceptsPaperAnswerS1S3) {
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.7);
+  for (VerifyMode mode : {VerifyMode::kBasic, VerifyMode::kSubGraph, VerifyMode::kAdaptive}) {
+    VerifierOptions options;
+    options.delta = 0.7;
+    options.tau = 0.6;
+    options.mode = mode;
+    const Verifier verifier(esim_, gen, options);
+    VerifyStats stats;
+    EXPECT_TRUE(verifier.Verify(Make(1, {"BurgerKing", "MountainView"}),
+                                Make(3, {"Fastfood", "GoogleHeadquarters"}), &stats));
+  }
+}
+
+TEST_F(VerifierFixture, RejectsPaperSection52ExampleS8S9) {
+  // §5.2: SIMδ(S8, S9) with δ = τ = 0.6 is below τ (real overlap 113/30).
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.6);
+  const Object s8 =
+      Make(8, {"Pizza", "KFC", "Dominos", "SanFrancisco", "Manhattan", "Brooklyn"});
+  const Object s9 = Make(9, {"Fastfood", "PizzaHut", "BurgerKing", "PaloAlto", "MountainView",
+                             "NewYork"});
+  // Exact overlap = 13/6 + 8/5 = 113/30 (the paper's combined lower bound
+  // is tight here).
+  const ObjectSimilarity osim(esim_, 0.6);
+  EXPECT_NEAR(osim.FuzzyOverlap(s8, s9), 113.0 / 30.0, 1e-9);
+  for (VerifyMode mode : {VerifyMode::kBasic, VerifyMode::kSubGraph, VerifyMode::kAdaptive}) {
+    VerifierOptions options;
+    options.delta = 0.6;
+    options.tau = 0.6;
+    options.mode = mode;
+    const Verifier verifier(esim_, gen, options);
+    VerifyStats stats;
+    EXPECT_FALSE(verifier.Verify(s8, s9, &stats));
+  }
+}
+
+TEST_F(VerifierFixture, AllModesAgreeOnRandomPairs) {
+  // Property: Basic, SubGraph and Adaptive verify identically (with and
+  // without pruning), and agree with exact similarity.
+  Rng rng(2024);
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.6);
+  std::vector<std::string> labels;
+  for (NodeId v = 1; v < tree_.num_nodes(); ++v) labels.push_back(tree_.label(v));
+  labels.push_back("freetoken1");
+  labels.push_back("freetoken2");
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::string> tx, ty;
+    const int nx = 1 + static_cast<int>(rng.NextUint64(6));
+    const int ny = 1 + static_cast<int>(rng.NextUint64(6));
+    for (int i = 0; i < nx; ++i) tx.push_back(labels[rng.NextUint64(labels.size())]);
+    for (int i = 0; i < ny; ++i) ty.push_back(labels[rng.NextUint64(labels.size())]);
+    const Object x = Make(0, tx);
+    const Object y = Make(1, ty);
+
+    const ObjectSimilarity osim(esim_, 0.6);
+    const bool expected = osim.Similarity(x, y) >= 0.6 - 1e-9;
+    for (VerifyMode mode : {VerifyMode::kBasic, VerifyMode::kSubGraph, VerifyMode::kAdaptive}) {
+      for (bool pruning : {true, false}) {
+        VerifierOptions options;
+        options.delta = 0.6;
+        options.tau = 0.6;
+        options.mode = mode;
+        options.count_pruning = pruning;
+        options.weighted_count_pruning = pruning;
+        const Verifier verifier(esim_, gen, options);
+        VerifyStats stats;
+        ASSERT_EQ(verifier.Verify(x, y, &stats), expected)
+            << "trial " << trial << " mode " << static_cast<int>(mode) << " pruning "
+            << pruning;
+      }
+    }
+  }
+}
+
+TEST_F(VerifierFixture, AdaptiveUsesEarlyTermination) {
+  // Two identical large objects: lower bound accepts without Hungarian.
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.7);
+  VerifierOptions options;
+  options.delta = 0.7;
+  options.tau = 0.6;
+  options.mode = VerifyMode::kAdaptive;
+  const Verifier verifier(esim_, gen, options);
+  const Object a = Make(0, {"BurgerKing", "Pizza", "Manhattan", "CA"});
+  const Object b = Make(1, {"BurgerKing", "Pizza", "Manhattan", "CA"});
+  VerifyStats stats;
+  EXPECT_TRUE(verifier.Verify(a, b, &stats));
+  EXPECT_EQ(stats.hungarian_runs, 0);
+  EXPECT_EQ(stats.accepted_by_lower_bound, 1);
+}
+
+}  // namespace
+}  // namespace kjoin

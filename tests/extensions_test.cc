@@ -1,0 +1,283 @@
+// Tests for the system layers around the join: KJoinIndex (similarity
+// search), result clustering, dataset IO, and parallel verification.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/naive_join.h"
+#include "core/clustering.h"
+#include "core/kjoin_index.h"
+#include "data/benchmark_suite.h"
+#include "data/dataset_io.h"
+#include "hierarchy/hierarchy_builder.h"
+
+namespace kjoin {
+namespace {
+
+// ------------------------------------------------------------ KJoinIndex
+
+class SearchFixture : public testing::Test {
+ protected:
+  SearchFixture() : data_(MakeResBenchmark()) {
+    prepared_ = BuildObjects(data_.hierarchy, data_.dataset, /*multi_mapping=*/true, 0.7);
+    options_.delta = 0.7;
+    options_.tau = 0.6;
+    options_.plus_mode = true;
+  }
+
+  BenchmarkData data_;
+  PreparedObjects prepared_;
+  KJoinOptions options_;
+};
+
+TEST_F(SearchFixture, SearchMatchesLinearScan) {
+  const KJoinIndex index(data_.hierarchy, options_, prepared_.objects);
+  const LcaIndex lca(data_.hierarchy);
+  const ElementSimilarity esim(lca);
+  const ObjectSimilarity osim(esim, options_.delta, options_.set_metric);
+
+  for (int32_t q = 0; q < 40; ++q) {
+    const Object& query = prepared_.objects[q];
+    std::set<int32_t> expected;
+    for (int32_t i = 0; i < static_cast<int32_t>(prepared_.objects.size()); ++i) {
+      if (i == q) continue;
+      if (osim.Similarity(query, prepared_.objects[i]) >= options_.tau - 1e-9) {
+        expected.insert(i);
+      }
+    }
+    std::set<int32_t> got;
+    for (const SearchHit& hit : index.Search(query)) {
+      if (hit.object_index != q) got.insert(hit.object_index);
+    }
+    ASSERT_EQ(got, expected) << "query " << q;
+  }
+}
+
+TEST_F(SearchFixture, HitsSortedBySimilarity) {
+  const KJoinIndex index(data_.hierarchy, options_, prepared_.objects);
+  const auto hits = index.Search(prepared_.objects[3]);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].similarity, hits[i].similarity);
+  }
+  // The object itself is indexed and must be a perfect hit.
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].object_index, 3);
+  EXPECT_NEAR(hits[0].similarity, 1.0, 1e-9);
+}
+
+TEST_F(SearchFixture, TopKRespectsKAndThreshold) {
+  const KJoinIndex index(data_.hierarchy, options_, prepared_.objects);
+  const auto all = index.Search(prepared_.objects[5]);
+  const auto top2 = index.SearchTopK(prepared_.objects[5], 2, options_.tau);
+  EXPECT_LE(top2.size(), 2u);
+  for (size_t i = 0; i < top2.size(); ++i) EXPECT_EQ(top2[i], all[i]);
+  const auto strict = index.SearchTopK(prepared_.objects[5], 0, 0.99);
+  for (const SearchHit& hit : strict) EXPECT_GE(hit.similarity, 0.99 - 1e-9);
+}
+
+TEST_F(SearchFixture, QueryWithUnknownTokensIsSafe) {
+  const KJoinIndex index(data_.hierarchy, options_, prepared_.objects);
+  Object query = prepared_.builder->Build(9999, {"zzzzneverseen", "qqqqalsonew"});
+  EXPECT_TRUE(index.Search(query).empty());
+}
+
+TEST_F(SearchFixture, InsertMakesObjectSearchable) {
+  // Start with the first half indexed, insert the second half, and check
+  // each inserted object finds itself and its duplicates.
+  std::vector<Object> half(prepared_.objects.begin(),
+                           prepared_.objects.begin() + prepared_.objects.size() / 2);
+  KJoinIndex index(data_.hierarchy, options_, std::move(half));
+  const int64_t before = index.num_indexed();
+  for (size_t i = static_cast<size_t>(before); i < prepared_.objects.size(); ++i) {
+    const int32_t at = index.Insert(prepared_.objects[i]);
+    ASSERT_EQ(at, static_cast<int32_t>(i));
+  }
+  EXPECT_EQ(index.num_indexed(), static_cast<int64_t>(prepared_.objects.size()));
+  // Every object must now retrieve itself as a perfect hit.
+  for (int32_t q : {0, 100, 500, 863}) {
+    const auto hits = index.Search(prepared_.objects[q]);
+    ASSERT_FALSE(hits.empty()) << q;
+    EXPECT_EQ(hits[0].object_index, q);
+    EXPECT_NEAR(hits[0].similarity, 1.0, 1e-9);
+  }
+}
+
+TEST_F(SearchFixture, InsertMatchesRebuiltIndex) {
+  std::vector<Object> half(prepared_.objects.begin(),
+                           prepared_.objects.begin() + 400);
+  KJoinIndex incremental(data_.hierarchy, options_, std::move(half));
+  for (size_t i = 400; i < prepared_.objects.size(); ++i) {
+    incremental.Insert(prepared_.objects[i]);
+  }
+  const KJoinIndex rebuilt(data_.hierarchy, options_, prepared_.objects);
+  for (int32_t q = 0; q < 30; ++q) {
+    ASSERT_EQ(incremental.Search(prepared_.objects[q]),
+              rebuilt.Search(prepared_.objects[q]))
+        << "query " << q;
+  }
+}
+
+TEST_F(SearchFixture, CandidateCountIsBounded) {
+  const KJoinIndex index(data_.hierarchy, options_, prepared_.objects);
+  index.Search(prepared_.objects[0]);
+  EXPECT_LE(index.last_candidates(), index.num_indexed());
+}
+
+// ------------------------------------------------------------ clustering
+
+TEST(ClusteringTest, ConnectedComponents) {
+  const Clustering clustering = ClusterPairs(6, {{0, 1}, {1, 2}, {4, 5}});
+  EXPECT_EQ(clustering.num_clusters, 3);  // {0,1,2}, {3}, {4,5}
+  EXPECT_EQ(clustering.cluster_of[0], clustering.cluster_of[2]);
+  EXPECT_NE(clustering.cluster_of[0], clustering.cluster_of[3]);
+  EXPECT_EQ(clustering.cluster_of[4], clustering.cluster_of[5]);
+  EXPECT_EQ(clustering.clusters[clustering.cluster_of[0]].size(), 3u);
+}
+
+TEST(ClusteringTest, NoPairsMeansSingletons) {
+  const Clustering clustering = ClusterPairs(4, {});
+  EXPECT_EQ(clustering.num_clusters, 4);
+  for (const auto& cluster : clustering.clusters) EXPECT_EQ(cluster.size(), 1u);
+}
+
+TEST(ClusteringTest, DuplicateAndReversedPairs) {
+  const Clustering a = ClusterPairs(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(a.num_clusters, 2);
+}
+
+TEST(ClusteringTest, PerfectClusteringScoresOne) {
+  const std::vector<int32_t> truth = {0, 0, 1, 1, -1};
+  const Clustering predicted = ClusterPairs(5, {{0, 1}, {2, 3}});
+  const ClusterQuality quality = EvaluateClustering(predicted, truth);
+  EXPECT_DOUBLE_EQ(quality.precision, 1.0);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+  EXPECT_DOUBLE_EQ(quality.f1, 1.0);
+}
+
+TEST(ClusteringTest, OverMergingHurtsPrecision) {
+  const std::vector<int32_t> truth = {0, 0, 1, 1};
+  // Everything in one blob: 6 predicted pairs, 2 true, 2 common.
+  const Clustering predicted = ClusterPairs(4, {{0, 1}, {1, 2}, {2, 3}});
+  const ClusterQuality quality = EvaluateClustering(predicted, truth);
+  EXPECT_EQ(quality.predicted_pairs, 6);
+  EXPECT_EQ(quality.truth_pairs, 2);
+  EXPECT_EQ(quality.common_pairs, 2);
+  EXPECT_NEAR(quality.precision, 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+}
+
+TEST(ClusteringTest, UnderMergingHurtsRecall) {
+  const std::vector<int32_t> truth = {0, 0, 0};
+  const Clustering predicted = ClusterPairs(3, {{0, 1}});
+  const ClusterQuality quality = EvaluateClustering(predicted, truth);
+  EXPECT_DOUBLE_EQ(quality.precision, 1.0);
+  EXPECT_NEAR(quality.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ClusteringTest, EndToEndDeduplication) {
+  const BenchmarkData data = MakeResBenchmark();
+  const PreparedObjects prepared = BuildObjects(data.hierarchy, data.dataset, true, 0.5);
+  KJoinOptions options;
+  options.delta = 0.5;
+  // Transitive closure amplifies any false pair into a merged blob, so
+  // clustering wants a stricter tau than the pairwise join.
+  options.tau = 0.75;
+  options.plus_mode = true;
+  const JoinResult result = KJoin(data.hierarchy, options).SelfJoin(prepared.objects);
+  const Clustering clustering =
+      ClusterPairs(static_cast<int64_t>(prepared.objects.size()), result.pairs);
+  std::vector<int32_t> truth;
+  for (const Record& record : data.dataset.records) truth.push_back(record.cluster);
+  const ClusterQuality quality = EvaluateClustering(clustering, truth);
+  EXPECT_GT(quality.f1, 0.6);
+  EXPECT_GT(quality.precision, 0.7);
+}
+
+// ------------------------------------------------------------ dataset IO
+
+TEST(DatasetIoTest, RoundTrip) {
+  Dataset dataset;
+  dataset.name = "mini";
+  dataset.records = {{0, 3, {"pizza", "nyc"}}, {1, -1, {"sushi"}}, {2, 3, {"pizza", "ny"}}};
+  dataset.synonyms = {{"bigapple", "nyc"}};
+  auto parsed = ParseDataset(SerializeDataset(dataset), "mini");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->records.size(), 3u);
+  EXPECT_EQ(parsed->records[0].tokens, dataset.records[0].tokens);
+  EXPECT_EQ(parsed->records[0].cluster, 3);
+  EXPECT_EQ(parsed->records[1].cluster, -1);
+  EXPECT_EQ(parsed->synonyms, dataset.synonyms);
+}
+
+TEST(DatasetIoTest, GeneratedDatasetRoundTrips) {
+  const BenchmarkData data = MakePoiBenchmark(200);
+  auto parsed = ParseDataset(SerializeDataset(data.dataset));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->records.size(), data.dataset.records.size());
+  for (size_t i = 0; i < parsed->records.size(); ++i) {
+    ASSERT_EQ(parsed->records[i].tokens, data.dataset.records[i].tokens);
+    ASSERT_EQ(parsed->records[i].cluster, data.dataset.records[i].cluster);
+  }
+}
+
+TEST(DatasetIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseDataset("X\t1\ta").has_value());        // unknown type
+  EXPECT_FALSE(ParseDataset("R\tabc\ttok").has_value());    // bad cluster
+  EXPECT_FALSE(ParseDataset("R\t1").has_value());           // no tokens
+  EXPECT_FALSE(ParseDataset("S\talias").has_value());       // synonym arity
+}
+
+TEST(DatasetIoTest, IgnoresCommentsAndEmptyInput) {
+  auto empty = ParseDataset("# nothing here\n\n");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->records.empty());
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  const BenchmarkData data = MakeResBenchmark();
+  const std::string path = testing::TempDir() + "/kjoin_dataset_test.tsv";
+  ASSERT_TRUE(WriteDatasetFile(data.dataset, path));
+  auto loaded = ReadDatasetFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->records.size(), data.dataset.records.size());
+  EXPECT_FALSE(ReadDatasetFile("/nonexistent/file.tsv").has_value());
+}
+
+// ------------------------------------------------- parallel verification
+
+TEST(ParallelJoinTest, ThreadsProduceIdenticalResults) {
+  const BenchmarkData data = MakePoiBenchmark(1500, 21);
+  const PreparedObjects prepared = BuildObjects(data.hierarchy, data.dataset, false);
+  KJoinOptions options;
+  options.delta = 0.8;
+  options.tau = 0.8;
+
+  const JoinResult sequential = KJoin(data.hierarchy, options).SelfJoin(prepared.objects);
+  for (int threads : {2, 4, 8}) {
+    options.num_threads = threads;
+    const JoinResult parallel = KJoin(data.hierarchy, options).SelfJoin(prepared.objects);
+    ASSERT_EQ(parallel.pairs, sequential.pairs) << threads << " threads";
+    ASSERT_EQ(parallel.stats.candidates, sequential.stats.candidates);
+    ASSERT_EQ(parallel.stats.verify.pairs_verified,
+              sequential.stats.verify.pairs_verified);
+  }
+}
+
+TEST(ParallelJoinTest, RsJoinParallelMatchesSequential) {
+  const BenchmarkData data = MakeTweetBenchmark(1200, 23);
+  const PreparedObjects prepared = BuildObjects(data.hierarchy, data.dataset, false);
+  std::vector<Object> left(prepared.objects.begin(), prepared.objects.begin() + 600);
+  std::vector<Object> right(prepared.objects.begin() + 600, prepared.objects.end());
+  KJoinOptions options;
+  options.delta = 0.8;
+  options.tau = 0.75;
+  const JoinResult sequential = KJoin(data.hierarchy, options).Join(left, right);
+  options.num_threads = 4;
+  const JoinResult parallel = KJoin(data.hierarchy, options).Join(left, right);
+  EXPECT_EQ(parallel.pairs, sequential.pairs);
+}
+
+}  // namespace
+}  // namespace kjoin

@@ -1,0 +1,70 @@
+// Full-pipeline integration: persist a hierarchy and dataset to disk,
+// reload both, rebuild objects, and verify the join over the reloaded
+// artifacts matches the in-memory join exactly — the kjoin_cli path.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/kjoin.h"
+#include "data/benchmark_suite.h"
+#include "data/dataset_io.h"
+#include "data/quality.h"
+#include "hierarchy/hierarchy_io.h"
+
+namespace kjoin {
+namespace {
+
+using PairSet = std::set<std::pair<int32_t, int32_t>>;
+
+PairSet ToSet(const std::vector<std::pair<int32_t, int32_t>>& pairs) {
+  PairSet set;
+  for (auto [a, b] : pairs) {
+    if (a > b) std::swap(a, b);
+    set.emplace(a, b);
+  }
+  return set;
+}
+
+TEST(IntegrationTest, PersistReloadJoinRoundTrip) {
+  const BenchmarkData original = MakePoiBenchmark(800, 67);
+
+  // Persist both artifacts.
+  const std::string tree_path = testing::TempDir() + "/kjoin_it_tree.txt";
+  const std::string data_path = testing::TempDir() + "/kjoin_it_data.tsv";
+  ASSERT_TRUE(WriteHierarchyFile(original.hierarchy, tree_path));
+  ASSERT_TRUE(WriteDatasetFile(original.dataset, data_path));
+
+  // Reload.
+  auto tree = ReadHierarchyFile(tree_path);
+  auto dataset = ReadDatasetFile(data_path);
+  ASSERT_TRUE(tree.has_value());
+  ASSERT_TRUE(dataset.has_value());
+
+  // Join both worlds identically (K-Join+ exercises synonyms from the
+  // persisted rule table and approximate matching).
+  KJoinOptions options;
+  options.delta = 0.8;
+  options.tau = 0.75;
+  options.plus_mode = true;
+
+  const PreparedObjects mem =
+      BuildObjects(original.hierarchy, original.dataset, true, options.delta);
+  const JoinResult mem_result = KJoin(original.hierarchy, options).SelfJoin(mem.objects);
+
+  const PreparedObjects disk = BuildObjects(*tree, *dataset, true, options.delta);
+  const JoinResult disk_result = KJoin(*tree, options).SelfJoin(disk.objects);
+
+  EXPECT_EQ(ToSet(disk_result.pairs), ToSet(mem_result.pairs));
+  EXPECT_FALSE(mem_result.pairs.empty());
+
+  // Ground truth survived the round trip too.
+  const QualityReport mem_quality =
+      EvaluateQuality(mem_result.pairs, GroundTruthPairs(original.dataset));
+  const QualityReport disk_quality =
+      EvaluateQuality(disk_result.pairs, GroundTruthPairs(*dataset));
+  EXPECT_DOUBLE_EQ(mem_quality.f_measure, disk_quality.f_measure);
+}
+
+}  // namespace
+}  // namespace kjoin

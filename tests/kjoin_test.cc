@@ -1,0 +1,374 @@
+// End-to-end tests of the K-Join driver: completeness/correctness against
+// the exhaustive NaiveJoin oracle across the full option matrix
+// (signature schemes × prefix rules × verifiers × metrics × modes), the
+// paper's running example, and R-S joins.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "baselines/naive_join.h"
+#include "common/rng.h"
+#include "core/kjoin.h"
+#include "data/benchmark_suite.h"
+#include "data/generator.h"
+#include "hierarchy/dag.h"
+#include "hierarchy/hierarchy_builder.h"
+#include "hierarchy/hierarchy_generator.h"
+
+namespace kjoin {
+namespace {
+
+using PairSet = std::set<std::pair<int32_t, int32_t>>;
+
+PairSet ToSet(const std::vector<std::pair<int32_t, int32_t>>& pairs) {
+  PairSet set;
+  for (auto [a, b] : pairs) {
+    if (a > b) std::swap(a, b);
+    set.emplace(a, b);
+  }
+  return set;
+}
+
+TEST(KJoinTest, PaperRunningExample) {
+  // Table 1 objects, δ = 0.7, τ = 0.6. ⟨S1, S3⟩ is the worked answer.
+  const Hierarchy tree = MakeFigure1Hierarchy();
+  EntityMatcher matcher(tree);
+  ObjectBuilder builder(matcher, /*multi_mapping=*/false);
+  const std::vector<std::vector<std::string>> table1 = {
+      {"BurgerKing", "MountainView"},
+      {"Pizza", "PaloAlto", "Brooklyn"},
+      {"Fastfood", "GoogleHeadquarters"},
+      {"PizzaHut", "KFC", "CA"},
+      {"Pizza", "GoogleHeadquarters"},
+      {"Fastfood", "Manhattan"},
+      {"Brooklyn", "Food"},
+      {"Pizza", "KFC", "Dominos", "SanFrancisco", "Manhattan", "Brooklyn"},
+      {"Fastfood", "PizzaHut", "BurgerKing", "PaloAlto", "MountainView", "NewYork"},
+  };
+  std::vector<Object> objects;
+  for (size_t i = 0; i < table1.size(); ++i) {
+    objects.push_back(builder.Build(static_cast<int32_t>(i), table1[i]));
+  }
+
+  KJoinOptions options;
+  options.delta = 0.7;
+  options.tau = 0.6;
+  const KJoin join(tree, options);
+  const JoinResult result = join.SelfJoin(objects);
+  const JoinResult oracle = NaiveJoin(tree, options).SelfJoin(objects);
+  EXPECT_EQ(ToSet(result.pairs), ToSet(oracle.pairs));
+  // S1 (index 0) and S3 (index 2) must be reported.
+  EXPECT_TRUE(ToSet(result.pairs).count({0, 2}));
+}
+
+TEST(KJoinTest, FilterNeverExceedsAllPairs) {
+  const Hierarchy tree = MakeFigure1Hierarchy();
+  EntityMatcher matcher(tree);
+  ObjectBuilder builder(matcher, false);
+  Rng rng(5);
+  std::vector<std::string> labels;
+  for (NodeId v = 1; v < tree.num_nodes(); ++v) labels.push_back(tree.label(v));
+  std::vector<Object> objects;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<std::string> tokens;
+    const int n = 1 + static_cast<int>(rng.NextUint64(5));
+    for (int k = 0; k < n; ++k) tokens.push_back(labels[rng.NextUint64(labels.size())]);
+    objects.push_back(builder.Build(i, tokens));
+  }
+  KJoinOptions options;
+  options.delta = 0.7;
+  options.tau = 0.8;
+  const JoinResult result = KJoin(tree, options).SelfJoin(objects);
+  EXPECT_LE(result.stats.candidates, 40 * 39 / 2);
+  EXPECT_GE(result.stats.candidates, result.stats.results);
+}
+
+// -------- randomized completeness sweep over the option matrix ----------
+
+struct SweepCase {
+  SignatureScheme scheme;
+  bool weighted_prefix;
+  VerifyMode verify_mode;
+  SetMetric set_metric;
+  ElementMetric element_metric;
+  bool plus_mode;
+  double delta;
+  double tau;
+};
+
+std::string CaseName(const testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string name;
+  switch (c.scheme) {
+    case SignatureScheme::kNode: name += "Node"; break;
+    case SignatureScheme::kShallowPath: name += "Shallow"; break;
+    case SignatureScheme::kDeepPath: name += "Deep"; break;
+  }
+  name += c.weighted_prefix ? "Weighted" : "Plain";
+  switch (c.verify_mode) {
+    case VerifyMode::kBasic: name += "Basic"; break;
+    case VerifyMode::kSubGraph: name += "SubGraph"; break;
+    case VerifyMode::kAdaptive: name += "Adaptive"; break;
+  }
+  switch (c.set_metric) {
+    case SetMetric::kJaccard: name += "Jaccard"; break;
+    case SetMetric::kDice: name += "Dice"; break;
+    case SetMetric::kCosine: name += "Cosine"; break;
+  }
+  name += c.element_metric == ElementMetric::kKJoin ? "KJ" : "WP";
+  name += c.plus_mode ? "Plus" : "Single";
+  name += "D" + std::to_string(static_cast<int>(c.delta * 100));
+  name += "T" + std::to_string(static_cast<int>(c.tau * 100));
+  return name;
+}
+
+class KJoinSweepTest : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(KJoinSweepTest, MatchesNaiveJoin) {
+  const SweepCase& c = GetParam();
+
+  // A mid-sized random hierarchy plus a noisy dataset with duplicates —
+  // the perturbation channels exercise sibling swaps, typos, synonyms.
+  HierarchyGenParams tree_params;
+  tree_params.num_nodes = 300;
+  tree_params.height = 5;
+  tree_params.avg_fanout = 4.0;
+  tree_params.max_fanout = 10;
+  tree_params.seed = 42;
+  const Hierarchy tree = GenerateHierarchy(tree_params);
+
+  RecordGenParams data_params;
+  data_params.num_records = 120;
+  data_params.avg_elements = 5;
+  data_params.min_elements = 2;
+  data_params.max_elements = 9;
+  data_params.min_depth = 2;
+  data_params.max_depth = 5;
+  data_params.duplicate_fraction = 0.5;
+  data_params.unmatched_token_rate = 0.15;
+  data_params.seed = 99;
+  const Dataset dataset = DatasetGenerator(tree, data_params).Generate("sweep");
+
+  const PreparedObjects prepared = BuildObjects(tree, dataset, c.plus_mode);
+
+  KJoinOptions options;
+  options.delta = c.delta;
+  options.tau = c.tau;
+  options.scheme = c.scheme;
+  options.weighted_prefix = c.weighted_prefix;
+  options.verify_mode = c.verify_mode;
+  options.set_metric = c.set_metric;
+  options.element_metric = c.element_metric;
+  options.plus_mode = c.plus_mode;
+
+  const JoinResult result = KJoin(tree, options).SelfJoin(prepared.objects);
+  const JoinResult oracle = NaiveJoin(tree, options).SelfJoin(prepared.objects);
+
+  const PairSet got = ToSet(result.pairs);
+  const PairSet expected = ToSet(oracle.pairs);
+  // Completeness is the property every filter lemma promises; report any
+  // missing pair precisely.
+  for (const auto& pair : expected) {
+    EXPECT_TRUE(got.count(pair)) << "missing pair (" << pair.first << ", " << pair.second
+                                 << ")";
+  }
+  for (const auto& pair : got) {
+    EXPECT_TRUE(expected.count(pair))
+        << "spurious pair (" << pair.first << ", " << pair.second << ")";
+  }
+  EXPECT_FALSE(expected.empty()) << "sweep case degenerated: no true pairs to check";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FilterSchemes, KJoinSweepTest,
+    testing::Values(
+        SweepCase{SignatureScheme::kNode, false, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.7, 0.6},
+        SweepCase{SignatureScheme::kShallowPath, false, VerifyMode::kAdaptive,
+                  SetMetric::kJaccard, ElementMetric::kKJoin, false, 0.7, 0.6},
+        SweepCase{SignatureScheme::kDeepPath, false, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.7, 0.6},
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.7, 0.6}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Verifiers, KJoinSweepTest,
+    testing::Values(
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kBasic, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.7, 0.7},
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kSubGraph, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.7, 0.7},
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.7, 0.7}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, KJoinSweepTest,
+    testing::Values(
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.5, 0.5},
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.6, 0.8},
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.8, 0.9},
+        SweepCase{SignatureScheme::kNode, false, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, false, 0.9, 0.5}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Metrics, KJoinSweepTest,
+    testing::Values(
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kDice,
+                  ElementMetric::kKJoin, false, 0.7, 0.7},
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kCosine,
+                  ElementMetric::kKJoin, false, 0.7, 0.7},
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kWuPalmer, false, 0.7, 0.7},
+        SweepCase{SignatureScheme::kNode, false, VerifyMode::kSubGraph, SetMetric::kDice,
+                  ElementMetric::kWuPalmer, false, 0.6, 0.6}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    PlusMode, KJoinSweepTest,
+    testing::Values(
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, true, 0.7, 0.6},
+        SweepCase{SignatureScheme::kDeepPath, false, VerifyMode::kSubGraph, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, true, 0.7, 0.7},
+        SweepCase{SignatureScheme::kNode, false, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, true, 0.8, 0.7},
+        SweepCase{SignatureScheme::kShallowPath, false, VerifyMode::kBasic, SetMetric::kJaccard,
+                  ElementMetric::kKJoin, true, 0.6, 0.6},
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kJaccard,
+                  ElementMetric::kWuPalmer, true, 0.7, 0.6},
+        SweepCase{SignatureScheme::kDeepPath, true, VerifyMode::kAdaptive, SetMetric::kDice,
+                  ElementMetric::kWuPalmer, true, 0.8, 0.7}),
+    CaseName);
+
+// ------------------------------------------------------------- R-S join
+
+TEST(KJoinTest, RsJoinMatchesNaive) {
+  HierarchyGenParams tree_params;
+  tree_params.num_nodes = 200;
+  tree_params.height = 5;
+  tree_params.avg_fanout = 4.0;
+  tree_params.seed = 9;
+  const Hierarchy tree = GenerateHierarchy(tree_params);
+
+  RecordGenParams data_params;
+  data_params.num_records = 150;
+  data_params.avg_elements = 4;
+  data_params.min_elements = 2;
+  data_params.max_elements = 7;
+  data_params.min_depth = 2;
+  data_params.max_depth = 5;
+  data_params.duplicate_fraction = 0.6;
+  data_params.seed = 123;
+  const Dataset dataset = DatasetGenerator(tree, data_params).Generate("rs");
+  const PreparedObjects prepared = BuildObjects(tree, dataset, /*multi_mapping=*/true);
+
+  // Split into two collections sharing the builder's token space.
+  // Interleave so duplicate clusters (adjacent records) straddle the two
+  // sides and the join has true matches to find.
+  std::vector<Object> left, right;
+  for (size_t i = 0; i < prepared.objects.size(); ++i) {
+    (i % 2 == 0 ? left : right).push_back(prepared.objects[i]);
+  }
+
+  KJoinOptions options;
+  options.delta = 0.7;
+  options.tau = 0.6;
+  options.plus_mode = true;
+  const JoinResult result = KJoin(tree, options).Join(left, right);
+  const JoinResult oracle = NaiveJoin(tree, options).Join(left, right);
+  EXPECT_EQ(ToSet(result.pairs), ToSet(oracle.pairs));
+  EXPECT_FALSE(oracle.pairs.empty());
+}
+
+TEST(KJoinTest, SelfJoinOrdersPairs) {
+  const Hierarchy tree = MakeFigure1Hierarchy();
+  EntityMatcher matcher(tree);
+  ObjectBuilder builder(matcher, false);
+  std::vector<Object> objects;
+  objects.push_back(builder.Build(0, {"KFC", "CA"}));
+  objects.push_back(builder.Build(1, {"KFC", "CA"}));
+  objects.push_back(builder.Build(2, {"KFC", "CA"}));
+  KJoinOptions options;
+  options.delta = 0.7;
+  options.tau = 0.9;
+  const JoinResult result = KJoin(tree, options).SelfJoin(objects);
+  EXPECT_EQ(result.pairs.size(), 3u);
+  for (auto [a, b] : result.pairs) EXPECT_LT(a, b);
+}
+
+TEST(KJoinTest, EmptyAndSingletonInputs) {
+  const Hierarchy tree = MakeFigure1Hierarchy();
+  KJoinOptions options;
+  const KJoin join(tree, options);
+  EXPECT_TRUE(join.SelfJoin({}).pairs.empty());
+  EntityMatcher matcher(tree);
+  ObjectBuilder builder(matcher, false);
+  std::vector<Object> one = {builder.Build(0, {"KFC"})};
+  EXPECT_TRUE(join.SelfJoin(one).pairs.empty());
+  EXPECT_TRUE(join.Join(one, {}).pairs.empty());
+  EXPECT_TRUE(join.Join({}, one).pairs.empty());
+}
+
+TEST(KJoinTest, DagHierarchyThroughPlusMode) {
+  // §6.5: a DAG is unfolded; the duplicated label maps to several nodes.
+  Dag dag;
+  const int32_t food = dag.AddNode("Food");
+  const int32_t fast = dag.AddNode("Fastfood");
+  const int32_t pizza = dag.AddNode("Pizza");
+  const int32_t hut = dag.AddNode("PizzaHut");  // both fastfood and pizza
+  dag.AddEdge(0, food);
+  dag.AddEdge(food, fast);
+  dag.AddEdge(food, pizza);
+  dag.AddEdge(fast, hut);
+  dag.AddEdge(pizza, hut);
+  auto tree = ConvertDagToTree(dag);
+  ASSERT_TRUE(tree.has_value());
+
+  EntityMatcherOptions matcher_options;
+  matcher_options.enable_approximate = false;
+  EntityMatcher matcher(*tree, matcher_options);
+  ObjectBuilder builder(matcher, /*multi_mapping=*/true);
+  std::vector<Object> objects;
+  objects.push_back(builder.Build(0, {"PizzaHut", "Fastfood"}));
+  objects.push_back(builder.Build(1, {"PizzaHut", "Pizza"}));
+
+  ASSERT_EQ(objects[0].elements[0].mappings.size(), 2u);  // both copies
+
+  // Identical PizzaHut tokens give overlap 1; Fastfood-Pizza (LCA Food at
+  // depth 1, both depth 2) is below δ. SIM = 1/(2+2−1) = 1/3.
+  KJoinOptions options;
+  options.delta = 0.6;
+  options.tau = 0.3;
+  options.plus_mode = true;
+  const KJoin join(*tree, options);
+  const JoinResult result = join.SelfJoin(objects);
+  const JoinResult oracle = NaiveJoin(*tree, options).SelfJoin(objects);
+  EXPECT_EQ(ToSet(result.pairs), ToSet(oracle.pairs));
+  EXPECT_EQ(result.pairs.size(), 1u);
+}
+
+TEST(KJoinTest, StatsAreConsistent) {
+  const BenchmarkData data = MakePoiBenchmark(300, 7);
+  const PreparedObjects prepared = BuildObjects(data.hierarchy, data.dataset, false);
+  KJoinOptions options;
+  options.delta = 0.8;
+  options.tau = 0.85;
+  const JoinResult result = KJoin(data.hierarchy, options).SelfJoin(prepared.objects);
+  EXPECT_EQ(result.stats.num_objects_left, 300);
+  EXPECT_EQ(result.stats.results, static_cast<int64_t>(result.pairs.size()));
+  EXPECT_EQ(result.stats.verify.pairs_verified, result.stats.candidates);
+  EXPECT_GE(result.stats.total_signatures, result.stats.prefix_signatures);
+  EXPECT_GE(result.stats.total_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace kjoin

@@ -1,0 +1,200 @@
+// Tests for src/matching: Hungarian matcher, greedy lower bounds,
+// per-vertex upper bound.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "matching/bigraph.h"
+#include "matching/bounds.h"
+#include "matching/greedy_matching.h"
+#include "matching/hungarian.h"
+
+namespace kjoin {
+namespace {
+
+Bigraph RandomBigraph(Rng& rng, int32_t left, int32_t right, double edge_probability) {
+  Bigraph graph(left, right);
+  for (int32_t l = 0; l < left; ++l) {
+    for (int32_t r = 0; r < right; ++r) {
+      if (rng.NextBool(edge_probability)) {
+        graph.AddEdge(l, r, 0.05 + 0.95 * rng.NextDouble());
+      }
+    }
+  }
+  return graph;
+}
+
+TEST(HungarianTest, EmptyGraph) {
+  Bigraph graph(0, 0);
+  EXPECT_DOUBLE_EQ(MaxWeightMatching(graph), 0.0);
+  Bigraph no_edges(3, 4);
+  EXPECT_DOUBLE_EQ(MaxWeightMatching(no_edges), 0.0);
+}
+
+TEST(HungarianTest, SingleEdge) {
+  Bigraph graph(1, 1);
+  graph.AddEdge(0, 0, 0.7);
+  std::vector<std::pair<int32_t, int32_t>> matched;
+  EXPECT_DOUBLE_EQ(MaxWeightMatching(graph, &matched), 0.7);
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0], std::make_pair(0, 0));
+}
+
+TEST(HungarianTest, PrefersHeavierCombination) {
+  // Greedy would take the 0.9 edge and get 0.9 + 0.1; optimal crosses.
+  Bigraph graph(2, 2);
+  graph.AddEdge(0, 0, 0.9);
+  graph.AddEdge(0, 1, 0.8);
+  graph.AddEdge(1, 0, 0.8);
+  graph.AddEdge(1, 1, 0.1);
+  EXPECT_NEAR(MaxWeightMatching(graph), 1.6, 1e-12);
+}
+
+TEST(HungarianTest, PaperFigure2Bigraph) {
+  // S1 = {BurgerKing, MountainView}, S4 = {PizzaHut, KFC, CA}, δ = 0.5:
+  // edges BK-PH 0.5, BK-KFC 0.75, MV-CA 0.6. Fuzzy overlap = 27/20.
+  Bigraph graph(2, 3);
+  graph.AddEdge(0, 0, 0.5);
+  graph.AddEdge(0, 1, 0.75);
+  graph.AddEdge(1, 2, 0.6);
+  EXPECT_NEAR(MaxWeightMatching(graph), 27.0 / 20.0, 1e-12);
+}
+
+TEST(HungarianTest, RectangularMoreLeftThanRight) {
+  Bigraph graph(3, 1);
+  graph.AddEdge(0, 0, 0.3);
+  graph.AddEdge(1, 0, 0.9);
+  graph.AddEdge(2, 0, 0.5);
+  EXPECT_NEAR(MaxWeightMatching(graph), 0.9, 1e-12);
+}
+
+TEST(HungarianTest, LeavesVerticesUnmatchedWhenBeneficial) {
+  // Matching nothing on a vertex is fine; zero-weight forced matches must
+  // not reduce the total.
+  Bigraph graph(2, 2);
+  graph.AddEdge(0, 0, 1.0);
+  // Left 1 and right 1 have no edges at all.
+  std::vector<std::pair<int32_t, int32_t>> matched;
+  EXPECT_NEAR(MaxWeightMatching(graph, &matched), 1.0, 1e-12);
+  EXPECT_EQ(matched.size(), 1u);
+}
+
+TEST(HungarianTest, ParallelEdgesKeepBest) {
+  Bigraph graph(1, 1);
+  graph.AddEdge(0, 0, 0.4);
+  graph.AddEdge(0, 0, 0.9);
+  EXPECT_NEAR(MaxWeightMatching(graph), 0.9, 1e-12);
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int32_t left = 1 + static_cast<int32_t>(rng.NextUint64(6));
+    const int32_t right = 1 + static_cast<int32_t>(rng.NextUint64(6));
+    const Bigraph graph = RandomBigraph(rng, left, right, 0.5);
+    const double exact = MaxWeightMatchingBruteForce(graph);
+    ASSERT_NEAR(MaxWeightMatching(graph), exact, 1e-9)
+        << "trial " << trial << " " << left << "x" << right;
+  }
+}
+
+TEST(HungarianTest, MatchedPairsAreConsistent) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Bigraph graph = RandomBigraph(rng, 5, 7, 0.4);
+    std::vector<std::pair<int32_t, int32_t>> matched;
+    const double total = MaxWeightMatching(graph, &matched);
+    // Pairs are vertex-disjoint and their weights sum to the total.
+    std::vector<char> left_used(5, 0), right_used(7, 0);
+    double sum = 0.0;
+    for (const auto& [l, r] : matched) {
+      ASSERT_FALSE(left_used[l]);
+      ASSERT_FALSE(right_used[r]);
+      left_used[l] = 1;
+      right_used[r] = 1;
+      double best = 0.0;
+      for (int32_t e : graph.left_edges(l)) {
+        if (graph.edges()[e].right == r) best = std::max(best, graph.edges()[e].weight);
+      }
+      ASSERT_GT(best, 0.0);
+      sum += best;
+    }
+    ASSERT_NEAR(sum, total, 1e-9);
+  }
+}
+
+TEST(GreedyBoundsTest, LowerBoundsNeverExceedOptimum) {
+  Rng rng(55);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int32_t left = 1 + static_cast<int32_t>(rng.NextUint64(6));
+    const int32_t right = 1 + static_cast<int32_t>(rng.NextUint64(6));
+    const Bigraph graph = RandomBigraph(rng, left, right, 0.5);
+    const double optimum = MaxWeightMatchingBruteForce(graph);
+    ASSERT_LE(GreedyMaxWeightLowerBound(graph), optimum + 1e-9);
+    ASSERT_LE(GreedyMinDegreeLowerBound(graph), optimum + 1e-9);
+    ASSERT_LE(CombinedLowerBound(graph), optimum + 1e-9);
+  }
+}
+
+TEST(GreedyBoundsTest, LowerBoundsAreValidMatchings) {
+  // On a graph where a perfect matching exists, the greedy bounds should
+  // be positive.
+  Bigraph graph(2, 2);
+  graph.AddEdge(0, 0, 0.5);
+  graph.AddEdge(1, 1, 0.5);
+  EXPECT_NEAR(GreedyMaxWeightLowerBound(graph), 1.0, 1e-12);
+  EXPECT_NEAR(GreedyMinDegreeLowerBound(graph), 1.0, 1e-12);
+}
+
+TEST(GreedyBoundsTest, CombinedTakesTheBetterBound) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bigraph graph = RandomBigraph(rng, 4, 4, 0.6);
+    EXPECT_GE(CombinedLowerBound(graph) + 1e-12,
+              std::max(GreedyMaxWeightLowerBound(graph), GreedyMinDegreeLowerBound(graph)));
+  }
+}
+
+TEST(UpperBoundTest, NeverBelowOptimum) {
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int32_t left = 1 + static_cast<int32_t>(rng.NextUint64(6));
+    const int32_t right = 1 + static_cast<int32_t>(rng.NextUint64(6));
+    const Bigraph graph = RandomBigraph(rng, left, right, 0.5);
+    ASSERT_GE(PerVertexUpperBound(graph) + 1e-9, MaxWeightMatchingBruteForce(graph));
+  }
+}
+
+TEST(UpperBoundTest, PaperSection52Example) {
+  // Second group of S8/S9 (δ = 0.6): 3x3 with all weights 4/5.
+  Bigraph graph(3, 3);
+  for (int32_t l = 0; l < 3; ++l) {
+    for (int32_t r = 0; r < 3; ++r) graph.AddEdge(l, r, 0.8);
+  }
+  EXPECT_NEAR(PerVertexUpperBound(graph), 12.0 / 5.0, 1e-12);  // Bu2 = 12/5
+  EXPECT_NEAR(MaxWeightMatching(graph), 12.0 / 5.0, 1e-12);
+}
+
+TEST(UpperBoundTest, TightOnDisjointEdges) {
+  Bigraph graph(2, 2);
+  graph.AddEdge(0, 0, 0.9);
+  graph.AddEdge(1, 1, 0.4);
+  EXPECT_NEAR(PerVertexUpperBound(graph), 1.3, 1e-12);
+}
+
+TEST(BigraphTest, DegreesAndAdjacency) {
+  Bigraph graph(2, 3);
+  graph.AddEdge(0, 1, 0.5);
+  graph.AddEdge(0, 2, 0.6);
+  graph.AddEdge(1, 2, 0.7);
+  EXPECT_EQ(graph.left_degree(0), 2);
+  EXPECT_EQ(graph.left_degree(1), 1);
+  EXPECT_EQ(graph.right_degree(0), 0);
+  EXPECT_EQ(graph.right_degree(2), 2);
+  EXPECT_EQ(graph.edges().size(), 3u);
+}
+
+}  // namespace
+}  // namespace kjoin

@@ -1,0 +1,176 @@
+// Tests for the top-k join and the PPJoin baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/naive_join.h"
+#include "baselines/ppjoin.h"
+#include "common/rng.h"
+#include "core/topk_join.h"
+#include "data/benchmark_suite.h"
+
+namespace kjoin {
+namespace {
+
+using PairSet = std::set<std::pair<int32_t, int32_t>>;
+
+PairSet ToSet(const std::vector<std::pair<int32_t, int32_t>>& pairs) {
+  PairSet set;
+  for (auto [a, b] : pairs) {
+    if (a > b) std::swap(a, b);
+    set.emplace(a, b);
+  }
+  return set;
+}
+
+// --------------------------------------------------------------- PPJoin
+
+TEST(PpJoinTest, SimilarityIsMultisetJaccard) {
+  EXPECT_DOUBLE_EQ(PpJoin::Similarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(PpJoin::Similarity({"a", "b"}, {"a", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PpJoin::Similarity({"a", "a"}, {"a"}), 0.5);
+  EXPECT_DOUBLE_EQ(PpJoin::Similarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(PpJoin::Similarity({"x"}, {"y"}), 0.0);
+}
+
+std::vector<std::vector<std::string>> RandomTokenRecords(int count, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::string> vocabulary = {"a", "b", "c", "d", "e", "f",
+                                               "g", "h", "i", "j"};
+  std::vector<std::vector<std::string>> records;
+  for (int i = 0; i < count; ++i) {
+    std::vector<std::string> record;
+    const int n = 1 + static_cast<int>(rng.NextUint64(6));
+    for (int k = 0; k < n; ++k) {
+      record.push_back(vocabulary[rng.NextUint64(vocabulary.size())]);
+    }
+    records.push_back(record);
+  }
+  return records;
+}
+
+TEST(PpJoinTest, MatchesBruteForceAcrossThresholds) {
+  const auto records = RandomTokenRecords(120, 42);
+  for (double tau : {0.5, 0.6, 0.75, 0.9, 1.0}) {
+    for (bool position_filter : {true, false}) {
+      const PpJoin join(PpJoinOptions{tau, position_filter});
+      PairSet expected;
+      for (int32_t x = 0; x < 120; ++x) {
+        for (int32_t y = x + 1; y < 120; ++y) {
+          if (PpJoin::Similarity(records[x], records[y]) >= tau - 1e-9) {
+            expected.emplace(x, y);
+          }
+        }
+      }
+      ASSERT_EQ(ToSet(join.SelfJoin(records).pairs), expected)
+          << "tau " << tau << " position_filter " << position_filter;
+      ASSERT_FALSE(expected.empty());
+    }
+  }
+}
+
+TEST(PpJoinTest, PositionFilterOnlyPrunes) {
+  const auto records = RandomTokenRecords(200, 7);
+  const JoinResult with = PpJoin(PpJoinOptions{0.7, true}).SelfJoin(records);
+  const JoinResult without = PpJoin(PpJoinOptions{0.7, false}).SelfJoin(records);
+  EXPECT_EQ(ToSet(with.pairs), ToSet(without.pairs));
+  EXPECT_GE(with.stats.verify.rejected_by_upper_bound, 0);
+}
+
+TEST(PpJoinTest, RealisticDataset) {
+  const BenchmarkData data = MakeResBenchmark();
+  std::vector<std::vector<std::string>> records;
+  for (const Record& record : data.dataset.records) records.push_back(record.tokens);
+  const PpJoin join(PpJoinOptions{0.75, true});
+  const JoinResult result = join.SelfJoin(records);
+  // Spot-check 30 reported pairs and 30 sampled non-reported pairs.
+  Rng rng(3);
+  int checked = 0;
+  for (const auto& [a, b] : result.pairs) {
+    if (checked++ >= 30) break;
+    ASSERT_GE(PpJoin::Similarity(records[a], records[b]), 0.75 - 1e-9);
+  }
+  const PairSet reported = ToSet(result.pairs);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int32_t a = static_cast<int32_t>(rng.NextUint64(records.size()));
+    const int32_t b = static_cast<int32_t>(rng.NextUint64(records.size()));
+    if (a == b || reported.count({std::min(a, b), std::max(a, b)})) continue;
+    ASSERT_LT(PpJoin::Similarity(records[a], records[b]), 0.75);
+  }
+}
+
+// ------------------------------------------------------------- TopKJoin
+
+class TopKFixture : public testing::Test {
+ protected:
+  TopKFixture() : data_(MakeResBenchmark()) {
+    prepared_ = BuildObjects(data_.hierarchy, data_.dataset, false);
+    // Shrink for the brute-force comparison.
+    prepared_.objects.resize(150);
+    options_.join.delta = 0.7;
+  }
+
+  std::vector<ScoredPair> BruteForceTopK(int32_t k, double floor) const {
+    const LcaIndex lca(data_.hierarchy);
+    const ElementSimilarity esim(lca);
+    const ObjectSimilarity osim(esim, options_.join.delta);
+    std::vector<ScoredPair> all;
+    const int32_t n = static_cast<int32_t>(prepared_.objects.size());
+    for (int32_t a = 0; a < n; ++a) {
+      for (int32_t b = a + 1; b < n; ++b) {
+        const double sim = osim.Similarity(prepared_.objects[a], prepared_.objects[b]);
+        if (sim >= floor - 1e-9) all.push_back({a, b, sim});
+      }
+    }
+    std::sort(all.begin(), all.end(), [](const ScoredPair& x, const ScoredPair& y) {
+      if (x.similarity != y.similarity) return x.similarity > y.similarity;
+      if (x.first != y.first) return x.first < y.first;
+      return x.second < y.second;
+    });
+    if (static_cast<int32_t>(all.size()) > k) all.resize(k);
+    return all;
+  }
+
+  BenchmarkData data_;
+  PreparedObjects prepared_;
+  TopKOptions options_;
+};
+
+TEST_F(TopKFixture, MatchesBruteForce) {
+  const TopKJoin topk(data_.hierarchy, options_);
+  for (int32_t k : {1, 5, 20, 50}) {
+    const TopKResult result = topk.SelfJoinTopK(prepared_.objects, k);
+    const std::vector<ScoredPair> expected = BruteForceTopK(k, options_.tau_floor);
+    ASSERT_EQ(result.pairs.size(), expected.size()) << "k=" << k;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      // Similarities must agree exactly; pair identity may differ only
+      // within exact ties.
+      ASSERT_NEAR(result.pairs[i].similarity, expected[i].similarity, 1e-9)
+          << "k=" << k << " position " << i;
+    }
+  }
+}
+
+TEST_F(TopKFixture, SaturationFlag) {
+  const TopKJoin topk(data_.hierarchy, options_);
+  const TopKResult small = topk.SelfJoinTopK(prepared_.objects, 3);
+  EXPECT_TRUE(small.saturated);
+  EXPECT_EQ(small.pairs.size(), 3u);
+  const TopKResult huge = topk.SelfJoinTopK(prepared_.objects, 1000000);
+  EXPECT_FALSE(huge.saturated);
+  EXPECT_NEAR(huge.final_tau, options_.tau_floor, 1e-9);
+}
+
+TEST_F(TopKFixture, ResultsSortedDescending) {
+  const TopKJoin topk(data_.hierarchy, options_);
+  const TopKResult result = topk.SelfJoinTopK(prepared_.objects, 30);
+  for (size_t i = 1; i < result.pairs.size(); ++i) {
+    EXPECT_GE(result.pairs[i - 1].similarity, result.pairs[i].similarity);
+  }
+  EXPECT_GE(result.rounds, 1);
+}
+
+}  // namespace
+}  // namespace kjoin
