@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_filter_delta.
+# This may be replaced when dependencies are built.

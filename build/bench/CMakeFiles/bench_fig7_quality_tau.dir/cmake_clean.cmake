@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_quality_tau.dir/bench_fig7_quality_tau.cc.o"
+  "CMakeFiles/bench_fig7_quality_tau.dir/bench_fig7_quality_tau.cc.o.d"
+  "bench_fig7_quality_tau"
+  "bench_fig7_quality_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_quality_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

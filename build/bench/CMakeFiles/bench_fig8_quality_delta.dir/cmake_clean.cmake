@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_quality_delta.dir/bench_fig8_quality_delta.cc.o"
+  "CMakeFiles/bench_fig8_quality_delta.dir/bench_fig8_quality_delta.cc.o.d"
+  "bench_fig8_quality_delta"
+  "bench_fig8_quality_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_quality_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

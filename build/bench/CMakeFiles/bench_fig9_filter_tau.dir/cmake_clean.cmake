@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_filter_tau.dir/bench_fig9_filter_tau.cc.o"
+  "CMakeFiles/bench_fig9_filter_tau.dir/bench_fig9_filter_tau.cc.o.d"
+  "bench_fig9_filter_tau"
+  "bench_fig9_filter_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_filter_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_editdistance.dir/bench_micro_editdistance.cc.o"
+  "CMakeFiles/bench_micro_editdistance.dir/bench_micro_editdistance.cc.o.d"
+  "bench_micro_editdistance"
+  "bench_micro_editdistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_editdistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

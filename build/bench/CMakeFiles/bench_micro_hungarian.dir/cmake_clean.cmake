@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hungarian.dir/bench_micro_hungarian.cc.o"
+  "CMakeFiles/bench_micro_hungarian.dir/bench_micro_hungarian.cc.o.d"
+  "bench_micro_hungarian"
+  "bench_micro_hungarian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hungarian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lca.dir/bench_micro_lca.cc.o"
+  "CMakeFiles/bench_micro_lca.dir/bench_micro_lca.cc.o.d"
+  "bench_micro_lca"
+  "bench_micro_lca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_signatures.dir/bench_micro_signatures.cc.o"
+  "CMakeFiles/bench_micro_signatures.dir/bench_micro_signatures.cc.o.d"
+  "bench_micro_signatures"
+  "bench_micro_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kjoin_cli.dir/kjoin_cli.cc.o"
+  "CMakeFiles/kjoin_cli.dir/kjoin_cli.cc.o.d"
+  "kjoin_cli"
+  "kjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

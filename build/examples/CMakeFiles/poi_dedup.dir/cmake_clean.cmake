@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_dedup.dir/poi_dedup.cc.o"
+  "CMakeFiles/poi_dedup.dir/poi_dedup.cc.o.d"
+  "poi_dedup"
+  "poi_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_er.dir/restaurant_er.cc.o"
+  "CMakeFiles/restaurant_er.dir/restaurant_er.cc.o.d"
+  "restaurant_er"
+  "restaurant_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tweet_poi_join.dir/tweet_poi_join.cc.o"
+  "CMakeFiles/tweet_poi_join.dir/tweet_poi_join.cc.o.d"
+  "tweet_poi_join"
+  "tweet_poi_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tweet_poi_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

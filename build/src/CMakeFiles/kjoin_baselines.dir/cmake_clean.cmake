@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kjoin_baselines.dir/baselines/crowd_join.cc.o"
+  "CMakeFiles/kjoin_baselines.dir/baselines/crowd_join.cc.o.d"
+  "CMakeFiles/kjoin_baselines.dir/baselines/fastjoin.cc.o"
+  "CMakeFiles/kjoin_baselines.dir/baselines/fastjoin.cc.o.d"
+  "CMakeFiles/kjoin_baselines.dir/baselines/naive_join.cc.o"
+  "CMakeFiles/kjoin_baselines.dir/baselines/naive_join.cc.o.d"
+  "CMakeFiles/kjoin_baselines.dir/baselines/ppjoin.cc.o"
+  "CMakeFiles/kjoin_baselines.dir/baselines/ppjoin.cc.o.d"
+  "CMakeFiles/kjoin_baselines.dir/baselines/synonym_join.cc.o"
+  "CMakeFiles/kjoin_baselines.dir/baselines/synonym_join.cc.o.d"
+  "libkjoin_baselines.a"
+  "libkjoin_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kjoin_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kjoin_common.dir/common/flags.cc.o"
+  "CMakeFiles/kjoin_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/kjoin_common.dir/common/logging.cc.o"
+  "CMakeFiles/kjoin_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/kjoin_common.dir/common/rng.cc.o"
+  "CMakeFiles/kjoin_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/kjoin_common.dir/common/string_util.cc.o"
+  "CMakeFiles/kjoin_common.dir/common/string_util.cc.o.d"
+  "libkjoin_common.a"
+  "libkjoin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kjoin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clustering.cc" "src/CMakeFiles/kjoin_core.dir/core/clustering.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/clustering.cc.o.d"
+  "/root/repo/src/core/element.cc" "src/CMakeFiles/kjoin_core.dir/core/element.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/element.cc.o.d"
+  "/root/repo/src/core/element_similarity.cc" "src/CMakeFiles/kjoin_core.dir/core/element_similarity.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/element_similarity.cc.o.d"
+  "/root/repo/src/core/kjoin.cc" "src/CMakeFiles/kjoin_core.dir/core/kjoin.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/kjoin.cc.o.d"
+  "/root/repo/src/core/kjoin_index.cc" "src/CMakeFiles/kjoin_core.dir/core/kjoin_index.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/kjoin_index.cc.o.d"
+  "/root/repo/src/core/object.cc" "src/CMakeFiles/kjoin_core.dir/core/object.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/object.cc.o.d"
+  "/root/repo/src/core/object_similarity.cc" "src/CMakeFiles/kjoin_core.dir/core/object_similarity.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/object_similarity.cc.o.d"
+  "/root/repo/src/core/prefix.cc" "src/CMakeFiles/kjoin_core.dir/core/prefix.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/prefix.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/CMakeFiles/kjoin_core.dir/core/signature.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/signature.cc.o.d"
+  "/root/repo/src/core/topk_join.cc" "src/CMakeFiles/kjoin_core.dir/core/topk_join.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/topk_join.cc.o.d"
+  "/root/repo/src/core/verifier.cc" "src/CMakeFiles/kjoin_core.dir/core/verifier.cc.o" "gcc" "src/CMakeFiles/kjoin_core.dir/core/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kjoin_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kjoin_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kjoin_core.dir/core/clustering.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/clustering.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/element.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/element.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/element_similarity.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/element_similarity.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/kjoin.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/kjoin.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/kjoin_index.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/kjoin_index.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/object.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/object.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/object_similarity.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/object_similarity.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/prefix.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/prefix.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/signature.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/signature.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/topk_join.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/topk_join.cc.o.d"
+  "CMakeFiles/kjoin_core.dir/core/verifier.cc.o"
+  "CMakeFiles/kjoin_core.dir/core/verifier.cc.o.d"
+  "libkjoin_core.a"
+  "libkjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/benchmark_suite.cc" "src/CMakeFiles/kjoin_data.dir/data/benchmark_suite.cc.o" "gcc" "src/CMakeFiles/kjoin_data.dir/data/benchmark_suite.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/kjoin_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/kjoin_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/kjoin_data.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/kjoin_data.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/kjoin_data.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/kjoin_data.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/quality.cc" "src/CMakeFiles/kjoin_data.dir/data/quality.cc.o" "gcc" "src/CMakeFiles/kjoin_data.dir/data/quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kjoin_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kjoin_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kjoin_data.dir/data/benchmark_suite.cc.o"
+  "CMakeFiles/kjoin_data.dir/data/benchmark_suite.cc.o.d"
+  "CMakeFiles/kjoin_data.dir/data/dataset.cc.o"
+  "CMakeFiles/kjoin_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/kjoin_data.dir/data/dataset_io.cc.o"
+  "CMakeFiles/kjoin_data.dir/data/dataset_io.cc.o.d"
+  "CMakeFiles/kjoin_data.dir/data/generator.cc.o"
+  "CMakeFiles/kjoin_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/kjoin_data.dir/data/quality.cc.o"
+  "CMakeFiles/kjoin_data.dir/data/quality.cc.o.d"
+  "libkjoin_data.a"
+  "libkjoin_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kjoin_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

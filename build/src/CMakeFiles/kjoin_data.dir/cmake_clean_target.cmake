@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkjoin_data.a"
+)

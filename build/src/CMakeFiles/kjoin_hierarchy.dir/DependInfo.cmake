@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/dag.cc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/dag.cc.o" "gcc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/dag.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy.cc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy.cc.o" "gcc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy_builder.cc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_builder.cc.o" "gcc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_builder.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy_generator.cc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_generator.cc.o" "gcc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_generator.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy_io.cc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_io.cc.o" "gcc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_io.cc.o.d"
+  "/root/repo/src/hierarchy/lca.cc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/lca.cc.o" "gcc" "src/CMakeFiles/kjoin_hierarchy.dir/hierarchy/lca.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/dag.cc.o"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/dag.cc.o.d"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy.cc.o"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy.cc.o.d"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_builder.cc.o"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_builder.cc.o.d"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_generator.cc.o"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_generator.cc.o.d"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_io.cc.o"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/hierarchy_io.cc.o.d"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/lca.cc.o"
+  "CMakeFiles/kjoin_hierarchy.dir/hierarchy/lca.cc.o.d"
+  "libkjoin_hierarchy.a"
+  "libkjoin_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kjoin_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

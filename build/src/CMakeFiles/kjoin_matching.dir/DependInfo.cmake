@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/bigraph.cc" "src/CMakeFiles/kjoin_matching.dir/matching/bigraph.cc.o" "gcc" "src/CMakeFiles/kjoin_matching.dir/matching/bigraph.cc.o.d"
+  "/root/repo/src/matching/bounds.cc" "src/CMakeFiles/kjoin_matching.dir/matching/bounds.cc.o" "gcc" "src/CMakeFiles/kjoin_matching.dir/matching/bounds.cc.o.d"
+  "/root/repo/src/matching/greedy_matching.cc" "src/CMakeFiles/kjoin_matching.dir/matching/greedy_matching.cc.o" "gcc" "src/CMakeFiles/kjoin_matching.dir/matching/greedy_matching.cc.o.d"
+  "/root/repo/src/matching/hungarian.cc" "src/CMakeFiles/kjoin_matching.dir/matching/hungarian.cc.o" "gcc" "src/CMakeFiles/kjoin_matching.dir/matching/hungarian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kjoin_matching.dir/matching/bigraph.cc.o"
+  "CMakeFiles/kjoin_matching.dir/matching/bigraph.cc.o.d"
+  "CMakeFiles/kjoin_matching.dir/matching/bounds.cc.o"
+  "CMakeFiles/kjoin_matching.dir/matching/bounds.cc.o.d"
+  "CMakeFiles/kjoin_matching.dir/matching/greedy_matching.cc.o"
+  "CMakeFiles/kjoin_matching.dir/matching/greedy_matching.cc.o.d"
+  "CMakeFiles/kjoin_matching.dir/matching/hungarian.cc.o"
+  "CMakeFiles/kjoin_matching.dir/matching/hungarian.cc.o.d"
+  "libkjoin_matching.a"
+  "libkjoin_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kjoin_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

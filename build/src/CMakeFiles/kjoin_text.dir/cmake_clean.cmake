@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kjoin_text.dir/text/edit_distance.cc.o"
+  "CMakeFiles/kjoin_text.dir/text/edit_distance.cc.o.d"
+  "CMakeFiles/kjoin_text.dir/text/entity_matcher.cc.o"
+  "CMakeFiles/kjoin_text.dir/text/entity_matcher.cc.o.d"
+  "CMakeFiles/kjoin_text.dir/text/qgram_index.cc.o"
+  "CMakeFiles/kjoin_text.dir/text/qgram_index.cc.o.d"
+  "CMakeFiles/kjoin_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/kjoin_text.dir/text/tokenizer.cc.o.d"
+  "libkjoin_text.a"
+  "libkjoin_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kjoin_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kjoin_test.dir/kjoin_test.cc.o"
+  "CMakeFiles/kjoin_test.dir/kjoin_test.cc.o.d"
+  "kjoin_test"
+  "kjoin_test.pdb"
+  "kjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_join_test.dir/random_join_test.cc.o"
+  "CMakeFiles/random_join_test.dir/random_join_test.cc.o.d"
+  "random_join_test"
+  "random_join_test.pdb"
+  "random_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
