@@ -1,10 +1,18 @@
 // Figure 14: scalability — total join time for K-Join and K-Join+ as the
-// number of objects grows (POI at τ = 0.95, Tweet at τ = 0.85, δ = 0.8).
+// number of objects grows (POI at τ = 0.95, Tweet at τ = 0.85, δ = 0.8),
+// plus a thread-count sweep over the shared worker pool (docs/threading.md).
 //
-//   ./bench_fig14_scalability [--step 20000] [--steps 5]
+//   ./bench_fig14_scalability [--step 20000] [--steps 5] [--threads 1,2,4,8]
 //
 // The paper sweeps 0.2M..1M; the defaults sweep 20k..100k so the full
 // bench suite stays laptop-sized. Use --step 200000 to match the paper.
+// The thread sweep runs the largest self-join slice once per thread count
+// and reports speedup over the 1-thread run; `identical` asserts the
+// parallel result pairs match the serial ones byte for byte.
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -14,7 +22,20 @@ namespace {
 using kjoin::bench::Fmt;
 using kjoin::bench::PrintRow;
 
-void RunDataset(const std::string& name, bool poi, double tau, int64_t step, int64_t steps) {
+std::vector<int> ParseThreadList(const std::string& csv) {
+  std::vector<int> threads;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const int value = std::atoi(item.c_str());
+    if (value >= 1) threads.push_back(value);
+  }
+  if (threads.empty() || threads.front() != 1) threads.insert(threads.begin(), 1);
+  return threads;
+}
+
+void RunDataset(const std::string& name, bool poi, double tau, int64_t step, int64_t steps,
+                const std::vector<int>& threads) {
   kjoin::bench::PrintHeader("Figure 14: scalability (" + name + ", delta=0.8, tau=" +
                             Fmt(tau, 2) + ")");
   PrintRow({"#objects", "KJ-s", "KJ+-s", "KJ-results", "KJ+-results"}, 12);
@@ -46,6 +67,33 @@ void RunDataset(const std::string& name, bool poi, double tau, int64_t step, int
               std::to_string(kj.results), std::to_string(kjp.results)},
              12);
   }
+
+  // Thread sweep on the largest slice: end-to-end self-join through the
+  // worker pool, all phases sharded.
+  kjoin::bench::PrintHeader("Figure 14b: thread scaling (" + name + ", " +
+                            std::to_string(max_n) + " objects)");
+  PrintRow({"threads", "total-s", "speedup", "util", "tasks", "results", "identical"}, 10);
+  std::vector<std::pair<int32_t, int32_t>> serial_pairs;
+  double serial_seconds = 0.0;
+  for (const int t : threads) {
+    kjoin::KJoinOptions options;
+    options.delta = 0.8;
+    options.tau = tau;
+    options.num_threads = t;
+    const kjoin::JoinResult result =
+        kjoin::bench::RunKJoin(data.hierarchy, single.objects, options);
+    const kjoin::JoinStats& s = result.stats;
+    if (t == 1) {
+      serial_pairs = result.pairs;
+      serial_seconds = s.total_seconds;
+    }
+    const int64_t tasks = s.prepare_tasks + s.filter_tasks + s.verify_tasks;
+    PrintRow({std::to_string(t), Fmt(s.total_seconds, 2),
+              Fmt(serial_seconds / std::max(1e-9, s.total_seconds), 2) + "x",
+              Fmt(s.pool_utilization, 2), std::to_string(tasks), std::to_string(s.results),
+              result.pairs == serial_pairs ? "yes" : "NO"},
+             10);
+  }
 }
 
 }  // namespace
@@ -54,10 +102,14 @@ int main(int argc, char** argv) {
   kjoin::FlagSet flags("bench_fig14_scalability");
   int64_t* step = flags.Int("step", 10000, "object-count increment");
   int64_t* steps = flags.Int("steps", 4, "number of increments");
+  std::string* thread_list =
+      flags.String("threads", "1,2,4,8", "comma-separated thread counts for the sweep");
   if (!flags.Parse(argc, argv)) return 1;
-  RunDataset("POI", /*poi=*/true, /*tau=*/0.95, *step, *steps);
-  RunDataset("Tweet", /*poi=*/false, /*tau=*/0.85, *step, *steps);
+  const std::vector<int> threads = ParseThreadList(*thread_list);
+  RunDataset("POI", /*poi=*/true, /*tau=*/0.95, *step, *steps, threads);
+  RunDataset("Tweet", /*poi=*/false, /*tau=*/0.85, *step, *steps, threads);
   std::printf("\npaper shape: near-linear growth; K-Join+ slightly above K-Join\n"
-              "(it finds more results).\n");
+              "(it finds more results). Thread scaling: speedup approaches the\n"
+              "physical core count, with identical results at every thread count.\n");
   return 0;
 }

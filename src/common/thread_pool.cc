@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace kjoin {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int t = 0; t < num_threads_ - 1; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // A 1-lane pool has no workers; drain anything Schedule()d inline.
+  while (RunOneTask()) {
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KJOIN_CHECK(!stop_) << "Schedule on a stopping ThreadPool";
+    queue_.push_back(std::move(fn));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::RunTimed(const std::function<void()>& fn) {
+  const int64_t start = NowNanos();
+  fn();
+  const int64_t elapsed = NowNanos() - start;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tasks_executed_;
+  busy_nanos_ += elapsed;
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  RunTimed(task);
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: Schedule()d work is executed,
+      // not dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunTimed(task);
+  }
+}
+
+int ThreadPool::ParallelFor(int64_t n, int max_shards,
+                            const std::function<void(int, int64_t, int64_t)>& fn) {
+  if (n <= 0) return 0;
+  const int shards = static_cast<int>(std::min<int64_t>(n, std::max(1, max_shards)));
+  // Shard boundaries are a pure function of (n, shards): contiguous,
+  // non-empty, sizes differing by at most one.
+  const auto shard_begin = [n, shards](int s) { return n * s / shards; };
+
+  if (shards == 1) {
+    RunTimed([&] { fn(0, 0, n); });
+    return 1;
+  }
+
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable done;
+    int pending;
+  } sync{{}, {}, shards};
+
+  const auto run_shard = [&fn, &sync, shard_begin](int s) {
+    fn(s, shard_begin(s), shard_begin(s + 1));
+    // Notify while holding the lock: Sync lives on the ParallelFor stack
+    // frame, and the waiter may destroy it the moment it can observe
+    // pending == 0 — which, with the lock held, is only after notify_all
+    // has returned and the lock is released.
+    std::lock_guard<std::mutex> lock(sync.mu);
+    if (--sync.pending == 0) sync.done.notify_all();
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int s = 1; s < shards; ++s) {
+      queue_.push_back([&run_shard, s] { run_shard(s); });
+    }
+  }
+  task_ready_.notify_all();
+
+  // The caller is a full lane: run shard 0, then help drain the queue
+  // (our shards or anyone else's) until nothing is runnable.
+  RunTimed([&] { run_shard(0); });
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(sync.mu);
+      if (sync.pending == 0) break;
+    }
+    if (!RunOneTask()) break;  // queue empty: remaining shards are in flight
+  }
+  std::unique_lock<std::mutex> lock(sync.mu);
+  sync.done.wait(lock, [&sync] { return sync.pending == 0; });
+  return shards;
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {tasks_executed_, static_cast<double>(busy_nanos_) * 1e-9};
+}
+
+}  // namespace kjoin

@@ -1,7 +1,7 @@
 #include "core/kjoin.h"
 
 #include <algorithm>
-#include <thread>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -9,6 +9,14 @@
 #include "core/prefix.h"
 
 namespace kjoin {
+
+namespace {
+
+// Below this many candidates the sharding bookkeeping costs more than the
+// verification it parallelizes.
+constexpr size_t kMinParallelVerify = 2048;
+
+}  // namespace
 
 KJoin::KJoin(const Hierarchy& hierarchy, KJoinOptions options)
     : hierarchy_(&hierarchy),
@@ -19,7 +27,8 @@ KJoin::KJoin(const Hierarchy& hierarchy, KJoinOptions options)
       verifier_(element_sim_, signatures_,
                 VerifierOptions{options.delta, options.tau, options.verify_mode,
                                 options.set_metric, options.count_pruning,
-                                options.weighted_count_pruning, options.plus_mode}) {
+                                options.weighted_count_pruning, options.plus_mode}),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {
   KJOIN_CHECK(options.delta > 0.0 && options.delta <= 1.0);
   KJOIN_CHECK(options.tau >= 0.0 && options.tau <= 1.0);
   KJOIN_CHECK_GE(options.num_threads, 1);
@@ -40,34 +49,86 @@ int32_t KJoin::PrefixLengthFor(const std::vector<Signature>& sigs, int32_t objec
 
 KJoin::Prepared KJoin::Prepare(const std::vector<const std::vector<Object>*>& collections,
                                GlobalSignatureOrder* order, JoinStats* stats) const {
-  Prepared prepared;
-  int64_t total_objects = 0;
+  std::vector<const Object*> objects;
   for (const auto* collection : collections) {
-    total_objects += static_cast<int64_t>(collection->size());
+    for (const Object& object : *collection) objects.push_back(&object);
   }
-  prepared.sigs.reserve(total_objects);
-  prepared.prefix_len.reserve(total_objects);
+  const int64_t n = static_cast<int64_t>(objects.size());
 
-  for (const auto* collection : collections) {
-    for (const Object& object : *collection) {
-      prepared.sigs.push_back(signatures_.Generate(object));
-      order->CountObject(prepared.sigs.back());
-      stats->total_signatures += static_cast<int64_t>(prepared.sigs.back().size());
-    }
+  Prepared prepared;
+  prepared.sigs.resize(n);
+  prepared.prefix_len.assign(n, 0);
+  const int lanes = pool_->num_threads();
+
+  // Pass 1: per-shard signature generation with shard-local df maps; the
+  // maps merge into the order afterwards (order-insensitive sums), so the
+  // final global order is independent of num_threads.
+  std::vector<std::unordered_map<SigId, int32_t>> shard_df(lanes);
+  std::vector<int64_t> shard_total(lanes, 0);
+  stats->prepare_tasks +=
+      pool_->ParallelFor(n, lanes, [&](int shard, int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          prepared.sigs[i] = signatures_.Generate(*objects[i]);
+          GlobalSignatureOrder::CountDistinct(prepared.sigs[i], &shard_df[shard]);
+          shard_total[shard] += static_cast<int64_t>(prepared.sigs[i].size());
+        }
+      });
+  for (int s = 0; s < lanes; ++s) {
+    order->MergeCounts(shard_df[s]);
+    stats->total_signatures += shard_total[s];
   }
   order->Finalize();
 
-  size_t index = 0;
-  for (const auto* collection : collections) {
-    for (const Object& object : *collection) {
-      SortByGlobalOrder(*order, &prepared.sigs[index]);
-      const int32_t prefix = PrefixLengthFor(prepared.sigs[index], object.size());
-      prepared.prefix_len.push_back(prefix);
-      stats->prefix_signatures += prefix;
-      ++index;
-    }
-  }
+  // Pass 2: global-order sort and prefix lengths, embarrassingly parallel
+  // per object.
+  std::vector<int64_t> shard_prefix(lanes, 0);
+  stats->prepare_tasks +=
+      pool_->ParallelFor(n, lanes, [&](int shard, int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          SortByGlobalOrder(*order, &prepared.sigs[i]);
+          const int32_t prefix = PrefixLengthFor(prepared.sigs[i], objects[i]->size());
+          prepared.prefix_len[i] = prefix;
+          shard_prefix[shard] += prefix;
+        }
+      });
+  for (int s = 0; s < lanes; ++s) stats->prefix_signatures += shard_prefix[s];
   return prepared;
+}
+
+void KJoin::GenerateCandidates(
+    int64_t num_probes,
+    const std::function<void(int, int32_t, int32_t,
+                             std::vector<std::pair<int32_t, int32_t>>*)>& probe,
+    std::vector<std::pair<int32_t, int32_t>>* candidates, JoinStats* stats) const {
+  const int lanes = pool_->num_threads();
+  if (lanes == 1) {
+    // One lane: probe straight into the output, skipping the merge copy.
+    const size_t before = candidates->size();
+    stats->filter_tasks +=
+        pool_->ParallelFor(num_probes, 1, [&](int shard, int64_t begin, int64_t end) {
+          probe(shard, static_cast<int32_t>(begin), static_cast<int32_t>(end), candidates);
+        });
+    if (num_probes > 0) {
+      stats->shard_candidates.push_back(static_cast<int64_t>(candidates->size() - before));
+    }
+    return;
+  }
+
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> found(lanes);
+  const int tasks =
+      pool_->ParallelFor(num_probes, lanes, [&](int shard, int64_t begin, int64_t end) {
+        probe(shard, static_cast<int32_t>(begin), static_cast<int32_t>(end), &found[shard]);
+      });
+  stats->filter_tasks += tasks;
+  size_t total = candidates->size();
+  for (int s = 0; s < tasks; ++s) total += found[s].size();
+  candidates->reserve(total);
+  // Shards cover probes in ascending contiguous ranges, so a shard-order
+  // merge reproduces the global probe order exactly.
+  for (int s = 0; s < tasks; ++s) {
+    stats->shard_candidates.push_back(static_cast<int64_t>(found[s].size()));
+    candidates->insert(candidates->end(), found[s].begin(), found[s].end());
+  }
 }
 
 void KJoin::VerifyCandidates(const std::vector<Object>& left,
@@ -76,97 +137,129 @@ void KJoin::VerifyCandidates(const std::vector<Object>& left,
                              JoinResult* result) const {
   WallTimer timer;
   result->stats.candidates += static_cast<int64_t>(candidates.size());
-  const int num_threads = std::max(1, options_.num_threads);
+  // ParallelFor never schedules empty shards, so tiny batches cost at most
+  // one task; the explicit clamp only avoids sharding overhead on batches
+  // that are nontrivial yet still too small to win.
+  const int max_shards =
+      candidates.size() < kMinParallelVerify ? 1 : pool_->num_threads();
 
-  if (num_threads == 1 || candidates.size() < 2048) {
-    for (const auto& [l, r] : candidates) {
-      if (verifier_.Verify(left[l], right[r], &result->stats.verify)) {
-        result->pairs.emplace_back(l, r);
-      }
-    }
+  if (max_shards == 1) {
+    result->stats.verify_tasks += pool_->ParallelFor(
+        static_cast<int64_t>(candidates.size()), 1, [&](int, int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            const auto& [l, r] = candidates[i];
+            if (verifier_.Verify(left[l], right[r], &result->stats.verify)) {
+              result->pairs.emplace_back(l, r);
+            }
+          }
+        });
     result->stats.verify_seconds += timer.ElapsedSeconds();
     return;
   }
 
-  // Contiguous chunks keep the output in candidate order after an
-  // in-order merge.
-  std::vector<std::vector<std::pair<int32_t, int32_t>>> found(num_threads);
-  std::vector<VerifyStats> stats(num_threads);
-  const size_t chunk = (candidates.size() + num_threads - 1) / num_threads;
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (int t = 0; t < num_threads; ++t) {
-    const size_t begin = std::min(candidates.size(), t * chunk);
-    const size_t end = std::min(candidates.size(), begin + chunk);
-    workers.emplace_back([&, t, begin, end] {
-      for (size_t i = begin; i < end; ++i) {
-        const auto& [l, r] = candidates[i];
-        if (verifier_.Verify(left[l], right[r], &stats[t])) {
-          found[t].emplace_back(l, r);
+  // Contiguous shards keep the output in candidate order after an in-order
+  // merge; per-shard stats merge into one deterministic sum.
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> found(max_shards);
+  std::vector<VerifyStats> stats(max_shards);
+  const int tasks = pool_->ParallelFor(
+      static_cast<int64_t>(candidates.size()), max_shards,
+      [&](int shard, int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const auto& [l, r] = candidates[i];
+          if (verifier_.Verify(left[l], right[r], &stats[shard])) {
+            found[shard].emplace_back(l, r);
+          }
         }
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  for (int t = 0; t < num_threads; ++t) {
-    result->stats.verify.Add(stats[t]);
-    result->pairs.insert(result->pairs.end(), found[t].begin(), found[t].end());
+      });
+  result->stats.verify_tasks += tasks;
+  for (int s = 0; s < tasks; ++s) {
+    result->stats.verify.Add(stats[s]);
+    result->pairs.insert(result->pairs.end(), found[s].begin(), found[s].end());
   }
   result->stats.verify_seconds += timer.ElapsedSeconds();
 }
 
+void KJoin::FinishStats(const ThreadPoolStats& before, JoinStats* stats) const {
+  const ThreadPoolStats after = pool_->stats();
+  stats->threads = pool_->num_threads();
+  stats->pool_busy_seconds = after.busy_seconds - before.busy_seconds;
+  if (stats->total_seconds > 0.0) {
+    stats->pool_utilization =
+        stats->pool_busy_seconds / (pool_->num_threads() * stats->total_seconds);
+  }
+}
+
 JoinResult KJoin::SelfJoin(const std::vector<Object>& objects) const {
+  KJOIN_CHECK(FitsObjectIdSpace(objects.size()))
+      << "collection exceeds the int32_t object-id space; shard the input";
   JoinResult result;
   result.stats.num_objects_left = static_cast<int64_t>(objects.size());
   result.stats.num_objects_right = result.stats.num_objects_left;
+  const ThreadPoolStats pool_before = pool_->stats();
   WallTimer total_timer;
 
   WallTimer phase_timer;
   GlobalSignatureOrder order;
   const Prepared prepared = Prepare({&objects}, &order, &result.stats);
   result.stats.signature_seconds = phase_timer.ElapsedSeconds();
+  const int32_t n = static_cast<int32_t>(objects.size());
 
-  // Candidate generation: stream objects through the inverted index.
+  // Candidate generation. The index holds every object's full prefix, with
+  // each posting list ascending in object id; probing x only consumes
+  // entries y < x, which reproduces the streaming formulation (probe
+  // before insert) while letting probes shard freely across the pool.
   phase_timer.Restart();
   InvertedIndex index(order.num_signatures());
-  std::vector<int32_t> last_probe(objects.size(), -1);
-  std::vector<std::pair<int32_t, int32_t>> candidates;
-  for (int32_t x = 0; x < static_cast<int32_t>(objects.size()); ++x) {
+  for (int32_t x = 0; x < n; ++x) {
     const std::vector<Signature>& sigs = prepared.sigs[x];
-    const int32_t prefix = prepared.prefix_len[x];
     int32_t previous_rank = -1;
-    for (int32_t k = 0; k < prefix; ++k) {
+    for (int32_t k = 0; k < prepared.prefix_len[x]; ++k) {
       const int32_t rank = order.Rank(sigs[k].id);
       if (rank == previous_rank) continue;  // duplicate signature value
-      previous_rank = rank;
-      for (int32_t y : index.List(rank)) {
-        if (last_probe[y] == x) continue;
-        last_probe[y] = x;
-        candidates.emplace_back(y, x);
-      }
-    }
-    previous_rank = -1;
-    for (int32_t k = 0; k < prefix; ++k) {
-      const int32_t rank = order.Rank(sigs[k].id);
-      if (rank == previous_rank) continue;
       previous_rank = rank;
       index.Add(rank, x);
     }
   }
+  std::vector<std::pair<int32_t, int32_t>> candidates;
+  GenerateCandidates(
+      n,
+      [&](int, int32_t begin, int32_t end, std::vector<std::pair<int32_t, int32_t>>* out) {
+        std::vector<int32_t> last_probe(n, -1);
+        for (int32_t x = begin; x < end; ++x) {
+          const std::vector<Signature>& sigs = prepared.sigs[x];
+          int32_t previous_rank = -1;
+          for (int32_t k = 0; k < prepared.prefix_len[x]; ++k) {
+            const int32_t rank = order.Rank(sigs[k].id);
+            if (rank == previous_rank) continue;
+            previous_rank = rank;
+            for (int32_t y : index.List(rank)) {
+              if (y >= x) break;  // ascending list: only x itself and later objects follow
+              if (last_probe[y] == x) continue;
+              last_probe[y] = x;
+              out->emplace_back(y, x);
+            }
+          }
+        }
+      },
+      &candidates, &result.stats);
   result.stats.filter_seconds = phase_timer.ElapsedSeconds();
 
   VerifyCandidates(objects, objects, candidates, &result);
 
   result.stats.results = static_cast<int64_t>(result.pairs.size());
   result.stats.total_seconds = total_timer.ElapsedSeconds();
+  FinishStats(pool_before, &result.stats);
   return result;
 }
 
 JoinResult KJoin::Join(const std::vector<Object>& left,
                        const std::vector<Object>& right) const {
+  KJOIN_CHECK(FitsObjectIdSpace(left.size()) && FitsObjectIdSpace(right.size()))
+      << "collection exceeds the int32_t object-id space; shard the input";
   JoinResult result;
   result.stats.num_objects_left = static_cast<int64_t>(left.size());
   result.stats.num_objects_right = static_cast<int64_t>(right.size());
+  const ThreadPoolStats pool_before = pool_->stats();
   WallTimer total_timer;
 
   WallTimer phase_timer;
@@ -189,28 +282,34 @@ JoinResult KJoin::Join(const std::vector<Object>& left,
       index.Add(rank, l);
     }
   }
-  std::vector<int32_t> last_probe(left.size(), -1);
   std::vector<std::pair<int32_t, int32_t>> candidates;
-  for (int32_t r = 0; r < static_cast<int32_t>(right.size()); ++r) {
-    const std::vector<Signature>& sigs = prepared.sigs[right_offset + r];
-    int32_t previous_rank = -1;
-    for (int32_t k = 0; k < prepared.prefix_len[right_offset + r]; ++k) {
-      const int32_t rank = order.Rank(sigs[k].id);
-      if (rank == previous_rank) continue;
-      previous_rank = rank;
-      for (int32_t l : index.List(rank)) {
-        if (last_probe[l] == r) continue;
-        last_probe[l] = r;
-        candidates.emplace_back(l, r);
-      }
-    }
-  }
+  GenerateCandidates(
+      static_cast<int64_t>(right.size()),
+      [&](int, int32_t begin, int32_t end, std::vector<std::pair<int32_t, int32_t>>* out) {
+        std::vector<int32_t> last_probe(left.size(), -1);
+        for (int32_t r = begin; r < end; ++r) {
+          const std::vector<Signature>& sigs = prepared.sigs[right_offset + r];
+          int32_t previous_rank = -1;
+          for (int32_t k = 0; k < prepared.prefix_len[right_offset + r]; ++k) {
+            const int32_t rank = order.Rank(sigs[k].id);
+            if (rank == previous_rank) continue;
+            previous_rank = rank;
+            for (int32_t l : index.List(rank)) {
+              if (last_probe[l] == r) continue;
+              last_probe[l] = r;
+              out->emplace_back(l, r);
+            }
+          }
+        }
+      },
+      &candidates, &result.stats);
   result.stats.filter_seconds = phase_timer.ElapsedSeconds();
 
   VerifyCandidates(left, right, candidates, &result);
 
   result.stats.results = static_cast<int64_t>(result.pairs.size());
   result.stats.total_seconds = total_timer.ElapsedSeconds();
+  FinishStats(pool_before, &result.stats);
   return result;
 }
 

@@ -21,10 +21,13 @@
 //   JoinResult result = join.SelfJoin(objects);
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/element_similarity.h"
 #include "core/object.h"
 #include "core/object_similarity.h"
@@ -55,11 +58,24 @@ struct KJoinOptions {
   // K-Join+ semantics (multi-node element mappings). Objects must then be
   // built with ObjectBuilder(matcher, /*multi_mapping=*/true).
   bool plus_mode = false;
-  // Worker threads for the verification phase (candidate generation stays
-  // single-threaded; it is index-order dependent and rarely the
-  // bottleneck). 1 = fully sequential.
+  // Total parallelism for the whole pipeline — signature generation,
+  // global-order sorting, prefix computation, candidate probing, and
+  // verification all shard across one shared worker pool (see
+  // docs/threading.md). 1 = fully sequential (no threads spawned).
+  // Results and the counter fields of JoinStats are identical for every
+  // value.
   int num_threads = 1;
 };
+
+// Candidate pairs, the inverted index, and the probe bookkeeping address
+// objects with int32_t ids, so each input collection is limited to
+// INT32_MAX objects; Join/SelfJoin refuse larger inputs (shard upstream).
+inline constexpr uint64_t kMaxJoinCollectionSize =
+    static_cast<uint64_t>(std::numeric_limits<int32_t>::max());
+
+constexpr bool FitsObjectIdSpace(uint64_t collection_size) {
+  return collection_size <= kMaxJoinCollectionSize;
+}
 
 struct JoinStats {
   int64_t num_objects_left = 0;
@@ -74,6 +90,22 @@ struct JoinStats {
   double verify_seconds = 0.0;
   double total_seconds = 0.0;
   VerifyStats verify;
+
+  // ---- parallel-execution observability (docs/threading.md) ----
+  // Unlike the counters above, these describe how the run was scheduled,
+  // so they legitimately vary with num_threads (and the timing fields with
+  // the machine).
+  int threads = 1;             // options.num_threads of the run
+  int64_t prepare_tasks = 0;   // pool shards in Prepare (both passes)
+  int64_t filter_tasks = 0;    // probe shards in candidate generation
+  int64_t verify_tasks = 0;    // verification shards (1: small-batch serial path)
+  // Candidates found by each probe shard, in shard (= probe) order; their
+  // spread shows filter-phase load balance.
+  std::vector<int64_t> shard_candidates;
+  double pool_busy_seconds = 0.0;  // summed task time across pool lanes
+  // pool_busy_seconds / (threads × total_seconds): 1.0 means every lane
+  // was busy for the whole join.
+  double pool_utilization = 0.0;
 };
 
 struct JoinResult {
@@ -115,13 +147,28 @@ class KJoin {
 
   int32_t PrefixLengthFor(const std::vector<Signature>& sigs, int32_t object_size) const;
 
-  // Verifies candidate (left-index, right-index) pairs — in parallel when
-  // options_.num_threads > 1 — and appends the similar ones to
-  // result->pairs (kept in candidate order). Timing goes to
-  // verify_seconds, per-pair counters to result->stats.verify.
+  // Verifies candidate (left-index, right-index) pairs — sharded over the
+  // pool when options_.num_threads > 1 and the batch is large enough —
+  // and appends the similar ones to result->pairs (kept in candidate
+  // order). Timing goes to verify_seconds, per-pair counters to
+  // result->stats.verify.
   void VerifyCandidates(const std::vector<Object>& left, const std::vector<Object>& right,
                         const std::vector<std::pair<int32_t, int32_t>>& candidates,
                         JoinResult* result) const;
+
+  // Shards `num_probes` probe objects across the pool; `probe(shard,
+  // begin, end, out)` appends each probe's candidates to *out in probe
+  // order. Buffers are merged back in shard order, so `candidates` ends up
+  // in global probe order regardless of num_threads.
+  void GenerateCandidates(
+      int64_t num_probes,
+      const std::function<void(int, int32_t, int32_t,
+                               std::vector<std::pair<int32_t, int32_t>>*)>& probe,
+      std::vector<std::pair<int32_t, int32_t>>* candidates, JoinStats* stats) const;
+
+  // Fills stats->threads / pool_busy_seconds / pool_utilization from the
+  // pool counters accumulated since `before`.
+  void FinishStats(const ThreadPoolStats& before, JoinStats* stats) const;
 
   const Hierarchy* hierarchy_;
   KJoinOptions options_;
@@ -129,6 +176,9 @@ class KJoin {
   ElementSimilarity element_sim_;
   SignatureGenerator signatures_;
   Verifier verifier_;
+  // Shared worker pool for every phase; ~KJoin joins its threads. With
+  // num_threads == 1 the pool is lane-less and runs shards inline.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace kjoin

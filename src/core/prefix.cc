@@ -8,6 +8,11 @@ namespace kjoin {
 
 void GlobalSignatureOrder::CountObject(const std::vector<Signature>& sigs) {
   KJOIN_CHECK(!finalized_);
+  CountDistinct(sigs, &df_);
+}
+
+void GlobalSignatureOrder::CountDistinct(const std::vector<Signature>& sigs,
+                                         std::unordered_map<SigId, int32_t>* df) {
   // Dedupe within the object: df counts objects, not occurrences.
   // Signature lists are short; a sorted scratch of ids is cheap.
   static thread_local std::vector<SigId> scratch;
@@ -15,7 +20,12 @@ void GlobalSignatureOrder::CountObject(const std::vector<Signature>& sigs) {
   for (const Signature& sig : sigs) scratch.push_back(sig.id);
   std::sort(scratch.begin(), scratch.end());
   scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
-  for (SigId id : scratch) ++df_[id];
+  for (SigId id : scratch) ++(*df)[id];
+}
+
+void GlobalSignatureOrder::MergeCounts(const std::unordered_map<SigId, int32_t>& df) {
+  KJOIN_CHECK(!finalized_);
+  for (const auto& [id, count] : df) df_[id] += count;
 }
 
 void GlobalSignatureOrder::Finalize() {
@@ -49,6 +59,7 @@ int32_t GlobalSignatureOrder::RankOr(SigId id, int32_t fallback) const {
 }
 
 int32_t GlobalSignatureOrder::DocumentFrequency(SigId id) const {
+  KJOIN_CHECK(finalized_) << "DocumentFrequency before Finalize";
   auto it = df_.find(id);
   return it == df_.end() ? 0 : it->second;
 }

@@ -34,7 +34,15 @@ class GlobalSignatureOrder {
   // Counts each distinct SigId of the object once (document frequency).
   void CountObject(const std::vector<Signature>& sigs);
 
-  // Freezes the order. No CountObject afterwards.
+  // Sharded counting: CountDistinct accumulates one object's distinct
+  // SigIds into a caller-owned (typically per-worker) map; MergeCounts
+  // folds such a map in. MergeCounts over any partition of the objects is
+  // equivalent to CountObject on each of them, in any merge order.
+  static void CountDistinct(const std::vector<Signature>& sigs,
+                            std::unordered_map<SigId, int32_t>* df);
+  void MergeCounts(const std::unordered_map<SigId, int32_t>& df);
+
+  // Freezes the order. No CountObject/MergeCounts afterwards.
   void Finalize();
 
   // Dense rank in [0, num_signatures()). The id must have been counted.
@@ -47,6 +55,9 @@ class GlobalSignatureOrder {
   int32_t RankOr(SigId id, int32_t fallback) const;
 
   int32_t num_signatures() const { return static_cast<int32_t>(by_rank_.size()); }
+
+  // Final document frequency (0 for ids never counted). Like Rank/RankOr,
+  // only answerable once the order is frozen.
   int32_t DocumentFrequency(SigId id) const;
 
  private:

@@ -1,0 +1,227 @@
+// Threading-model tests: the shared worker pool, determinism of the
+// parallel join pipeline across thread counts, and the int32_t object-id
+// guard at the join entry points.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/kjoin.h"
+#include "core/prefix.h"
+#include "data/benchmark_suite.h"
+#include "data/generator.h"
+#include "hierarchy/hierarchy_generator.h"
+
+namespace kjoin {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  const int shards = pool.ParallelFor(kN, 4, [&](int, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_GE(shards, 1);
+  EXPECT_LE(shards, 4);
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForNeverSchedulesEmptyShards) {
+  // Fewer items than shards: the pool must clamp, not run idle tasks
+  // (the pre-pool verifier spawned and joined empty threads here).
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  const int shards = pool.ParallelFor(3, 8, [&](int, int64_t begin, int64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(begin, end);
+  });
+  EXPECT_EQ(shards, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  int64_t covered = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_LT(begin, end) << "empty shard scheduled";
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, 3);
+}
+
+TEST(ThreadPoolTest, ParallelForOnEmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  bool called = false;
+  EXPECT_EQ(pool.ParallelFor(0, 4, [&](int, int64_t, int64_t) { called = true; }), 0);
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(10, 1, [&](int, int64_t begin, int64_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    calls += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(ThreadPoolTest, ScheduledWorkDrainsBeforeDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.Schedule([&done] { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins workers after the queue is drained
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, StatsCountExecutedTasks) {
+  ThreadPool pool(2);
+  const ThreadPoolStats before = pool.stats();
+  const int shards = pool.ParallelFor(100, 2, [](int, int64_t, int64_t) {});
+  const ThreadPoolStats after = pool.stats();
+  EXPECT_EQ(after.tasks_executed - before.tasks_executed, shards);
+  EXPECT_GE(after.busy_seconds, before.busy_seconds);
+}
+
+// ------------------------------------------- pipeline determinism
+
+struct TestData {
+  Hierarchy hierarchy;
+  std::vector<Object> objects;
+};
+
+TestData MakeTestData(int num_records) {
+  HierarchyGenParams tree_params;
+  tree_params.num_nodes = 300;
+  tree_params.height = 5;
+  tree_params.avg_fanout = 4.0;
+  tree_params.max_fanout = 10;
+  tree_params.seed = 7;
+  Hierarchy tree = GenerateHierarchy(tree_params);
+
+  RecordGenParams data_params;
+  data_params.num_records = num_records;
+  data_params.avg_elements = 5;
+  data_params.min_elements = 2;
+  data_params.max_elements = 9;
+  data_params.min_depth = 2;
+  data_params.max_depth = 5;
+  data_params.duplicate_fraction = 0.5;
+  data_params.unmatched_token_rate = 0.1;
+  data_params.seed = 31;
+  const Dataset dataset = DatasetGenerator(tree, data_params).Generate("threading");
+  std::vector<Object> objects = BuildObjects(tree, dataset, /*multi_mapping=*/false).objects;
+  return {std::move(tree), std::move(objects)};
+}
+
+// The counters that must not depend on the thread count (timings and the
+// scheduling-shape fields legitimately do).
+void ExpectSameCounters(const JoinStats& a, const JoinStats& b, int threads) {
+  EXPECT_EQ(a.total_signatures, b.total_signatures) << threads << " threads";
+  EXPECT_EQ(a.prefix_signatures, b.prefix_signatures) << threads << " threads";
+  EXPECT_EQ(a.candidates, b.candidates) << threads << " threads";
+  EXPECT_EQ(a.results, b.results) << threads << " threads";
+  EXPECT_EQ(a.verify.pairs_verified, b.verify.pairs_verified) << threads << " threads";
+  EXPECT_EQ(a.verify.pruned_by_count, b.verify.pruned_by_count) << threads << " threads";
+  EXPECT_EQ(a.verify.pruned_by_weighted_count, b.verify.pruned_by_weighted_count)
+      << threads << " threads";
+  EXPECT_EQ(a.verify.accepted_by_lower_bound, b.verify.accepted_by_lower_bound)
+      << threads << " threads";
+  EXPECT_EQ(a.verify.rejected_by_upper_bound, b.verify.rejected_by_upper_bound)
+      << threads << " threads";
+  EXPECT_EQ(a.verify.hungarian_runs, b.verify.hungarian_runs) << threads << " threads";
+  EXPECT_EQ(a.verify.results, b.verify.results) << threads << " threads";
+}
+
+TEST(ThreadingDeterminismTest, SelfJoinIsIdenticalAcrossThreadCounts) {
+  const TestData data = MakeTestData(220);
+  KJoinOptions options;
+  options.delta = 0.7;
+  options.tau = 0.6;
+  options.num_threads = 1;
+  const JoinResult baseline = KJoin(data.hierarchy, options).SelfJoin(data.objects);
+  ASSERT_FALSE(baseline.pairs.empty()) << "degenerate dataset: nothing to compare";
+
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    const KJoin join(data.hierarchy, options);
+    const JoinResult result = join.SelfJoin(data.objects);
+    // Exact vector equality: same pairs in the same order.
+    EXPECT_EQ(result.pairs, baseline.pairs) << threads << " threads";
+    ExpectSameCounters(result.stats, baseline.stats, threads);
+    EXPECT_EQ(result.stats.threads, threads);
+    // A second run on the same KJoin reuses the pool and must agree too.
+    EXPECT_EQ(join.SelfJoin(data.objects).pairs, baseline.pairs);
+  }
+}
+
+TEST(ThreadingDeterminismTest, RsJoinIsIdenticalAcrossThreadCounts) {
+  const TestData data = MakeTestData(200);
+  std::vector<Object> left, right;
+  for (size_t i = 0; i < data.objects.size(); ++i) {
+    (i % 2 == 0 ? left : right).push_back(data.objects[i]);
+  }
+  KJoinOptions options;
+  options.delta = 0.7;
+  options.tau = 0.6;
+  options.num_threads = 1;
+  const JoinResult baseline = KJoin(data.hierarchy, options).Join(left, right);
+  ASSERT_FALSE(baseline.pairs.empty()) << "degenerate dataset: nothing to compare";
+
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    const JoinResult result = KJoin(data.hierarchy, options).Join(left, right);
+    EXPECT_EQ(result.pairs, baseline.pairs) << threads << " threads";
+    ExpectSameCounters(result.stats, baseline.stats, threads);
+  }
+}
+
+TEST(ThreadingDeterminismTest, ShardCandidateCountsSumToTotal) {
+  const TestData data = MakeTestData(150);
+  KJoinOptions options;
+  options.delta = 0.7;
+  options.tau = 0.6;
+  options.num_threads = 4;
+  const JoinResult result = KJoin(data.hierarchy, options).SelfJoin(data.objects);
+  int64_t sharded = 0;
+  for (int64_t c : result.stats.shard_candidates) sharded += c;
+  EXPECT_EQ(sharded, result.stats.candidates);
+  EXPECT_GE(result.stats.prepare_tasks, 2);  // two passes, >= 1 shard each
+  EXPECT_GE(result.stats.filter_tasks, 1);
+  EXPECT_GE(result.stats.verify_tasks, result.stats.candidates > 0 ? 1 : 0);
+  EXPECT_GE(result.stats.pool_busy_seconds, 0.0);
+}
+
+// --------------------------------------------- object-id space guard
+
+TEST(ObjectIdSpaceTest, BoundaryIsInt32Max) {
+  EXPECT_TRUE(FitsObjectIdSpace(0));
+  EXPECT_TRUE(FitsObjectIdSpace(kMaxJoinCollectionSize));
+  EXPECT_FALSE(FitsObjectIdSpace(kMaxJoinCollectionSize + 1));
+  EXPECT_FALSE(FitsObjectIdSpace(uint64_t{1} << 32));
+  static_assert(kMaxJoinCollectionSize == 2147483647u,
+                "candidate pairs store int32_t object ids");
+}
+
+// --------------------------------- GlobalSignatureOrder finalize guard
+
+using GlobalOrderDeathTest = testing::Test;
+
+TEST(GlobalOrderDeathTest, DocumentFrequencyBeforeFinalizeDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  GlobalSignatureOrder order;
+  std::vector<Signature> object = {{5, 0, 1.0f}};
+  order.CountObject(object);
+  EXPECT_DEATH(order.DocumentFrequency(5), "Finalize");
+}
+
+}  // namespace
+}  // namespace kjoin
