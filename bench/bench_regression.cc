@@ -1,0 +1,342 @@
+// Bench-regression harness: one binary that exercises the hot paths this
+// repo optimizes (LCA queries, filter schemes, verification, threading)
+// and emits a machine-readable JSON report so successive PRs can be
+// compared number-to-number.
+//
+//   ./bench_regression [--n 6000] [--verify_n 1500] [--micro_queries 2000000]
+//                      [--out BENCH_PR2.json]
+//
+// Sections (keys in the JSON):
+//   micro_lca    queries/sec for naive LCA, sparse-table LCA, uncached
+//                NodeSim, and NodeSim through a cold / warm SimCache,
+//                plus warm_speedup = warm / uncached.
+//   fig9_filter  signature-scheme sweep (node vs shallow/deep path):
+//                wall time, candidates, results.
+//   fig11_verify K-Join+ (plus-mode) verification with the SimCache off
+//                vs on (count prunings off, so the similarity work
+//                dominates).
+//   fig14_threads self-join wall time at 1 and 2 threads.
+//
+// Every joined section also reports whether the result pairs were
+// identical across the compared configurations — the cache and the
+// thread count must never change output.
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/element_similarity.h"
+#include "core/sim_cache.h"
+#include "data/generator.h"
+#include "hierarchy/hierarchy_generator.h"
+#include "hierarchy/lca.h"
+
+namespace {
+
+using kjoin::Hierarchy;
+using kjoin::LcaIndex;
+using kjoin::NodeId;
+using kjoin::SimCache;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::pair<NodeId, NodeId>> RandomPairs(const Hierarchy& tree, int count,
+                                                   uint64_t seed) {
+  kjoin::Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.NextUint64(tree.num_nodes())),
+                       static_cast<NodeId>(rng.NextUint64(tree.num_nodes())));
+  }
+  return pairs;
+}
+
+// Runs `queries` lookups round-robin over `pairs` and returns queries/sec.
+// The sink folds results via integer XOR: a += chain of doubles would put
+// a 4-cycle FP dependency between iterations and flatten the differences
+// this harness exists to measure.
+template <typename Fn>
+double MeasureQps(int64_t queries, const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                  const Fn& fn) {
+  const size_t n = pairs.size();
+  uint64_t sink = 0;
+  const double start = NowSeconds();
+  size_t i = 0;
+  for (int64_t q = 0; q < queries; ++q) {
+    const auto& [x, y] = pairs[i];
+    sink ^= std::bit_cast<uint64_t>(fn(x, y));
+    if (++i == n) i = 0;
+  }
+  const double elapsed = NowSeconds() - start;
+  // Keep `sink` live so the loop cannot be optimized away.
+  if (sink == uint64_t{1}) std::fprintf(stderr, "impossible\n");
+  return elapsed > 0.0 ? static_cast<double>(queries) / elapsed : 0.0;
+}
+
+struct MicroLcaReport {
+  double naive_qps = 0.0;
+  double sparse_qps = 0.0;
+  double nodesim_uncached_qps = 0.0;
+  double nodesim_cached_cold_qps = 0.0;
+  double nodesim_cached_warm_qps = 0.0;
+  double warm_speedup = 0.0;
+  double warm_hit_rate = 0.0;
+};
+
+MicroLcaReport RunMicroLca(int64_t queries) {
+  const Hierarchy tree = kjoin::GenerateHierarchy(kjoin::HierarchyGenParams{});
+  const LcaIndex lca(tree);
+  const kjoin::ElementSimilarity esim(lca);
+  // Warm set: 1024 pairs fit the thread-local L1. Cold set: enough
+  // distinct pairs that the first (and only) lap misses throughout.
+  const auto warm_pairs = RandomPairs(tree, 1024, 7);
+  const auto cold_pairs = RandomPairs(tree, 1 << 15, 8);
+
+  MicroLcaReport report;
+  report.naive_qps = MeasureQps(queries / 20, warm_pairs, [&](NodeId x, NodeId y) {
+    return static_cast<double>(tree.LowestCommonAncestorNaive(x, y));
+  });
+  report.sparse_qps = MeasureQps(queries, warm_pairs, [&](NodeId x, NodeId y) {
+    return static_cast<double>(lca.Lca(x, y));
+  });
+  report.nodesim_uncached_qps = MeasureQps(
+      queries, warm_pairs, [&](NodeId x, NodeId y) { return esim.NodeSim(x, y); });
+
+  {
+    // Cold: a single pass over distinct pairs against a fresh cache —
+    // measures the miss path (lookup + compute + insert).
+    const SimCache cache(int64_t{1} << 20);
+    const kjoin::ElementSimilarity cached(lca, kjoin::ElementMetric::kKJoin, &cache);
+    const int64_t cold_queries =
+        std::min<int64_t>(queries, static_cast<int64_t>(cold_pairs.size()));
+    report.nodesim_cached_cold_qps = MeasureQps(
+        cold_queries, cold_pairs, [&](NodeId x, NodeId y) { return cached.NodeSim(x, y); });
+  }
+  {
+    const SimCache cache(int64_t{1} << 20);
+    const kjoin::ElementSimilarity cached(lca, kjoin::ElementMetric::kKJoin, &cache);
+    // Prefill, then measure pure-hit throughput.
+    for (const auto& [x, y] : warm_pairs) cached.NodeSim(x, y);
+    report.nodesim_cached_warm_qps = MeasureQps(
+        queries, warm_pairs, [&](NodeId x, NodeId y) { return cached.NodeSim(x, y); });
+    report.warm_hit_rate = cache.stats().HitRate();
+  }
+  report.warm_speedup = report.nodesim_uncached_qps > 0.0
+                            ? report.nodesim_cached_warm_qps / report.nodesim_uncached_qps
+                            : 0.0;
+  return report;
+}
+
+struct SchemeRow {
+  std::string scheme;
+  double total_seconds = 0.0;
+  int64_t candidates = 0;
+  int64_t results = 0;
+};
+
+struct VerifyReport {
+  double cache_off_verify_seconds = 0.0;
+  double cache_on_verify_seconds = 0.0;
+  double verify_speedup = 0.0;
+  double sim_cache_hit_rate = 0.0;
+  int64_t sim_cache_hits = 0;
+  int64_t sim_cache_misses = 0;
+  int64_t candidates = 0;
+  bool results_identical = false;
+};
+
+struct ThreadRow {
+  int threads = 1;
+  double total_seconds = 0.0;
+  bool results_identical = true;
+};
+
+std::string JsonBool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kjoin::FlagSet flags("bench_regression");
+  int64_t* n = flags.Int("n", 6000, "records in the POI-shaped dataset");
+  int64_t* verify_n =
+      flags.Int("verify_n", 1500, "records in the plus-mode verification section");
+  int64_t* micro_queries = flags.Int("micro_queries", 2000000, "micro-LCA lookups per timer");
+  std::string* out = flags.String("out", "BENCH_PR2.json", "JSON report path");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  std::printf("== micro LCA (%lld queries/timer) ==\n",
+              static_cast<long long>(*micro_queries));
+  const MicroLcaReport micro = RunMicroLca(*micro_queries);
+  std::printf("naive %.3g qps | sparse %.3g qps | nodesim %.3g qps | cold %.3g qps | "
+              "warm %.3g qps (%.2fx, hit rate %.3f)\n",
+              micro.naive_qps, micro.sparse_qps, micro.nodesim_uncached_qps,
+              micro.nodesim_cached_cold_qps, micro.nodesim_cached_warm_qps,
+              micro.warm_speedup, micro.warm_hit_rate);
+
+  const kjoin::BenchmarkData poi = kjoin::MakePoiBenchmark(*n);
+  const kjoin::PreparedObjects prepared =
+      kjoin::BuildObjects(poi.hierarchy, poi.dataset, /*multi_mapping=*/false);
+
+  // ---- fig9-style filter scheme sweep ----
+  std::printf("== filter schemes (n=%lld, delta=0.8, tau=0.85) ==\n",
+              static_cast<long long>(*n));
+  std::vector<SchemeRow> scheme_rows;
+  const std::pair<kjoin::SignatureScheme, std::string> schemes[] = {
+      {kjoin::SignatureScheme::kNode, "node"},
+      {kjoin::SignatureScheme::kShallowPath, "shallow_path"},
+      {kjoin::SignatureScheme::kDeepPath, "deep_path"},
+  };
+  for (const auto& [scheme, name] : schemes) {
+    kjoin::KJoinOptions options;
+    options.delta = 0.8;
+    options.tau = 0.85;
+    options.scheme = scheme;
+    // The weighted prefix (Definition 9) is only defined on deep paths.
+    options.weighted_prefix = scheme == kjoin::SignatureScheme::kDeepPath;
+    const kjoin::JoinResult result =
+        kjoin::bench::RunKJoin(poi.hierarchy, prepared.objects, options);
+    scheme_rows.push_back(
+        {name, result.stats.total_seconds, result.stats.candidates, result.stats.results});
+    std::printf("%-14s %.3fs  candidates=%lld  results=%lld\n", name.c_str(),
+                result.stats.total_seconds, static_cast<long long>(result.stats.candidates),
+                static_cast<long long>(result.stats.results));
+  }
+
+  // ---- fig11-style verification: SimCache off vs on (K-Join+) ----
+  // Plus-mode verification is the regime the SimCache is built for: every
+  // similarity-matrix cell runs the Eq. 2 mapping-pair loop (several
+  // NodeSims plus bound arithmetic), and near-duplicate candidate pairs
+  // re-evaluate the same token pairs thousands of times; a cached cell
+  // collapses to one probe. (Pure-mode cells are a single O(1) RMQ
+  // against cache-hot tables — recomputing those already costs about as
+  // much as any cache probe, so pure mode is a wash by design; see
+  // docs/performance.md.) Count prunings off so verification does the
+  // full similarity work.
+  std::printf("== K-Join+ verification (n=%lld), SimCache off vs on ==\n",
+              static_cast<long long>(*verify_n));
+  VerifyReport verify;
+  kjoin::JoinResult off_result, on_result;
+  {
+    const kjoin::BenchmarkData verify_poi = kjoin::MakePoiBenchmark(*verify_n);
+    const kjoin::PreparedObjects verify_prepared =
+        kjoin::BuildObjects(verify_poi.hierarchy, verify_poi.dataset, /*multi_mapping=*/true);
+
+    kjoin::KJoinOptions options;
+    options.delta = 0.8;
+    options.tau = 0.75;
+    options.plus_mode = true;
+    options.count_pruning = false;
+    options.weighted_count_pruning = false;
+    options.sim_cache = false;
+    off_result = kjoin::bench::RunKJoin(verify_poi.hierarchy, verify_prepared.objects, options);
+    options.sim_cache = true;
+    on_result = kjoin::bench::RunKJoin(verify_poi.hierarchy, verify_prepared.objects, options);
+  }
+  verify.cache_off_verify_seconds = off_result.stats.verify_seconds;
+  verify.cache_on_verify_seconds = on_result.stats.verify_seconds;
+  verify.verify_speedup = on_result.stats.verify_seconds > 0.0
+                              ? off_result.stats.verify_seconds / on_result.stats.verify_seconds
+                              : 0.0;
+  verify.sim_cache_hit_rate = on_result.stats.sim_cache_hit_rate;
+  verify.sim_cache_hits = on_result.stats.sim_cache_hits;
+  verify.sim_cache_misses = on_result.stats.sim_cache_misses;
+  verify.candidates = off_result.stats.candidates;
+  verify.results_identical = off_result.pairs == on_result.pairs;
+  std::printf("off %.3fs | on %.3fs (%.2fx) | hit rate %.3f | identical=%s\n",
+              verify.cache_off_verify_seconds, verify.cache_on_verify_seconds,
+              verify.verify_speedup, verify.sim_cache_hit_rate,
+              JsonBool(verify.results_identical).c_str());
+
+  // ---- fig14-style thread sweep ----
+  std::printf("== self-join wall time vs threads ==\n");
+  std::vector<ThreadRow> thread_rows;
+  std::vector<std::pair<int32_t, int32_t>> thread_baseline;
+  for (int threads : {1, 2}) {
+    kjoin::KJoinOptions options;
+    options.delta = 0.8;
+    options.tau = 0.85;
+    options.num_threads = threads;
+    const kjoin::JoinResult result =
+        kjoin::bench::RunKJoin(poi.hierarchy, prepared.objects, options);
+    ThreadRow row;
+    row.threads = threads;
+    row.total_seconds = result.stats.total_seconds;
+    if (threads == 1) {
+      thread_baseline = result.pairs;
+    } else {
+      row.results_identical = result.pairs == thread_baseline;
+    }
+    thread_rows.push_back(row);
+    std::printf("threads=%d  %.3fs  identical=%s\n", threads, row.total_seconds,
+                JsonBool(row.results_identical).c_str());
+  }
+
+  // ---- JSON report ----
+  std::FILE* f = std::fopen(out->c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out->c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"kjoin-regression\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"n\": %lld, \"verify_n\": %lld, \"micro_queries\": "
+               "%lld},\n",
+               static_cast<long long>(*n), static_cast<long long>(*verify_n),
+               static_cast<long long>(*micro_queries));
+  std::fprintf(f,
+               "  \"micro_lca\": {\"naive_qps\": %.1f, \"sparse_qps\": %.1f, "
+               "\"nodesim_uncached_qps\": %.1f, \"nodesim_cached_cold_qps\": %.1f, "
+               "\"nodesim_cached_warm_qps\": %.1f, \"warm_speedup\": %.3f, "
+               "\"warm_hit_rate\": %.4f},\n",
+               micro.naive_qps, micro.sparse_qps, micro.nodesim_uncached_qps,
+               micro.nodesim_cached_cold_qps, micro.nodesim_cached_warm_qps,
+               micro.warm_speedup, micro.warm_hit_rate);
+  std::fprintf(f, "  \"fig9_filter\": [");
+  for (size_t i = 0; i < scheme_rows.size(); ++i) {
+    const SchemeRow& row = scheme_rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"scheme\": \"%s\", \"total_seconds\": %.4f, "
+                 "\"candidates\": %lld, \"results\": %lld}",
+                 i == 0 ? "" : ",", row.scheme.c_str(), row.total_seconds,
+                 static_cast<long long>(row.candidates), static_cast<long long>(row.results));
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f,
+               "  \"fig11_verify\": {\"delta\": 0.8, \"tau\": 0.75, \"plus_mode\": true, "
+               "\"n\": %lld, "
+               "\"cache_off_verify_seconds\": %.4f, \"cache_on_verify_seconds\": %.4f, "
+               "\"verify_speedup\": %.3f, \"sim_cache_hit_rate\": %.4f, "
+               "\"sim_cache_hits\": %lld, \"sim_cache_misses\": %lld, "
+               "\"candidates\": %lld, \"results_identical\": %s},\n",
+               static_cast<long long>(*verify_n), verify.cache_off_verify_seconds,
+               verify.cache_on_verify_seconds, verify.verify_speedup,
+               verify.sim_cache_hit_rate,
+               static_cast<long long>(verify.sim_cache_hits),
+               static_cast<long long>(verify.sim_cache_misses),
+               static_cast<long long>(verify.candidates),
+               JsonBool(verify.results_identical).c_str());
+  std::fprintf(f, "  \"fig14_threads\": [");
+  for (size_t i = 0; i < thread_rows.size(); ++i) {
+    const ThreadRow& row = thread_rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"threads\": %d, \"total_seconds\": %.4f, "
+                 "\"results_identical\": %s}",
+                 i == 0 ? "" : ",", row.threads, row.total_seconds,
+                 JsonBool(row.results_identical).c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out->c_str());
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the release tree and runs the bench-regression harness, writing a
+# machine-readable report (default BENCH_PR2.json in the repo root).
+#
+#   scripts/run_bench.sh [out.json] [extra bench_regression flags...]
+#
+# Compare the report against the committed one from the previous PR to
+# catch hot-path regressions; docs/performance.md describes the schema.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_PR2.json}"
+shift || true
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" --target bench_regression -j "$(nproc)"
+"$repo/build/bench/bench_regression" --out "$out" "$@"
+echo "report: $out"

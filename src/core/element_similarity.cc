@@ -15,11 +15,19 @@ int CeilSafe(double x) { return static_cast<int>(std::ceil(x - 1e-9)); }
 
 }  // namespace
 
-ElementSimilarity::ElementSimilarity(const LcaIndex& lca, ElementMetric metric)
-    : lca_(&lca), metric_(metric) {}
+ElementSimilarity::ElementSimilarity(const LcaIndex& lca, ElementMetric metric,
+                                     const SimCache* cache)
+    : lca_(&lca), metric_(metric), cache_(cache) {}
 
 double ElementSimilarity::NodeSim(NodeId x, NodeId y) const {
   if (x == y) return 1.0;
+  if (cache_ != nullptr) {
+    return cache_->GetOrCompute(x, y, [&] { return NodeSimUncached(x, y); });
+  }
+  return NodeSimUncached(x, y);
+}
+
+double ElementSimilarity::NodeSimUncached(NodeId x, NodeId y) const {
   const int dx = hierarchy().depth(x);
   const int dy = hierarchy().depth(y);
   const int dl = lca_->LcaDepth(x, y);
@@ -40,11 +48,41 @@ double ElementSimilarity::Sim(const Element& x, const Element& y) const {
   // Identical tokens are maximally similar regardless of mappings.
   if (x.token_id >= 0 && x.token_id == y.token_id) return 1.0;
   if (x.token == y.token && !x.token.empty()) return 1.0;
+  if (cache_ != nullptr && !x.mappings.empty() && !y.mappings.empty()) {
+    // Pure K-Join elements (one mapping, φ = 1) reduce Eq. 2 to a single
+    // NodeSim; key by node pair so synonyms of the same node share an
+    // entry. Everything else — plus-mode elements with several weighted
+    // mappings — is a pure function of the token-id pair (ObjectBuilder
+    // interning: equal ids ⇒ equal mapping sets), so the whole loop
+    // collapses to one probe on a hit. Either way the cached value is
+    // bit-identical to what SimUncached would return.
+    if (x.mappings.size() == 1 && y.mappings.size() == 1 && x.mappings[0].phi == 1.0 &&
+        y.mappings[0].phi == 1.0) {
+      const NodeId nx = x.mappings[0].node;
+      const NodeId ny = y.mappings[0].node;
+      if (nx == ny) return 1.0;
+      return cache_->GetOrCompute(nx, ny, [&] { return NodeSimUncached(nx, ny); });
+    }
+    if (x.token_id >= 0 && y.token_id >= 0) {
+      return cache_->GetOrComputeKey(SimCache::TokenKey(x.token_id, y.token_id),
+                                     [&] { return SimUncached(x, y); });
+    }
+  }
+  return SimUncached(x, y);
+}
+
+double ElementSimilarity::SimUncached(const Element& x, const Element& y) const {
+  // NodeSim <= 1 caps the maximum at max(φ_x)·max(φ_y); a `best >= 1`
+  // exit could never fire with φ < 1.
+  const double bound = x.max_phi() * y.max_phi();
   double best = 0.0;
   for (const ElementMapping& mx : x.mappings) {
     for (const ElementMapping& my : y.mappings) {
-      best = std::max(best, NodeSim(mx.node, my.node) * mx.phi * my.phi);
-      if (best >= 1.0) return 1.0;
+      const double cap = mx.phi * my.phi;
+      if (cap <= best) continue;  // cannot improve, whatever the node pair
+      const double node_sim = mx.node == my.node ? 1.0 : NodeSimUncached(mx.node, my.node);
+      best = std::max(best, node_sim * cap);
+      if (best >= bound) return best;
     }
   }
   return best;

@@ -4,6 +4,7 @@
 // Knowledge-aware element similarity (paper Definitions 1, Eq. 2, §6.2).
 
 #include "core/element.h"
+#include "core/sim_cache.h"
 #include "hierarchy/lca.h"
 
 namespace kjoin {
@@ -18,8 +19,12 @@ enum class ElementMetric {
 
 class ElementSimilarity {
  public:
-  // The LCA index (and its hierarchy) must outlive this object.
-  explicit ElementSimilarity(const LcaIndex& lca, ElementMetric metric = ElementMetric::kKJoin);
+  // The LCA index (and its hierarchy) must outlive this object. When
+  // `cache` is non-null it must outlive this object too; node-pair
+  // similarities are then memoized through it (hits are bit-identical to
+  // recomputation, so results do not depend on the cache being present).
+  explicit ElementSimilarity(const LcaIndex& lca, ElementMetric metric = ElementMetric::kKJoin,
+                             const SimCache* cache = nullptr);
 
   // Similarity between two tree nodes under the configured metric.
   double NodeSim(NodeId x, NodeId y) const;
@@ -59,8 +64,18 @@ class ElementSimilarity {
   static double MaxSimThroughDepth(int lca_depth, int node_depth, ElementMetric metric);
 
  private:
+  // NodeSim without the cache in front.
+  double NodeSimUncached(NodeId x, NodeId y) const;
+
+  // The Eq. 2 mapping-pair loop, bypassing the cache entirely (its
+  // NodeSims are computed directly: when this runs as a SimCache miss the
+  // whole result is memoized at the element level, and caching the inner
+  // node pairs too only adds probe traffic).
+  double SimUncached(const Element& x, const Element& y) const;
+
   const LcaIndex* lca_;
   ElementMetric metric_;
+  const SimCache* cache_;  // may be null (caching off)
 };
 
 }  // namespace kjoin

@@ -22,7 +22,9 @@ KJoin::KJoin(const Hierarchy& hierarchy, KJoinOptions options)
     : hierarchy_(&hierarchy),
       options_(options),
       lca_(hierarchy),
-      element_sim_(lca_, options.element_metric),
+      sim_cache_(options.sim_cache ? std::make_unique<SimCache>(options.sim_cache_capacity)
+                                   : nullptr),
+      element_sim_(lca_, options.element_metric, sim_cache_.get()),
       signatures_(hierarchy, options.element_metric, options.scheme, options.delta),
       verifier_(element_sim_, signatures_,
                 VerifierOptions{options.delta, options.tau, options.verify_mode,
@@ -179,13 +181,26 @@ void KJoin::VerifyCandidates(const std::vector<Object>& left,
   result->stats.verify_seconds += timer.ElapsedSeconds();
 }
 
-void KJoin::FinishStats(const ThreadPoolStats& before, JoinStats* stats) const {
+SimCacheStats KJoin::CacheStats() const {
+  return sim_cache_ != nullptr ? sim_cache_->stats() : SimCacheStats{};
+}
+
+void KJoin::FinishStats(const ThreadPoolStats& pool_before, const SimCacheStats& cache_before,
+                        JoinStats* stats) const {
   const ThreadPoolStats after = pool_->stats();
   stats->threads = pool_->num_threads();
-  stats->pool_busy_seconds = after.busy_seconds - before.busy_seconds;
+  stats->pool_busy_seconds = after.busy_seconds - pool_before.busy_seconds;
   if (stats->total_seconds > 0.0) {
     stats->pool_utilization =
         stats->pool_busy_seconds / (pool_->num_threads() * stats->total_seconds);
+  }
+  const SimCacheStats cache_after = CacheStats();
+  stats->sim_cache_hits = cache_after.hits() - cache_before.hits();
+  stats->sim_cache_misses = cache_after.misses - cache_before.misses;
+  const int64_t lookups = stats->sim_cache_hits + stats->sim_cache_misses;
+  if (lookups > 0) {
+    stats->sim_cache_hit_rate =
+        static_cast<double>(stats->sim_cache_hits) / static_cast<double>(lookups);
   }
 }
 
@@ -196,6 +211,7 @@ JoinResult KJoin::SelfJoin(const std::vector<Object>& objects) const {
   result.stats.num_objects_left = static_cast<int64_t>(objects.size());
   result.stats.num_objects_right = result.stats.num_objects_left;
   const ThreadPoolStats pool_before = pool_->stats();
+  const SimCacheStats cache_before = CacheStats();
   WallTimer total_timer;
 
   WallTimer phase_timer;
@@ -248,7 +264,7 @@ JoinResult KJoin::SelfJoin(const std::vector<Object>& objects) const {
 
   result.stats.results = static_cast<int64_t>(result.pairs.size());
   result.stats.total_seconds = total_timer.ElapsedSeconds();
-  FinishStats(pool_before, &result.stats);
+  FinishStats(pool_before, cache_before, &result.stats);
   return result;
 }
 
@@ -260,6 +276,7 @@ JoinResult KJoin::Join(const std::vector<Object>& left,
   result.stats.num_objects_left = static_cast<int64_t>(left.size());
   result.stats.num_objects_right = static_cast<int64_t>(right.size());
   const ThreadPoolStats pool_before = pool_->stats();
+  const SimCacheStats cache_before = CacheStats();
   WallTimer total_timer;
 
   WallTimer phase_timer;
@@ -309,7 +326,7 @@ JoinResult KJoin::Join(const std::vector<Object>& left,
 
   result.stats.results = static_cast<int64_t>(result.pairs.size());
   result.stats.total_seconds = total_timer.ElapsedSeconds();
-  FinishStats(pool_before, &result.stats);
+  FinishStats(pool_before, cache_before, &result.stats);
   return result;
 }
 

@@ -58,6 +58,13 @@ struct KJoinOptions {
   // K-Join+ semantics (multi-node element mappings). Objects must then be
   // built with ObjectBuilder(matcher, /*multi_mapping=*/true).
   bool plus_mode = false;
+  // Node-pair similarity cache in front of the LCA index (see
+  // docs/performance.md). Join results are byte-identical with the cache
+  // on or off — cached values are bit-identical to recomputation — so this
+  // is purely a speed/memory trade. The capacity is the approximate
+  // number of shared L2 slots (16 bytes each).
+  bool sim_cache = true;
+  int64_t sim_cache_capacity = int64_t{1} << 20;
   // Total parallelism for the whole pipeline — signature generation,
   // global-order sorting, prefix computation, candidate probing, and
   // verification all shard across one shared worker pool (see
@@ -106,6 +113,13 @@ struct JoinStats {
   // pool_busy_seconds / (threads × total_seconds): 1.0 means every lane
   // was busy for the whole join.
   double pool_utilization = 0.0;
+  // SimCache traffic during the join (zero when options.sim_cache is
+  // off). Hits split across per-thread L1s, so these counters — like the
+  // scheduling fields above — legitimately vary with num_threads; the
+  // result counters never do.
+  int64_t sim_cache_hits = 0;
+  int64_t sim_cache_misses = 0;
+  double sim_cache_hit_rate = 0.0;  // hits / (hits + misses)
 };
 
 struct JoinResult {
@@ -166,13 +180,20 @@ class KJoin {
                                std::vector<std::pair<int32_t, int32_t>>*)>& probe,
       std::vector<std::pair<int32_t, int32_t>>* candidates, JoinStats* stats) const;
 
-  // Fills stats->threads / pool_busy_seconds / pool_utilization from the
-  // pool counters accumulated since `before`.
-  void FinishStats(const ThreadPoolStats& before, JoinStats* stats) const;
+  // Fills stats->threads / pool_busy_seconds / pool_utilization and the
+  // sim_cache_* fields from the pool and cache counters accumulated since
+  // the `before` snapshots.
+  void FinishStats(const ThreadPoolStats& pool_before, const SimCacheStats& cache_before,
+                   JoinStats* stats) const;
+
+  SimCacheStats CacheStats() const;
 
   const Hierarchy* hierarchy_;
   KJoinOptions options_;
   LcaIndex lca_;
+  // Owned node-pair similarity cache; null when options_.sim_cache is
+  // off. Declared before element_sim_, which captures the raw pointer.
+  std::unique_ptr<SimCache> sim_cache_;
   ElementSimilarity element_sim_;
   SignatureGenerator signatures_;
   Verifier verifier_;

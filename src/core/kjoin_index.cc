@@ -13,7 +13,9 @@ KJoinIndex::KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options,
       options_(options),
       objects_(std::move(objects)),
       lca_(hierarchy),
-      element_sim_(lca_, options.element_metric),
+      sim_cache_(options.sim_cache ? std::make_unique<SimCache>(options.sim_cache_capacity)
+                                   : nullptr),
+      element_sim_(lca_, options.element_metric, sim_cache_.get()),
       signatures_(hierarchy, options.element_metric, options.scheme, options.delta),
       object_sim_(element_sim_, options.delta, options.set_metric),
       verifier_(element_sim_, signatures_,

@@ -71,6 +71,9 @@ class KJoinIndex {
   KJoinOptions options_;
   std::vector<Object> objects_;
   LcaIndex lca_;
+  // Declared before element_sim_, which captures the raw pointer (null
+  // when options_.sim_cache is off).
+  std::unique_ptr<SimCache> sim_cache_;
   ElementSimilarity element_sim_;
   SignatureGenerator signatures_;
   ObjectSimilarity object_sim_;

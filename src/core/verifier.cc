@@ -15,6 +15,20 @@ namespace {
 // borderline pairs go through the exact matcher rather than being pruned.
 constexpr double kEps = 1e-9;
 
+// Thread-local scratch vectors persist across BuildGroups calls to avoid
+// per-pair allocation, but a single huge candidate pair would otherwise
+// pin a peak-sized buffer in every worker thread for the rest of the
+// join. Above this many elements the buffer is released after use.
+constexpr size_t kMaxRetainedScratch = size_t{1} << 14;
+
+template <typename T>
+void ClampRetainedCapacity(std::vector<T>* vec) {
+  if (vec->capacity() > kMaxRetainedScratch) {
+    vec->clear();
+    vec->shrink_to_fit();
+  }
+}
+
 // Minimal union-find over dense indices.
 class UnionFind {
  public:
@@ -95,6 +109,8 @@ std::vector<Verifier::Group> Verifier::BuildGroups(const Object& x, const Object
       }
       i = j;
     }
+    ClampRetainedCapacity(&entries);
+    ClampRetainedCapacity(&scratch);
     return groups;
   }
 

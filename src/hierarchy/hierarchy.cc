@@ -14,16 +14,22 @@ Hierarchy::Hierarchy(std::vector<NodeId> parents, std::vector<std::string> label
 
   const int64_t n = num_nodes();
   depths_.assign(n, 0);
-  children_.assign(n, {});
+  child_offsets_.assign(n + 1, 0);
   for (NodeId v = 1; v < n; ++v) {
     const NodeId p = parents_[v];
     KJOIN_CHECK(p >= 0 && p < v) << "parents must precede children (node " << v << ")";
     depths_[v] = depths_[p] + 1;
-    children_[p].push_back(v);
+    ++child_offsets_[p + 1];
     height_ = std::max(height_, depths_[v]);
   }
+  // CSR fill: prefix-sum the per-parent counts, then place children in
+  // ascending id order (the same order the old per-node vectors grew in).
+  for (NodeId v = 0; v < n; ++v) child_offsets_[v + 1] += child_offsets_[v];
+  child_nodes_.resize(n > 0 ? n - 1 : 0);
+  std::vector<int32_t> cursor(child_offsets_.begin(), child_offsets_.end() - 1);
+  for (NodeId v = 1; v < n; ++v) child_nodes_[cursor[parents_[v]]++] = v;
   for (NodeId v = 0; v < n; ++v) {
-    if (children_[v].empty()) leaves_.push_back(v);
+    if (IsLeaf(v)) leaves_.push_back(v);
     label_index_[labels_[v]].push_back(v);
   }
 }
@@ -74,7 +80,7 @@ HierarchyStats Hierarchy::ComputeStats() const {
   int64_t internal = 0;
   stats.min_fanout = 0;
   for (NodeId v = 0; v < num_nodes(); ++v) {
-    const int fanout = static_cast<int>(children_[v].size());
+    const int fanout = child_offsets_[v + 1] - child_offsets_[v];
     if (fanout == 0) continue;
     ++internal;
     fanout_sum += fanout;

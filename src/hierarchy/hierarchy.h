@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -53,8 +54,17 @@ class Hierarchy {
   NodeId parent(NodeId node) const { return parents_[CheckId(node)]; }
   int depth(NodeId node) const { return depths_[CheckId(node)]; }
   const std::string& label(NodeId node) const { return labels_[CheckId(node)]; }
-  const std::vector<NodeId>& children(NodeId node) const { return children_[CheckId(node)]; }
-  bool IsLeaf(NodeId node) const { return children(node).empty(); }
+  // Children in ascending id order. Adjacency is stored in CSR form
+  // (child_offsets_ + child_nodes_), so the whole tree's child lists are
+  // one contiguous array and a node's list is a view into it.
+  std::span<const NodeId> children(NodeId node) const {
+    CheckId(node);
+    return {child_nodes_.data() + child_offsets_[node],
+            child_nodes_.data() + child_offsets_[node + 1]};
+  }
+  bool IsLeaf(NodeId node) const {
+    return child_offsets_[CheckId(node)] == child_offsets_[node + 1];
+  }
 
   // Max depth over all nodes (root alone => 0).
   int height() const { return height_; }
@@ -92,7 +102,10 @@ class Hierarchy {
   std::vector<NodeId> parents_;       // parents_[0] == kInvalidNode
   std::vector<std::string> labels_;   // node labels, not necessarily unique
   std::vector<int> depths_;
-  std::vector<std::vector<NodeId>> children_;
+  // CSR adjacency: node v's children are child_nodes_[child_offsets_[v] ..
+  // child_offsets_[v + 1]), ascending. One allocation for the whole tree.
+  std::vector<int32_t> child_offsets_;  // size num_nodes() + 1
+  std::vector<NodeId> child_nodes_;     // size num_nodes() - 1
   std::vector<NodeId> leaves_;
   int height_ = 0;
   std::unordered_map<std::string, std::vector<NodeId>> label_index_;

@@ -1,72 +1,70 @@
 #include "hierarchy/lca.h"
 
-#include <algorithm>
 #include <utility>
-
-#include "common/logging.h"
 
 namespace kjoin {
 
 LcaIndex::LcaIndex(const Hierarchy& hierarchy) : hierarchy_(&hierarchy) {
   const int64_t n = hierarchy.num_nodes();
   first_visit_.assign(n, -1);
-  tour_node_.reserve(2 * n);
-  tour_depth_.reserve(2 * n);
+  // Build-time Euler tour; only the packed sparse table survives it.
+  std::vector<NodeId> tour_node;
+  std::vector<int32_t> tour_depth;
+  tour_node.reserve(2 * n);
+  tour_depth.reserve(2 * n);
 
   // Iterative Euler tour. The stack holds (node, next-child-index).
   std::vector<std::pair<NodeId, size_t>> stack;
   stack.emplace_back(hierarchy.root(), 0);
   first_visit_[hierarchy.root()] = 0;
-  tour_node_.push_back(hierarchy.root());
-  tour_depth_.push_back(0);
+  tour_node.push_back(hierarchy.root());
+  tour_depth.push_back(0);
   while (!stack.empty()) {
     auto& [node, child_index] = stack.back();
-    const std::vector<NodeId>& kids = hierarchy.children(node);
+    const std::span<const NodeId> kids = hierarchy.children(node);
     if (child_index < kids.size()) {
       const NodeId child = kids[child_index++];
-      first_visit_[child] = static_cast<int32_t>(tour_node_.size());
-      tour_node_.push_back(child);
-      tour_depth_.push_back(hierarchy.depth(child));
+      first_visit_[child] = static_cast<int32_t>(tour_node.size());
+      tour_node.push_back(child);
+      tour_depth.push_back(hierarchy.depth(child));
       stack.emplace_back(child, 0);
     } else {
       stack.pop_back();
       if (!stack.empty()) {
-        tour_node_.push_back(stack.back().first);
-        tour_depth_.push_back(hierarchy.depth(stack.back().first));
+        tour_node.push_back(stack.back().first);
+        tour_depth.push_back(hierarchy.depth(stack.back().first));
       }
     }
   }
 
-  const size_t m = tour_node_.size();
+  const size_t m = tour_node.size();
   log2_floor_.assign(m + 1, 0);
   for (size_t len = 2; len <= m; ++len) {
     log2_floor_[len] = static_cast<int8_t>(log2_floor_[len / 2] + 1);
   }
 
+  // Rows shrink with the level (row k has m - 2^k + 1 windows); laying
+  // them out back to back keeps the table compact and the two loads of a
+  // query in adjacent rows.
   const int levels = log2_floor_[m] + 1;
-  sparse_.assign(levels, std::vector<int32_t>(m));
-  for (size_t i = 0; i < m; ++i) sparse_[0][i] = static_cast<int32_t>(i);
+  row_offset_.assign(levels + 1, 0);
+  for (int k = 0; k < levels; ++k) {
+    row_offset_[k + 1] = row_offset_[k] + (m - (size_t{1} << k) + 1);
+  }
+  sparse_.resize(row_offset_[levels]);
+  for (size_t i = 0; i < m; ++i) {
+    sparse_[i] = (static_cast<int64_t>(tour_depth[i]) << 32) |
+                 static_cast<uint32_t>(tour_node[i]);
+  }
   for (int k = 1; k < levels; ++k) {
+    const int64_t* prev = sparse_.data() + row_offset_[k - 1];
+    int64_t* row = sparse_.data() + row_offset_[k];
     const size_t half = size_t{1} << (k - 1);
-    for (size_t i = 0; i + (size_t{1} << k) <= m; ++i) {
-      const int32_t left = sparse_[k - 1][i];
-      const int32_t right = sparse_[k - 1][i + half];
-      sparse_[k][i] = tour_depth_[left] <= tour_depth_[right] ? left : right;
+    const size_t windows = m - (size_t{1} << k) + 1;
+    for (size_t i = 0; i < windows; ++i) {
+      row[i] = std::min(prev[i], prev[i + half]);
     }
   }
-}
-
-NodeId LcaIndex::Lca(NodeId x, NodeId y) const {
-  int32_t i = first_visit_[x];
-  int32_t j = first_visit_[y];
-  KJOIN_DCHECK(i >= 0 && j >= 0);
-  if (i > j) std::swap(i, j);
-  const int32_t len = j - i + 1;
-  const int k = log2_floor_[len];
-  const int32_t left = sparse_[k][i];
-  const int32_t right = sparse_[k][j - (int32_t{1} << k) + 1];
-  const int32_t best = tour_depth_[left] <= tour_depth_[right] ? left : right;
-  return tour_node_[best];
 }
 
 }  // namespace kjoin

@@ -9,10 +9,21 @@
 // Euler tour and answers it with a sparse table: O(n log n) preprocessing,
 // O(1) per query. Hierarchy::LowestCommonAncestorNaive is the paper's
 // O(depth) walk, kept as the correctness reference and ablation baseline.
+//
+// Layout: the sparse table is one contiguous row-major array. Each entry
+// packs (depth << 32) | node of the min-depth tour position in its range,
+// so the RMQ compare is a single int64 min over two adjacent-row loads —
+// no per-level vector indirection and no separate tour_depth_/tour_node_
+// lookups on the query path. Packing is sound because within any query
+// range [first_visit(x), first_visit(y)] the minimum depth is achieved
+// only by the LCA, so whatever tour position the min picks, the packed
+// node is the answer.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.h"
 #include "hierarchy/hierarchy.h"
 
 namespace kjoin {
@@ -22,22 +33,40 @@ class LcaIndex {
   // The hierarchy must outlive the index.
   explicit LcaIndex(const Hierarchy& hierarchy);
 
-  NodeId Lca(NodeId x, NodeId y) const;
+  NodeId Lca(NodeId x, NodeId y) const {
+    return static_cast<NodeId>(PackedLca(x, y) & 0xffffffff);
+  }
 
   // Depth of the LCA — the `d_{x,y}` of the paper's Definition 1.
-  int LcaDepth(NodeId x, NodeId y) const { return hierarchy_->depth(Lca(x, y)); }
+  // Answered straight from the packed table, without touching the
+  // hierarchy's depth array.
+  int LcaDepth(NodeId x, NodeId y) const {
+    return static_cast<int>(PackedLca(x, y) >> 32);
+  }
 
   const Hierarchy& hierarchy() const { return *hierarchy_; }
 
  private:
+  // (depth << 32) | node of the shallowest tour entry between the two
+  // nodes' first visits.
+  int64_t PackedLca(NodeId x, NodeId y) const {
+    int32_t i = first_visit_[x];
+    int32_t j = first_visit_[y];
+    KJOIN_DCHECK(i >= 0 && j >= 0);
+    if (i > j) std::swap(i, j);
+    const int k = log2_floor_[j - i + 1];
+    const int64_t* row = sparse_.data() + row_offset_[k];
+    return std::min(row[i], row[j - (int32_t{1} << k) + 1]);
+  }
+
   const Hierarchy* hierarchy_;
-  std::vector<int32_t> first_visit_;   // node -> first index in the Euler tour
-  std::vector<NodeId> tour_node_;      // Euler tour nodes
-  std::vector<int32_t> tour_depth_;    // depths along the tour
-  // sparse_[k][i] = index (into the tour) of the min-depth entry in
-  // [i, i + 2^k).
-  std::vector<std::vector<int32_t>> sparse_;
-  std::vector<int8_t> log2_floor_;     // log2_floor_[len] = floor(log2(len))
+  std::vector<int32_t> first_visit_;  // node -> first index in the Euler tour
+  // Row-major sparse table over the Euler tour: level k starts at
+  // row_offset_[k] and holds m - 2^k + 1 packed (depth << 32) | node
+  // entries, one per tour window [i, i + 2^k).
+  std::vector<int64_t> sparse_;
+  std::vector<size_t> row_offset_;
+  std::vector<int8_t> log2_floor_;  // log2_floor_[len] = floor(log2(len))
 };
 
 }  // namespace kjoin

@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "core/element_similarity.h"
+#include "core/sim_cache.h"
 #include "core/object.h"
 #include "core/object_similarity.h"
 #include "core/prefix.h"
@@ -100,6 +101,97 @@ TEST_F(PaperFixture, MultiMappingUsesPhiProduct) {
   // Against a sibling: (3/4) * (7/8).
   const Object dominos = plus_builder.Build(2, {"dominos"});
   EXPECT_DOUBLE_EQ(esim_.Sim(typo.elements[0], dominos.elements[0]), 3.0 / 4.0 * 7.0 / 8.0);
+}
+
+TEST_F(PaperFixture, MultiMappingSimScansAllPairsUnderPhiBound) {
+  // Hand-built elements (distinct tokens, φ < 1) where the BEST pair has
+  // the LOWEST φ product. A premature exit on the φ ceiling must not skip
+  // it, and the old `best >= 1` exit could never fire here at all.
+  Element x;
+  x.token = "x";
+  x.token_id = 100;
+  x.mappings = {{Node("BurgerKing"), 0.9}, {Node("MountainView"), 0.85}};
+  Element y;
+  y.token = "y";
+  y.token_id = 200;
+  y.mappings = {{Node("Manhattan"), 0.9}, {Node("GoogleHeadquarters"), 0.85}};
+  // Pair similarities: BK-Manhattan and BK-GH are 0 (LCA is the root);
+  // MV-Manhattan is (2/5)·0.85·0.9; MV-GH is (5/6)·0.85·0.85 — the max.
+  EXPECT_DOUBLE_EQ(esim_.Sim(x, y), 5.0 / 6.0 * 0.85 * 0.85);
+  EXPECT_DOUBLE_EQ(esim_.Sim(y, x), 5.0 / 6.0 * 0.85 * 0.85);
+}
+
+TEST_F(PaperFixture, MultiMappingSimEarlyExitAtPhiCeiling) {
+  // Identical nodes with φ < 1: the first pair already reaches the
+  // max(φ_x)·max(φ_y) ceiling, so the exit fires and is exact.
+  Element x;
+  x.token = "kfc";
+  x.token_id = 100;
+  x.mappings = {{Node("KFC"), 0.9}};
+  Element y;
+  y.token = "kfcc";
+  y.token_id = 200;
+  y.mappings = {{Node("KFC"), 0.7}, {Node("PizzaHut"), 0.6}};
+  EXPECT_DOUBLE_EQ(esim_.Sim(x, y), 0.9 * 0.7);
+}
+
+TEST_F(PaperFixture, MultiMappingSimMatchesBruteForceOnRandomElements) {
+  Rng rng(77);
+  const auto random_element = [&](int32_t id) {
+    Element e;
+    e.token = "t" + std::to_string(id);
+    e.token_id = id;
+    const int n = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int i = 0; i < n; ++i) {
+      const NodeId node = static_cast<NodeId>(rng.NextUint64(tree_.num_nodes()));
+      const double phi = 0.05 + 0.95 * rng.NextDouble();
+      e.mappings.push_back({node, phi});
+    }
+    // Deliberately NOT sorted by φ descending: Sim must not rely on it.
+    return e;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    const Element x = random_element(1000 + 2 * trial);
+    const Element y = random_element(1001 + 2 * trial);
+    double brute = 0.0;
+    for (const ElementMapping& mx : x.mappings) {
+      for (const ElementMapping& my : y.mappings) {
+        brute = std::max(brute, esim_.NodeSim(mx.node, my.node) * mx.phi * my.phi);
+      }
+    }
+    ASSERT_DOUBLE_EQ(esim_.Sim(x, y), brute) << "trial " << trial;
+  }
+}
+
+TEST_F(PaperFixture, CachedMultiMappingSimBitIdenticalToUncached) {
+  // The token-pair cache path memoizes whole plus-mode Sim values. Every
+  // cached value must be bit-identical to the uncached loop, and repeat
+  // evaluations of the same token pair must hit instead of recompute.
+  SimCache cache(1 << 12);
+  const ElementSimilarity cached(lca_, ElementMetric::kKJoin, &cache);
+  Rng rng(91);
+  const auto random_element = [&](int32_t id) {
+    Element e;
+    e.token = "t" + std::to_string(id);
+    e.token_id = id;
+    const int n = 2 + static_cast<int>(rng.NextUint64(3));
+    for (int i = 0; i < n; ++i) {
+      e.mappings.push_back({static_cast<NodeId>(rng.NextUint64(tree_.num_nodes())),
+                            0.05 + 0.95 * rng.NextDouble()});
+    }
+    return e;
+  };
+  std::vector<Element> elements;
+  for (int32_t id = 0; id < 40; ++id) elements.push_back(random_element(id));
+  for (int trial = 0; trial < 4000; ++trial) {
+    const Element& x = elements[rng.NextUint64(elements.size())];
+    const Element& y = elements[rng.NextUint64(elements.size())];
+    ASSERT_EQ(cached.Sim(x, y), esim_.Sim(x, y)) << "trial " << trial;
+  }
+  const SimCacheStats stats = cache.stats();
+  EXPECT_GT(stats.hits(), 0);
+  // 40 elements give at most 40·39/2 distinct unequal token pairs.
+  EXPECT_LE(stats.misses, 40 * 39 / 2);
 }
 
 TEST(ThresholdGeometryTest, MinSignatureDepth) {

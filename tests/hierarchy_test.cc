@@ -128,6 +128,83 @@ TEST(LcaIndexTest, SingleNodeTree) {
   EXPECT_EQ(lca.LcaDepth(0, 0), 0);
 }
 
+// Degenerate shape: a pure path (every node a single child), so depth runs
+// all the way to n-1 and the sparse table's deepest levels are exercised.
+TEST(LcaIndexTest, PurePathMatchesNaive) {
+  const int n = 400;
+  std::vector<NodeId> parents(n);
+  std::vector<std::string> labels(n);
+  parents[0] = kInvalidNode;
+  labels[0] = "n0";
+  for (int v = 1; v < n; ++v) {
+    parents[v] = static_cast<NodeId>(v - 1);
+    labels[v] = "n" + std::to_string(v);
+  }
+  const Hierarchy tree(std::move(parents), std::move(labels));
+  EXPECT_EQ(tree.height(), n - 1);
+  const LcaIndex lca(tree);
+  // On a path the LCA is always the shallower endpoint.
+  EXPECT_EQ(lca.Lca(10, 250), 10);
+  EXPECT_EQ(lca.LcaDepth(0, n - 1), 0);
+  EXPECT_EQ(lca.LcaDepth(n - 1, n - 1), n - 1);
+  Rng rng(11);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const NodeId x = static_cast<NodeId>(rng.NextUint64(n));
+    const NodeId y = static_cast<NodeId>(rng.NextUint64(n));
+    ASSERT_EQ(lca.Lca(x, y), tree.LowestCommonAncestorNaive(x, y));
+    ASSERT_EQ(lca.LcaDepth(x, y), tree.depth(lca.Lca(x, y)));
+  }
+}
+
+// Degenerate shape: a star (root plus n-1 leaves) — maximal fanout, Euler
+// tour revisits the root between every pair of children.
+TEST(LcaIndexTest, StarMatchesNaive) {
+  const int n = 2001;
+  std::vector<NodeId> parents(n);
+  std::vector<std::string> labels(n);
+  parents[0] = kInvalidNode;
+  labels[0] = "hub";
+  for (int v = 1; v < n; ++v) {
+    parents[v] = 0;
+    labels[v] = "leaf" + std::to_string(v);
+  }
+  const Hierarchy tree(std::move(parents), std::move(labels));
+  EXPECT_EQ(tree.height(), 1);
+  const LcaIndex lca(tree);
+  Rng rng(13);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const NodeId x = static_cast<NodeId>(rng.NextUint64(n));
+    const NodeId y = static_cast<NodeId>(rng.NextUint64(n));
+    ASSERT_EQ(lca.Lca(x, y), tree.LowestCommonAncestorNaive(x, y));
+    // Distinct leaves meet at the hub; anything involving a node and
+    // itself, or the hub, is resolved by depth alone.
+    ASSERT_EQ(lca.LcaDepth(x, y), (x == y && x != 0) ? 1 : 0);
+  }
+}
+
+// The CSR child layout must agree with the parent array: each child list
+// ascending, every child's parent pointing back, and exactly n-1 edges.
+TEST(HierarchyTest, CsrChildrenMatchParents) {
+  HierarchyGenParams params;
+  params.num_nodes = 700;
+  params.height = 6;
+  params.avg_fanout = 4.0;
+  params.max_fanout = 10;
+  params.seed = 21;
+  const Hierarchy tree = GenerateHierarchy(params);
+  int64_t edges = 0;
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    const auto kids = tree.children(v);
+    EXPECT_TRUE(std::is_sorted(kids.begin(), kids.end()));
+    for (NodeId child : kids) {
+      EXPECT_EQ(tree.parent(child), v);
+    }
+    edges += static_cast<int64_t>(kids.size());
+    EXPECT_EQ(tree.IsLeaf(v), kids.empty());
+  }
+  EXPECT_EQ(edges, tree.num_nodes() - 1);
+}
+
 TEST(HierarchyBuilderTest, AddPathReusesNodes) {
   HierarchyBuilder builder;
   const NodeId a = builder.AddPath({"Food", "Pizza"});
