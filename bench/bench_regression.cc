@@ -4,7 +4,7 @@
 // compared number-to-number.
 //
 //   ./bench_regression [--n 6000] [--verify_n 1500] [--micro_queries 2000000]
-//                      [--out BENCH_PR2.json]
+//                      [--out BENCH_PR3.json]
 //
 // Sections (keys in the JSON):
 //   micro_lca    queries/sec for naive LCA, sparse-table LCA, uncached
@@ -16,10 +16,14 @@
 //                vs on (count prunings off, so the similarity work
 //                dominates).
 //   fig14_threads self-join wall time at 1 and 2 threads.
+//   deadline_overhead  self-join through the controlled entry point with
+//                a deadline + cancel token armed but never tripping,
+//                vs the legacy entry point: the cost of shard-boundary
+//                control polling (docs/robustness.md).
 //
 // Every joined section also reports whether the result pairs were
-// identical across the compared configurations — the cache and the
-// thread count must never change output.
+// identical across the compared configurations — the cache, the thread
+// count, and control polling must never change output.
 
 #include <bit>
 #include <chrono>
@@ -171,7 +175,7 @@ int main(int argc, char** argv) {
   int64_t* verify_n =
       flags.Int("verify_n", 1500, "records in the plus-mode verification section");
   int64_t* micro_queries = flags.Int("micro_queries", 2000000, "micro-LCA lookups per timer");
-  std::string* out = flags.String("out", "BENCH_PR2.json", "JSON report path");
+  std::string* out = flags.String("out", "BENCH_PR3.json", "JSON report path");
   if (!flags.Parse(argc, argv)) return 1;
 
   std::printf("== micro LCA (%lld queries/timer) ==\n",
@@ -281,6 +285,54 @@ int main(int argc, char** argv) {
                 JsonBool(row.results_identical).c_str());
   }
 
+  // ---- control-polling overhead (docs/robustness.md) ----
+  // Same workload through the controlled entry point with a deadline and
+  // a cancel token armed but never tripping: every shard-boundary poll
+  // runs (including the steady_clock reads), no bound trips. Best-of-3
+  // per variant to tame scheduler noise.
+  std::printf("== control polling overhead (armed, never trips) ==\n");
+  double legacy_seconds = 0.0;
+  double control_seconds = 0.0;
+  int64_t control_polls = 0;
+  bool control_identical = false;
+  {
+    kjoin::KJoinOptions options;
+    options.delta = 0.8;
+    options.tau = 0.85;
+    const kjoin::KJoin join(poi.hierarchy, options);
+    std::vector<std::pair<int32_t, int32_t>> legacy_pairs;
+    for (int rep = 0; rep < 3; ++rep) {
+      kjoin::JoinResult result = join.SelfJoin(prepared.objects);
+      if (rep == 0 || result.stats.total_seconds < legacy_seconds) {
+        legacy_seconds = result.stats.total_seconds;
+      }
+      legacy_pairs = std::move(result.pairs);
+    }
+    kjoin::CancelToken token;
+    kjoin::JoinControl control;
+    control.deadline_seconds = 3600.0;
+    control.cancel_token = &token;
+    for (int rep = 0; rep < 3; ++rep) {
+      kjoin::JoinResult result;
+      const kjoin::Status status = join.SelfJoin(prepared.objects, control, &result);
+      if (!status.ok()) {
+        std::fprintf(stderr, "controlled join unexpectedly failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      if (rep == 0 || result.stats.total_seconds < control_seconds) {
+        control_seconds = result.stats.total_seconds;
+      }
+      control_polls = result.stats.control_polls;
+      control_identical = result.pairs == legacy_pairs;
+    }
+  }
+  const double deadline_overhead_pct =
+      legacy_seconds > 0.0 ? (control_seconds / legacy_seconds - 1.0) * 100.0 : 0.0;
+  std::printf("legacy %.3fs | controlled %.3fs (%+.2f%%) | polls %lld | identical=%s\n",
+              legacy_seconds, control_seconds, deadline_overhead_pct,
+              static_cast<long long>(control_polls), JsonBool(control_identical).c_str());
+
   // ---- JSON report ----
   std::FILE* f = std::fopen(out->c_str(), "w");
   if (f == nullptr) {
@@ -335,7 +387,14 @@ int main(int argc, char** argv) {
                  i == 0 ? "" : ",", row.threads, row.total_seconds,
                  JsonBool(row.results_identical).c_str());
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f,
+               "  \"deadline_overhead\": {\"legacy_seconds\": %.4f, "
+               "\"control_seconds\": %.4f, \"deadline_overhead_pct\": %.2f, "
+               "\"control_polls\": %lld, \"results_identical\": %s}\n",
+               legacy_seconds, control_seconds, deadline_overhead_pct,
+               static_cast<long long>(control_polls), JsonBool(control_identical).c_str());
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out->c_str());
   return 0;

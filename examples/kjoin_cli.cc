@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   double* tau = flags.Double("tau", 0.7, "object similarity threshold");
   bool* plus = flags.Bool("plus", true, "K-Join+ (synonyms + typo tolerance)");
   int64_t* threads = flags.Int("threads", 1, "verification threads");
+  double* deadline = flags.Double("deadline", 0.0, "join wall-clock budget in seconds (0 = none)");
   std::string* out = flags.String("out", "", "write pairs TSV here (default: stdout summary only)");
   bool* cluster = flags.Bool("cluster", false, "also report entity clusters");
   if (!flags.Parse(argc, argv)) return 1;
@@ -46,10 +47,18 @@ int main(int argc, char** argv) {
                    flags.Usage().c_str());
       return 1;
     }
-    hierarchy = kjoin::ReadHierarchyFile(*hierarchy_path);
-    if (!hierarchy.has_value()) return 1;
-    dataset = kjoin::ReadDatasetFile(*dataset_path);
-    if (!dataset.has_value()) return 1;
+    kjoin::StatusOr<kjoin::Hierarchy> tree = kjoin::ReadHierarchyFile(*hierarchy_path);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "cannot load hierarchy: %s\n", tree.status().ToString().c_str());
+      return 1;
+    }
+    hierarchy.emplace(std::move(*tree));
+    kjoin::StatusOr<kjoin::Dataset> records = kjoin::ReadDatasetFile(*dataset_path);
+    if (!records.ok()) {
+      std::fprintf(stderr, "cannot load dataset: %s\n", records.status().ToString().c_str());
+      return 1;
+    }
+    dataset.emplace(std::move(*records));
   }
   std::fprintf(stderr, "hierarchy: %lld nodes; dataset: %zu records\n",
                static_cast<long long>(hierarchy->num_nodes()), dataset->records.size());
@@ -63,7 +72,15 @@ int main(int argc, char** argv) {
   options.plus_mode = *plus;
   options.num_threads = static_cast<int>(*threads);
   const kjoin::KJoin join(*hierarchy, options);
-  const kjoin::JoinResult result = join.SelfJoin(prepared.objects);
+  kjoin::JoinControl control;
+  control.deadline_seconds = *deadline;
+  kjoin::JoinResult result;
+  const kjoin::Status status = join.SelfJoin(prepared.objects, control, &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "join stopped in %s phase: %s (keeping %zu partial pairs)\n",
+                 kjoin::JoinPhaseName(result.stats.stopped_phase),
+                 status.ToString().c_str(), result.pairs.size());
+  }
 
   std::fprintf(stderr,
                "join: %lld candidates -> %zu pairs in %.3fs "

@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
   if (!dump->empty()) {
     const std::string tree_path = *dump + "/hierarchy.txt";
     const std::string data_path = *dump + "/poi.tsv";
-    if (kjoin::WriteHierarchyFile(data.hierarchy, tree_path) &&
-        kjoin::WriteDatasetFile(data.dataset, data_path)) {
+    if (kjoin::WriteHierarchyFile(data.hierarchy, tree_path).ok() &&
+        kjoin::WriteDatasetFile(data.dataset, data_path).ok()) {
       std::printf("dumped %s and %s\n", tree_path.c_str(), data_path.c_str());
     }
   }

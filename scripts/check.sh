@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification sweep: builds and tests the release, asan, and tsan
+# presets (see CMakePresets.json). The sanitizer presets compile with
+# KJOIN_FAULT_INJECTION=1, so the resilience suite's fault-point tests run
+# for real there instead of skipping; their ctest filters keep the
+# sanitizer passes to the threading/memory-sensitive suites plus
+# resilience_test (docs/robustness.md).
+#
+#   scripts/check.sh            # release + asan + tsan
+#   scripts/check.sh default    # just one preset
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+presets=("$@")
+if [[ ${#presets[@]} -eq 0 ]]; then
+  presets=(default asan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset" -S "$repo" >/dev/null
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "==> [$preset] test"
+  (cd "$repo" && ctest --preset "$preset")
+done
+echo "all presets green: ${presets[*]}"

@@ -1,0 +1,135 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace kjoin::fault {
+namespace {
+
+struct Point {
+  double probability = 1.0;
+  int64_t max_fires = -1;
+  int64_t hits = 0;
+  int64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+  uint64_t rng_state = 0x9e3779b97f4a7c15ULL;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// splitmix64: small, seedable, and good enough for fire/no-fire draws.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Enable(std::string_view point, double probability, int64_t max_fires) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points[std::string(point)] =
+      Point{std::clamp(probability, 0.0, 1.0), max_fires, 0, 0};
+}
+
+void Disable(std::string_view point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.erase(std::string(point));
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.rng_state = seed + 0x9e3779b97f4a7c15ULL;
+}
+
+Status EnableFromSpec(std::string_view spec) {
+  for (const std::string& raw_entry : Split(spec, ',')) {
+    const std::string_view entry = StripAsciiWhitespace(raw_entry);
+    if (entry.empty()) continue;
+    std::string_view name = entry;
+    double probability = 1.0;
+    int64_t max_fires = -1;
+    if (const size_t eq = entry.find('='); eq != std::string_view::npos) {
+      name = entry.substr(0, eq);
+      std::string_view rest = entry.substr(eq + 1);
+      std::string prob_text(rest);
+      if (const size_t x = rest.find('x'); x != std::string_view::npos) {
+        prob_text = std::string(rest.substr(0, x));
+        char* end = nullptr;
+        const std::string fires_text(rest.substr(x + 1));
+        max_fires = std::strtol(fires_text.c_str(), &end, 10);
+        if (end == fires_text.c_str() || *end != '\0' || max_fires < 0) {
+          return InvalidArgumentError("fault spec entry '" + std::string(entry) +
+                                      "': bad max_fires");
+        }
+      }
+      char* end = nullptr;
+      probability = std::strtod(prob_text.c_str(), &end);
+      if (end == prob_text.c_str() || *end != '\0' || probability < 0.0 ||
+          probability > 1.0) {
+        return InvalidArgumentError("fault spec entry '" + std::string(entry) +
+                                    "': bad probability");
+      }
+    }
+    if (name.empty()) {
+      return InvalidArgumentError("fault spec entry '" + std::string(entry) +
+                                  "': empty point name");
+    }
+    Enable(name, probability, max_fires);
+  }
+  return OkStatus();
+}
+
+bool ShouldFail(std::string_view point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.points.empty()) return false;  // common case: nothing armed
+  auto it = registry.points.find(std::string(point));
+  if (it == registry.points.end()) return false;
+  Point& armed = it->second;
+  ++armed.hits;
+  if (armed.max_fires >= 0 && armed.fires >= armed.max_fires) return false;
+  bool fire = true;
+  if (armed.probability < 1.0) {
+    const double draw = static_cast<double>(NextRandom(&registry.rng_state) >> 11) *
+                        0x1.0p-53;  // uniform in [0, 1)
+    fire = draw < armed.probability;
+  }
+  if (fire) ++armed.fires;
+  return fire;
+}
+
+std::vector<FaultPointStats> ArmedPoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<FaultPointStats> out;
+  out.reserve(registry.points.size());
+  for (const auto& [name, point] : registry.points) {
+    out.push_back({name, point.hits, point.fires});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultPointStats& a, const FaultPointStats& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace kjoin::fault

@@ -1,0 +1,179 @@
+#ifndef KJOIN_COMMON_STATUS_H_
+#define KJOIN_COMMON_STATUS_H_
+
+// Lightweight Status / StatusOr<T> error plumbing (Google style, no
+// exceptions).
+//
+// The library distinguishes two failure regimes:
+//   * programming errors (broken invariants) still terminate through the
+//     KJOIN_CHECK family in logging.h;
+//   * recoverable conditions — malformed untrusted input, exceeded
+//     deadlines or budgets, cancellation — are reported through Status
+//     returns so a server embedding the library fails per-request, never
+//     per-process (see docs/robustness.md for the full taxonomy).
+//
+// Usage:
+//   StatusOr<Hierarchy> tree = ParseHierarchy(text, "tree.txt");
+//   if (!tree.ok()) return tree.status();
+//
+//   Status Load(...) {
+//     KJOIN_ASSIGN_OR_RETURN(Hierarchy tree, ParseHierarchy(text));
+//     KJOIN_RETURN_IF_ERROR(Validate(tree));
+//     return OkStatus();
+//   }
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+// Canonical error codes (numeric values follow absl/gRPC so logs are
+// comparable across systems; only the codes the library raises are listed).
+enum class StatusCode : int {
+  kOk = 0,
+  kCancelled = 1,
+  kInvalidArgument = 3,
+  kDeadlineExceeded = 4,
+  kNotFound = 5,
+  kResourceExhausted = 8,
+  kInternal = 13,
+  kDataLoss = 15,
+};
+
+// "OK", "INVALID_ARGUMENT", ... (stable, screaming-snake-case).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  // Keeps the first error: overwrites *this with `other` only when *this
+  // is OK and `other` is not. Lets sequential steps accumulate one status.
+  void Update(const Status& other) {
+    if (ok() && !other.ok()) *this = other;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+Status CancelledError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status NotFoundError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status DataLossError(std::string message);
+
+inline bool IsCancelled(const Status& s) { return s.code() == StatusCode::kCancelled; }
+inline bool IsInvalidArgument(const Status& s) {
+  return s.code() == StatusCode::kInvalidArgument;
+}
+inline bool IsDeadlineExceeded(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded;
+}
+inline bool IsNotFound(const Status& s) { return s.code() == StatusCode::kNotFound; }
+inline bool IsResourceExhausted(const Status& s) {
+  return s.code() == StatusCode::kResourceExhausted;
+}
+inline bool IsDataLoss(const Status& s) { return s.code() == StatusCode::kDataLoss; }
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// A Status or a value. Mirrors std::optional's accessors (has_value,
+// operator*, operator->) so optional-based call sites migrate without
+// churn, but carries the error's code and message instead of dropping
+// them.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit from a non-OK Status (constructing from OK is a programming
+  // error: there would be no value).
+  StatusOr(Status status) : status_(std::move(status)) {
+    KJOIN_CHECK(!status_.ok()) << "StatusOr needs a value or a non-OK status";
+  }
+  // Implicit from a value.
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return ok(); }
+
+  // OkStatus() when a value is held.
+  const Status& status() const& { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    KJOIN_CHECK(ok()) << "StatusOr has no value: " << status_.ToString();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status to the caller.
+#define KJOIN_RETURN_IF_ERROR(expr)                        \
+  do {                                                     \
+    ::kjoin::Status kjoin_status_macro_tmp = (expr);       \
+    if (!kjoin_status_macro_tmp.ok()) return kjoin_status_macro_tmp; \
+  } while (false)
+
+// Evaluates a StatusOr expression; on success binds the value to `lhs`,
+// on failure returns the status. `lhs` may declare a new variable.
+#define KJOIN_ASSIGN_OR_RETURN(lhs, expr)                      \
+  KJOIN_ASSIGN_OR_RETURN_IMPL_(                                \
+      KJOIN_STATUS_CONCAT_(kjoin_statusor_, __LINE__), lhs, expr)
+#define KJOIN_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                                 \
+  if (!statusor.ok()) return statusor.status();           \
+  lhs = std::move(statusor).value()
+#define KJOIN_STATUS_CONCAT_(a, b) KJOIN_STATUS_CONCAT_IMPL_(a, b)
+#define KJOIN_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace kjoin
+
+#endif  // KJOIN_COMMON_STATUS_H_

@@ -77,4 +77,45 @@ std::string FormatWithCommas(int64_t n) {
   return std::string(out.rbegin(), out.rend());
 }
 
+bool IsValidUtf8(std::string_view text) {
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const unsigned char lead = static_cast<unsigned char>(text[i]);
+    if (lead < 0x80) {
+      ++i;
+      continue;
+    }
+    int continuation = 0;
+    uint32_t codepoint = 0;
+    uint32_t min_codepoint = 0;
+    if ((lead & 0xE0) == 0xC0) {
+      continuation = 1;
+      codepoint = lead & 0x1F;
+      min_codepoint = 0x80;
+    } else if ((lead & 0xF0) == 0xE0) {
+      continuation = 2;
+      codepoint = lead & 0x0F;
+      min_codepoint = 0x800;
+    } else if ((lead & 0xF8) == 0xF0) {
+      continuation = 3;
+      codepoint = lead & 0x07;
+      min_codepoint = 0x10000;
+    } else {
+      return false;  // stray continuation byte or invalid lead (0xF8+)
+    }
+    if (i + continuation >= n) return false;  // truncated sequence
+    for (int k = 1; k <= continuation; ++k) {
+      const unsigned char byte = static_cast<unsigned char>(text[i + k]);
+      if ((byte & 0xC0) != 0x80) return false;
+      codepoint = (codepoint << 6) | (byte & 0x3F);
+    }
+    if (codepoint < min_codepoint) return false;                  // overlong
+    if (codepoint >= 0xD800 && codepoint <= 0xDFFF) return false;  // surrogate
+    if (codepoint > 0x10FFFF) return false;
+    i += continuation + 1;
+  }
+  return true;
+}
+
 }  // namespace kjoin

@@ -31,6 +31,11 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 // Formats n with thousands separators, e.g. 1234567 -> "1,234,567".
 std::string FormatWithCommas(int64_t n);
 
+// True iff `text` is well-formed UTF-8 (ASCII included). Rejects overlong
+// encodings, surrogates, codepoints above U+10FFFF, and truncated
+// sequences — the checks the untrusted-input parsers rely on.
+bool IsValidUtf8(std::string_view text);
+
 }  // namespace kjoin
 
 #endif  // KJOIN_COMMON_STRING_UTIL_H_

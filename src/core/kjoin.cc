@@ -1,8 +1,13 @@
 #include "core/kjoin.h"
 
 #include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <string>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/inverted_index.h"
@@ -16,7 +21,103 @@ namespace {
 // verification it parallelizes.
 constexpr size_t kMinParallelVerify = 2048;
 
+// Control-poll strides (see docs/robustness.md). Polls are one relaxed
+// atomic bump plus an acquire load — and a steady_clock read only when a
+// deadline is armed — so the strides just keep the clock reads off the
+// innermost loops.
+constexpr int64_t kPreparePollStride = 64;   // objects between polls
+constexpr int64_t kProbePollStride = 16;     // probes between polls
+constexpr int64_t kVerifyPollStride = 16;    // candidate pairs between polls
+constexpr int64_t kIndexPollStride = 4096;   // indexed objects between polls
+
+// First adaptive chunk (in probes) when a candidate byte budget is set;
+// later chunks are sized from the observed emission rate.
+constexpr int64_t kInitialBudgetChunk = 16;
+
 }  // namespace
+
+const char* JoinPhaseName(JoinPhase phase) {
+  switch (phase) {
+    case JoinPhase::kNone:
+      return "none";
+    case JoinPhase::kPrepare:
+      return "prepare";
+    case JoinPhase::kFilter:
+      return "filter";
+    case JoinPhase::kVerify:
+      return "verify";
+  }
+  return "unknown";
+}
+
+// Shared deadline/cancel/guard state for one controlled run. Shards poll
+// it concurrently; the first trip wins and pins the phase + Status, after
+// which every poll answers "stop" and shards drain at their next boundary.
+class KJoin::JoinController {
+ public:
+  explicit JoinController(const JoinControl& control)
+      : cancel_(control.cancel_token), has_deadline_(control.deadline_seconds > 0.0) {
+    if (has_deadline_) {
+      deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(control.deadline_seconds));
+    }
+  }
+
+  // True when a poll can trip the run; unbounded runs skip polling
+  // entirely so the legacy path stays overhead-free.
+  bool active() const { return cancel_ != nullptr || has_deadline_; }
+
+  // Cooperative check; false once the run is tripped. The first failing
+  // poll records the phase it happened in.
+  bool Poll(JoinPhase phase) {
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    if (tripped()) return false;
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      Trip(phase, CancelledError("join cancelled via CancelToken"));
+      return false;
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      Trip(phase, DeadlineExceededError("join deadline exceeded"));
+      return false;
+    }
+    return true;
+  }
+
+  // Records a failure (deadline, cancel, resource guard, allocation);
+  // only the first trip's status and phase are kept.
+  void Trip(JoinPhase phase, Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status_.ok()) {
+      status_ = std::move(status);
+      phase_ = phase;
+      tripped_.store(true, std::memory_order_release);
+    }
+  }
+
+  bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+  int64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+  JoinPhase phase() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return phase_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const CancelToken* cancel_;
+  const bool has_deadline_;
+  Clock::time_point deadline_{};
+  std::atomic<bool> tripped_{false};
+  std::atomic<int64_t> polls_{0};
+  mutable std::mutex mu_;
+  Status status_;  // guarded by mu_, set once
+  JoinPhase phase_ = JoinPhase::kNone;
+};
 
 KJoin::KJoin(const Hierarchy& hierarchy, KJoinOptions options)
     : hierarchy_(&hierarchy),
@@ -50,12 +151,14 @@ int32_t KJoin::PrefixLengthFor(const std::vector<Signature>& sigs, int32_t objec
 }
 
 KJoin::Prepared KJoin::Prepare(const std::vector<const std::vector<Object>*>& collections,
-                               GlobalSignatureOrder* order, JoinStats* stats) const {
+                               GlobalSignatureOrder* order, JoinStats* stats,
+                               JoinController* controller) const {
   std::vector<const Object*> objects;
   for (const auto* collection : collections) {
     for (const Object& object : *collection) objects.push_back(&object);
   }
   const int64_t n = static_cast<int64_t>(objects.size());
+  const bool polled = controller->active();
 
   Prepared prepared;
   prepared.sigs.resize(n);
@@ -69,12 +172,18 @@ KJoin::Prepared KJoin::Prepare(const std::vector<const std::vector<Object>*>& co
   std::vector<int64_t> shard_total(lanes, 0);
   stats->prepare_tasks +=
       pool_->ParallelFor(n, lanes, [&](int shard, int64_t begin, int64_t end) {
+        int64_t since_poll = 0;
         for (int64_t i = begin; i < end; ++i) {
+          if (polled && (since_poll++ % kPreparePollStride) == 0 &&
+              !controller->Poll(JoinPhase::kPrepare)) {
+            return;
+          }
           prepared.sigs[i] = signatures_.Generate(*objects[i]);
           GlobalSignatureOrder::CountDistinct(prepared.sigs[i], &shard_df[shard]);
           shard_total[shard] += static_cast<int64_t>(prepared.sigs[i].size());
         }
       });
+  if (controller->tripped()) return prepared;
   for (int s = 0; s < lanes; ++s) {
     order->MergeCounts(shard_df[s]);
     stats->total_signatures += shard_total[s];
@@ -86,7 +195,12 @@ KJoin::Prepared KJoin::Prepare(const std::vector<const std::vector<Object>*>& co
   std::vector<int64_t> shard_prefix(lanes, 0);
   stats->prepare_tasks +=
       pool_->ParallelFor(n, lanes, [&](int shard, int64_t begin, int64_t end) {
+        int64_t since_poll = 0;
         for (int64_t i = begin; i < end; ++i) {
+          if (polled && (since_poll++ % kPreparePollStride) == 0 &&
+              !controller->Poll(JoinPhase::kPrepare)) {
+            return;
+          }
           SortByGlobalOrder(*order, &prepared.sigs[i]);
           const int32_t prefix = PrefixLengthFor(prepared.sigs[i], objects[i]->size());
           prepared.prefix_len[i] = prefix;
@@ -136,24 +250,43 @@ void KJoin::GenerateCandidates(
 void KJoin::VerifyCandidates(const std::vector<Object>& left,
                              const std::vector<Object>& right,
                              const std::vector<std::pair<int32_t, int32_t>>& candidates,
-                             JoinResult* result) const {
+                             JoinResult* result, JoinController* controller) const {
   WallTimer timer;
   result->stats.candidates += static_cast<int64_t>(candidates.size());
+  const bool polled = controller->active();
   // ParallelFor never schedules empty shards, so tiny batches cost at most
   // one task; the explicit clamp only avoids sharding overhead on batches
   // that are nontrivial yet still too small to win.
   const int max_shards =
       candidates.size() < kMinParallelVerify ? 1 : pool_->num_threads();
 
+  // Runs inside a pool lane; never lets an exception escape into the pool
+  // (that would terminate the process). Allocation failure — Hungarian /
+  // SubGraph scratch on a pathological pair can be large — becomes a
+  // kResourceExhausted trip with everything verified so far kept.
+  auto verify_range = [&](int64_t begin, int64_t end,
+                          std::vector<std::pair<int32_t, int32_t>>* out, VerifyStats* vs) {
+    try {
+      int64_t since_poll = 0;
+      for (int64_t i = begin; i < end; ++i) {
+        if (polled && (since_poll++ % kVerifyPollStride) == 0 &&
+            !controller->Poll(JoinPhase::kVerify)) {
+          return;
+        }
+        const auto& [l, r] = candidates[i];
+        if (verifier_.Verify(left[l], right[r], vs)) out->emplace_back(l, r);
+      }
+    } catch (const std::bad_alloc&) {
+      controller->Trip(JoinPhase::kVerify,
+                       ResourceExhaustedError("allocation failed while verifying a candidate "
+                                              "pair; results so far are partial"));
+    }
+  };
+
   if (max_shards == 1) {
     result->stats.verify_tasks += pool_->ParallelFor(
         static_cast<int64_t>(candidates.size()), 1, [&](int, int64_t begin, int64_t end) {
-          for (int64_t i = begin; i < end; ++i) {
-            const auto& [l, r] = candidates[i];
-            if (verifier_.Verify(left[l], right[r], &result->stats.verify)) {
-              result->pairs.emplace_back(l, r);
-            }
-          }
+          verify_range(begin, end, &result->pairs, &result->stats.verify);
         });
     result->stats.verify_seconds += timer.ElapsedSeconds();
     return;
@@ -166,12 +299,7 @@ void KJoin::VerifyCandidates(const std::vector<Object>& left,
   const int tasks = pool_->ParallelFor(
       static_cast<int64_t>(candidates.size()), max_shards,
       [&](int shard, int64_t begin, int64_t end) {
-        for (int64_t i = begin; i < end; ++i) {
-          const auto& [l, r] = candidates[i];
-          if (verifier_.Verify(left[l], right[r], &stats[shard])) {
-            found[shard].emplace_back(l, r);
-          }
-        }
+        verify_range(begin, end, &found[shard], &stats[shard]);
       });
   result->stats.verify_tasks += tasks;
   for (int s = 0; s < tasks; ++s) {
@@ -204,129 +332,230 @@ void KJoin::FinishStats(const ThreadPoolStats& pool_before, const SimCacheStats&
   }
 }
 
-JoinResult KJoin::SelfJoin(const std::vector<Object>& objects) const {
-  KJOIN_CHECK(FitsObjectIdSpace(objects.size()))
-      << "collection exceeds the int32_t object-id space; shard the input";
-  JoinResult result;
-  result.stats.num_objects_left = static_cast<int64_t>(objects.size());
-  result.stats.num_objects_right = result.stats.num_objects_left;
+Status KJoin::JoinImpl(const std::vector<Object>& left, const std::vector<Object>& right,
+                       bool self, const JoinControl& control, JoinResult* result) const {
+  KJOIN_CHECK(result != nullptr);
+  *result = JoinResult();
+  if (!FitsObjectIdSpace(left.size()) || KJOIN_FAULT_POINT("kjoin/id_space")) {
+    return InvalidArgumentError(
+        (self ? "collection of " : "left collection of ") + std::to_string(left.size()) +
+        " objects exceeds the int32_t object-id space (max " +
+        std::to_string(kMaxJoinCollectionSize) + "); shard the input");
+  }
+  if (!self && !FitsObjectIdSpace(right.size())) {
+    return InvalidArgumentError(
+        "right collection of " + std::to_string(right.size()) +
+        " objects exceeds the int32_t object-id space (max " +
+        std::to_string(kMaxJoinCollectionSize) + "); shard the input");
+  }
+  const std::vector<Object>& rhs = self ? left : right;
+  result->stats.num_objects_left = static_cast<int64_t>(left.size());
+  result->stats.num_objects_right = static_cast<int64_t>(rhs.size());
+
+  JoinController controller(control);
+  const bool polled = controller.active();
   const ThreadPoolStats pool_before = pool_->stats();
   const SimCacheStats cache_before = CacheStats();
   WallTimer total_timer;
 
+  // ---- prepare ----
   WallTimer phase_timer;
   GlobalSignatureOrder order;
-  const Prepared prepared = Prepare({&objects}, &order, &result.stats);
-  result.stats.signature_seconds = phase_timer.ElapsedSeconds();
-  const int32_t n = static_cast<int32_t>(objects.size());
+  // Signatures and the global order span both collections (§6.1).
+  const Prepared prepared =
+      self ? Prepare({&left}, &order, &result->stats, &controller)
+           : Prepare({&left, &right}, &order, &result->stats, &controller);
+  result->stats.signature_seconds = phase_timer.ElapsedSeconds();
 
-  // Candidate generation. The index holds every object's full prefix, with
-  // each posting list ascending in object id; probing x only consumes
-  // entries y < x, which reproduces the streaming formulation (probe
-  // before insert) while letting probes shard freely across the pool.
+  // ---- filter: index left prefixes, probe (self: probe x reads y < x) ----
   phase_timer.Restart();
   InvertedIndex index(order.num_signatures());
-  for (int32_t x = 0; x < n; ++x) {
-    const std::vector<Signature>& sigs = prepared.sigs[x];
-    int32_t previous_rank = -1;
-    for (int32_t k = 0; k < prepared.prefix_len[x]; ++k) {
-      const int32_t rank = order.Rank(sigs[k].id);
-      if (rank == previous_rank) continue;  // duplicate signature value
-      previous_rank = rank;
-      index.Add(rank, x);
+  if (!controller.tripped()) {
+    const int32_t num_indexed = static_cast<int32_t>(left.size());
+    int64_t since_poll = 0;
+    for (int32_t x = 0; x < num_indexed; ++x) {
+      if (polled && (since_poll++ % kIndexPollStride) == 0 &&
+          !controller.Poll(JoinPhase::kFilter)) {
+        break;
+      }
+      const std::vector<Signature>& sigs = prepared.sigs[x];
+      int32_t previous_rank = -1;
+      for (int32_t k = 0; k < prepared.prefix_len[x]; ++k) {
+        const int32_t rank = order.Rank(sigs[k].id);
+        if (rank == previous_rank) continue;  // duplicate signature value
+        previous_rank = rank;
+        index.Add(rank, x);
+      }
     }
   }
-  std::vector<std::pair<int32_t, int32_t>> candidates;
-  GenerateCandidates(
-      n,
-      [&](int, int32_t begin, int32_t end, std::vector<std::pair<int32_t, int32_t>>* out) {
-        std::vector<int32_t> last_probe(n, -1);
-        for (int32_t x = begin; x < end; ++x) {
-          const std::vector<Signature>& sigs = prepared.sigs[x];
-          int32_t previous_rank = -1;
-          for (int32_t k = 0; k < prepared.prefix_len[x]; ++k) {
-            const int32_t rank = order.Rank(sigs[k].id);
-            if (rank == previous_rank) continue;
-            previous_rank = rank;
-            for (int32_t y : index.List(rank)) {
-              if (y >= x) break;  // ascending list: only x itself and later objects follow
-              if (last_probe[y] == x) continue;
-              last_probe[y] = x;
-              out->emplace_back(y, x);
-            }
-          }
+
+  const int32_t num_probes =
+      controller.tripped() ? 0 : static_cast<int32_t>(self ? left.size() : right.size());
+  const size_t probe_sig_offset = self ? 0 : left.size();
+  const int64_t max_per_probe = control.max_candidates_per_probe;
+  // Candidate pairs buffered at once under the byte budget (0 = unlimited).
+  const int64_t pair_bytes = static_cast<int64_t>(sizeof(std::pair<int32_t, int32_t>));
+  const int64_t max_buffered =
+      control.candidate_byte_budget > 0
+          ? std::max<int64_t>(int64_t{1}, control.candidate_byte_budget / pair_bytes)
+          : 0;
+
+  // The probe body is shared by self and R-S joins: both emit
+  // (indexed id, probe id) pairs in probe order; self mode additionally
+  // stops each posting list at the probe itself (ascending lists).
+  auto probe = [&](int /*shard*/, int32_t begin, int32_t end,
+                   std::vector<std::pair<int32_t, int32_t>>* out) {
+    const size_t shard_base = out->size();
+    std::vector<int32_t> last_probe(left.size(), -1);
+    int64_t since_poll = 0;
+    for (int32_t p = begin; p < end; ++p) {
+      if (polled && (since_poll++ % kProbePollStride) == 0 &&
+          !controller.Poll(JoinPhase::kFilter)) {
+        return;
+      }
+      const size_t probe_base = out->size();
+      const std::vector<Signature>& sigs = prepared.sigs[probe_sig_offset + p];
+      int32_t previous_rank = -1;
+      for (int32_t k = 0; k < prepared.prefix_len[probe_sig_offset + p]; ++k) {
+        const int32_t rank = order.Rank(sigs[k].id);
+        if (rank == previous_rank) continue;
+        previous_rank = rank;
+        for (int32_t y : index.List(rank)) {
+          if (self && y >= p) break;  // ascending list: only p itself and later follow
+          if (last_probe[y] == p) continue;
+          last_probe[y] = p;
+          out->emplace_back(y, p);
         }
-      },
-      &candidates, &result.stats);
-  result.stats.filter_seconds = phase_timer.ElapsedSeconds();
+        if (max_per_probe > 0 &&
+            static_cast<int64_t>(out->size() - probe_base) > max_per_probe) {
+          controller.Trip(
+              JoinPhase::kFilter,
+              ResourceExhaustedError(
+                  "probe object " + std::to_string(p) + " emitted " +
+                  std::to_string(out->size() - probe_base) +
+                  " candidates, over max_candidates_per_probe=" +
+                  std::to_string(max_per_probe) + "; results so far are partial"));
+          return;
+        }
+      }
+      // Hard memory backstop: chunks are sized to emit about one budget's
+      // worth, and the rate estimate lags by at most ~2x on steadily
+      // densifying workloads; a single shard emitting four budgets in one
+      // chunk means a hub probe blew the estimate — give up instead of
+      // ballooning further.
+      if (max_buffered > 0 &&
+          static_cast<int64_t>(out->size() - shard_base) >= 4 * max_buffered) {
+        controller.Trip(
+            JoinPhase::kFilter,
+            ResourceExhaustedError(
+                "candidate buffer overflowed candidate_byte_budget=" +
+                std::to_string(control.candidate_byte_budget) + " at probe object " +
+                std::to_string(p) + "; results so far are partial"));
+        return;
+      }
+    }
+  };
 
-  VerifyCandidates(objects, objects, candidates, &result);
+  // Candidate generation, chunked only when a byte budget is set. Chunk
+  // sizes derive from deterministic emission counts, so the pair stream —
+  // and therefore the verified result — is byte-identical to an
+  // unbudgeted run that stays under budget.
+  std::vector<std::pair<int32_t, int32_t>> candidates;
+  int32_t next = 0;
+  int64_t probes_done = 0;
+  int64_t emitted_seen = 0;
+  while (next < num_probes && !controller.tripped()) {
+    int64_t chunk = num_probes;
+    if (max_buffered > 0) {
+      if (probes_done == 0) {
+        chunk = kInitialBudgetChunk;
+      } else {
+        const int64_t rate = std::max<int64_t>(1, emitted_seen / probes_done);
+        const int64_t headroom =
+            max_buffered - static_cast<int64_t>(candidates.size());
+        chunk = std::max<int64_t>(1, headroom / rate);
+      }
+    }
+    const int32_t take = static_cast<int32_t>(
+        std::min<int64_t>(chunk, static_cast<int64_t>(num_probes - next)));
+    const int32_t chunk_begin = next;
+    const size_t before = candidates.size();
+    GenerateCandidates(
+        take,
+        [&](int shard, int32_t b, int32_t e, std::vector<std::pair<int32_t, int32_t>>* out) {
+          probe(shard, chunk_begin + b, chunk_begin + e, out);
+        },
+        &candidates, &result->stats);
+    next += take;
+    probes_done += take;
+    const int64_t chunk_emitted = static_cast<int64_t>(candidates.size() - before);
+    emitted_seen += chunk_emitted;
+    if (controller.tripped()) break;
+    if (max_buffered > 0 && static_cast<int64_t>(candidates.size()) >= max_buffered) {
+      // Budget full: spill — verify the buffer now as a smaller batch and
+      // continue probing with a drained buffer.
+      ++result->stats.budget_spills;
+      result->stats.filter_seconds += phase_timer.ElapsedSeconds();
+      VerifyCandidates(left, rhs, candidates, result, &controller);
+      ++result->stats.verify_batches;
+      const bool single_probe_overflow = take == 1 && chunk_emitted >= max_buffered;
+      candidates.clear();
+      candidates.shrink_to_fit();
+      phase_timer.Restart();
+      if (single_probe_overflow) {
+        // Degradation bottomed out: one probe alone fills the budget. Its
+        // candidates were verified above, but the promised memory bound
+        // cannot be honored, so the join stops here.
+        controller.Trip(
+            JoinPhase::kFilter,
+            ResourceExhaustedError(
+                "probe object " + std::to_string(next - 1) + " alone emitted " +
+                std::to_string(chunk_emitted) + " candidates (" +
+                std::to_string(chunk_emitted * pair_bytes) +
+                " bytes), filling candidate_byte_budget=" +
+                std::to_string(control.candidate_byte_budget) +
+                "; results so far are partial"));
+      }
+    }
+  }
+  result->stats.filter_seconds += phase_timer.ElapsedSeconds();
 
-  result.stats.results = static_cast<int64_t>(result.pairs.size());
-  result.stats.total_seconds = total_timer.ElapsedSeconds();
-  FinishStats(pool_before, cache_before, &result.stats);
+  // ---- verify (final batch) ----
+  if (!controller.tripped()) {
+    VerifyCandidates(left, rhs, candidates, result, &controller);
+    ++result->stats.verify_batches;
+  }
+
+  result->stats.results = static_cast<int64_t>(result->pairs.size());
+  result->stats.total_seconds = total_timer.ElapsedSeconds();
+  result->stats.stopped_phase = controller.phase();
+  result->stats.control_polls = controller.polls();
+  FinishStats(pool_before, cache_before, &result->stats);
+  return controller.status();
+}
+
+Status KJoin::SelfJoin(const std::vector<Object>& objects, const JoinControl& control,
+                       JoinResult* result) const {
+  return JoinImpl(objects, objects, /*self=*/true, control, result);
+}
+
+Status KJoin::Join(const std::vector<Object>& left, const std::vector<Object>& right,
+                   const JoinControl& control, JoinResult* result) const {
+  return JoinImpl(left, right, /*self=*/false, control, result);
+}
+
+JoinResult KJoin::SelfJoin(const std::vector<Object>& objects) const {
+  JoinResult result;
+  const Status status = JoinImpl(objects, objects, /*self=*/true, JoinControl{}, &result);
+  KJOIN_CHECK(status.ok()) << status;
   return result;
 }
 
 JoinResult KJoin::Join(const std::vector<Object>& left,
                        const std::vector<Object>& right) const {
-  KJOIN_CHECK(FitsObjectIdSpace(left.size()) && FitsObjectIdSpace(right.size()))
-      << "collection exceeds the int32_t object-id space; shard the input";
   JoinResult result;
-  result.stats.num_objects_left = static_cast<int64_t>(left.size());
-  result.stats.num_objects_right = static_cast<int64_t>(right.size());
-  const ThreadPoolStats pool_before = pool_->stats();
-  const SimCacheStats cache_before = CacheStats();
-  WallTimer total_timer;
-
-  WallTimer phase_timer;
-  GlobalSignatureOrder order;
-  // Signatures and the global order span both collections (§6.1).
-  const Prepared prepared = Prepare({&left, &right}, &order, &result.stats);
-  result.stats.signature_seconds = phase_timer.ElapsedSeconds();
-  const size_t right_offset = left.size();
-
-  // Index the left collection's prefixes, probe with the right's.
-  phase_timer.Restart();
-  InvertedIndex index(order.num_signatures());
-  for (int32_t l = 0; l < static_cast<int32_t>(left.size()); ++l) {
-    const std::vector<Signature>& sigs = prepared.sigs[l];
-    int32_t previous_rank = -1;
-    for (int32_t k = 0; k < prepared.prefix_len[l]; ++k) {
-      const int32_t rank = order.Rank(sigs[k].id);
-      if (rank == previous_rank) continue;
-      previous_rank = rank;
-      index.Add(rank, l);
-    }
-  }
-  std::vector<std::pair<int32_t, int32_t>> candidates;
-  GenerateCandidates(
-      static_cast<int64_t>(right.size()),
-      [&](int, int32_t begin, int32_t end, std::vector<std::pair<int32_t, int32_t>>* out) {
-        std::vector<int32_t> last_probe(left.size(), -1);
-        for (int32_t r = begin; r < end; ++r) {
-          const std::vector<Signature>& sigs = prepared.sigs[right_offset + r];
-          int32_t previous_rank = -1;
-          for (int32_t k = 0; k < prepared.prefix_len[right_offset + r]; ++k) {
-            const int32_t rank = order.Rank(sigs[k].id);
-            if (rank == previous_rank) continue;
-            previous_rank = rank;
-            for (int32_t l : index.List(rank)) {
-              if (last_probe[l] == r) continue;
-              last_probe[l] = r;
-              out->emplace_back(l, r);
-            }
-          }
-        }
-      },
-      &candidates, &result.stats);
-  result.stats.filter_seconds = phase_timer.ElapsedSeconds();
-
-  VerifyCandidates(left, right, candidates, &result);
-
-  result.stats.results = static_cast<int64_t>(result.pairs.size());
-  result.stats.total_seconds = total_timer.ElapsedSeconds();
-  FinishStats(pool_before, cache_before, &result.stats);
+  const Status status = JoinImpl(left, right, /*self=*/false, JoinControl{}, &result);
+  KJOIN_CHECK(status.ok()) << status;
   return result;
 }
 

@@ -20,6 +20,7 @@
 //   KJoin join(tree, options);
 //   JoinResult result = join.SelfJoin(objects);
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -27,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/element_similarity.h"
 #include "core/object.h"
@@ -84,6 +86,48 @@ constexpr bool FitsObjectIdSpace(uint64_t collection_size) {
   return collection_size <= kMaxJoinCollectionSize;
 }
 
+// Cooperative cancellation handle for the Status-returning join entry
+// points. Cancel() may be called from any thread (typically a watchdog or
+// an RPC teardown path) while a join is running; the join observes it at
+// the next shard-boundary poll and returns kCancelled with the pairs found
+// so far. Reusable: a token outlives any number of joins.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Runtime bounds for one join invocation (docs/robustness.md). Default
+// constructed = unbounded, which makes the Status overloads behave exactly
+// like the legacy ones. All checks are cooperative: they happen at shard
+// boundaries and every few probe/verify items, never mid-verification, so
+// a pathological single pair can overshoot a deadline by one verification.
+struct JoinControl {
+  // Wall-clock budget in seconds, measured from the join call; <= 0 means
+  // no deadline. Tripping returns kDeadlineExceeded.
+  double deadline_seconds = 0.0;
+  // Optional external cancel signal; not owned, may be null. Must outlive
+  // the join call. Tripping returns kCancelled.
+  const CancelToken* cancel_token = nullptr;
+  // Approximate cap on bytes buffered for candidate pairs; <= 0 means
+  // unlimited. When the buffer fills, verification is spilled early in
+  // smaller batches (results stay identical); if a single adaptive chunk
+  // alone overflows the budget the join gives up with kResourceExhausted.
+  int64_t candidate_byte_budget = 0;
+  // Cap on candidates emitted by one probe object; <= 0 means unlimited.
+  // A probe exceeding it (a "hub" object matching everything) trips
+  // kResourceExhausted rather than quadratically exploding the buffer.
+  int64_t max_candidates_per_probe = 0;
+};
+
+// Pipeline phase in which a controlled join stopped (JoinStats::stopped_phase).
+enum class JoinPhase { kNone = 0, kPrepare = 1, kFilter = 2, kVerify = 3 };
+const char* JoinPhaseName(JoinPhase phase);
+
 struct JoinStats {
   int64_t num_objects_left = 0;
   int64_t num_objects_right = 0;
@@ -120,6 +164,20 @@ struct JoinStats {
   int64_t sim_cache_hits = 0;
   int64_t sim_cache_misses = 0;
   double sim_cache_hit_rate = 0.0;  // hits / (hits + misses)
+
+  // ---- control-plane observability (docs/robustness.md) ----
+  // Phase in which the join tripped (deadline / cancel / resource guard);
+  // kNone on a clean run. Like the scheduling fields, these vary with
+  // num_threads and JoinControl, never the result counters above.
+  JoinPhase stopped_phase = JoinPhase::kNone;
+  // Shard-boundary control polls executed (0 when no control is active).
+  int64_t control_polls = 0;
+  // Verification batches: 1 for an unbudgeted run, more when the candidate
+  // byte budget spilled verification early.
+  int64_t verify_batches = 0;
+  // Times the filter flushed buffered candidates into verification because
+  // the byte budget filled up.
+  int64_t budget_spills = 0;
 };
 
 struct JoinResult {
@@ -141,6 +199,18 @@ class KJoin {
   // must come from the same ObjectBuilder (shared token interner).
   JoinResult Join(const std::vector<Object>& left, const std::vector<Object>& right) const;
 
+  // Controlled entry points. With a default JoinControl they compute the
+  // same result as the legacy overloads and return OK. When a bound trips
+  // (kDeadlineExceeded, kCancelled, kResourceExhausted) or the input is
+  // oversized (kInvalidArgument), *result holds the similar pairs proven
+  // so far — a correct subset of the full answer — and
+  // result->stats.stopped_phase records where the pipeline stopped. The
+  // worker pool is always quiescent when these return, tripped or not.
+  Status SelfJoin(const std::vector<Object>& objects, const JoinControl& control,
+                  JoinResult* result) const;
+  Status Join(const std::vector<Object>& left, const std::vector<Object>& right,
+              const JoinControl& control, JoinResult* result) const;
+
   // Exact similarity under this join's configuration (no filtering).
   double ExactSimilarity(const Object& x, const Object& y) const;
 
@@ -148,16 +218,27 @@ class KJoin {
   const Hierarchy& hierarchy() const { return *hierarchy_; }
 
  private:
+  // Deadline/cancel/resource-guard state for one controlled run; defined
+  // in kjoin.cc. Thread-safe: shards poll and trip it concurrently.
+  class JoinController;
+
   // Per-object signature lists sorted by global order plus prefix length.
   struct Prepared {
     std::vector<std::vector<Signature>> sigs;
     std::vector<int32_t> prefix_len;
   };
 
+  // Both public joins funnel here; `self` selects self-join semantics
+  // (right is ignored and aliases left).
+  Status JoinImpl(const std::vector<Object>& left, const std::vector<Object>& right,
+                  bool self, const JoinControl& control, JoinResult* result) const;
+
   // Signature generation + global ordering + prefixes over one or two
-  // collections.
+  // collections. Polls `controller` at shard boundaries; on a trip the
+  // returned Prepared is partial and must not be used.
   Prepared Prepare(const std::vector<const std::vector<Object>*>& collections,
-                   GlobalSignatureOrder* order, JoinStats* stats) const;
+                   GlobalSignatureOrder* order, JoinStats* stats,
+                   JoinController* controller) const;
 
   int32_t PrefixLengthFor(const std::vector<Signature>& sigs, int32_t object_size) const;
 
@@ -165,10 +246,11 @@ class KJoin {
   // pool when options_.num_threads > 1 and the batch is large enough —
   // and appends the similar ones to result->pairs (kept in candidate
   // order). Timing goes to verify_seconds, per-pair counters to
-  // result->stats.verify.
+  // result->stats.verify. Polls `controller` inside shards and converts
+  // allocation failure during verification into a kResourceExhausted trip.
   void VerifyCandidates(const std::vector<Object>& left, const std::vector<Object>& right,
                         const std::vector<std::pair<int32_t, int32_t>>& candidates,
-                        JoinResult* result) const;
+                        JoinResult* result, JoinController* controller) const;
 
   // Shards `num_probes` probe objects across the pool; `probe(shard,
   // begin, end, out)` appends each probe's candidates to *out in probe

@@ -1,8 +1,10 @@
 #include "core/verifier.h"
 
 #include <algorithm>
+#include <new>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "matching/bounds.h"
 #include "matching/greedy_matching.h"
@@ -28,6 +30,21 @@ void ClampRetainedCapacity(std::vector<T>* vec) {
     vec->shrink_to_fit();
   }
 }
+
+// Clamps a retained thread-local scratch vector on every exit path —
+// including stack unwinding after a failed allocation — so an aborted
+// verification can't pin a peak-sized buffer in its worker thread.
+template <typename T>
+class ScratchClamp {
+ public:
+  explicit ScratchClamp(std::vector<T>* vec) : vec_(vec) {}
+  ~ScratchClamp() { ClampRetainedCapacity(vec_); }
+  ScratchClamp(const ScratchClamp&) = delete;
+  ScratchClamp& operator=(const ScratchClamp&) = delete;
+
+ private:
+  std::vector<T>* vec_;
+};
 
 // Minimal union-find over dense indices.
 class UnionFind {
@@ -78,8 +95,11 @@ std::vector<Verifier::Group> Verifier::BuildGroups(const Object& x, const Object
       int32_t element;
     };
     static thread_local std::vector<Entry> entries;
-    entries.clear();
     static thread_local std::vector<SigId> scratch;
+    const ScratchClamp<Entry> clamp_entries(&entries);
+    const ScratchClamp<SigId> clamp_scratch(&scratch);
+    entries.clear();
+    if (KJOIN_FAULT_POINT("verifier/scratch_alloc")) throw std::bad_alloc();
     auto append_side = [&](const Object& object, int8_t side) {
       for (int32_t i = 0; i < object.size(); ++i) {
         scratch.clear();
@@ -109,8 +129,6 @@ std::vector<Verifier::Group> Verifier::BuildGroups(const Object& x, const Object
       }
       i = j;
     }
-    ClampRetainedCapacity(&entries);
-    ClampRetainedCapacity(&scratch);
     return groups;
   }
 

@@ -1,13 +1,23 @@
 #include "data/dataset_io.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
-#include "common/logging.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace kjoin {
+namespace {
+
+Status ParseError(std::string_view source_name, int line_number, std::string message) {
+  return InvalidArgumentError(std::string(source_name) + ":" +
+                              std::to_string(line_number) + ": " + std::move(message));
+}
+
+}  // namespace
 
 std::string SerializeDataset(const Dataset& dataset) {
   std::ostringstream os;
@@ -24,7 +34,7 @@ std::string SerializeDataset(const Dataset& dataset) {
   return os.str();
 }
 
-std::optional<Dataset> ParseDataset(std::string_view text, std::string name) {
+StatusOr<Dataset> ParseDataset(std::string_view text, std::string name) {
   Dataset dataset;
   dataset.name = std::move(name);
   int line_number = 0;
@@ -35,64 +45,71 @@ std::optional<Dataset> ParseDataset(std::string_view text, std::string name) {
     const std::vector<std::string> fields = Split(line, '\t');
     if (fields[0] == "S") {
       if (fields.size() != 3) {
-        KJOIN_LOG(WARNING) << "dataset line " << line_number
-                           << ": synonym lines need 3 fields";
-        return std::nullopt;
+        return ParseError(dataset.name, line_number,
+                          "synonym lines need 3 fields, got " +
+                              std::to_string(fields.size()));
+      }
+      if (!IsValidUtf8(fields[1]) || !IsValidUtf8(fields[2])) {
+        return ParseError(dataset.name, line_number, "synonym is not valid UTF-8");
       }
       dataset.synonyms.emplace_back(fields[1], fields[2]);
       continue;
     }
     if (fields[0] == "R") {
       if (fields.size() < 3) {
-        KJOIN_LOG(WARNING) << "dataset line " << line_number
-                           << ": record lines need a cluster and >= 1 token";
-        return std::nullopt;
+        return ParseError(dataset.name, line_number,
+                          "record lines need a cluster and >= 1 token");
       }
       char* end = nullptr;
+      errno = 0;
       const long cluster = std::strtol(fields[1].c_str(), &end, 10);
-      if (*end != '\0') {
-        KJOIN_LOG(WARNING) << "dataset line " << line_number << ": bad cluster '"
-                           << fields[1] << "'";
-        return std::nullopt;
+      if (end == fields[1].c_str() || *end != '\0' || errno == ERANGE ||
+          cluster > INT32_MAX || cluster < INT32_MIN) {
+        return ParseError(dataset.name, line_number, "bad cluster '" + fields[1] + "'");
       }
       Record record;
       record.id = static_cast<int32_t>(dataset.records.size());
       record.cluster = static_cast<int32_t>(cluster);
+      for (size_t k = 2; k < fields.size(); ++k) {
+        if (!IsValidUtf8(fields[k])) {
+          return ParseError(dataset.name, line_number,
+                            "token " + std::to_string(k - 2) + " is not valid UTF-8");
+        }
+      }
       record.tokens.assign(fields.begin() + 2, fields.end());
       dataset.records.push_back(std::move(record));
       continue;
     }
-    KJOIN_LOG(WARNING) << "dataset line " << line_number << ": unknown line type '"
-                       << fields[0] << "'";
-    return std::nullopt;
+    return ParseError(dataset.name, line_number,
+                      "unknown line type '" + fields[0] + "'");
   }
   return dataset;
 }
 
-bool WriteDatasetFile(const Dataset& dataset, const std::string& path) {
+Status WriteDatasetFile(const Dataset& dataset, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
-    KJOIN_LOG(WARNING) << "cannot open " << path << " for writing";
-    return false;
+    return NotFoundError("cannot open " + path + " for writing");
   }
   out << SerializeDataset(dataset);
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out || KJOIN_FAULT_POINT("dataset_io/write_fail")) {
+    return DataLossError("write failed for " + path);
+  }
+  return OkStatus();
 }
 
-std::optional<Dataset> ReadDatasetFile(const std::string& path) {
+StatusOr<Dataset> ReadDatasetFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    KJOIN_LOG(WARNING) << "cannot open " << path;
-    return std::nullopt;
+  if (!in || KJOIN_FAULT_POINT("dataset_io/open_fail")) {
+    return NotFoundError("cannot open " + path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  // Use the file's basename as the dataset name.
-  std::string name = path;
-  if (const size_t slash = name.find_last_of('/'); slash != std::string::npos) {
-    name = name.substr(slash + 1);
+  if (in.bad() || KJOIN_FAULT_POINT("dataset_io/short_read")) {
+    return DataLossError("read failed for " + path);
   }
-  return ParseDataset(buffer.str(), name);
+  return ParseDataset(buffer.str(), path);
 }
 
 }  // namespace kjoin

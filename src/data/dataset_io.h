@@ -8,22 +8,30 @@
 // Synonym line:  S<tab><alias><tab><canonical-label>
 // '#' comments and blank lines are ignored. Record ids are assigned in
 // file order; cluster is an integer (-1 = no duplicates).
+//
+// The parsers treat their input as untrusted: malformed text is reported
+// as a Status (kInvalidArgument with "<source>:<line>: ..." context,
+// kNotFound for missing files, kDataLoss for failed reads) rather than
+// terminating the process. See docs/robustness.md.
 
-#include <optional>
 #include <string>
 #include <string_view>
 
+#include "common/status.h"
 #include "data/dataset.h"
 
 namespace kjoin {
 
 std::string SerializeDataset(const Dataset& dataset);
 
-// Returns nullopt (and logs the offending line) on malformed input.
-std::optional<Dataset> ParseDataset(std::string_view text, std::string name = "dataset");
+// Parses the text format; `name` doubles as the dataset name and the
+// source label in error messages (pass the file path when parsing file
+// contents). Fails with kInvalidArgument on unknown line types, bad
+// arity, non-integer clusters, or non-UTF-8 tokens.
+StatusOr<Dataset> ParseDataset(std::string_view text, std::string name = "dataset");
 
-bool WriteDatasetFile(const Dataset& dataset, const std::string& path);
-std::optional<Dataset> ReadDatasetFile(const std::string& path);
+Status WriteDatasetFile(const Dataset& dataset, const std::string& path);
+StatusOr<Dataset> ReadDatasetFile(const std::string& path);
 
 }  // namespace kjoin
 

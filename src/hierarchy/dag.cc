@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace kjoin {
@@ -20,20 +21,38 @@ int32_t Dag::AddNode(std::string label) {
 }
 
 void Dag::AddEdge(int32_t parent, int32_t child) {
-  KJOIN_CHECK(parent >= 0 && parent < num_nodes());
-  KJOIN_CHECK(child >= 0 && child < num_nodes());
-  KJOIN_CHECK_NE(parent, child);
+  const Status status = TryAddEdge(parent, child);
+  KJOIN_CHECK(status.ok()) << status;
+}
+
+Status Dag::TryAddEdge(int32_t parent, int32_t child) {
+  if (parent < 0 || parent >= num_nodes()) {
+    return InvalidArgumentError("edge parent " + std::to_string(parent) +
+                                " out of range (have " + std::to_string(num_nodes()) +
+                                " nodes)");
+  }
+  if (child < 0 || child >= num_nodes()) {
+    return InvalidArgumentError("edge child " + std::to_string(child) +
+                                " out of range (have " + std::to_string(num_nodes()) +
+                                " nodes)");
+  }
+  if (parent == child) {
+    return InvalidArgumentError("self-loop on node " + std::to_string(parent) + " '" +
+                                labels_[parent] + "'");
+  }
   auto& kids = children_[parent];
-  if (std::find(kids.begin(), kids.end(), child) != kids.end()) return;
+  if (std::find(kids.begin(), kids.end(), child) != kids.end()) return OkStatus();
   kids.push_back(child);
   parents_[child].push_back(parent);
+  return OkStatus();
 }
 
 namespace {
 
-// Returns true if the DAG (restricted to nodes reachable from the root)
-// is acyclic, via iterative three-color DFS.
-bool IsAcyclicFromRoot(const Dag& dag) {
+// Returns the first node found on a cycle reachable from the root, or
+// kInvalidNode when the reachable sub-DAG is acyclic (iterative
+// three-color DFS).
+int32_t FindCycleNode(const Dag& dag) {
   enum : uint8_t { kWhite, kGray, kBlack };
   std::vector<uint8_t> color(dag.num_nodes(), kWhite);
   std::vector<std::pair<int32_t, size_t>> stack;
@@ -44,7 +63,7 @@ bool IsAcyclicFromRoot(const Dag& dag) {
     const auto& kids = dag.children(node);
     if (next < kids.size()) {
       const int32_t child = kids[next++];
-      if (color[child] == kGray) return false;
+      if (color[child] == kGray) return child;
       if (color[child] == kWhite) {
         color[child] = kGray;
         stack.emplace_back(child, 0);
@@ -54,13 +73,20 @@ bool IsAcyclicFromRoot(const Dag& dag) {
       stack.pop_back();
     }
   }
-  return true;
+  return kInvalidNode;
 }
 
 }  // namespace
 
-std::optional<Hierarchy> ConvertDagToTree(const Dag& dag, int64_t max_tree_nodes) {
-  if (!IsAcyclicFromRoot(dag)) return std::nullopt;
+StatusOr<Hierarchy> ConvertDagToTree(const Dag& dag, int64_t max_tree_nodes) {
+  if (const int32_t on_cycle = FindCycleNode(dag); on_cycle != kInvalidNode) {
+    return InvalidArgumentError("dag has a cycle through node " +
+                                std::to_string(on_cycle) + " '" + dag.label(on_cycle) +
+                                "'");
+  }
+  if (KJOIN_FAULT_POINT("dag/cycle_check")) {
+    return InvalidArgumentError("injected cycle detection failure");
+  }
 
   // Depth-first unfolding: each (tree-parent, dag-node) visit creates a
   // fresh tree node, so a DAG node with v parents yields v copies of its
@@ -78,7 +104,12 @@ std::optional<Hierarchy> ConvertDagToTree(const Dag& dag, int64_t max_tree_nodes
   while (!stack.empty()) {
     const Frame frame = stack.back();
     stack.pop_back();
-    if (static_cast<int64_t>(tree_parents.size()) >= max_tree_nodes) return std::nullopt;
+    if (static_cast<int64_t>(tree_parents.size()) >= max_tree_nodes) {
+      return ResourceExhaustedError(
+          "dag unfolding exceeds max_tree_nodes=" + std::to_string(max_tree_nodes) +
+          " (multi-parent diamonds duplicate subtrees; raise the bound or prune the "
+          "dag)");
+    }
     const NodeId tree_node = static_cast<NodeId>(tree_parents.size());
     tree_parents.push_back(frame.tree_parent);
     tree_labels.push_back(dag.label(frame.dag_node));
@@ -95,7 +126,10 @@ std::optional<Hierarchy> ConvertDagToTree(const Dag& dag, int64_t max_tree_nodes
   // visited. Reject DAGs with unreachable nodes: they would silently
   // disappear from the tree.
   for (int32_t v = 0; v < dag.num_nodes(); ++v) {
-    if (!reachable[v]) return std::nullopt;
+    if (!reachable[v]) {
+      return InvalidArgumentError("node " + std::to_string(v) + " '" + dag.label(v) +
+                                  "' is unreachable from the root");
+    }
   }
   return Hierarchy(std::move(tree_parents), std::move(tree_labels));
 }

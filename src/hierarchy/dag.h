@@ -11,10 +11,10 @@
 // already handles.
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "hierarchy/hierarchy.h"
 
 namespace kjoin {
@@ -32,6 +32,11 @@ class Dag {
   // would make the graph cyclic are detected by ConvertDagToTree.
   void AddEdge(int32_t parent, int32_t child);
 
+  // Like AddEdge but reports out-of-range endpoints and self-loops as
+  // kInvalidArgument instead of aborting — the entry point for edges taken
+  // from untrusted input.
+  Status TryAddEdge(int32_t parent, int32_t child);
+
   int64_t num_nodes() const { return static_cast<int64_t>(labels_.size()); }
   const std::string& label(int32_t node) const { return labels_[node]; }
   const std::vector<int32_t>& parents(int32_t node) const { return parents_[node]; }
@@ -47,10 +52,11 @@ class Dag {
 // multi-parent node under each of its parents (§6.5). Labels are preserved,
 // so Hierarchy::NodesWithLabel returns every copy of a duplicated concept.
 //
-// Returns nullopt when the DAG has a cycle, when some node is unreachable
-// from the root, or when unfolding would exceed `max_tree_nodes` (diamond
-// stacks blow up exponentially; callers must bound the result).
-std::optional<Hierarchy> ConvertDagToTree(const Dag& dag, int64_t max_tree_nodes = 1 << 22);
+// Fails with kInvalidArgument when the DAG has a cycle or some node is
+// unreachable from the root (both reported with the offending node), and
+// with kResourceExhausted when unfolding would exceed `max_tree_nodes`
+// (diamond stacks blow up exponentially; callers must bound the result).
+StatusOr<Hierarchy> ConvertDagToTree(const Dag& dag, int64_t max_tree_nodes = 1 << 22);
 
 }  // namespace kjoin
 

@@ -11,7 +11,16 @@ HierarchyBuilder::HierarchyBuilder(std::string root_label) {
 }
 
 NodeId HierarchyBuilder::AddChild(NodeId parent, std::string label) {
-  KJOIN_CHECK(parent >= 0 && parent < num_nodes()) << "unknown parent " << parent;
+  StatusOr<NodeId> added = TryAddChild(parent, std::move(label));
+  KJOIN_CHECK(added.ok()) << added.status();
+  return *added;
+}
+
+StatusOr<NodeId> HierarchyBuilder::TryAddChild(NodeId parent, std::string label) {
+  if (parent < 0 || parent >= num_nodes()) {
+    return InvalidArgumentError("unknown parent node " + std::to_string(parent) +
+                                " (have " + std::to_string(num_nodes()) + " nodes)");
+  }
   parents_.push_back(parent);
   labels_.push_back(std::move(label));
   depths_.push_back(depths_[parent] + 1);
@@ -37,6 +46,30 @@ NodeId HierarchyBuilder::AddPath(const std::vector<std::string>& labels) {
 
 Hierarchy HierarchyBuilder::Build() && {
   return Hierarchy(std::move(parents_), std::move(labels_));
+}
+
+StatusOr<Hierarchy> BuildHierarchyChecked(std::vector<NodeId> parents,
+                                          std::vector<std::string> labels) {
+  if (parents.empty()) {
+    return InvalidArgumentError("hierarchy needs at least a root node");
+  }
+  if (parents.size() != labels.size()) {
+    return InvalidArgumentError("parent/label arity mismatch: " +
+                                std::to_string(parents.size()) + " parents vs " +
+                                std::to_string(labels.size()) + " labels");
+  }
+  if (parents[0] != kInvalidNode) {
+    return InvalidArgumentError("node 0 must be the root (parent -1, got " +
+                                std::to_string(parents[0]) + ")");
+  }
+  for (size_t v = 1; v < parents.size(); ++v) {
+    if (parents[v] < 0 || parents[v] >= static_cast<NodeId>(v)) {
+      return InvalidArgumentError("node " + std::to_string(v) +
+                                  ": parent must precede child, got " +
+                                  std::to_string(parents[v]));
+    }
+  }
+  return Hierarchy(std::move(parents), std::move(labels));
 }
 
 Hierarchy MakeFigure1Hierarchy() {

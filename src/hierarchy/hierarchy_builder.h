@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "hierarchy/hierarchy.h"
 
 namespace kjoin {
@@ -30,6 +31,11 @@ class HierarchyBuilder {
   // Adds a child of `parent` (which must already exist) and returns its id.
   NodeId AddChild(NodeId parent, std::string label);
 
+  // Like AddChild but reports an unknown parent as kInvalidArgument
+  // instead of aborting — the entry point for parents taken from
+  // untrusted input.
+  StatusOr<NodeId> TryAddChild(NodeId parent, std::string label);
+
   // Adds label-path root/.../labels.back(), reusing existing nodes with
   // matching labels along the way. Returns the final node.
   NodeId AddPath(const std::vector<std::string>& labels);
@@ -42,6 +48,13 @@ class HierarchyBuilder {
   std::vector<std::string> labels_;
   std::vector<int> depths_;
 };
+
+// Validates an untrusted parent array (non-empty, node 0 the root, every
+// parent preceding its child) and builds the Hierarchy, reporting
+// violations as kInvalidArgument instead of tripping the constructor's
+// internal CHECKs. The parsers (hierarchy_io) funnel through this.
+StatusOr<Hierarchy> BuildHierarchyChecked(std::vector<NodeId> parents,
+                                          std::vector<std::string> labels);
 
 // The knowledge hierarchy of the paper's Figure 1 (food & US locations).
 // Node labels match the paper: Root, Food, Location, WesternFood, Fastfood,

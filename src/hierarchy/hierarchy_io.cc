@@ -4,10 +4,20 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/logging.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "hierarchy/hierarchy_builder.h"
 
 namespace kjoin {
+namespace {
+
+// "<source>:<line>: <message>" — every parse error carries its location.
+Status ParseError(std::string_view source_name, int line_number, std::string message) {
+  return InvalidArgumentError(std::string(source_name) + ":" +
+                              std::to_string(line_number) + ": " + std::move(message));
+}
+
+}  // namespace
 
 std::string SerializeHierarchy(const Hierarchy& hierarchy) {
   std::ostringstream os;
@@ -20,7 +30,7 @@ std::string SerializeHierarchy(const Hierarchy& hierarchy) {
   return os.str();
 }
 
-std::optional<Hierarchy> ParseHierarchy(std::string_view text) {
+StatusOr<Hierarchy> ParseHierarchy(std::string_view text, std::string_view source_name) {
   std::vector<NodeId> parents;
   std::vector<std::string> labels;
   int line_number = 0;
@@ -30,62 +40,71 @@ std::optional<Hierarchy> ParseHierarchy(std::string_view text) {
     if (line.empty() || line[0] == '#') continue;
     const std::vector<std::string> fields = Split(line, '\t');
     if (fields.size() != 3) {
-      KJOIN_LOG(WARNING) << "hierarchy line " << line_number << ": expected 3 fields, got "
-                         << fields.size();
-      return std::nullopt;
+      return ParseError(source_name, line_number,
+                        "expected 3 tab-separated fields, got " +
+                            std::to_string(fields.size()));
     }
     char* end = nullptr;
     const long id = std::strtol(fields[0].c_str(), &end, 10);
-    if (*end != '\0' || id != static_cast<long>(parents.size())) {
-      KJOIN_LOG(WARNING) << "hierarchy line " << line_number << ": ids must be dense, got '"
-                         << fields[0] << "'";
-      return std::nullopt;
+    if (end == fields[0].c_str() || *end != '\0') {
+      return ParseError(source_name, line_number, "bad node id '" + fields[0] + "'");
+    }
+    if (id != static_cast<long>(parents.size())) {
+      return ParseError(source_name, line_number,
+                        "ids must be dense and ascending: expected " +
+                            std::to_string(parents.size()) + ", got '" + fields[0] + "'");
     }
     const long parent = std::strtol(fields[1].c_str(), &end, 10);
-    if (*end != '\0') {
-      KJOIN_LOG(WARNING) << "hierarchy line " << line_number << ": bad parent '" << fields[1]
-                         << "'";
-      return std::nullopt;
+    if (end == fields[1].c_str() || *end != '\0') {
+      return ParseError(source_name, line_number, "bad parent id '" + fields[1] + "'");
     }
     if (id == 0) {
       if (parent != -1) {
-        KJOIN_LOG(WARNING) << "hierarchy line " << line_number << ": root parent must be -1";
-        return std::nullopt;
+        return ParseError(source_name, line_number,
+                          "root parent must be -1, got " + std::to_string(parent));
       }
     } else if (parent < 0 || parent >= id) {
-      KJOIN_LOG(WARNING) << "hierarchy line " << line_number
-                         << ": parent must precede child, got " << parent;
-      return std::nullopt;
+      return ParseError(source_name, line_number,
+                        "parent must precede child, got " + std::to_string(parent));
+    }
+    if (!IsValidUtf8(fields[2])) {
+      return ParseError(source_name, line_number, "label is not valid UTF-8");
     }
     parents.push_back(static_cast<NodeId>(parent));
     labels.push_back(fields[2]);
   }
   if (parents.empty()) {
-    KJOIN_LOG(WARNING) << "hierarchy text has no nodes";
-    return std::nullopt;
+    return InvalidArgumentError(std::string(source_name) + ": hierarchy text has no nodes");
   }
-  return Hierarchy(std::move(parents), std::move(labels));
+  // The per-line checks above already enforce the Hierarchy invariants;
+  // the checked factory keeps that true if the two ever drift.
+  return BuildHierarchyChecked(std::move(parents), std::move(labels));
 }
 
-bool WriteHierarchyFile(const Hierarchy& hierarchy, const std::string& path) {
+Status WriteHierarchyFile(const Hierarchy& hierarchy, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
-    KJOIN_LOG(WARNING) << "cannot open " << path << " for writing";
-    return false;
+    return NotFoundError("cannot open " + path + " for writing");
   }
   out << SerializeHierarchy(hierarchy);
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out || KJOIN_FAULT_POINT("hierarchy_io/write_fail")) {
+    return DataLossError("write failed for " + path);
+  }
+  return OkStatus();
 }
 
-std::optional<Hierarchy> ReadHierarchyFile(const std::string& path) {
+StatusOr<Hierarchy> ReadHierarchyFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    KJOIN_LOG(WARNING) << "cannot open " << path;
-    return std::nullopt;
+  if (!in || KJOIN_FAULT_POINT("hierarchy_io/open_fail")) {
+    return NotFoundError("cannot open " + path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseHierarchy(buffer.str());
+  if (in.bad() || KJOIN_FAULT_POINT("hierarchy_io/short_read")) {
+    return DataLossError("read failed for " + path);
+  }
+  return ParseHierarchy(buffer.str(), path);
 }
 
 }  // namespace kjoin

@@ -7,11 +7,16 @@
 // parent-before-child, the root with parent -1. Lines starting with '#'
 // and blank lines are ignored. This is the interchange format for loading
 // a real taxonomy (e.g. a Yago category export) into the library.
+//
+// The parsers treat their input as untrusted: malformed text is reported
+// as a Status (kInvalidArgument with "<source>:<line>: ..." context,
+// kNotFound for missing files, kDataLoss for failed reads) rather than
+// terminating the process. See docs/robustness.md.
 
-#include <optional>
 #include <string>
 #include <string_view>
 
+#include "common/status.h"
 #include "hierarchy/hierarchy.h"
 
 namespace kjoin {
@@ -19,14 +24,16 @@ namespace kjoin {
 // Renders the hierarchy in the text format above.
 std::string SerializeHierarchy(const Hierarchy& hierarchy);
 
-// Parses the text format. Returns nullopt (and logs the offending line)
-// on malformed input: non-dense ids, forward parent references, missing
-// fields.
-std::optional<Hierarchy> ParseHierarchy(std::string_view text);
+// Parses the text format. `source_name` labels error messages (pass the
+// file path when parsing file contents). Fails with kInvalidArgument on
+// non-dense or duplicate ids, forward parent references, missing fields,
+// non-UTF-8 labels, or an empty hierarchy.
+StatusOr<Hierarchy> ParseHierarchy(std::string_view text,
+                                   std::string_view source_name = "<string>");
 
 // File convenience wrappers.
-bool WriteHierarchyFile(const Hierarchy& hierarchy, const std::string& path);
-std::optional<Hierarchy> ReadHierarchyFile(const std::string& path);
+Status WriteHierarchyFile(const Hierarchy& hierarchy, const std::string& path);
+StatusOr<Hierarchy> ReadHierarchyFile(const std::string& path);
 
 }  // namespace kjoin
 

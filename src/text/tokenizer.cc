@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "common/string_util.h"
+
 namespace kjoin {
 namespace {
 
@@ -33,6 +35,29 @@ std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
     }
   }
   flush();
+  return tokens;
+}
+
+StatusOr<std::vector<std::string>> Tokenizer::TokenizeChecked(std::string_view text) const {
+  if (!IsValidUtf8(text)) {
+    return InvalidArgumentError("text is not valid UTF-8");
+  }
+  std::vector<std::string> tokens = Tokenize(text);
+  if (options_.max_tokens > 0 &&
+      static_cast<int64_t>(tokens.size()) > options_.max_tokens) {
+    return ResourceExhaustedError("record has " + std::to_string(tokens.size()) +
+                                  " tokens, limit " +
+                                  std::to_string(options_.max_tokens));
+  }
+  if (options_.max_token_length > 0) {
+    for (const std::string& token : tokens) {
+      if (static_cast<int64_t>(token.size()) > options_.max_token_length) {
+        return ResourceExhaustedError(
+            "token of " + std::to_string(token.size()) + " bytes exceeds limit " +
+            std::to_string(options_.max_token_length));
+      }
+    }
+  }
   return tokens;
 }
 

@@ -8,9 +8,12 @@
 // stripped) before entity matching so that "Pizza," and "pizza" map to the
 // same knowledge-base node.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace kjoin {
 
@@ -21,6 +24,10 @@ struct TokenizerOptions {
   bool strip_punctuation = true;
   // Tokens shorter than this are dropped (0 keeps everything).
   int min_token_length = 1;
+  // Limits enforced by TokenizeChecked only (0 = unlimited): untrusted
+  // records exceeding them are rejected instead of ballooning memory.
+  int64_t max_tokens = 0;
+  int64_t max_token_length = 0;
 };
 
 class Tokenizer {
@@ -31,6 +38,12 @@ class Tokenizer {
   // object model is a multiset (its Table 1 objects carry duplicate
   // signatures).
   std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Tokenize for untrusted input: additionally rejects text that is not
+  // valid UTF-8 (kInvalidArgument) and enforces the options' max_tokens /
+  // max_token_length limits (kResourceExhausted). Trusted callers keep
+  // the zero-overhead Tokenize above.
+  StatusOr<std::vector<std::string>> TokenizeChecked(std::string_view text) const;
 
   // Normalizes one token (no splitting).
   std::string Normalize(std::string_view token) const;

@@ -238,7 +238,7 @@ TEST(DatasetIoTest, IgnoresCommentsAndEmptyInput) {
 TEST(DatasetIoTest, FileRoundTrip) {
   const BenchmarkData data = MakeResBenchmark();
   const std::string path = testing::TempDir() + "/kjoin_dataset_test.tsv";
-  ASSERT_TRUE(WriteDatasetFile(data.dataset, path));
+  ASSERT_TRUE(WriteDatasetFile(data.dataset, path).ok());
   auto loaded = ReadDatasetFile(path);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->records.size(), data.dataset.records.size());

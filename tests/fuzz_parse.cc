@@ -1,0 +1,40 @@
+// libFuzzer harness over the untrusted-input parsers (docs/robustness.md).
+// Built only with -DKJOIN_FUZZ=ON (Clang); run by hand:
+//
+//   cmake --preset default -DKJOIN_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build --target fuzz_parse -j
+//   ./build/tests/fuzz_parse -max_total_time=60
+//
+// Contract under test: arbitrary bytes either parse or return a non-OK
+// Status — no aborts, no leaks, no out-of-bounds reads. The first input
+// byte routes to a parser so one corpus covers both formats.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "data/dataset_io.h"
+#include "hierarchy/hierarchy_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data + 1), size - 1);
+  if (data[0] % 2 == 0) {
+    const auto parsed = kjoin::ParseHierarchy(text, "fuzz");
+    if (parsed.ok()) {
+      // Round-trip: anything we accept must serialize and re-parse equal.
+      const auto again = kjoin::ParseHierarchy(kjoin::SerializeHierarchy(*parsed), "fuzz2");
+      if (!again.ok() || again->num_nodes() != parsed->num_nodes()) __builtin_trap();
+    }
+  } else {
+    const auto parsed = kjoin::ParseDataset(text, "fuzz");
+    if (parsed.ok()) {
+      const auto again =
+          kjoin::ParseDataset(kjoin::SerializeDataset(*parsed), "fuzz2");
+      if (!again.ok() || again->records.size() != parsed->records.size()) {
+        __builtin_trap();
+      }
+    }
+  }
+  return 0;
+}

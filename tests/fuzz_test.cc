@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "core/clustering.h"
 #include "core/verifier.h"
+#include "data/dataset_io.h"
 #include "data/generator.h"
 #include "hierarchy/hierarchy_generator.h"
 #include "hierarchy/hierarchy_io.h"
@@ -224,6 +225,113 @@ TEST(BaselineEdgeCaseTest, DegenerateRecords) {
   PpJoin ppjoin(PpJoinOptions{1.0, true});
   const JoinResult pp = ppjoin.SelfJoin({{"a", "b"}, {"b", "a"}, {"a"}});
   EXPECT_EQ(pp.pairs.size(), 1u);
+}
+
+// ----------------------------------------------- malformed-input corpus
+//
+// The parser entry points treat their input as untrusted (see
+// docs/robustness.md): every input below must come back as a clean
+// Status — parse, or a non-OK code — never a CHECK-abort or a crash.
+// The libFuzzer harness in fuzz_parse.cc (-DKJOIN_FUZZ=ON) runs the same
+// entry points coverage-guided; this corpus locks in the known classes.
+
+TEST(ParserCorpusTest, HierarchyCorpusNeverDies) {
+  const std::vector<std::string> corpus = {
+      "",                                    // empty
+      "\n\n# only comments\n",               // no nodes
+      "0",                                   // truncated line
+      "0\t-1",                               // missing label
+      "0\t-1\tRoot\n1\t0",                   // truncated second line
+      "0\t-1\tRoot\n1\t0\tA\t extra",        // too many fields
+      "0\t-1\tRoot\n0\t0\tdup",              // duplicate id
+      "0\t-1\tRoot\n2\t0\tgap",              // non-dense ids
+      "1\t-1\tRoot",                         // ids not starting at 0
+      "0\t0\tself",                          // root pointing at itself
+      "0\t-1\tRoot\n1\t1\tcycle",            // parent == id (cycle edge)
+      "0\t-1\tRoot\n1\t2\tfwd\n2\t0\tB",     // forward parent reference
+      "0\t-1\tRoot\n1\t-3\tneg",             // negative non-root parent
+      "0\t5\tRoot",                          // root with a real parent
+      "x\t-1\tRoot",                         // non-numeric id
+      "0\tx\tRoot",                          // non-numeric parent
+      "99999999999999999999\t-1\tRoot",      // id overflow
+      "0\t-1\t\xFF\xFE\xFA",                 // non-UTF-8 label
+      "0\t-1\tRoot\r\n1\t0\tA\r",            // CR-LF endings
+      std::string("0\t-1\tRo\0ot", 10),      // embedded NUL
+      "0\t-1\tRoot\n1\t0\t",                 // empty label
+  };
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const auto parsed = ParseHierarchy(corpus[i], "corpus");
+    if (!parsed.ok()) {
+      EXPECT_TRUE(IsInvalidArgument(parsed.status()))
+          << "corpus[" << i << "]: " << parsed.status();
+    }
+  }
+}
+
+TEST(ParserCorpusTest, DatasetCorpusNeverDies) {
+  const std::vector<std::string> corpus = {
+      "R",                               // bare type
+      "R\t1",                            // no tokens
+      "R\tnotanint\ttok",                // bad cluster
+      "R\t99999999999999999999\ttok",    // cluster overflow
+      "R\t1\t\xC0\x80",                  // overlong-encoded token
+      "S\tonly",                         // synonym arity
+      "S\ta\tb\tc",                      // synonym arity (too many)
+      "S\t\xED\xA0\x80\tb",              // surrogate in synonym
+      "Q\t1\ttok",                       // unknown line type
+      "\tR\t1\ttok",                     // leading tab
+      std::string("R\t1\tto\0k", 8),     // embedded NUL
+      "R\t-1\ttok\nR\t",                 // good line then truncated line
+  };
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const auto parsed = ParseDataset(corpus[i], "corpus");
+    if (!parsed.ok()) {
+      EXPECT_TRUE(IsInvalidArgument(parsed.status()))
+          << "corpus[" << i << "]: " << parsed.status();
+    }
+  }
+}
+
+TEST(ParserCorpusTest, MutatedSerializationsNeverDie) {
+  // Start from valid serializations and apply random byte-level damage;
+  // whatever comes out must parse or fail cleanly.
+  HierarchyGenParams tree_params;
+  tree_params.num_nodes = 60;
+  tree_params.seed = 3;
+  const Hierarchy tree = GenerateHierarchy(tree_params);
+  const std::string good_tree = SerializeHierarchy(tree);
+
+  RecordGenParams record_params;
+  record_params.num_records = 40;
+  record_params.seed = 3;
+  const std::string good_data =
+      SerializeDataset(DatasetGenerator(tree, record_params).Generate("x"));
+
+  Rng rng(31);
+  auto mutate = [&rng](std::string text) {
+    const int edits = 1 + static_cast<int>(rng.NextUint64(8));
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+      const size_t at = rng.NextUint64(text.size());
+      switch (rng.NextUint64(5)) {
+        case 0: text[at] = static_cast<char>(rng.NextUint64(256)); break;
+        case 1: text.erase(at, 1 + rng.NextUint64(16)); break;
+        case 2: text.insert(at, 1, static_cast<char>(rng.NextUint64(256))); break;
+        case 3: text.resize(at); break;                     // truncate
+        case 4: text.insert(at, text.substr(0, at / 2)); break;  // duplicate
+      }
+    }
+    return text;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto tree_result = ParseHierarchy(mutate(good_tree), "mutated");
+    if (!tree_result.ok()) {
+      ASSERT_TRUE(IsInvalidArgument(tree_result.status())) << tree_result.status();
+    }
+    const auto data_result = ParseDataset(mutate(good_data), "mutated");
+    if (!data_result.ok()) {
+      ASSERT_TRUE(IsInvalidArgument(data_result.status())) << data_result.status();
+    }
+  }
 }
 
 TEST(VerifyStatsTest, CountersAddUp) {

@@ -373,7 +373,7 @@ TEST(HierarchyIoTest, IgnoresCommentsAndBlankLines) {
 TEST(HierarchyIoTest, FileRoundTrip) {
   const Hierarchy tree = MakeFigure1Hierarchy();
   const std::string path = testing::TempDir() + "/kjoin_hierarchy_test.txt";
-  ASSERT_TRUE(WriteHierarchyFile(tree, path));
+  ASSERT_TRUE(WriteHierarchyFile(tree, path).ok());
   auto loaded = ReadHierarchyFile(path);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->num_nodes(), tree.num_nodes());

@@ -32,8 +32,8 @@ TEST(IntegrationTest, PersistReloadJoinRoundTrip) {
   // Persist both artifacts.
   const std::string tree_path = testing::TempDir() + "/kjoin_it_tree.txt";
   const std::string data_path = testing::TempDir() + "/kjoin_it_data.tsv";
-  ASSERT_TRUE(WriteHierarchyFile(original.hierarchy, tree_path));
-  ASSERT_TRUE(WriteDatasetFile(original.dataset, data_path));
+  ASSERT_TRUE(WriteHierarchyFile(original.hierarchy, tree_path).ok());
+  ASSERT_TRUE(WriteDatasetFile(original.dataset, data_path).ok());
 
   // Reload.
   auto tree = ReadHierarchyFile(tree_path);
