@@ -4,7 +4,7 @@
 // compared number-to-number.
 //
 //   ./bench_regression [--n 6000] [--verify_n 1500] [--micro_queries 2000000]
-//                      [--out BENCH_PR3.json]
+//                      [--out BENCH_PR4.json]
 //
 // Sections (keys in the JSON):
 //   micro_lca    queries/sec for naive LCA, sparse-table LCA, uncached
@@ -15,7 +15,11 @@
 //   fig11_verify K-Join+ (plus-mode) verification with the SimCache off
 //                vs on (count prunings off, so the similarity work
 //                dominates).
-//   fig14_threads self-join wall time at 1 and 2 threads.
+//   micro_hungarian  solves/sec of the sparse scratch Hungarian matcher
+//                vs the dense oracle on verifier-group-shaped bigraphs,
+//                plus the scratch's capacity growths after warm-up
+//                (0 = the steady state never touches the allocator).
+//   fig14_threads self-join wall time at 1, 2 and 8 threads (best of 3).
 //   deadline_overhead  self-join through the controlled entry point with
 //                a deadline + cancel token armed but never tripping,
 //                vs the legacy entry point: the cost of shard-boundary
@@ -27,6 +31,7 @@
 
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -39,6 +44,8 @@
 #include "data/generator.h"
 #include "hierarchy/hierarchy_generator.h"
 #include "hierarchy/lca.h"
+#include "matching/bigraph.h"
+#include "matching/hungarian.h"
 
 namespace {
 
@@ -165,6 +172,84 @@ struct ThreadRow {
   bool results_identical = true;
 };
 
+struct MicroHungarianReport {
+  int64_t graphs = 0;
+  int64_t solves = 0;  // per solver
+  double sparse_qps = 0.0;
+  double dense_qps = 0.0;
+  double sparse_speedup = 0.0;
+  int64_t scratch_growths_after_warmup = 0;
+  bool results_identical = true;
+  double checksum = 0.0;  // keeps the solve loops observable
+};
+
+// Sparse scratch matcher vs the dense oracle on a pool of bigraphs shaped
+// like adaptive-verification groups (2–12 vertices per side, mixed
+// sparsity, occasional parallel edges). The scratch growth counter after
+// the warm-up pass is the bench-side check that steady-state solves never
+// touch the allocator.
+MicroHungarianReport RunMicroHungarian(int64_t target_solves) {
+  MicroHungarianReport report;
+  kjoin::Rng rng(2026);
+  std::vector<kjoin::Bigraph> graphs;
+  constexpr int kGraphs = 512;
+  for (int g = 0; g < kGraphs; ++g) {
+    const int32_t left = 2 + static_cast<int32_t>(rng.NextUint64(11));
+    const int32_t right = 2 + static_cast<int32_t>(rng.NextUint64(11));
+    const double p = 0.15 + 0.7 * rng.NextDouble();
+    kjoin::Bigraph graph(left, right);
+    for (int32_t l = 0; l < left; ++l) {
+      for (int32_t r = 0; r < right; ++r) {
+        if (!rng.NextBool(p)) continue;
+        graph.AddEdge(l, r, 0.05 + 0.95 * rng.NextDouble());
+        if (rng.NextBool(0.1)) graph.AddEdge(l, r, 0.05 + 0.95 * rng.NextDouble());
+      }
+    }
+    graphs.push_back(std::move(graph));
+  }
+  report.graphs = kGraphs;
+
+  // Warm-up doubles as the equivalence check and sizes the scratch once.
+  kjoin::HungarianScratch scratch;
+  for (const kjoin::Bigraph& graph : graphs) {
+    const double sparse = kjoin::MaxWeightMatching(graph, &scratch);
+    const double dense = kjoin::MaxWeightMatchingDense(graph);
+    if (std::fabs(sparse - dense) > 1e-9) report.results_identical = false;
+  }
+  const int64_t growths_after_warmup = scratch.capacity_growths();
+
+  const int64_t rounds = std::max<int64_t>(1, target_solves / kGraphs);
+  report.solves = rounds * kGraphs;
+  double sparse_sink = 0.0;
+  double start = NowSeconds();
+  for (int64_t round = 0; round < rounds; ++round) {
+    for (const kjoin::Bigraph& graph : graphs) {
+      sparse_sink += kjoin::MaxWeightMatching(graph, &scratch);
+    }
+  }
+  const double sparse_seconds = NowSeconds() - start;
+  double dense_sink = 0.0;
+  start = NowSeconds();
+  for (int64_t round = 0; round < rounds; ++round) {
+    for (const kjoin::Bigraph& graph : graphs) {
+      dense_sink += kjoin::MaxWeightMatchingDense(graph);
+    }
+  }
+  const double dense_seconds = NowSeconds() - start;
+
+  report.scratch_growths_after_warmup = scratch.capacity_growths() - growths_after_warmup;
+  report.sparse_qps = sparse_seconds > 0.0 ? report.solves / sparse_seconds : 0.0;
+  report.dense_qps = dense_seconds > 0.0 ? report.solves / dense_seconds : 0.0;
+  report.sparse_speedup = dense_seconds > 0.0 && sparse_seconds > 0.0
+                              ? dense_seconds / sparse_seconds
+                              : 0.0;
+  if (std::fabs(sparse_sink - dense_sink) > 1e-6 * report.solves) {
+    report.results_identical = false;
+  }
+  report.checksum = sparse_sink;
+  return report;
+}
+
 std::string JsonBool(bool b) { return b ? "true" : "false"; }
 
 }  // namespace
@@ -175,7 +260,9 @@ int main(int argc, char** argv) {
   int64_t* verify_n =
       flags.Int("verify_n", 1500, "records in the plus-mode verification section");
   int64_t* micro_queries = flags.Int("micro_queries", 2000000, "micro-LCA lookups per timer");
-  std::string* out = flags.String("out", "BENCH_PR3.json", "JSON report path");
+  int64_t* hungarian_solves =
+      flags.Int("hungarian_solves", 200000, "micro-Hungarian solves per solver");
+  std::string* out = flags.String("out", "BENCH_PR4.json", "JSON report path");
   if (!flags.Parse(argc, argv)) return 1;
 
   std::printf("== micro LCA (%lld queries/timer) ==\n",
@@ -186,6 +273,15 @@ int main(int argc, char** argv) {
               micro.naive_qps, micro.sparse_qps, micro.nodesim_uncached_qps,
               micro.nodesim_cached_cold_qps, micro.nodesim_cached_warm_qps,
               micro.warm_speedup, micro.warm_hit_rate);
+
+  std::printf("== micro Hungarian (%lld solves/solver) ==\n",
+              static_cast<long long>(*hungarian_solves));
+  const MicroHungarianReport hungarian = RunMicroHungarian(*hungarian_solves);
+  std::printf("sparse %.3g qps | dense %.3g qps (%.2fx) | growths after warmup %lld | "
+              "identical=%s (checksum %.6g)\n",
+              hungarian.sparse_qps, hungarian.dense_qps, hungarian.sparse_speedup,
+              static_cast<long long>(hungarian.scratch_growths_after_warmup),
+              JsonBool(hungarian.results_identical).c_str(), hungarian.checksum);
 
   const kjoin::BenchmarkData poi = kjoin::MakePoiBenchmark(*n);
   const kjoin::PreparedObjects prepared =
@@ -262,23 +358,29 @@ int main(int argc, char** argv) {
               JsonBool(verify.results_identical).c_str());
 
   // ---- fig14-style thread sweep ----
-  std::printf("== self-join wall time vs threads ==\n");
+  // Best of 3 per thread count (scheduler noise dwarfs the signal on a
+  // sub-second join); identity is checked on EVERY run, not just the best.
+  std::printf("== self-join wall time vs threads (best of 3) ==\n");
   std::vector<ThreadRow> thread_rows;
   std::vector<std::pair<int32_t, int32_t>> thread_baseline;
-  for (int threads : {1, 2}) {
+  for (int threads : {1, 2, 8}) {
     kjoin::KJoinOptions options;
     options.delta = 0.8;
     options.tau = 0.85;
     options.num_threads = threads;
-    const kjoin::JoinResult result =
-        kjoin::bench::RunKJoin(poi.hierarchy, prepared.objects, options);
+    const kjoin::KJoin join(poi.hierarchy, options);
     ThreadRow row;
     row.threads = threads;
-    row.total_seconds = result.stats.total_seconds;
-    if (threads == 1) {
-      thread_baseline = result.pairs;
-    } else {
-      row.results_identical = result.pairs == thread_baseline;
+    for (int rep = 0; rep < 3; ++rep) {
+      kjoin::JoinResult result = join.SelfJoin(prepared.objects);
+      if (rep == 0 || result.stats.total_seconds < row.total_seconds) {
+        row.total_seconds = result.stats.total_seconds;
+      }
+      if (threads == 1 && rep == 0) {
+        thread_baseline = std::move(result.pairs);
+      } else if (result.pairs != thread_baseline) {
+        row.results_identical = false;
+      }
     }
     thread_rows.push_back(row);
     std::printf("threads=%d  %.3fs  identical=%s\n", threads, row.total_seconds,
@@ -343,9 +445,10 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"bench\": \"kjoin-regression\",\n");
   std::fprintf(f,
                "  \"config\": {\"n\": %lld, \"verify_n\": %lld, \"micro_queries\": "
-               "%lld},\n",
+               "%lld, \"hungarian_solves\": %lld},\n",
                static_cast<long long>(*n), static_cast<long long>(*verify_n),
-               static_cast<long long>(*micro_queries));
+               static_cast<long long>(*micro_queries),
+               static_cast<long long>(*hungarian_solves));
   std::fprintf(f,
                "  \"micro_lca\": {\"naive_qps\": %.1f, \"sparse_qps\": %.1f, "
                "\"nodesim_uncached_qps\": %.1f, \"nodesim_cached_cold_qps\": %.1f, "
@@ -354,6 +457,15 @@ int main(int argc, char** argv) {
                micro.naive_qps, micro.sparse_qps, micro.nodesim_uncached_qps,
                micro.nodesim_cached_cold_qps, micro.nodesim_cached_warm_qps,
                micro.warm_speedup, micro.warm_hit_rate);
+  std::fprintf(f,
+               "  \"micro_hungarian\": {\"graphs\": %lld, \"solves\": %lld, "
+               "\"sparse_qps\": %.1f, \"dense_qps\": %.1f, \"sparse_speedup\": %.3f, "
+               "\"scratch_growths_after_warmup\": %lld, \"results_identical\": %s},\n",
+               static_cast<long long>(hungarian.graphs),
+               static_cast<long long>(hungarian.solves), hungarian.sparse_qps,
+               hungarian.dense_qps, hungarian.sparse_speedup,
+               static_cast<long long>(hungarian.scratch_growths_after_warmup),
+               JsonBool(hungarian.results_identical).c_str());
   std::fprintf(f, "  \"fig9_filter\": [");
   for (size_t i = 0; i < scheme_rows.size(); ++i) {
     const SchemeRow& row = scheme_rows[i];

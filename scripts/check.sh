@@ -6,12 +6,25 @@
 # sanitizer passes to the threading/memory-sensitive suites plus
 # resilience_test (docs/robustness.md).
 #
-#   scripts/check.sh            # release + asan + tsan
-#   scripts/check.sh default    # just one preset
+#   scripts/check.sh                 # release + asan + tsan
+#   scripts/check.sh default         # just one preset
+#   scripts/check.sh --bench [...]   # additionally run bench_regression
+#                                    # and diff it against the last
+#                                    # committed BENCH_PR*.json
+#                                    # (scripts/compare_bench.py, fails on
+#                                    # >10% regression in tracked metrics)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-presets=("$@")
+run_bench=0
+presets=()
+for arg in "$@"; do
+  if [[ "$arg" == "--bench" ]]; then
+    run_bench=1
+  else
+    presets+=("$arg")
+  fi
+done
 if [[ ${#presets[@]} -eq 0 ]]; then
   presets=(default asan tsan)
 fi
@@ -25,3 +38,12 @@ for preset in "${presets[@]}"; do
   (cd "$repo" && ctest --preset "$preset")
 done
 echo "all presets green: ${presets[*]}"
+
+if [[ $run_bench -eq 1 ]]; then
+  echo "==> [bench] fresh bench_regression run"
+  fresh="$(mktemp /tmp/bench_fresh.XXXXXX.json)"
+  "$repo/scripts/run_bench.sh" "$fresh"
+  echo "==> [bench] compare against last committed BENCH_PR*.json"
+  python3 "$repo/scripts/compare_bench.py" "$fresh"
+  echo "bench comparison passed"
+fi

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench_regression report against the last committed one.
+
+    scripts/compare_bench.py fresh.json [--baseline BENCH_PR4.json]
+                             [--tolerance 0.10]
+
+Without --baseline, the newest committed BENCH_PR*.json in the repo root
+(highest PR number) is used. Exits non-zero when any tracked metric
+regresses by more than the tolerance (default 10%), or when a
+results_identical flag that was true in the baseline turned false.
+
+Tracked metrics are listed in TRACKED below: "lower is better" wall times
+and "higher is better" throughputs. Metrics absent from either file are
+skipped with a note — the schema is allowed to grow between PRs — so a
+new section never breaks the comparison, and a dropped one is visible in
+the output without failing it.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+# (json path, direction) — direction is "lower" or "higher" (better).
+TRACKED = [
+    (("micro_lca", "sparse_qps"), "higher"),
+    (("micro_lca", "nodesim_cached_warm_qps"), "higher"),
+    (("micro_hungarian", "sparse_qps"), "higher"),
+    (("fig11_verify", "cache_on_verify_seconds"), "lower"),
+    (("fig11_verify", "cache_off_verify_seconds"), "lower"),
+    (("deadline_overhead", "control_seconds"), "lower"),
+]
+
+# fig9_filter and fig14_threads are arrays keyed by scheme / thread count.
+TRACKED_FIG9 = "total_seconds"  # per scheme, lower is better
+TRACKED_FIG14 = "total_seconds"  # per thread count, lower is better
+
+IDENTICAL_FLAGS = [
+    ("fig11_verify", "results_identical"),
+    ("micro_hungarian", "results_identical"),
+    ("deadline_overhead", "results_identical"),
+]
+
+
+def lookup(report, path):
+    node = report
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def latest_committed_baseline(repo_root):
+    candidates = []
+    for name in glob.glob(os.path.join(repo_root, "BENCH_PR*.json")):
+        match = re.search(r"BENCH_PR(\d+)\.json$", name)
+        if match:
+            candidates.append((int(match.group(1)), name))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def compare_scalar(label, base, fresh, direction, tolerance, failures):
+    if base is None or fresh is None:
+        print(f"  skip  {label}: missing in {'baseline' if base is None else 'fresh run'}")
+        return
+    if not isinstance(base, (int, float)) or not isinstance(fresh, (int, float)) or base <= 0:
+        print(f"  skip  {label}: not comparable ({base!r} vs {fresh!r})")
+        return
+    if direction == "lower":
+        change = fresh / base - 1.0  # positive = slower
+    else:
+        change = base / fresh - 1.0 if fresh > 0 else float("inf")
+    status = "ok   "
+    if change > tolerance:
+        status = "FAIL "
+        failures.append(f"{label}: {change * 100.0:+.1f}% vs tolerance {tolerance * 100.0:.0f}%")
+    print(f"  {status}{label}: {base:g} -> {fresh:g} ({change * 100.0:+.1f}% regression)")
+
+
+def index_rows(rows, key):
+    return {row[key]: row for row in rows if isinstance(row, dict) and key in row}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="fresh bench_regression JSON report")
+    parser.add_argument("--baseline", help="committed report to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional regression per metric (default 0.10)")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = args.baseline or latest_committed_baseline(repo_root)
+    if baseline_path is None:
+        print("no committed BENCH_PR*.json found; nothing to compare against")
+        return 0
+    with open(baseline_path) as f:
+        base = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    print(f"baseline: {baseline_path}")
+    print(f"fresh:    {args.fresh}")
+
+    failures = []
+    for path, direction in TRACKED:
+        compare_scalar("/".join(path), lookup(base, path), lookup(fresh, path), direction,
+                       args.tolerance, failures)
+
+    base_fig9 = index_rows(base.get("fig9_filter", []), "scheme")
+    fresh_fig9 = index_rows(fresh.get("fig9_filter", []), "scheme")
+    for scheme in base_fig9:
+        compare_scalar(f"fig9_filter[{scheme}]/{TRACKED_FIG9}",
+                       base_fig9[scheme].get(TRACKED_FIG9),
+                       fresh_fig9.get(scheme, {}).get(TRACKED_FIG9),
+                       "lower", args.tolerance, failures)
+
+    base_fig14 = index_rows(base.get("fig14_threads", []), "threads")
+    fresh_fig14 = index_rows(fresh.get("fig14_threads", []), "threads")
+    for threads in base_fig14:
+        compare_scalar(f"fig14_threads[{threads}]/{TRACKED_FIG14}",
+                       base_fig14[threads].get(TRACKED_FIG14),
+                       fresh_fig14.get(threads, {}).get(TRACKED_FIG14),
+                       "lower", args.tolerance, failures)
+        base_flag = base_fig14[threads].get("results_identical")
+        fresh_flag = fresh_fig14.get(threads, {}).get("results_identical")
+        if base_flag is True and fresh_flag is False:
+            failures.append(f"fig14_threads[{threads}]/results_identical flipped to false")
+
+    for path in IDENTICAL_FLAGS:
+        base_flag = lookup(base, path)
+        fresh_flag = lookup(fresh, path)
+        if base_flag is True and fresh_flag is False:
+            failures.append("/".join(path) + " flipped to false")
+
+    if failures:
+        print("\nregressions beyond tolerance:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno tracked metric regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

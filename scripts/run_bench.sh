@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Builds the release tree and runs the bench-regression harness, writing a
-# machine-readable report (default BENCH_PR3.json in the repo root).
+# machine-readable report (default BENCH_PR4.json in the repo root).
 #
 #   scripts/run_bench.sh [out.json] [extra bench_regression flags...]
 #
@@ -9,7 +9,7 @@
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo/BENCH_PR3.json}"
+out="${1:-$repo/BENCH_PR4.json}"
 shift || true
 
 cmake -B "$repo/build" -S "$repo" >/dev/null

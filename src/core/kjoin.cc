@@ -17,9 +17,26 @@ namespace kjoin {
 
 namespace {
 
-// Below this many candidates the sharding bookkeeping costs more than the
-// verification it parallelizes.
-constexpr size_t kMinParallelVerify = 2048;
+// Minimum work per pool shard, per phase (docs/threading.md). An extra
+// shard is only worth scheduling once it carries enough items to amortize
+// waking a worker lane and warming that lane's per-thread state — the
+// verification arena, the Hungarian scratch, and the SimCache L1 are all
+// thread-local, so every additional shard starts them cold. Below the
+// threshold the work collapses into fewer shards; a single shard runs
+// inline on the calling thread with zero pool overhead, which keeps small
+// joins monotone in num_threads instead of paying for parallelism they
+// cannot use.
+constexpr int64_t kMinPrepareObjectsPerShard = 8192;
+constexpr int64_t kMinProbesPerShard = 8192;
+constexpr int64_t kMinVerifyPairsPerShard = int64_t{1} << 18;
+
+// Shard count for `items` units of work: at most one shard per
+// min_per_shard items, never more than the pool's lanes, never less
+// than one.
+int ShardsForWork(int64_t items, int64_t min_per_shard, int lanes) {
+  if (lanes <= 1 || items <= min_per_shard) return 1;
+  return static_cast<int>(std::min<int64_t>(lanes, items / min_per_shard));
+}
 
 // Control-poll strides (see docs/robustness.md). Polls are one relaxed
 // atomic bump plus an acquire load — and a steady_clock read only when a
@@ -163,7 +180,7 @@ KJoin::Prepared KJoin::Prepare(const std::vector<const std::vector<Object>*>& co
   Prepared prepared;
   prepared.sigs.resize(n);
   prepared.prefix_len.assign(n, 0);
-  const int lanes = pool_->num_threads();
+  const int lanes = ShardsForWork(n, kMinPrepareObjectsPerShard, pool_->num_threads());
 
   // Pass 1: per-shard signature generation with shard-local df maps; the
   // maps merge into the order afterwards (order-insensitive sums), so the
@@ -216,7 +233,7 @@ void KJoin::GenerateCandidates(
     const std::function<void(int, int32_t, int32_t,
                              std::vector<std::pair<int32_t, int32_t>>*)>& probe,
     std::vector<std::pair<int32_t, int32_t>>* candidates, JoinStats* stats) const {
-  const int lanes = pool_->num_threads();
+  const int lanes = ShardsForWork(num_probes, kMinProbesPerShard, pool_->num_threads());
   if (lanes == 1) {
     // One lane: probe straight into the output, skipping the merge copy.
     const size_t before = candidates->size();
@@ -252,29 +269,83 @@ void KJoin::VerifyCandidates(const std::vector<Object>& left,
                              const std::vector<std::pair<int32_t, int32_t>>& candidates,
                              JoinResult* result, JoinController* controller) const {
   WallTimer timer;
-  result->stats.candidates += static_cast<int64_t>(candidates.size());
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  result->stats.candidates += n;
+  if (n == 0) {
+    result->stats.verify_seconds += timer.ElapsedSeconds();
+    return;
+  }
   const bool polled = controller->active();
-  // ParallelFor never schedules empty shards, so tiny batches cost at most
-  // one task; the explicit clamp only avoids sharding overhead on batches
-  // that are nontrivial yet still too small to win.
+
+  // Per-object grouping plans, built once up front: an object recurs in
+  // many candidate pairs, and the plan (partition signatures + argsort) is
+  // the pair-invariant half of group construction. Plans are read-only
+  // during verification, so every shard shares them.
+  std::vector<ObjectGroupPlan> left_plans(left.size());
+  for (size_t o = 0; o < left.size(); ++o) verifier_.BuildPlan(left[o], &left_plans[o]);
+  std::vector<ObjectGroupPlan> right_plans_storage;
+  if (&right != &left) {
+    right_plans_storage.resize(right.size());
+    for (size_t o = 0; o < right.size(); ++o) {
+      verifier_.BuildPlan(right[o], &right_plans_storage[o]);
+    }
+  }
+  const std::vector<ObjectGroupPlan>& right_plans =
+      &right != &left ? right_plans_storage : left_plans;
+  // Shard count sized from the measured candidate count: each shard must
+  // carry enough verification work to amortize waking a lane and warming
+  // its thread-local arena (ShardsForWork above).
   const int max_shards =
-      candidates.size() < kMinParallelVerify ? 1 : pool_->num_threads();
+      ShardsForWork(n, kMinVerifyPairsPerShard, pool_->num_threads());
+
+  // Verification order: within each probe's candidate run, the pairs with
+  // the largest cheap similarity upper bound — the similarity the two
+  // objects would reach if every element of the smaller side matched
+  // perfectly — go first. Near-duplicates are verified while the SimCache
+  // lines their element pairs touch are hottest, and clear rejects sink to
+  // the end of the run. Acceptance is decided per pair, so the order
+  // cannot change the outcome; the flags below restore candidate order on
+  // emission, keeping results byte-identical to an unordered run.
+  std::vector<int64_t> order(n);
+  std::vector<double> bound(n);
+  for (int64_t i = 0; i < n; ++i) {
+    order[i] = i;
+    const auto& [l, r] = candidates[i];
+    const int32_t sx = left[l].size();
+    const int32_t sy = right[r].size();
+    bound[i] = CombineOverlap(std::min(sx, sy), sx, sy, options_.set_metric);
+  }
+  for (int64_t run = 0; run < n;) {
+    int64_t end = run;
+    while (end < n && candidates[end].second == candidates[run].second) ++end;
+    std::sort(order.begin() + run, order.begin() + end, [&](int64_t a, int64_t b) {
+      if (bound[a] != bound[b]) return bound[a] > bound[b];
+      return a < b;
+    });
+    run = end;
+  }
+
+  // Accept flags (1 = similar), written by the shard that verifies the
+  // pair; contiguous shards over `order` touch disjoint flag slots.
+  std::vector<char> similar(n, 0);
 
   // Runs inside a pool lane; never lets an exception escape into the pool
   // (that would terminate the process). Allocation failure — Hungarian /
   // SubGraph scratch on a pathological pair can be large — becomes a
   // kResourceExhausted trip with everything verified so far kept.
-  auto verify_range = [&](int64_t begin, int64_t end,
-                          std::vector<std::pair<int32_t, int32_t>>* out, VerifyStats* vs) {
+  auto verify_range = [&](int64_t begin, int64_t end, VerifyStats* vs) {
     try {
       int64_t since_poll = 0;
-      for (int64_t i = begin; i < end; ++i) {
+      for (int64_t k = begin; k < end; ++k) {
         if (polled && (since_poll++ % kVerifyPollStride) == 0 &&
             !controller->Poll(JoinPhase::kVerify)) {
           return;
         }
+        const int64_t i = order[k];
         const auto& [l, r] = candidates[i];
-        if (verifier_.Verify(left[l], right[r], vs)) out->emplace_back(l, r);
+        if (verifier_.Verify(left[l], right[r], left_plans[l], right_plans[r], vs)) {
+          similar[i] = 1;
+        }
       }
     } catch (const std::bad_alloc&) {
       controller->Trip(JoinPhase::kVerify,
@@ -283,28 +354,18 @@ void KJoin::VerifyCandidates(const std::vector<Object>& left,
     }
   };
 
-  if (max_shards == 1) {
-    result->stats.verify_tasks += pool_->ParallelFor(
-        static_cast<int64_t>(candidates.size()), 1, [&](int, int64_t begin, int64_t end) {
-          verify_range(begin, end, &result->pairs, &result->stats.verify);
-        });
-    result->stats.verify_seconds += timer.ElapsedSeconds();
-    return;
-  }
-
-  // Contiguous shards keep the output in candidate order after an in-order
-  // merge; per-shard stats merge into one deterministic sum.
-  std::vector<std::vector<std::pair<int32_t, int32_t>>> found(max_shards);
+  // Per-shard stats merge into one deterministic sum (all integer
+  // counters, so the shard count cannot change the totals).
   std::vector<VerifyStats> stats(max_shards);
-  const int tasks = pool_->ParallelFor(
-      static_cast<int64_t>(candidates.size()), max_shards,
-      [&](int shard, int64_t begin, int64_t end) {
-        verify_range(begin, end, &found[shard], &stats[shard]);
+  const int tasks =
+      pool_->ParallelFor(n, max_shards, [&](int shard, int64_t begin, int64_t end) {
+        verify_range(begin, end, &stats[shard]);
       });
   result->stats.verify_tasks += tasks;
-  for (int s = 0; s < tasks; ++s) {
-    result->stats.verify.Add(stats[s]);
-    result->pairs.insert(result->pairs.end(), found[s].begin(), found[s].end());
+  for (int s = 0; s < tasks; ++s) result->stats.verify.Add(stats[s]);
+  // Emit in candidate order regardless of verification order or sharding.
+  for (int64_t i = 0; i < n; ++i) {
+    if (similar[i]) result->pairs.push_back(candidates[i]);
   }
   result->stats.verify_seconds += timer.ElapsedSeconds();
 }

@@ -65,14 +65,19 @@ ObjectSimilarity::ObjectSimilarity(const ElementSimilarity& element_sim, double 
 }
 
 Bigraph ObjectSimilarity::BuildBigraph(const Object& x, const Object& y) const {
-  Bigraph graph(x.size(), y.size());
+  Bigraph graph;
+  BuildBigraph(x, y, &graph);
+  return graph;
+}
+
+void ObjectSimilarity::BuildBigraph(const Object& x, const Object& y, Bigraph* graph) const {
+  graph->Reset(x.size(), y.size());
   for (int32_t i = 0; i < x.size(); ++i) {
     for (int32_t j = 0; j < y.size(); ++j) {
       const double sim = element_sim_->Sim(x.elements[i], y.elements[j]);
-      if (sim >= delta_ - 1e-12) graph.AddEdge(i, j, sim);
+      if (sim >= delta_ - 1e-12) graph->AddEdge(i, j, sim);
     }
   }
-  return graph;
 }
 
 double ObjectSimilarity::FuzzyOverlap(const Object& x, const Object& y) const {

@@ -52,6 +52,10 @@ class ObjectSimilarity {
   // The δ-thresholded weighted bigraph between the two element sets.
   Bigraph BuildBigraph(const Object& x, const Object& y) const;
 
+  // Same, into a caller-owned graph (Reset + refill, keeping capacity) —
+  // the verifier hot path reuses one graph per thread.
+  void BuildBigraph(const Object& x, const Object& y, Bigraph* graph) const;
+
   // ‖Sx ∩̃δ Sy‖.
   double FuzzyOverlap(const Object& x, const Object& y) const;
 

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <new>
-#include <unordered_map>
+#include <numeric>
+#include <span>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
@@ -17,11 +18,13 @@ namespace {
 // borderline pairs go through the exact matcher rather than being pruned.
 constexpr double kEps = 1e-9;
 
-// Thread-local scratch vectors persist across BuildGroups calls to avoid
+// The per-thread scratch arena persists across Verify calls to avoid
 // per-pair allocation, but a single huge candidate pair would otherwise
-// pin a peak-sized buffer in every worker thread for the rest of the
-// join. Above this many elements the buffer is released after use.
+// pin a peak-sized arena in every worker thread for the rest of the join.
+// Vectors above this many elements — and matcher/bigraph buffers above
+// kMaxRetainedBytes — are released after use.
 constexpr size_t kMaxRetainedScratch = size_t{1} << 14;
+constexpr size_t kMaxRetainedBytes = size_t{4} << 20;
 
 template <typename T>
 void ClampRetainedCapacity(std::vector<T>* vec) {
@@ -31,39 +34,142 @@ void ClampRetainedCapacity(std::vector<T>* vec) {
   }
 }
 
-// Clamps a retained thread-local scratch vector on every exit path —
+}  // namespace
+
+// One arena per worker thread. Every vector is grown on demand and kept
+// for the next pair; ClampRetained() runs on every Verify exit path —
 // including stack unwinding after a failed allocation — so an aborted
-// verification can't pin a peak-sized buffer in its worker thread.
-template <typename T>
-class ScratchClamp {
- public:
-  explicit ScratchClamp(std::vector<T>* vec) : vec_(vec) {}
-  ~ScratchClamp() { ClampRetainedCapacity(vec_); }
-  ScratchClamp(const ScratchClamp&) = delete;
-  ScratchClamp& operator=(const ScratchClamp&) = delete;
+// verification can't pin a peak-sized arena in its thread either.
+struct VerifyScratch {
+  // ---- group partition (flat CSR; group g's left members are
+  // left_members[left_offsets[g] .. left_offsets[g + 1])) ----
+  int32_t num_groups = 0;
+  std::vector<int32_t> left_offsets, left_members;
+  std::vector<int32_t> right_offsets, right_members;
 
- private:
-  std::vector<T>* vec_;
-};
-
-// Minimal union-find over dense indices.
-class UnionFind {
- public:
-  explicit UnionFind(int32_t n) : parent_(n) {
-    for (int32_t i = 0; i < n; ++i) parent_[i] = i;
+  std::span<const int32_t> Left(int32_t g) const {
+    return {left_members.data() + left_offsets[g],
+            static_cast<size_t>(left_offsets[g + 1] - left_offsets[g])};
   }
-  int32_t Find(int32_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
+  std::span<const int32_t> Right(int32_t g) const {
+    return {right_members.data() + right_offsets[g],
+            static_cast<size_t>(right_offsets[g + 1] - right_offsets[g])};
+  }
+  int64_t CountBound(int32_t g) const {
+    return std::min<int64_t>(left_offsets[g + 1] - left_offsets[g],
+                             right_offsets[g + 1] - right_offsets[g]);
+  }
+
+  // ---- BuildGroups internals ----
+  std::vector<int32_t> dense_x, dense_y;  // dense signature rank per plan entry
+  std::vector<int32_t> uf_parent;         // union-find over dense ranks
+  std::vector<int32_t> group_of_root;     // dense root -> raw group id
+  std::vector<int32_t> elem_group_x, elem_group_y;
+  std::vector<int32_t> group_left_count, group_right_count, group_final;
+  // Plans built on the fly by the plan-less Verify overload (tests and
+  // one-off callers); the join precomputes plans per object instead.
+  ObjectGroupPlan plan_x, plan_y;
+
+  // ---- weighted count pruning ----
+  std::vector<int32_t> tokens_left, tokens_right;
+  std::vector<int32_t> cap_token, cap_count, consumed;
+
+  // ---- matching ----
+  std::vector<Bigraph> graphs;  // per-built-group bigraphs (adaptive)
+  HungarianScratch hungarian;
+  GreedyScratch greedy;
+  BoundScratch bound;
+  std::vector<int32_t> build_order;  // adaptive group build order
+  struct BuiltGroup {
+    int32_t graph;  // index into `graphs`
+    double upper;
+    double lower;
+  };
+  std::vector<BuiltGroup> built;
+
+  void ClampRetained() {
+    ClampRetainedCapacity(&left_offsets);
+    ClampRetainedCapacity(&left_members);
+    ClampRetainedCapacity(&right_offsets);
+    ClampRetainedCapacity(&right_members);
+    ClampRetainedCapacity(&dense_x);
+    ClampRetainedCapacity(&dense_y);
+    ClampRetainedCapacity(&uf_parent);
+    ClampRetainedCapacity(&group_of_root);
+    ClampRetainedCapacity(&elem_group_x);
+    ClampRetainedCapacity(&elem_group_y);
+    ClampRetainedCapacity(&group_left_count);
+    ClampRetainedCapacity(&group_right_count);
+    ClampRetainedCapacity(&group_final);
+    ClampRetainedCapacity(&tokens_left);
+    ClampRetainedCapacity(&tokens_right);
+    ClampRetainedCapacity(&cap_token);
+    ClampRetainedCapacity(&cap_count);
+    ClampRetainedCapacity(&consumed);
+    ClampRetainedCapacity(&build_order);
+    ClampRetainedCapacity(&built);
+    ClampRetainedCapacity(&plan_x.entries);
+    ClampRetainedCapacity(&plan_x.by_sig);
+    ClampRetainedCapacity(&plan_y.entries);
+    ClampRetainedCapacity(&plan_y.by_sig);
+    ClampRetainedCapacity(&greedy.order);
+    ClampRetainedCapacity(&greedy.left_used);
+    ClampRetainedCapacity(&greedy.right_used);
+    ClampRetainedCapacity(&bound.left_best);
+    ClampRetainedCapacity(&bound.right_best);
+    if (hungarian.RetainedBytes() > kMaxRetainedBytes) hungarian.Release();
+    size_t graph_bytes = 0;
+    for (const Bigraph& graph : graphs) graph_bytes += graph.RetainedBytes();
+    if (graph_bytes > kMaxRetainedBytes) {
+      graphs.clear();
+      graphs.shrink_to_fit();
     }
-    return x;
   }
-  void Union(int32_t a, int32_t b) { parent_[Find(a)] = Find(b); }
+};
+
+namespace {
+
+// Clamps the thread's arena on every exit path of Verify.
+class ScratchGuard {
+ public:
+  explicit ScratchGuard(VerifyScratch* scratch) : scratch_(scratch) {}
+  ~ScratchGuard() { scratch_->ClampRetained(); }
+  ScratchGuard(const ScratchGuard&) = delete;
+  ScratchGuard& operator=(const ScratchGuard&) = delete;
 
  private:
-  std::vector<int32_t> parent_;
+  VerifyScratch* scratch_;
 };
+
+// Grows the bigraph pool on demand; slot buffers keep their capacity.
+Bigraph* GraphSlot(VerifyScratch* scratch, size_t slot) {
+  if (scratch->graphs.size() <= slot) scratch->graphs.resize(slot + 1);
+  return &scratch->graphs[slot];
+}
+
+// The δ-thresholded bigraph restricted to one group, into a pooled graph.
+void BuildGroupBigraph(const ObjectSimilarity& object_sim, const Object& x, const Object& y,
+                       std::span<const int32_t> left, std::span<const int32_t> right,
+                       Bigraph* graph) {
+  graph->Reset(static_cast<int32_t>(left.size()), static_cast<int32_t>(right.size()));
+  const ElementSimilarity& esim = object_sim.element_similarity();
+  for (size_t a = 0; a < left.size(); ++a) {
+    for (size_t b = 0; b < right.size(); ++b) {
+      const double sim = esim.Sim(x.elements[left[a]], y.elements[right[b]]);
+      if (sim >= object_sim.delta() - 1e-12) {
+        graph->AddEdge(static_cast<int32_t>(a), static_cast<int32_t>(b), sim);
+      }
+    }
+  }
+}
+
+int32_t UnionFindRoot(std::vector<int32_t>& parent, int32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
 
 }  // namespace
 
@@ -74,6 +180,7 @@ void VerifyStats::Add(const VerifyStats& other) {
   accepted_by_lower_bound += other.accepted_by_lower_bound;
   rejected_by_upper_bound += other.rejected_by_upper_bound;
   hungarian_runs += other.hungarian_runs;
+  groups_pinned += other.groups_pinned;
   results += other.results;
 }
 
@@ -84,111 +191,164 @@ Verifier::Verifier(const ElementSimilarity& element_sim, const SignatureGenerato
       options_(options),
       object_sim_(element_sim, options.delta, options.set_metric) {}
 
-std::vector<Verifier::Group> Verifier::BuildGroups(const Object& x, const Object& y) const {
-  // Fast path (pure K-Join): every element carries at most one mapping,
-  // hence exactly one node signature — grouping is a sort-merge over
-  // (signature, side, element) triples, no hashing or union-find.
-  if (!options_.plus_mode) {
-    struct Entry {
-      SigId sig;
-      int8_t side;  // 0 = x, 1 = y
-      int32_t element;
-    };
-    static thread_local std::vector<Entry> entries;
-    static thread_local std::vector<SigId> scratch;
-    const ScratchClamp<Entry> clamp_entries(&entries);
-    const ScratchClamp<SigId> clamp_scratch(&scratch);
-    entries.clear();
-    if (KJOIN_FAULT_POINT("verifier/scratch_alloc")) throw std::bad_alloc();
-    auto append_side = [&](const Object& object, int8_t side) {
-      for (int32_t i = 0; i < object.size(); ++i) {
-        scratch.clear();
-        signatures_->AppendNodeSignatures(object.elements[i], &scratch);
-        for (SigId sig : scratch) entries.push_back({sig, side, i});
-      }
-    };
-    append_side(x, 0);
-    append_side(y, 1);
-    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-      if (a.sig != b.sig) return a.sig < b.sig;
-      return a.side < b.side;
-    });
-    std::vector<Group> groups;
-    size_t i = 0;
-    while (i < entries.size()) {
-      size_t j = i;
-      while (j < entries.size() && entries[j].sig == entries[i].sig) ++j;
-      // Populated on both sides iff the run starts with side 0 and ends
-      // with side 1.
-      if (entries[i].side == 0 && entries[j - 1].side == 1) {
-        Group group;
-        for (size_t k = i; k < j; ++k) {
-          (entries[k].side == 0 ? group.left : group.right).push_back(entries[k].element);
-        }
-        groups.push_back(std::move(group));
-      }
-      i = j;
-    }
-    return groups;
+void Verifier::BuildPlan(const Object& object, ObjectGroupPlan* plan) const {
+  plan->entries.clear();
+  static thread_local std::vector<SigId> sig_buffer;
+  for (int32_t i = 0; i < object.size(); ++i) {
+    sig_buffer.clear();
+    signatures_->AppendNodeSignatures(object.elements[i], &sig_buffer);
+    for (SigId sig : sig_buffer) plan->entries.push_back({sig, i});
   }
-
-  // Collect node signatures per element for both sides.
-  std::vector<std::vector<SigId>> sigs_x(x.size()), sigs_y(y.size());
-  std::unordered_map<SigId, int32_t> sig_index;
-  auto intern = [&](SigId id) {
-    auto [it, inserted] = sig_index.emplace(id, static_cast<int32_t>(sig_index.size()));
-    return it->second;
-  };
-  for (int32_t i = 0; i < x.size(); ++i) {
-    signatures_->AppendNodeSignatures(x.elements[i], &sigs_x[i]);
-    for (SigId id : sigs_x[i]) intern(id);
-  }
-  for (int32_t j = 0; j < y.size(); ++j) {
-    signatures_->AppendNodeSignatures(y.elements[j], &sigs_y[j]);
-    for (SigId id : sigs_y[j]) intern(id);
-  }
-
-  // Merge signatures co-occurring on one element (§6.4): elements of one
-  // merged component can only be δ-similar within the component.
-  UnionFind uf(static_cast<int32_t>(sig_index.size()));
-  auto unite_element = [&](const std::vector<SigId>& sigs) {
-    for (size_t k = 1; k < sigs.size(); ++k) {
-      uf.Union(sig_index.at(sigs[0]), sig_index.at(sigs[k]));
-    }
-  };
-  for (const auto& sigs : sigs_x) unite_element(sigs);
-  for (const auto& sigs : sigs_y) unite_element(sigs);
-
-  std::unordered_map<int32_t, int32_t> group_of_root;
-  std::vector<Group> groups;
-  auto group_for = [&](SigId first_sig) -> Group& {
-    const int32_t root = uf.Find(sig_index.at(first_sig));
-    auto [it, inserted] = group_of_root.emplace(root, static_cast<int32_t>(groups.size()));
-    if (inserted) groups.emplace_back();
-    return groups[it->second];
-  };
-  for (int32_t i = 0; i < x.size(); ++i) {
-    if (!sigs_x[i].empty()) group_for(sigs_x[i][0]).left.push_back(i);
-  }
-  for (int32_t j = 0; j < y.size(); ++j) {
-    if (!sigs_y[j].empty()) group_for(sigs_y[j][0]).right.push_back(j);
-  }
-
-  // Only groups populated on both sides can contribute to the matching.
-  std::vector<Group> populated;
-  populated.reserve(groups.size());
-  for (Group& group : groups) {
-    if (!group.left.empty() && !group.right.empty()) populated.push_back(std::move(group));
-  }
-  return populated;
+  const std::vector<ObjectGroupPlan::Entry>& entries = plan->entries;
+  plan->by_sig.resize(entries.size());
+  std::iota(plan->by_sig.begin(), plan->by_sig.end(), 0);
+  std::sort(plan->by_sig.begin(), plan->by_sig.end(), [&](int32_t a, int32_t b) {
+    if (entries[a].sig != entries[b].sig) return entries[a].sig < entries[b].sig;
+    return a < b;  // element-major generation order: index order = element order
+  });
 }
 
-bool Verifier::CountPrune(const std::vector<Group>& groups, double needed,
-                          VerifyStats* stats) const {
-  int64_t upper = 0;
-  for (const Group& group : groups) {
-    upper += std::min(group.left.size(), group.right.size());
+void Verifier::BuildGroups(const Object& x, const Object& y, const ObjectGroupPlan& px,
+                           const ObjectGroupPlan& py, VerifyScratch* s) const {
+  const std::vector<ObjectGroupPlan::Entry>& ex = px.entries;
+  const std::vector<ObjectGroupPlan::Entry>& ey = py.entries;
+  const std::vector<int32_t>& ox = px.by_sig;
+  const std::vector<int32_t>& oy = py.by_sig;
+
+  s->num_groups = 0;
+  s->left_offsets.assign(1, 0);
+  s->right_offsets.assign(1, 0);
+  s->left_members.clear();
+  s->right_members.clear();
+
+  // Fast path (pure K-Join): every element carries at most one mapping,
+  // hence exactly one node signature — grouping is a linear merge of the
+  // two signature-sorted plans; runs present on both sides become groups.
+  if (!options_.plus_mode) {
+    size_t i = 0, j = 0;
+    while (i < ox.size() && j < oy.size()) {
+      const SigId sx = ex[ox[i]].sig;
+      const SigId sy = ey[oy[j]].sig;
+      if (sx < sy) {
+        ++i;
+        continue;
+      }
+      if (sy < sx) {
+        ++j;
+        continue;
+      }
+      const size_t i0 = i, j0 = j;
+      while (i < ox.size() && ex[ox[i]].sig == sx) ++i;
+      while (j < oy.size() && ey[oy[j]].sig == sx) ++j;
+      for (size_t k = i0; k < i; ++k) s->left_members.push_back(ex[ox[k]].element);
+      for (size_t k = j0; k < j; ++k) s->right_members.push_back(ey[oy[k]].element);
+      s->left_offsets.push_back(static_cast<int32_t>(s->left_members.size()));
+      s->right_offsets.push_back(static_cast<int32_t>(s->right_members.size()));
+      ++s->num_groups;
+    }
+    return;
   }
+
+  // Plus mode (§6.4): an element may carry several node signatures, and
+  // signatures co-occurring on one element merge into one group. Dense
+  // signature ranks come from merging the two sorted plans (no hash map);
+  // the merge of co-occurring signatures is a union-find over the ranks.
+  s->dense_x.resize(ex.size());
+  s->dense_y.resize(ey.size());
+  int32_t num_dense = 0;
+  {
+    size_t i = 0, j = 0;
+    while (i < ox.size() || j < oy.size()) {
+      SigId sig;
+      if (j >= oy.size() || (i < ox.size() && ex[ox[i]].sig <= ey[oy[j]].sig)) {
+        sig = ex[ox[i]].sig;
+      } else {
+        sig = ey[oy[j]].sig;
+      }
+      while (i < ox.size() && ex[ox[i]].sig == sig) s->dense_x[ox[i++]] = num_dense;
+      while (j < oy.size() && ey[oy[j]].sig == sig) s->dense_y[oy[j++]] = num_dense;
+      ++num_dense;
+    }
+  }
+
+  std::vector<int32_t>& parent = s->uf_parent;
+  parent.resize(num_dense);
+  std::iota(parent.begin(), parent.end(), 0);
+  // Plan entries are element-major, so each element's signatures are
+  // contiguous in entry order.
+  for (size_t k = 1; k < ex.size(); ++k) {
+    if (ex[k].element == ex[k - 1].element) {
+      parent[UnionFindRoot(parent, s->dense_x[k])] = UnionFindRoot(parent, s->dense_x[k - 1]);
+    }
+  }
+  for (size_t k = 1; k < ey.size(); ++k) {
+    if (ey[k].element == ey[k - 1].element) {
+      parent[UnionFindRoot(parent, s->dense_y[k])] = UnionFindRoot(parent, s->dense_y[k - 1]);
+    }
+  }
+
+  // Raw group ids in first-encounter order (x elements, then y); each
+  // element joins the group of its first signature's component.
+  s->group_of_root.assign(num_dense, -1);
+  s->elem_group_x.assign(x.size(), -1);
+  s->elem_group_y.assign(y.size(), -1);
+  int32_t num_raw = 0;
+  for (size_t k = 0; k < ex.size(); ++k) {
+    if (s->elem_group_x[ex[k].element] != -1) continue;  // not the first signature
+    const int32_t root = UnionFindRoot(parent, s->dense_x[k]);
+    if (s->group_of_root[root] == -1) s->group_of_root[root] = num_raw++;
+    s->elem_group_x[ex[k].element] = s->group_of_root[root];
+  }
+  for (size_t k = 0; k < ey.size(); ++k) {
+    if (s->elem_group_y[ey[k].element] != -1) continue;
+    const int32_t root = UnionFindRoot(parent, s->dense_y[k]);
+    if (s->group_of_root[root] == -1) s->group_of_root[root] = num_raw++;
+    s->elem_group_y[ey[k].element] = s->group_of_root[root];
+  }
+
+  // Only groups populated on both sides can contribute to the matching;
+  // survivors keep their raw order and ascending member order.
+  s->group_left_count.assign(num_raw, 0);
+  s->group_right_count.assign(num_raw, 0);
+  for (int32_t g : s->elem_group_x) {
+    if (g != -1) ++s->group_left_count[g];
+  }
+  for (int32_t g : s->elem_group_y) {
+    if (g != -1) ++s->group_right_count[g];
+  }
+  s->group_final.resize(num_raw);
+  for (int32_t g = 0; g < num_raw; ++g) {
+    if (s->group_left_count[g] > 0 && s->group_right_count[g] > 0) {
+      s->group_final[g] = s->num_groups++;
+      s->left_offsets.push_back(s->left_offsets.back() + s->group_left_count[g]);
+      s->right_offsets.push_back(s->right_offsets.back() + s->group_right_count[g]);
+    } else {
+      s->group_final[g] = -1;
+    }
+  }
+  s->left_members.resize(s->left_offsets.back());
+  s->right_members.resize(s->right_offsets.back());
+  // Scatter with running cursors (reusing the count arrays).
+  for (int32_t g = 0; g < num_raw; ++g) {
+    const int32_t f = s->group_final[g];
+    if (f != -1) {
+      s->group_left_count[g] = s->left_offsets[f];
+      s->group_right_count[g] = s->right_offsets[f];
+    }
+  }
+  for (int32_t i = 0; i < x.size(); ++i) {
+    const int32_t g = s->elem_group_x[i];
+    if (g != -1 && s->group_final[g] != -1) s->left_members[s->group_left_count[g]++] = i;
+  }
+  for (int32_t j = 0; j < y.size(); ++j) {
+    const int32_t g = s->elem_group_y[j];
+    if (g != -1 && s->group_final[g] != -1) s->right_members[s->group_right_count[g]++] = j;
+  }
+}
+
+bool Verifier::CountPrune(const VerifyScratch& s, double needed, VerifyStats* stats) const {
+  int64_t upper = 0;
+  for (int32_t g = 0; g < s.num_groups; ++g) upper += s.CountBound(g);
   if (static_cast<double>(upper) < needed - kEps) {
     ++stats->pruned_by_count;
     return true;
@@ -196,36 +356,58 @@ bool Verifier::CountPrune(const std::vector<Group>& groups, double needed,
   return false;
 }
 
-bool Verifier::WeightedCountPrune(const Object& x, const Object& y,
-                                  const std::vector<Group>& groups, double needed,
-                                  VerifyStats* stats) const {
+bool Verifier::WeightedCountPrune(const Object& x, const Object& y, VerifyScratch* s,
+                                  double needed, VerifyStats* stats) const {
   const Hierarchy& hierarchy = element_sim_->hierarchy();
   double upper = 0.0;
-  for (const Group& group : groups) {
-    // Exact part: multiset intersection on token ids.
-    std::unordered_map<int32_t, int32_t> token_balance;
-    for (int32_t i : group.left) ++token_balance[x.elements[i].token_id];
+  for (int32_t g = 0; g < s->num_groups; ++g) {
+    const std::span<const int32_t> left = s->Left(g);
+    const std::span<const int32_t> right = s->Right(g);
+    // Exact part: multiset intersection on token ids, via sorted token
+    // arrays merged into per-token caps (min of the two counts).
+    s->tokens_left.clear();
+    for (int32_t i : left) s->tokens_left.push_back(x.elements[i].token_id);
+    std::sort(s->tokens_left.begin(), s->tokens_left.end());
+    s->tokens_right.clear();
+    for (int32_t j : right) s->tokens_right.push_back(y.elements[j].token_id);
+    std::sort(s->tokens_right.begin(), s->tokens_right.end());
+    s->cap_token.clear();
+    s->cap_count.clear();
     int32_t exact = 0;
-    for (int32_t j : group.right) {
-      auto it = token_balance.find(y.elements[j].token_id);
-      if (it != token_balance.end() && it->second > 0) {
-        --it->second;
-        ++exact;
+    for (size_t a = 0, b = 0; a < s->tokens_left.size() && b < s->tokens_right.size();) {
+      if (s->tokens_left[a] < s->tokens_right[b]) {
+        ++a;
+      } else if (s->tokens_right[b] < s->tokens_left[a]) {
+        ++b;
+      } else {
+        const int32_t token = s->tokens_left[a];
+        int32_t ca = 0, cb = 0;
+        while (a < s->tokens_left.size() && s->tokens_left[a] == token) ++a, ++ca;
+        while (b < s->tokens_right.size() && s->tokens_right[b] == token) ++b, ++cb;
+        s->cap_token.push_back(token);
+        s->cap_count.push_back(std::min(ca, cb));
+        exact += std::min(ca, cb);
       }
     }
     // Leftovers: the per-side sum of each element's best possible
-    // similarity to a *non-identical* counterpart. In pure mode two
-    // distinct tokens map to distinct nodes, so Lemma 4's d/(d+1) bound
-    // applies; in plus mode only φ is sound.
-    auto leftover_sum = [&](const Object& object, const std::vector<int32_t>& members,
-                            std::unordered_map<int32_t, int32_t> balance) {
+    // similarity to a *non-identical* counterpart — the first cap
+    // occurrences of a shared token (in member order) count as exact and
+    // are skipped. In pure mode two distinct tokens map to distinct
+    // nodes, so Lemma 4's d/(d+1) bound applies; in plus mode only φ is
+    // sound.
+    auto leftover_sum = [&](const Object& object, std::span<const int32_t> members) {
+      s->consumed.assign(s->cap_token.size(), 0);
       double sum = 0.0;
       for (int32_t index : members) {
         const Element& element = object.elements[index];
-        auto it = balance.find(element.token_id);
-        if (it != balance.end() && it->second > 0) {
-          --it->second;  // consumed by the exact part
-          continue;
+        const auto it =
+            std::lower_bound(s->cap_token.begin(), s->cap_token.end(), element.token_id);
+        if (it != s->cap_token.end() && *it == element.token_id) {
+          const size_t pos = static_cast<size_t>(it - s->cap_token.begin());
+          if (s->consumed[pos] < s->cap_count[pos]) {
+            ++s->consumed[pos];  // consumed by the exact part
+            continue;
+          }
         }
         if (!element.has_node()) continue;  // identical-token-only elements
         double weight = 0.0;
@@ -241,20 +423,8 @@ bool Verifier::WeightedCountPrune(const Object& x, const Object& y,
       }
       return sum;
     };
-    std::unordered_map<int32_t, int32_t> left_tokens, right_tokens;
-    for (int32_t i : group.left) ++left_tokens[x.elements[i].token_id];
-    for (int32_t j : group.right) ++right_tokens[y.elements[j].token_id];
-    // Intersect balances: what each side can consume as "exact".
-    std::unordered_map<int32_t, int32_t> left_consumable, right_consumable;
-    for (const auto& [token, count] : left_tokens) {
-      auto it = right_tokens.find(token);
-      if (it != right_tokens.end()) {
-        left_consumable[token] = std::min(count, it->second);
-        right_consumable[token] = std::min(count, it->second);
-      }
-    }
-    const double left_rest = leftover_sum(x, group.left, left_consumable);
-    const double right_rest = leftover_sum(y, group.right, right_consumable);
+    const double left_rest = leftover_sum(x, left);
+    const double right_rest = leftover_sum(y, right);
     upper += exact + std::min(left_rest, right_rest);
   }
   if (upper < needed - kEps) {
@@ -264,84 +434,101 @@ bool Verifier::WeightedCountPrune(const Object& x, const Object& y,
   return false;
 }
 
-bool Verifier::VerifyBasic(const Object& x, const Object& y, double needed,
+bool Verifier::VerifyBasic(const Object& x, const Object& y, double needed, VerifyScratch* s,
                            VerifyStats* stats) const {
-  const Bigraph graph = object_sim_.BuildBigraph(x, y);
+  Bigraph* graph = GraphSlot(s, 0);
+  object_sim_.BuildBigraph(x, y, graph);
   ++stats->hungarian_runs;
-  return MaxWeightMatching(graph) >= needed - kEps;
+  return MaxWeightMatching(*graph, &s->hungarian) >= needed - kEps;
 }
 
-namespace {
-
-// The δ-thresholded bigraph restricted to one group.
-Bigraph BuildGroupBigraph(const ObjectSimilarity& object_sim, const Object& x, const Object& y,
-                          const std::vector<int32_t>& left, const std::vector<int32_t>& right) {
-  Bigraph graph(static_cast<int32_t>(left.size()), static_cast<int32_t>(right.size()));
-  const ElementSimilarity& esim = object_sim.element_similarity();
-  for (size_t a = 0; a < left.size(); ++a) {
-    for (size_t b = 0; b < right.size(); ++b) {
-      const double sim = esim.Sim(x.elements[left[a]], y.elements[right[b]]);
-      if (sim >= object_sim.delta() - 1e-12) {
-        graph.AddEdge(static_cast<int32_t>(a), static_cast<int32_t>(b), sim);
-      }
-    }
-  }
-  return graph;
-}
-
-}  // namespace
-
-bool Verifier::VerifySubGraph(const Object& x, const Object& y,
-                              const std::vector<Group>& groups, double needed,
-                              VerifyStats* stats) const {
+bool Verifier::VerifySubGraph(const Object& x, const Object& y, VerifyScratch* s,
+                              double needed, VerifyStats* stats) const {
+  Bigraph* graph = GraphSlot(s, 0);
   double overlap = 0.0;
-  for (const Group& group : groups) {
-    const Bigraph graph = BuildGroupBigraph(object_sim_, x, y, group.left, group.right);
-    if (graph.edges().empty()) continue;
+  for (int32_t g = 0; g < s->num_groups; ++g) {
+    BuildGroupBigraph(object_sim_, x, y, s->Left(g), s->Right(g), graph);
+    if (graph->edges().empty()) continue;
     ++stats->hungarian_runs;
-    overlap += MaxWeightMatching(graph);
+    overlap += MaxWeightMatching(*graph, &s->hungarian);
   }
   return overlap >= needed - kEps;
 }
 
-bool Verifier::VerifyAdaptive(const Object& x, const Object& y,
-                              const std::vector<Group>& groups, double needed,
-                              VerifyStats* stats) const {
-  struct Bounded {
-    Bigraph graph;
-    double upper;
-    double lower;
-  };
-  std::vector<Bounded> bounded;
-  bounded.reserve(groups.size());
-  double total_upper = 0.0;
-  double total_lower = 0.0;
-  for (const Group& group : groups) {
-    Bigraph graph = BuildGroupBigraph(object_sim_, x, y, group.left, group.right);
-    if (graph.edges().empty()) continue;
-    const double upper = PerVertexUpperBound(graph);
-    const double lower = CombinedLowerBound(graph);
-    total_upper += upper;
-    total_lower += lower;
-    bounded.push_back({std::move(graph), upper, lower});
+bool Verifier::VerifyAdaptive(const Object& x, const Object& y, VerifyScratch* s,
+                              double needed, VerifyStats* stats) const {
+  // Build groups in decreasing count-bound order, maintaining a running
+  // lower bound over built groups and a count upper bound over unbuilt
+  // ones. A candidate whose greedy matchings already reach `needed` is
+  // accepted before the remaining (small) groups are even materialized; a
+  // candidate whose built upper bounds plus everything the unbuilt groups
+  // could possibly add stays short is rejected the same way. Both checks
+  // are sound because groups are disjoint, edge weights lie in (0, 1],
+  // and a group's matching size is at most min(|left|, |right|).
+  std::vector<int32_t>& build_order = s->build_order;
+  build_order.resize(s->num_groups);
+  std::iota(build_order.begin(), build_order.end(), 0);
+  std::sort(build_order.begin(), build_order.end(), [&](int32_t a, int32_t b) {
+    const int64_t ca = s->CountBound(a), cb = s->CountBound(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  double remaining_count_ub = 0.0;
+  for (int32_t g = 0; g < s->num_groups; ++g) {
+    remaining_count_ub += static_cast<double>(s->CountBound(g));
   }
 
-  if (total_lower >= needed - kEps) {
+  s->built.clear();
+  double built_upper = 0.0;
+  double built_lower = 0.0;
+  for (int32_t g : build_order) {
+    if (built_lower >= needed - kEps) {
+      ++stats->accepted_by_lower_bound;
+      return true;
+    }
+    if (built_upper + remaining_count_ub < needed - kEps) {
+      ++stats->rejected_by_upper_bound;
+      return false;
+    }
+    remaining_count_ub -= static_cast<double>(s->CountBound(g));
+    Bigraph* graph = GraphSlot(s, s->built.size());
+    BuildGroupBigraph(object_sim_, x, y, s->Left(g), s->Right(g), graph);
+    if (graph->edges().empty()) continue;
+    const double upper = PerVertexUpperBound(*graph, &s->bound);
+    const double lower = CombinedLowerBound(*graph, &s->greedy);
+    built_upper += upper;
+    built_lower += lower;
+    s->built.push_back({static_cast<int32_t>(s->built.size()), upper, lower});
+  }
+  if (built_lower >= needed - kEps) {
     ++stats->accepted_by_lower_bound;
     return true;
   }
-  if (total_upper < needed - kEps) {
+  if (built_upper < needed - kEps) {
     ++stats->rejected_by_upper_bound;
     return false;
   }
 
-  // Resolve the loosest groups first (§5.2.3): they move the bounds most.
-  std::sort(bounded.begin(), bounded.end(), [](const Bounded& a, const Bounded& b) {
-    return (a.upper - a.lower) > (b.upper - b.lower);
-  });
-  for (const Bounded& entry : bounded) {
-    ++stats->hungarian_runs;
-    const double exact = MaxWeightMatching(entry.graph);
+  // Resolve exactly in decreasing upper-bound order (§5.2.3): the groups
+  // that promise the most move the bounds fastest. Groups whose bounds
+  // already coincide (every 1 × k group does) are pinned to the exact
+  // value without a Hungarian run.
+  std::sort(s->built.begin(), s->built.end(),
+            [](const VerifyScratch::BuiltGroup& a, const VerifyScratch::BuiltGroup& b) {
+              if (a.upper != b.upper) return a.upper > b.upper;
+              return a.graph < b.graph;
+            });
+  double total_upper = built_upper;
+  double total_lower = built_lower;
+  for (const VerifyScratch::BuiltGroup& entry : s->built) {
+    double exact;
+    if (entry.upper <= entry.lower) {
+      ++stats->groups_pinned;
+      exact = entry.lower;
+    } else {
+      ++stats->hungarian_runs;
+      exact = MaxWeightMatching(s->graphs[entry.graph], &s->hungarian);
+    }
     total_upper += exact - entry.upper;
     total_lower += exact - entry.lower;
     if (total_upper < needed - kEps) return false;
@@ -351,7 +538,9 @@ bool Verifier::VerifyAdaptive(const Object& x, const Object& y,
   return total_lower >= needed - kEps;
 }
 
-bool Verifier::Verify(const Object& x, const Object& y, VerifyStats* stats) const {
+bool Verifier::VerifyWithPlans(const Object& x, const Object& y, const ObjectGroupPlan& plan_x,
+                               const ObjectGroupPlan& plan_y, VerifyScratch* scratch,
+                               VerifyStats* stats) const {
   ++stats->pairs_verified;
   const double needed =
       MinFuzzyOverlap(x.size(), y.size(), options_.tau, options_.set_metric);
@@ -360,27 +549,52 @@ bool Verifier::Verify(const Object& x, const Object& y, VerifyStats* stats) cons
     return true;
   }
 
-  const std::vector<Group> groups = BuildGroups(x, y);
-  if (options_.count_pruning && CountPrune(groups, needed, stats)) return false;
+  if (KJOIN_FAULT_POINT("verifier/scratch_alloc")) throw std::bad_alloc();
+  BuildGroups(x, y, plan_x, plan_y, scratch);
+  if (options_.count_pruning && CountPrune(*scratch, needed, stats)) return false;
   if (options_.weighted_count_pruning &&
-      WeightedCountPrune(x, y, groups, needed, stats)) {
+      WeightedCountPrune(x, y, scratch, needed, stats)) {
     return false;
   }
 
   bool similar = false;
   switch (options_.mode) {
     case VerifyMode::kBasic:
-      similar = VerifyBasic(x, y, needed, stats);
+      similar = VerifyBasic(x, y, needed, scratch, stats);
       break;
     case VerifyMode::kSubGraph:
-      similar = VerifySubGraph(x, y, groups, needed, stats);
+      similar = VerifySubGraph(x, y, scratch, needed, stats);
       break;
     case VerifyMode::kAdaptive:
-      similar = VerifyAdaptive(x, y, groups, needed, stats);
+      similar = VerifyAdaptive(x, y, scratch, needed, stats);
       break;
   }
   if (similar) ++stats->results;
   return similar;
+}
+
+namespace {
+
+VerifyScratch& ThreadScratch() {
+  static thread_local VerifyScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+bool Verifier::Verify(const Object& x, const Object& y, const ObjectGroupPlan& plan_x,
+                      const ObjectGroupPlan& plan_y, VerifyStats* stats) const {
+  VerifyScratch& scratch = ThreadScratch();
+  const ScratchGuard guard(&scratch);
+  return VerifyWithPlans(x, y, plan_x, plan_y, &scratch, stats);
+}
+
+bool Verifier::Verify(const Object& x, const Object& y, VerifyStats* stats) const {
+  VerifyScratch& scratch = ThreadScratch();
+  const ScratchGuard guard(&scratch);
+  BuildPlan(x, &scratch.plan_x);
+  BuildPlan(y, &scratch.plan_y);
+  return VerifyWithPlans(x, y, scratch.plan_x, scratch.plan_y, &scratch, stats);
 }
 
 double Verifier::ExactSimilarity(const Object& x, const Object& y) const {

@@ -11,14 +11,22 @@
 //   kSubGraph — partition elements by node signature (elements in
 //               different groups cannot be δ-similar, Lemma 1), match each
 //               subgraph separately and sum (Lemma 8).
-//   kAdaptive — additionally bound each subgraph's matching from above
-//               (per-vertex max, Eq. 6) and below (two greedy matchings,
-//               §5.2.2), accept/reject early, and resolve the remaining
-//               groups in decreasing Bu − Bl order (§5.2.3).
+//   kAdaptive — maintain running bounds while the per-group bigraphs are
+//               being built (per-vertex max above, Eq. 6; two greedy
+//               matchings below, §5.2.2) and stop as soon as the decision
+//               is certain; remaining groups resolve exactly in
+//               decreasing upper-bound order (§5.2.3), skipping the
+//               Hungarian matcher whenever the bounds already pin the
+//               exact value. See docs/performance.md.
 // Count pruning (Lemma 3) and weighted count pruning (Lemma 4) run first
 // when enabled; they need no edge weights at all.
+//
+// Verification state (group partition, token balances, bigraphs, matcher
+// and bound buffers) lives in a per-thread scratch arena, so the steady
+// state verifies candidates without touching the allocator.
 
 #include <cstdint>
+#include <vector>
 
 #include "core/element_similarity.h"
 #include "core/object.h"
@@ -26,6 +34,24 @@
 #include "core/signature.h"
 
 namespace kjoin {
+
+// Per-thread verification arena; defined in verifier.cc.
+struct VerifyScratch;
+
+// The pair-invariant half of group construction, computed once per object:
+// the object's partition signatures in element order, plus an argsort by
+// signature. With both plans in hand, a pair's group partition is a linear
+// merge of two sorted lists — no per-pair signature generation or sort.
+// An object appears in as many candidate pairs as the filter emits for it,
+// so the join builds each plan once and reuses it across all of them.
+struct ObjectGroupPlan {
+  struct Entry {
+    SigId sig;
+    int32_t element;
+  };
+  std::vector<Entry> entries;   // element-major (generation) order
+  std::vector<int32_t> by_sig;  // argsort of entries by (sig, index)
+};
 
 enum class VerifyMode {
   kBasic,
@@ -54,6 +80,9 @@ struct VerifyStats {
   int64_t accepted_by_lower_bound = 0;
   int64_t rejected_by_upper_bound = 0;
   int64_t hungarian_runs = 0;
+  // Adaptive groups whose bounds pinned the exact matching (Bu <= Bl), so
+  // no Hungarian run was needed — every 1 × k group lands here.
+  int64_t groups_pinned = 0;
   int64_t results = 0;
 
   void Add(const VerifyStats& other);
@@ -65,8 +94,19 @@ class Verifier {
   Verifier(const ElementSimilarity& element_sim, const SignatureGenerator& signatures,
            VerifierOptions options);
 
-  // True iff SIMδ(x, y) >= τ.
+  // True iff SIMδ(x, y) >= τ. Thread-safe: every mutable state is in a
+  // per-thread scratch arena.
   bool Verify(const Object& x, const Object& y, VerifyStats* stats) const;
+
+  // Same, with the objects' precomputed grouping plans (BuildPlan). This
+  // is the join's hot path: plans are built once per object and shared,
+  // read-only, across all candidate pairs and verification shards.
+  bool Verify(const Object& x, const Object& y, const ObjectGroupPlan& plan_x,
+              const ObjectGroupPlan& plan_y, VerifyStats* stats) const;
+
+  // Fills `plan` for one object (signatures + argsort). The plan stays
+  // valid as long as the object and the verifier's signature scheme do.
+  void BuildPlan(const Object& object, ObjectGroupPlan* plan) const;
 
   // Exact similarity, bypassing every pruning step (test/quality oracle).
   double ExactSimilarity(const Object& x, const Object& y) const;
@@ -74,23 +114,26 @@ class Verifier {
   const VerifierOptions& options() const { return options_; }
 
  private:
-  struct Group {
-    std::vector<int32_t> left;   // element indices in x
-    std::vector<int32_t> right;  // element indices in y
-  };
+  // Shared tail of both Verify overloads (prunes + mode dispatch).
+  bool VerifyWithPlans(const Object& x, const Object& y, const ObjectGroupPlan& plan_x,
+                       const ObjectGroupPlan& plan_y, VerifyScratch* scratch,
+                       VerifyStats* stats) const;
 
-  // Partitions both objects' elements into node-signature groups,
-  // merging groups that share an element (plus mode).
-  std::vector<Group> BuildGroups(const Object& x, const Object& y) const;
+  // Partitions both objects' elements into node-signature groups, merging
+  // groups that share an element (plus mode). The partition is stored as
+  // flat member arrays in the scratch (no per-group vectors).
+  void BuildGroups(const Object& x, const Object& y, const ObjectGroupPlan& plan_x,
+                   const ObjectGroupPlan& plan_y, VerifyScratch* scratch) const;
 
-  bool CountPrune(const std::vector<Group>& groups, double needed, VerifyStats* stats) const;
-  bool WeightedCountPrune(const Object& x, const Object& y, const std::vector<Group>& groups,
+  bool CountPrune(const VerifyScratch& scratch, double needed, VerifyStats* stats) const;
+  bool WeightedCountPrune(const Object& x, const Object& y, VerifyScratch* scratch,
                           double needed, VerifyStats* stats) const;
-  bool VerifyBasic(const Object& x, const Object& y, double needed, VerifyStats* stats) const;
-  bool VerifySubGraph(const Object& x, const Object& y, const std::vector<Group>& groups,
-                      double needed, VerifyStats* stats) const;
-  bool VerifyAdaptive(const Object& x, const Object& y, const std::vector<Group>& groups,
-                      double needed, VerifyStats* stats) const;
+  bool VerifyBasic(const Object& x, const Object& y, double needed, VerifyScratch* scratch,
+                   VerifyStats* stats) const;
+  bool VerifySubGraph(const Object& x, const Object& y, VerifyScratch* scratch, double needed,
+                      VerifyStats* stats) const;
+  bool VerifyAdaptive(const Object& x, const Object& y, VerifyScratch* scratch, double needed,
+                      VerifyStats* stats) const;
 
   const ElementSimilarity* element_sim_;
   const SignatureGenerator* signatures_;

@@ -1,24 +1,65 @@
 #include "matching/bigraph.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace kjoin {
 
-Bigraph::Bigraph(int32_t num_left, int32_t num_right)
-    : num_left_(num_left), num_right_(num_right) {
+Bigraph::Bigraph(int32_t num_left, int32_t num_right) { Reset(num_left, num_right); }
+
+void Bigraph::Reset(int32_t num_left, int32_t num_right) {
   KJOIN_CHECK_GE(num_left, 0);
   KJOIN_CHECK_GE(num_right, 0);
-  left_edges_.resize(num_left);
-  right_edges_.resize(num_right);
+  num_left_ = num_left;
+  num_right_ = num_right;
+  edges_.clear();
+  adjacency_built_ = false;
 }
 
 void Bigraph::AddEdge(int32_t left, int32_t right, double weight) {
   KJOIN_DCHECK(left >= 0 && left < num_left_);
   KJOIN_DCHECK(right >= 0 && right < num_right_);
-  const int32_t edge_index = static_cast<int32_t>(edges_.size());
   edges_.push_back({left, right, weight});
-  left_edges_[left].push_back(edge_index);
-  right_edges_[right].push_back(edge_index);
+  adjacency_built_ = false;
+}
+
+void Bigraph::EnsureAdjacency() const {
+  if (!adjacency_built_) BuildAdjacency();
+}
+
+size_t Bigraph::RetainedBytes() const {
+  return edges_.capacity() * sizeof(BigraphEdge) +
+         (left_offsets_.capacity() + left_adj_.capacity() + right_offsets_.capacity() +
+          right_adj_.capacity()) *
+             sizeof(int32_t);
+}
+
+void Bigraph::BuildAdjacency() const {
+  // Counting sort of edge indices by endpoint: one degree pass, one prefix
+  // sum, one scatter pass. Within a vertex, edges keep insertion order —
+  // the same order the old per-vertex push_back layout produced.
+  left_offsets_.assign(static_cast<size_t>(num_left_) + 1, 0);
+  right_offsets_.assign(static_cast<size_t>(num_right_) + 1, 0);
+  for (const BigraphEdge& edge : edges_) {
+    ++left_offsets_[edge.left + 1];
+    ++right_offsets_[edge.right + 1];
+  }
+  for (int32_t l = 0; l < num_left_; ++l) left_offsets_[l + 1] += left_offsets_[l];
+  for (int32_t r = 0; r < num_right_; ++r) right_offsets_[r + 1] += right_offsets_[r];
+  left_adj_.resize(edges_.size());
+  right_adj_.resize(edges_.size());
+  // Scatter with running cursors; rebuild the prefix sums afterwards by
+  // shifting (cursor[v] ends at offsets[v + 1]).
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    left_adj_[left_offsets_[edges_[e].left]++] = static_cast<int32_t>(e);
+    right_adj_[right_offsets_[edges_[e].right]++] = static_cast<int32_t>(e);
+  }
+  for (int32_t l = num_left_; l > 0; --l) left_offsets_[l] = left_offsets_[l - 1];
+  for (int32_t r = num_right_; r > 0; --r) right_offsets_[r] = right_offsets_[r - 1];
+  left_offsets_[0] = 0;
+  right_offsets_[0] = 0;
+  adjacency_built_ = true;
 }
 
 }  // namespace kjoin

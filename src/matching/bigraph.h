@@ -8,8 +8,23 @@
 // element pairs, weighted by their knowledge-aware similarity. This type
 // is the shared input of the Hungarian solver, the greedy lower bounds and
 // the per-vertex upper bound.
+//
+// Storage is allocation-light for the verifier hot path: AddEdge only
+// appends to one flat edge array, and the per-vertex adjacency is a CSR
+// (offsets + edge indices) materialized lazily on the first left_edges /
+// right_edges call via a counting sort. Reset() rewinds the graph for a
+// new (num_left, num_right) shape while keeping every buffer's capacity,
+// so a thread-local Bigraph verifies millions of candidate pairs without
+// touching the allocator.
+//
+// Thread-compatibility: like std::vector, a Bigraph may be read from many
+// threads only if no thread mutates it — and the lazy adjacency build is a
+// mutation. Call EnsureAdjacency() before sharing a graph read-only across
+// threads. The join pipeline never shares one (graphs are per-candidate,
+// thread-local scratch).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace kjoin {
@@ -22,7 +37,12 @@ struct BigraphEdge {
 
 class Bigraph {
  public:
+  Bigraph() = default;
   Bigraph(int32_t num_left, int32_t num_right);
+
+  // Re-shapes the graph to (num_left, num_right) with no edges, keeping
+  // the capacity of every internal buffer.
+  void Reset(int32_t num_left, int32_t num_right);
 
   void AddEdge(int32_t left, int32_t right, double weight);
 
@@ -30,23 +50,47 @@ class Bigraph {
   int32_t num_right() const { return num_right_; }
   const std::vector<BigraphEdge>& edges() const { return edges_; }
 
-  // Edges incident to a left vertex (indices into edges()).
-  const std::vector<int32_t>& left_edges(int32_t left) const { return left_edges_[left]; }
-  const std::vector<int32_t>& right_edges(int32_t right) const { return right_edges_[right]; }
+  // Edges incident to a left vertex (indices into edges()). Builds the CSR
+  // adjacency on first use after a mutation.
+  std::span<const int32_t> left_edges(int32_t left) const {
+    EnsureAdjacency();
+    return {left_adj_.data() + left_offsets_[left],
+            static_cast<size_t>(left_offsets_[left + 1] - left_offsets_[left])};
+  }
+  std::span<const int32_t> right_edges(int32_t right) const {
+    EnsureAdjacency();
+    return {right_adj_.data() + right_offsets_[right],
+            static_cast<size_t>(right_offsets_[right + 1] - right_offsets_[right])};
+  }
 
   int32_t left_degree(int32_t left) const {
-    return static_cast<int32_t>(left_edges_[left].size());
+    EnsureAdjacency();
+    return left_offsets_[left + 1] - left_offsets_[left];
   }
   int32_t right_degree(int32_t right) const {
-    return static_cast<int32_t>(right_edges_[right].size());
+    EnsureAdjacency();
+    return right_offsets_[right + 1] - right_offsets_[right];
   }
 
+  // Materializes the CSR adjacency now (e.g. before sharing the graph
+  // read-only across threads). Idempotent.
+  void EnsureAdjacency() const;
+
+  // Approximate retained footprint across all internal buffers, for the
+  // verifier's scratch-capacity clamping.
+  size_t RetainedBytes() const;
+
  private:
-  int32_t num_left_;
-  int32_t num_right_;
+  void BuildAdjacency() const;
+
+  int32_t num_left_ = 0;
+  int32_t num_right_ = 0;
   std::vector<BigraphEdge> edges_;
-  std::vector<std::vector<int32_t>> left_edges_;
-  std::vector<std::vector<int32_t>> right_edges_;
+  // Lazy CSR adjacency: offsets are prefix sums of vertex degrees, adj
+  // arrays hold edge indices grouped by vertex in insertion order.
+  mutable bool adjacency_built_ = false;
+  mutable std::vector<int32_t> left_offsets_, left_adj_;
+  mutable std::vector<int32_t> right_offsets_, right_adj_;
 };
 
 }  // namespace kjoin

@@ -4,20 +4,25 @@
 
 namespace kjoin {
 
-double PerVertexUpperBound(const Bigraph& graph) {
+double PerVertexUpperBound(const Bigraph& graph, BoundScratch* scratch) {
+  std::vector<double>& left_best = scratch->left_best;
+  std::vector<double>& right_best = scratch->right_best;
+  left_best.assign(graph.num_left(), 0.0);
+  right_best.assign(graph.num_right(), 0.0);
+  for (const BigraphEdge& edge : graph.edges()) {
+    left_best[edge.left] = std::max(left_best[edge.left], edge.weight);
+    right_best[edge.right] = std::max(right_best[edge.right], edge.weight);
+  }
   double left_sum = 0.0;
-  for (int32_t l = 0; l < graph.num_left(); ++l) {
-    double best = 0.0;
-    for (int32_t e : graph.left_edges(l)) best = std::max(best, graph.edges()[e].weight);
-    left_sum += best;
-  }
+  for (double best : left_best) left_sum += best;
   double right_sum = 0.0;
-  for (int32_t r = 0; r < graph.num_right(); ++r) {
-    double best = 0.0;
-    for (int32_t e : graph.right_edges(r)) best = std::max(best, graph.edges()[e].weight);
-    right_sum += best;
-  }
+  for (double best : right_best) right_sum += best;
   return std::min(left_sum, right_sum);
+}
+
+double PerVertexUpperBound(const Bigraph& graph) {
+  BoundScratch scratch;
+  return PerVertexUpperBound(graph, &scratch);
 }
 
 }  // namespace kjoin

@@ -3,13 +3,26 @@
 
 // Upper bound on the maximum-weight matching (paper §5.2.1, Eq. 6).
 
+#include <vector>
+
 #include "matching/bigraph.h"
 
 namespace kjoin {
 
+// Reusable per-vertex max buffers so the hot path computes the bound with
+// zero allocations (buffers grow to the largest group seen).
+struct BoundScratch {
+  std::vector<double> left_best;
+  std::vector<double> right_best;
+};
+
 // Bu = min( Σ_left max-incident-weight, Σ_right max-incident-weight ).
 // Every matching covers each vertex at most once with at most its
-// heaviest incident edge, so both sums dominate the optimum.
+// heaviest incident edge, so both sums dominate the optimum. Single pass
+// over edges(); does not touch the graph's adjacency.
+double PerVertexUpperBound(const Bigraph& graph, BoundScratch* scratch);
+
+// Convenience overload with a local scratch (tests, one-off callers).
 double PerVertexUpperBound(const Bigraph& graph);
 
 }  // namespace kjoin

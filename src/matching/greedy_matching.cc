@@ -1,17 +1,23 @@
 #include "matching/greedy_matching.h"
 
 #include <algorithm>
-#include <vector>
 
 namespace kjoin {
 
-double GreedyMaxWeightLowerBound(const Bigraph& graph) {
-  std::vector<int32_t> order(graph.edges().size());
+double GreedyMaxWeightLowerBound(const Bigraph& graph, GreedyScratch* scratch) {
+  std::vector<int32_t>& order = scratch->order;
+  order.resize(graph.edges().size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
   std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
-    return graph.edges()[a].weight > graph.edges()[b].weight;
+    const double wa = graph.edges()[a].weight;
+    const double wb = graph.edges()[b].weight;
+    if (wa != wb) return wa > wb;
+    return a < b;  // deterministic tie-break
   });
-  std::vector<char> left_used(graph.num_left(), 0), right_used(graph.num_right(), 0);
+  std::vector<char>& left_used = scratch->left_used;
+  std::vector<char>& right_used = scratch->right_used;
+  left_used.assign(graph.num_left(), 0);
+  right_used.assign(graph.num_right(), 0);
   double total = 0.0;
   for (int32_t e : order) {
     const BigraphEdge& edge = graph.edges()[e];
@@ -23,11 +29,14 @@ double GreedyMaxWeightLowerBound(const Bigraph& graph) {
   return total;
 }
 
-double GreedyMinDegreeLowerBound(const Bigraph& graph) {
+double GreedyMinDegreeLowerBound(const Bigraph& graph, GreedyScratch* scratch) {
   // Remaining degrees change as vertices are removed; with the tiny
   // per-object graphs K-Join sees, recomputing live degrees on demand is
   // simpler and still linear-ish.
-  std::vector<char> left_used(graph.num_left(), 0), right_used(graph.num_right(), 0);
+  std::vector<char>& left_used = scratch->left_used;
+  std::vector<char>& right_used = scratch->right_used;
+  left_used.assign(graph.num_left(), 0);
+  right_used.assign(graph.num_right(), 0);
   double total = 0.0;
   for (int step = 0; step < graph.num_left(); ++step) {
     // Left vertex with the smallest positive live degree.
@@ -70,8 +79,24 @@ double GreedyMinDegreeLowerBound(const Bigraph& graph) {
   return total;
 }
 
+double CombinedLowerBound(const Bigraph& graph, GreedyScratch* scratch) {
+  return std::max(GreedyMaxWeightLowerBound(graph, scratch),
+                  GreedyMinDegreeLowerBound(graph, scratch));
+}
+
+double GreedyMaxWeightLowerBound(const Bigraph& graph) {
+  GreedyScratch scratch;
+  return GreedyMaxWeightLowerBound(graph, &scratch);
+}
+
+double GreedyMinDegreeLowerBound(const Bigraph& graph) {
+  GreedyScratch scratch;
+  return GreedyMinDegreeLowerBound(graph, &scratch);
+}
+
 double CombinedLowerBound(const Bigraph& graph) {
-  return std::max(GreedyMaxWeightLowerBound(graph), GreedyMinDegreeLowerBound(graph));
+  GreedyScratch scratch;
+  return CombinedLowerBound(graph, &scratch);
 }
 
 }  // namespace kjoin

@@ -8,21 +8,34 @@
 // (accept) or a cheap upper bound already refutes it (reject). Any greedy
 // matching is a valid lower bound because the optimum can only be larger.
 
+#include <cstdint>
+#include <vector>
+
 #include "matching/bigraph.h"
 
 namespace kjoin {
 
+// Reusable buffers for the greedy bounds (edge ordering + used-vertex
+// marks); allocation-free once grown to the largest group seen.
+struct GreedyScratch {
+  std::vector<int32_t> order;
+  std::vector<char> left_used;
+  std::vector<char> right_used;
+};
+
 // `lw`: repeatedly takes the heaviest remaining edge and removes its two
 // endpoints. O(|E| log |E|).
+double GreedyMaxWeightLowerBound(const Bigraph& graph, GreedyScratch* scratch);
 double GreedyMaxWeightLowerBound(const Bigraph& graph);
 
 // `le`: repeatedly takes the left vertex with the smallest remaining
 // degree, matches it to its smallest-degree right neighbour, and removes
 // both — covering as many vertices as possible.
-// O((|V| + |E|) log |V|) with lazy degree updates.
+double GreedyMinDegreeLowerBound(const Bigraph& graph, GreedyScratch* scratch);
 double GreedyMinDegreeLowerBound(const Bigraph& graph);
 
 // max(lw, le) — the combined bound Bl of §5.2.2.
+double CombinedLowerBound(const Bigraph& graph, GreedyScratch* scratch);
 double CombinedLowerBound(const Bigraph& graph);
 
 }  // namespace kjoin

@@ -6,9 +6,187 @@
 #include "common/logging.h"
 
 namespace kjoin {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The thread-local fallback scratch is dropped once it retains more than
+// this many bytes, so one pathological matching cannot pin a peak-sized
+// arena in every thread for the rest of the process.
+constexpr size_t kMaxRetainedScratchBytes = size_t{4} << 20;
+
+}  // namespace
+
+size_t HungarianScratch::RetainedBytes() const {
+  return (row_offsets_.capacity() + col_.capacity() + col_stamp_.capacity() +
+          col_pos_.capacity() + p_.capacity() + way_.capacity() + touched_.capacity()) *
+             sizeof(int32_t) +
+         (cost_.capacity() + u_.capacity() + v_.capacity() + minv_.capacity()) *
+             sizeof(double) +
+         used_.capacity() * sizeof(char);
+}
+
+void HungarianScratch::Release() {
+  row_offsets_ = {};
+  col_ = {};
+  cost_ = {};
+  col_stamp_ = {};
+  col_pos_ = {};
+  u_ = {};
+  v_ = {};
+  minv_ = {};
+  p_ = {};
+  way_ = {};
+  touched_ = {};
+  used_ = {};
+}
+
+double MaxWeightMatching(const Bigraph& graph, HungarianScratch* scratch,
+                         std::vector<std::pair<int32_t, int32_t>>* matched) {
+  KJOIN_DCHECK(scratch != nullptr);
+  if (matched != nullptr) matched->clear();
+  const int32_t n = graph.num_left();
+  const int32_t m_real = graph.num_right();
+  if (n == 0 || m_real == 0 || graph.edges().empty()) return 0.0;
+
+  // Columns are 1-based; 0 is the virtual root of the alternating tree.
+  // Real columns are [1, m_real]; column m_real + i is row i's private
+  // zero-cost dummy, which lets the row stay effectively unmatched and
+  // guarantees every augmentation terminates at an unmatched column.
+  const int32_t m = m_real + n;
+  HungarianScratch& s = *scratch;
+
+  // Build the CSR rows: deduplicated real edges (cost = -weight, keeping
+  // the best parallel edge) followed by the row's dummy.
+  const size_t max_entries = graph.edges().size() + static_cast<size_t>(n);
+  int32_t* row_offsets = s.Ensure(&s.row_offsets_, static_cast<size_t>(n) + 1);
+  int32_t* col = s.Ensure(&s.col_, max_entries);
+  double* cost = s.Ensure(&s.cost_, max_entries);
+  int32_t* col_stamp = s.Ensure(&s.col_stamp_, static_cast<size_t>(m_real) + 1);
+  int32_t* col_pos = s.Ensure(&s.col_pos_, static_cast<size_t>(m_real) + 1);
+  std::fill(col_stamp, col_stamp + m_real + 1, int32_t{-1});
+  int32_t entries = 0;
+  for (int32_t l = 0; l < n; ++l) {
+    row_offsets[l] = entries;
+    for (int32_t e : graph.left_edges(l)) {
+      const BigraphEdge& edge = graph.edges()[e];
+      const int32_t j = edge.right + 1;
+      if (col_stamp[j] == l) {
+        cost[col_pos[j]] = std::min(cost[col_pos[j]], -edge.weight);
+        continue;
+      }
+      col_stamp[j] = l;
+      col_pos[j] = entries;
+      col[entries] = j;
+      cost[entries] = -edge.weight;
+      ++entries;
+    }
+    col[entries] = m_real + 1 + l;  // the dummy, cost 0
+    cost[entries] = 0.0;
+    ++entries;
+  }
+  row_offsets[n] = entries;
+
+  double* u = s.Ensure(&s.u_, static_cast<size_t>(n) + 1);
+  double* v = s.Ensure(&s.v_, static_cast<size_t>(m) + 1);
+  double* minv = s.Ensure(&s.minv_, static_cast<size_t>(m) + 1);
+  int32_t* p = s.Ensure(&s.p_, static_cast<size_t>(m) + 1);
+  int32_t* way = s.Ensure(&s.way_, static_cast<size_t>(m) + 1);
+  char* used = s.Ensure(&s.used_, static_cast<size_t>(m) + 1);
+  std::fill(u, u + n + 1, 0.0);
+  std::fill(v, v + m + 1, 0.0);
+  std::fill(minv, minv + m + 1, kInf);
+  std::fill(p, p + m + 1, int32_t{0});
+  std::fill(used, used + m + 1, char{0});
+  std::vector<int32_t>& touched = s.touched_;
+
+  for (int32_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    int32_t j0 = 0;
+    touched.clear();
+    do {
+      used[j0] = 1;
+      const int32_t i0 = p[j0];
+      // Relax only the current row's real edges and its dummy; columns the
+      // tree has never reached keep minv = +inf and are skipped below.
+      const double ui0 = u[i0];
+      for (int32_t k = row_offsets[i0 - 1]; k < row_offsets[i0]; ++k) {
+        const int32_t j = col[k];
+        if (used[j]) continue;
+        const double cur = cost[k] - ui0 - v[j];
+        if (cur < minv[j]) {
+          if (minv[j] == kInf) touched.push_back(j);
+          minv[j] = cur;
+          way[j] = j0;
+        }
+      }
+      double delta = kInf;
+      int32_t j1 = -1;
+      for (int32_t j : touched) {
+        if (!used[j] && minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      KJOIN_DCHECK(j1 != -1);
+      // Dual update over the tree: the root and every touched column.
+      // Untouched columns keep minv = +inf, which the dense formulation
+      // also leaves at +inf (inf - delta), so skipping them is exact.
+      u[p[0]] += delta;
+      v[0] -= delta;
+      for (int32_t j : touched) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int32_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+    // Rewind the per-row state through the touched list — never a full
+    // O(m) sweep, and no allocation.
+    for (int32_t j : touched) {
+      minv[j] = kInf;
+      used[j] = 0;
+    }
+    used[0] = 0;
+  }
+
+  double total = 0.0;
+  for (int32_t j = 1; j <= m_real; ++j) {
+    const int32_t i = p[j];
+    if (i == 0) continue;
+    double weight = 0.0;
+    for (int32_t k = row_offsets[i - 1]; k < row_offsets[i]; ++k) {
+      if (col[k] == j) {
+        weight = -cost[k];
+        break;
+      }
+    }
+    if (weight > 0.0) {
+      total += weight;
+      if (matched != nullptr) matched->emplace_back(i - 1, j - 1);
+    }
+  }
+  return total;
+}
 
 double MaxWeightMatching(const Bigraph& graph,
                          std::vector<std::pair<int32_t, int32_t>>* matched) {
+  static thread_local HungarianScratch scratch;
+  const double total = MaxWeightMatching(graph, &scratch, matched);
+  if (scratch.RetainedBytes() > kMaxRetainedScratchBytes) scratch.Release();
+  return total;
+}
+
+double MaxWeightMatchingDense(const Bigraph& graph,
+                              std::vector<std::pair<int32_t, int32_t>>* matched) {
   if (matched != nullptr) matched->clear();
   const int n = graph.num_left();
   const int m_real = graph.num_right();
@@ -23,15 +201,16 @@ double MaxWeightMatching(const Bigraph& graph,
     cell = std::min(cell, -edge.weight);  // keep the best parallel edge
   }
 
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  // 1-based rows/columns; p[j] = row matched to column j (0 = none).
+  // 1-based rows/columns; p[j] = row matched to column j (0 = none). The
+  // per-row minv/used buffers are hoisted out of the row loop and rewound
+  // with fill() — the augmentation loop itself never allocates.
   std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
   std::vector<int> p(m + 1, 0), way(m + 1, 0);
+  std::vector<double> minv(m + 1, kInf);
+  std::vector<char> used(m + 1, 0);
   for (int i = 1; i <= n; ++i) {
     p[0] = i;
     int j0 = 0;
-    std::vector<double> minv(m + 1, kInf);
-    std::vector<char> used(m + 1, 0);
     do {
       used[j0] = 1;
       const int i0 = p[j0];
@@ -66,6 +245,8 @@ double MaxWeightMatching(const Bigraph& graph,
       p[j0] = p[j1];
       j0 = j1;
     } while (j0 != 0);
+    std::fill(minv.begin(), minv.end(), kInf);
+    std::fill(used.begin(), used.end(), char{0});
   }
 
   double total = 0.0;

@@ -622,6 +622,93 @@ TEST_F(VerifierFixture, AllModesAgreeOnRandomPairs) {
   }
 }
 
+TEST_F(VerifierFixture, AllModesAgreeOnRandomPlusModePairs) {
+  // The same property in K-Join+ mode: multi-node mappings, merged groups
+  // (§6.4), and the plan-merge group construction must leave all three
+  // modes in exact agreement with the oracle.
+  Rng rng(6404);
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.6);
+  ObjectBuilder plus_builder(matcher_, /*multi_mapping=*/true);
+  std::vector<std::string> labels;
+  for (NodeId v = 1; v < tree_.num_nodes(); ++v) labels.push_back(tree_.label(v));
+  labels.push_back("pizzahat");  // typo: φ < 1, several candidate entities
+  labels.push_back("freetoken1");
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::string> tx, ty;
+    const int nx = 1 + static_cast<int>(rng.NextUint64(6));
+    const int ny = 1 + static_cast<int>(rng.NextUint64(6));
+    for (int i = 0; i < nx; ++i) tx.push_back(labels[rng.NextUint64(labels.size())]);
+    for (int i = 0; i < ny; ++i) ty.push_back(labels[rng.NextUint64(labels.size())]);
+    const Object x = plus_builder.Build(0, tx);
+    const Object y = plus_builder.Build(1, ty);
+
+    const ObjectSimilarity osim(esim_, 0.6);
+    const bool expected = osim.Similarity(x, y) >= 0.6 - 1e-9;
+    for (VerifyMode mode : {VerifyMode::kBasic, VerifyMode::kSubGraph, VerifyMode::kAdaptive}) {
+      for (bool pruning : {true, false}) {
+        VerifierOptions options;
+        options.delta = 0.6;
+        options.tau = 0.6;
+        options.mode = mode;
+        options.plus_mode = true;
+        options.count_pruning = pruning;
+        options.weighted_count_pruning = pruning;
+        const Verifier verifier(esim_, gen, options);
+        VerifyStats stats;
+        ASSERT_EQ(verifier.Verify(x, y, &stats), expected)
+            << "trial " << trial << " mode " << static_cast<int>(mode) << " pruning "
+            << pruning;
+      }
+    }
+  }
+}
+
+TEST_F(VerifierFixture, PrecomputedPlansMatchPlanlessVerification) {
+  // The join builds one ObjectGroupPlan per object and reuses it across
+  // every candidate pair; the plan-taking Verify overload must make the
+  // same decisions with the same counters as the plan-less one.
+  Rng rng(777);
+  const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.6);
+  std::vector<std::string> labels;
+  for (NodeId v = 1; v < tree_.num_nodes(); ++v) labels.push_back(tree_.label(v));
+  labels.push_back("pizzahat");
+
+  for (bool plus : {false, true}) {
+    ObjectBuilder builder(matcher_, /*multi_mapping=*/plus);
+    std::vector<Object> objects;
+    for (int32_t id = 0; id < 12; ++id) {
+      std::vector<std::string> tokens;
+      const int n = 1 + static_cast<int>(rng.NextUint64(6));
+      for (int i = 0; i < n; ++i) tokens.push_back(labels[rng.NextUint64(labels.size())]);
+      objects.push_back(builder.Build(id, tokens));
+    }
+    VerifierOptions options;
+    options.delta = 0.6;
+    options.tau = 0.6;
+    options.plus_mode = plus;
+    const Verifier verifier(esim_, gen, options);
+    std::vector<ObjectGroupPlan> plans(objects.size());
+    for (size_t o = 0; o < objects.size(); ++o) verifier.BuildPlan(objects[o], &plans[o]);
+
+    for (size_t i = 0; i < objects.size(); ++i) {
+      for (size_t j = i + 1; j < objects.size(); ++j) {
+        VerifyStats planless, planned;
+        const bool a = verifier.Verify(objects[i], objects[j], &planless);
+        const bool b = verifier.Verify(objects[i], objects[j], plans[i], plans[j], &planned);
+        ASSERT_EQ(a, b) << (plus ? "plus" : "pure") << " pair " << i << "," << j;
+        EXPECT_EQ(planless.pruned_by_count, planned.pruned_by_count);
+        EXPECT_EQ(planless.pruned_by_weighted_count, planned.pruned_by_weighted_count);
+        EXPECT_EQ(planless.accepted_by_lower_bound, planned.accepted_by_lower_bound);
+        EXPECT_EQ(planless.rejected_by_upper_bound, planned.rejected_by_upper_bound);
+        EXPECT_EQ(planless.hungarian_runs, planned.hungarian_runs);
+        EXPECT_EQ(planless.groups_pinned, planned.groups_pinned);
+        EXPECT_EQ(planless.results, planned.results);
+      }
+    }
+  }
+}
+
 TEST_F(VerifierFixture, AdaptiveUsesEarlyTermination) {
   // Two identical large objects: lower bound accepts without Hungarian.
   const SignatureGenerator gen(tree_, ElementMetric::kKJoin, SignatureScheme::kNode, 0.7);

@@ -125,6 +125,68 @@ TEST(HungarianTest, MatchedPairsAreConsistent) {
   }
 }
 
+TEST(HungarianTest, SparseDenseAndBruteForceAgreeOnRandomGraphs) {
+  // Matcher equivalence property test: random bigraphs across the whole
+  // sparsity range, with skewed shapes (n ≫ m and m ≫ n), injected
+  // parallel edges, and zero-weight edges. The sparse scratch solver must
+  // agree with the dense oracle on every instance, and with exhaustive
+  // search wherever that is feasible.
+  Rng rng(90210);
+  HungarianScratch scratch;
+  int brute_checked = 0;
+  for (int trial = 0; trial < 1200; ++trial) {
+    int32_t left = 1 + static_cast<int32_t>(rng.NextUint64(8));
+    int32_t right = 1 + static_cast<int32_t>(rng.NextUint64(8));
+    if (trial % 4 == 1) left += 10;   // n ≫ m
+    if (trial % 4 == 2) right += 10;  // m ≫ n
+    const double edge_probability = 0.05 + 0.95 * rng.NextDouble();
+    Bigraph graph(left, right);
+    for (int32_t l = 0; l < left; ++l) {
+      for (int32_t r = 0; r < right; ++r) {
+        if (!rng.NextBool(edge_probability)) continue;
+        const double weight = rng.NextBool(0.1) ? 0.0 : 0.05 + 0.95 * rng.NextDouble();
+        graph.AddEdge(l, r, weight);
+        // Occasional parallel edge with a different weight; only the best
+        // copy may count.
+        if (rng.NextBool(0.15)) graph.AddEdge(l, r, 0.05 + 0.95 * rng.NextDouble());
+      }
+    }
+    const double dense = MaxWeightMatchingDense(graph);
+    const double sparse = MaxWeightMatching(graph, &scratch);
+    ASSERT_NEAR(sparse, dense, 1e-9)
+        << "trial " << trial << " " << left << "x" << right << " p=" << edge_probability;
+    if (left <= 7 && right <= 7 && graph.edges().size() <= 24) {
+      ASSERT_NEAR(sparse, MaxWeightMatchingBruteForce(graph), 1e-9)
+          << "trial " << trial << " " << left << "x" << right;
+      ++brute_checked;
+    }
+  }
+  EXPECT_GT(brute_checked, 100);  // the gate must not silently skip brute force
+}
+
+TEST(HungarianTest, ScratchReachesAllocationFreeSteadyState) {
+  // Acceptance check for the no-per-augmentation-allocation criterion:
+  // after one warm-up solve at the largest shape, further solves of any
+  // smaller instance grow no scratch buffer — augmentation, rewind and
+  // extraction all run inside retained capacity.
+  Rng rng(4242);
+  HungarianScratch scratch;
+  Bigraph warm(12, 12);
+  for (int32_t l = 0; l < 12; ++l) {
+    for (int32_t r = 0; r < 12; ++r) warm.AddEdge(l, r, 0.05 + 0.95 * rng.NextDouble());
+  }
+  MaxWeightMatching(warm, &scratch);
+  const int64_t growths_after_warmup = scratch.capacity_growths();
+  EXPECT_GT(growths_after_warmup, 0);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int32_t left = 1 + static_cast<int32_t>(rng.NextUint64(12));
+    const int32_t right = 1 + static_cast<int32_t>(rng.NextUint64(12));
+    const Bigraph graph = RandomBigraph(rng, left, right, rng.NextDouble());
+    MaxWeightMatching(graph, &scratch);
+  }
+  EXPECT_EQ(scratch.capacity_growths(), growths_after_warmup);
+}
+
 TEST(GreedyBoundsTest, LowerBoundsNeverExceedOptimum) {
   Rng rng(55);
   for (int trial = 0; trial < 300; ++trial) {

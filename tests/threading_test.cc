@@ -240,6 +240,33 @@ TEST(ThreadingDeterminismTest, ShardCandidateCountsSumToTotal) {
   EXPECT_GE(result.stats.pool_busy_seconds, 0.0);
 }
 
+TEST(ThreadingDeterminismTest, SmallJoinCollapsesToSingleShardPerPhase) {
+  // Min-work-per-shard dispatch: a join far below every per-shard
+  // threshold must not fan out at all, whatever the pool width — paying
+  // lane wake-up and merge overhead on a sub-millisecond join is how two
+  // threads end up slower than one. Results stay identical to a
+  // single-thread run.
+  const TestData data = MakeTestData(220);
+  KJoinOptions options;
+  options.delta = 0.7;
+  options.tau = 0.6;
+  options.num_threads = 1;
+  const JoinResult baseline = KJoin(data.hierarchy, options).SelfJoin(data.objects);
+  ASSERT_FALSE(baseline.pairs.empty()) << "degenerate dataset: nothing to compare";
+  ASSERT_GT(baseline.stats.candidates, 0);
+
+  options.num_threads = 8;
+  const JoinResult result = KJoin(data.hierarchy, options).SelfJoin(data.objects);
+  // 220 objects and a few thousand candidate pairs sit far below the
+  // prepare/probe/verify thresholds: one inline shard per phase, no pool
+  // dispatch (prepare runs its two passes as one shard each).
+  EXPECT_EQ(result.stats.prepare_tasks, 2);
+  EXPECT_EQ(result.stats.filter_tasks, 1);
+  EXPECT_EQ(result.stats.verify_tasks, 1);
+  EXPECT_EQ(result.pairs, baseline.pairs);
+  ExpectSameCounters(result.stats, baseline.stats, 8);
+}
+
 // --------------------------------------------- object-id space guard
 
 TEST(ObjectIdSpaceTest, BoundaryIsInt32Max) {
