@@ -1,24 +1,62 @@
 // Extension bench (not a paper figure): KJoinIndex similarity-search
-// throughput vs collection size, threshold and mode.
+// throughput vs threshold, plus the serving stack — snapshot-load vs
+// text-parse+rebuild cold start, and concurrent SearchService QPS with
+// latency percentiles. With --out the serving sections are written as a
+// JSON report that scripts/run_bench.sh merges into BENCH_PR5.json
+// (scripts/compare_bench.py tracks the speedup and per-client QPS).
 //
 //   ./bench_search [--n 20000] [--queries 2000]
+//                  [--serve_n 4000] [--serve_queries 240] [--out serving.json]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/kjoin_index.h"
+#include "data/dataset_io.h"
+#include "hierarchy/hierarchy_io.h"
+#include "serve/index_manager.h"
+#include "serve/search_service.h"
+#include "serve/snapshot.h"
 
 namespace {
 
 using kjoin::bench::Fmt;
 using kjoin::bench::PrintRow;
 
+std::string JsonBool(bool b) { return b ? "true" : "false"; }
+
+double Percentile(std::vector<double> sorted_ascending, double q) {
+  if (sorted_ascending.empty()) return 0.0;
+  const size_t at = std::min(sorted_ascending.size() - 1,
+                             static_cast<size_t>(q * (sorted_ascending.size() - 1) + 0.5));
+  return sorted_ascending[at];
+}
+
+struct ConcurrentRow {
+  int clients = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool results_identical = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   kjoin::FlagSet flags("bench_search");
-  int64_t* n = flags.Int("n", 20000, "indexed records");
-  int64_t* num_queries = flags.Int("queries", 2000, "queries to run");
+  int64_t* n = flags.Int("n", 20000, "indexed records (threshold sweep)");
+  int64_t* num_queries = flags.Int("queries", 2000, "queries to run (threshold sweep)");
+  int64_t* serve_n = flags.Int("serve_n", 4000, "indexed records (serving sections)");
+  int64_t* serve_queries = flags.Int("serve_queries", 240, "queries per client count");
+  std::string* out = flags.String("out", "", "write the serving sections as JSON here");
   if (!flags.Parse(argc, argv)) return 1;
 
   const kjoin::BenchmarkData data = kjoin::MakePoiBenchmark(*n);
@@ -50,6 +88,139 @@ int main(int argc, char** argv) {
               Fmt(static_cast<double>(total_candidates) / *num_queries, 1),
               Fmt(static_cast<double>(total_hits) / *num_queries, 2)},
              12);
+  }
+
+  // ---- serving: cold start, snapshot-load vs text-parse+rebuild --------
+  // Both paths start from the serialized artifacts a server would ship:
+  // the text hierarchy/dataset files versus one binary snapshot.
+  kjoin::bench::PrintHeader("Serving cold start (n=" + std::to_string(*serve_n) + ")");
+  const kjoin::BenchmarkData serve_data = kjoin::MakePoiBenchmark(*serve_n, /*seed=*/51);
+  const std::string tree_text = kjoin::SerializeHierarchy(serve_data.hierarchy);
+  const std::string data_text = kjoin::SerializeDataset(serve_data.dataset);
+  kjoin::KJoinOptions serve_options;
+  serve_options.delta = 0.8;
+  serve_options.tau = 0.6;
+  serve_options.plus_mode = true;
+
+  kjoin::WallTimer rebuild_timer;
+  auto parsed_tree = kjoin::ParseHierarchy(tree_text, "bench");
+  auto parsed_data = kjoin::ParseDataset(data_text, "bench");
+  if (!parsed_tree.ok() || !parsed_data.ok()) {
+    std::fprintf(stderr, "cold-start parse failed\n");
+    return 1;
+  }
+  const kjoin::PreparedObjects rebuilt =
+      kjoin::BuildObjects(*parsed_tree, *parsed_data, /*multi_mapping=*/true, 0.8);
+  const kjoin::KJoinIndex rebuilt_index(*parsed_tree, serve_options, rebuilt.objects);
+  const double rebuild_seconds = rebuild_timer.ElapsedSeconds();
+
+  const std::string snapshot_path = "/tmp/bench_search_serving.snap";
+  kjoin::serve::SnapshotInput input;
+  input.index = &rebuilt_index;
+  input.tokens = rebuilt.builder->TokenTable();
+  input.synonyms = parsed_data->synonyms;
+  if (!kjoin::serve::SaveIndexSnapshot(input, snapshot_path).ok()) {
+    std::fprintf(stderr, "snapshot save failed\n");
+    return 1;
+  }
+  kjoin::WallTimer load_timer;
+  auto loaded = kjoin::serve::LoadIndexSnapshot(snapshot_path);
+  const double load_seconds = load_timer.ElapsedSeconds();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t snapshot_bytes = loaded->file_bytes;
+  const double snapshot_speedup = rebuild_seconds / std::max(load_seconds, 1e-9);
+  PrintRow({"path", "seconds"}, 24);
+  PrintRow({"text-parse+rebuild", Fmt(rebuild_seconds, 3)}, 24);
+  PrintRow({"snapshot-load", Fmt(load_seconds, 3)}, 24);
+  std::printf("snapshot: %llu bytes, load speedup %.1fx\n",
+              static_cast<unsigned long long>(snapshot_bytes), snapshot_speedup);
+
+  // ---- serving: concurrent QPS over the loaded snapshot ----------------
+  kjoin::bench::PrintHeader("Concurrent SearchService QPS (" +
+                            std::to_string(*serve_queries) + " queries per client count)");
+  kjoin::serve::QueryPipeline pipeline = kjoin::serve::MakeQueryPipeline(*loaded);
+  kjoin::ThreadPool pool(2);
+  kjoin::serve::IndexManager manager(std::move(*loaded), &pool);
+  kjoin::serve::SearchService service(&manager, &pool);
+
+  std::vector<kjoin::serve::QueryRequest> requests(*serve_queries);
+  for (int64_t q = 0; q < *serve_queries; ++q) {
+    std::vector<std::string> tokens =
+        serve_data.dataset.records[(q * 97) % *serve_n].tokens;
+    if (tokens.size() > 1) tokens.pop_back();
+    requests[q].query = pipeline.builder->Build(-1, tokens);
+    requests[q].top_k = 3;
+  }
+  // Serial baseline: concurrency must never change answers.
+  std::vector<std::vector<kjoin::SearchHit>> baseline(requests.size());
+  for (size_t q = 0; q < requests.size(); ++q) baseline[q] = service.Search(requests[q]).hits;
+
+  PrintRow({"clients", "qps", "p50-ms", "p99-ms", "identical"}, 12);
+  std::vector<ConcurrentRow> concurrent_rows;
+  for (int clients : {1, 2, 8}) {
+    std::vector<std::vector<double>> latencies(clients);
+    std::atomic<int> mismatches{0};
+    kjoin::WallTimer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        latencies[c].reserve(requests.size() / clients + 1);
+        for (size_t q = c; q < requests.size(); q += clients) {
+          const kjoin::serve::QueryResponse response = service.Search(requests[q]);
+          latencies[c].push_back(response.seconds);
+          if (!response.status.ok() || response.hits != baseline[q]) mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double seconds = wall.ElapsedSeconds();
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies) all.insert(all.end(), per_client.begin(), per_client.end());
+    std::sort(all.begin(), all.end());
+    ConcurrentRow row;
+    row.clients = clients;
+    row.qps = static_cast<double>(all.size()) / std::max(seconds, 1e-9);
+    row.p50_ms = Percentile(all, 0.50) * 1e3;
+    row.p99_ms = Percentile(all, 0.99) * 1e3;
+    row.results_identical = mismatches.load() == 0;
+    concurrent_rows.push_back(row);
+    PrintRow({std::to_string(clients), Fmt(row.qps, 0), Fmt(row.p50_ms, 3), Fmt(row.p99_ms, 3),
+              JsonBool(row.results_identical)},
+             12);
+  }
+  std::remove(snapshot_path.c_str());
+
+  // ---- JSON report (serving sections only; run_bench.sh merges it) -----
+  if (!out->empty()) {
+    std::FILE* f = std::fopen(out->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out->c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"serving_cold_start\": {\"n\": %lld, \"rebuild_seconds\": %.4f, "
+                 "\"load_seconds\": %.4f, \"snapshot_speedup\": %.2f, "
+                 "\"snapshot_bytes\": %llu},\n",
+                 static_cast<long long>(*serve_n), rebuild_seconds, load_seconds,
+                 snapshot_speedup, static_cast<unsigned long long>(snapshot_bytes));
+    std::fprintf(f, "  \"serving_qps\": [");
+    for (size_t i = 0; i < concurrent_rows.size(); ++i) {
+      const ConcurrentRow& row = concurrent_rows[i];
+      std::fprintf(f,
+                   "%s\n    {\"clients\": %d, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                   "\"p99_ms\": %.3f, \"results_identical\": %s}",
+                   i == 0 ? "" : ",", row.clients, row.qps, row.p50_ms, row.p99_ms,
+                   JsonBool(row.results_identical).c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out->c_str());
   }
   return 0;
 }

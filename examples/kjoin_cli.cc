@@ -8,6 +8,8 @@
 //   ./kjoin_cli --hierarchy tree.txt --dataset records.tsv \
 //               --delta 0.8 --tau 0.7 --plus --out pairs.tsv
 //   ./kjoin_cli --generate 10000 --out pairs.tsv
+//   ./kjoin_cli --generate 10000 --save-snapshot poi.snap   # persist the index
+//   ./kjoin_cli --load-snapshot poi.snap --out pairs.tsv    # skip parsing/building
 
 #include <cstdio>
 #include <fstream>
@@ -15,10 +17,12 @@
 #include "common/flags.h"
 #include "core/clustering.h"
 #include "core/kjoin.h"
+#include "core/kjoin_index.h"
 #include "data/benchmark_suite.h"
 #include "data/dataset_io.h"
 #include "data/quality.h"
 #include "hierarchy/hierarchy_io.h"
+#include "serve/snapshot.h"
 
 int main(int argc, char** argv) {
   kjoin::FlagSet flags("kjoin_cli");
@@ -32,12 +36,24 @@ int main(int argc, char** argv) {
   double* deadline = flags.Double("deadline", 0.0, "join wall-clock budget in seconds (0 = none)");
   std::string* out = flags.String("out", "", "write pairs TSV here (default: stdout summary only)");
   bool* cluster = flags.Bool("cluster", false, "also report entity clusters");
+  std::string* save_snapshot = flags.String(
+      "save-snapshot", "", "also build a search index over the records and snapshot it here");
+  std::string* load_snapshot = flags.String(
+      "load-snapshot", "", "take hierarchy + objects from this snapshot (skips text parsing)");
   if (!flags.Parse(argc, argv)) return 1;
 
   // --- load or generate the workload --------------------------------------
   std::optional<kjoin::Hierarchy> hierarchy;
   std::optional<kjoin::Dataset> dataset;
-  if (*generate > 0) {
+  std::optional<kjoin::serve::LoadedIndex> loaded;
+  if (!load_snapshot->empty()) {
+    auto result = kjoin::serve::LoadIndexSnapshot(*load_snapshot);
+    if (!result.ok()) {
+      std::fprintf(stderr, "cannot load snapshot: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    loaded.emplace(std::move(*result));
+  } else if (*generate > 0) {
     kjoin::BenchmarkData data = kjoin::MakePoiBenchmark(*generate);
     hierarchy.emplace(std::move(data.hierarchy));
     dataset.emplace(std::move(data.dataset));
@@ -60,22 +76,26 @@ int main(int argc, char** argv) {
     }
     dataset.emplace(std::move(*records));
   }
-  std::fprintf(stderr, "hierarchy: %lld nodes; dataset: %zu records\n",
-               static_cast<long long>(hierarchy->num_nodes()), dataset->records.size());
+  const kjoin::Hierarchy* tree = loaded ? loaded->hierarchy.get() : &*hierarchy;
 
   // --- join ----------------------------------------------------------------
-  const kjoin::PreparedObjects prepared =
-      kjoin::BuildObjects(*hierarchy, *dataset, *plus, *delta);
+  kjoin::PreparedObjects prepared;
+  if (!loaded) prepared = kjoin::BuildObjects(*tree, *dataset, *plus, *delta);
+  const std::vector<kjoin::Object>& objects =
+      loaded ? loaded->index->objects() : prepared.objects;
+  std::fprintf(stderr, "hierarchy: %lld nodes; %zu records (%s)\n",
+               static_cast<long long>(tree->num_nodes()), objects.size(),
+               loaded ? "from snapshot" : "from text");
   kjoin::KJoinOptions options;
   options.delta = *delta;
   options.tau = *tau;
   options.plus_mode = *plus;
   options.num_threads = static_cast<int>(*threads);
-  const kjoin::KJoin join(*hierarchy, options);
+  const kjoin::KJoin join(*tree, options);
   kjoin::JoinControl control;
   control.deadline_seconds = *deadline;
   kjoin::JoinResult result;
-  const kjoin::Status status = join.SelfJoin(prepared.objects, control, &result);
+  const kjoin::Status status = join.SelfJoin(objects, control, &result);
   if (!status.ok()) {
     std::fprintf(stderr, "join stopped in %s phase: %s (keeping %zu partial pairs)\n",
                  kjoin::JoinPhaseName(result.stats.stopped_phase),
@@ -98,14 +118,40 @@ int main(int argc, char** argv) {
     }
     file << "# left_id\tright_id\tsimilarity\n";
     for (const auto& [a, b] : result.pairs) {
-      file << a << "\t" << b << "\t"
-           << join.ExactSimilarity(prepared.objects[a], prepared.objects[b]) << "\n";
+      file << a << "\t" << b << "\t" << join.ExactSimilarity(objects[a], objects[b]) << "\n";
     }
     std::fprintf(stderr, "wrote %zu pairs to %s\n", result.pairs.size(), out->c_str());
   }
 
+  if (!save_snapshot->empty()) {
+    // The search index shares the join's thresholds, so a server loading
+    // the snapshot answers queries consistent with these pairs.
+    kjoin::serve::SnapshotInput input;
+    std::optional<kjoin::KJoinIndex> index;
+    if (loaded) {
+      input.index = loaded->index.get();
+      input.tokens = loaded->tokens;
+      input.synonyms = loaded->synonyms;
+    } else {
+      index.emplace(*tree, options, objects);
+      input.index = &*index;
+      input.tokens = prepared.builder->TokenTable();
+      input.synonyms = dataset->synonyms;
+    }
+    const kjoin::Status saved = kjoin::serve::SaveIndexSnapshot(input, *save_snapshot);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved index snapshot to %s\n", save_snapshot->c_str());
+  }
+
+  // Ground truth travels with the text dataset only; a snapshot carries
+  // objects, not cluster labels.
   bool have_truth = false;
-  for (const kjoin::Record& record : dataset->records) have_truth |= record.cluster >= 0;
+  if (dataset) {
+    for (const kjoin::Record& record : dataset->records) have_truth |= record.cluster >= 0;
+  }
   if (have_truth) {
     const kjoin::QualityReport quality =
         kjoin::EvaluateQuality(result.pairs, kjoin::GroundTruthPairs(*dataset));
@@ -114,9 +160,9 @@ int main(int argc, char** argv) {
   }
   if (*cluster) {
     const kjoin::Clustering clustering =
-        kjoin::ClusterPairs(static_cast<int64_t>(prepared.objects.size()), result.pairs);
+        kjoin::ClusterPairs(static_cast<int64_t>(objects.size()), result.pairs);
     std::fprintf(stderr, "entity clusters: %d (from %zu records)\n", clustering.num_clusters,
-                 prepared.objects.size());
+                 objects.size());
   }
   return 0;
 }

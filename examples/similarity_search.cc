@@ -3,15 +3,21 @@
 // the dataset + hierarchy to disk with the text IO.
 //
 //   ./similarity_search [--n 5000] [--queries 5] [--delta 0.8] [--tau 0.6]
+//   ./similarity_search --save-snapshot poi.snap     # persist the built index
+//   ./similarity_search --load-snapshot poi.snap     # skip the rebuild
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "common/flags.h"
+#include "common/timer.h"
 #include "core/kjoin_index.h"
 #include "core/topk_join.h"
 #include "data/benchmark_suite.h"
 #include "data/dataset_io.h"
 #include "hierarchy/hierarchy_io.h"
+#include "serve/snapshot.h"
 
 int main(int argc, char** argv) {
   kjoin::FlagSet flags("similarity_search");
@@ -20,6 +26,10 @@ int main(int argc, char** argv) {
   double* delta = flags.Double("delta", 0.8, "element similarity threshold");
   double* tau = flags.Double("tau", 0.6, "object similarity threshold");
   std::string* dump = flags.String("dump", "", "directory to dump hierarchy/dataset to");
+  std::string* save_snapshot =
+      flags.String("save-snapshot", "", "write a binary index snapshot here after building");
+  std::string* load_snapshot =
+      flags.String("load-snapshot", "", "serve from this snapshot instead of rebuilding");
   if (!flags.Parse(argc, argv)) return 1;
 
   const kjoin::BenchmarkData data = kjoin::MakePoiBenchmark(*n, /*seed=*/51);
@@ -39,8 +49,47 @@ int main(int argc, char** argv) {
   options.delta = *delta;
   options.tau = *tau;
   options.plus_mode = true;
-  const kjoin::KJoinIndex index(data.hierarchy, options, prepared.objects);
-  std::printf("indexed %lld POI records\n\n", static_cast<long long>(index.num_indexed()));
+
+  // The index either comes back from a snapshot (no tokenize, no
+  // signature generation, no LCA build) or is built from the prepared
+  // objects; queries must use the matching token interner either way.
+  std::optional<kjoin::KJoinIndex> built;
+  std::optional<kjoin::serve::LoadedIndex> loaded;
+  kjoin::serve::QueryPipeline pipeline;
+  const kjoin::KJoinIndex* index = nullptr;
+  kjoin::ObjectBuilder* query_builder = prepared.builder.get();
+  if (!load_snapshot->empty()) {
+    kjoin::WallTimer timer;
+    auto result = kjoin::serve::LoadIndexSnapshot(*load_snapshot);
+    if (!result.ok()) {
+      std::fprintf(stderr, "cannot load snapshot: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    loaded.emplace(std::move(*result));
+    std::printf("loaded snapshot %s (%llu bytes) in %.3fs\n", load_snapshot->c_str(),
+                static_cast<unsigned long long>(loaded->file_bytes), timer.ElapsedSeconds());
+    pipeline = kjoin::serve::MakeQueryPipeline(*loaded);
+    query_builder = pipeline.builder.get();
+    index = loaded->index.get();
+  } else {
+    kjoin::WallTimer timer;
+    built.emplace(data.hierarchy, options, prepared.objects);
+    std::printf("built index in %.3fs\n", timer.ElapsedSeconds());
+    index = &*built;
+    if (!save_snapshot->empty()) {
+      kjoin::serve::SnapshotInput input;
+      input.index = index;
+      input.tokens = prepared.builder->TokenTable();
+      input.synonyms = data.dataset.synonyms;
+      const kjoin::Status saved = kjoin::serve::SaveIndexSnapshot(input, *save_snapshot);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "snapshot save failed: %s\n", saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved snapshot to %s\n", save_snapshot->c_str());
+    }
+  }
+  std::printf("indexed %lld POI records\n\n", static_cast<long long>(index->num_indexed()));
 
   // Query with perturbed copies of indexed records: each should retrieve
   // its original.
@@ -48,14 +97,16 @@ int main(int argc, char** argv) {
     const int32_t target = static_cast<int32_t>(q * 97 % *n);
     std::vector<std::string> tokens = data.dataset.records[target].tokens;
     if (!tokens.empty()) tokens.pop_back();  // drop one token
-    kjoin::Object query = prepared.builder->Build(-1, tokens);
+    kjoin::Object query = query_builder->Build(-1, tokens);
 
     std::string text;
     for (const auto& t : tokens) text += t + " ";
     std::printf("query: %s\n", text.c_str());
-    const auto hits = index.SearchTopK(query, 3, *tau);
+    // A loaded snapshot may have been built at a different tau; top-k
+    // cannot search below the index's configured threshold.
+    const auto hits = index->SearchTopK(query, 3, std::max(*tau, index->options().tau));
     std::printf("  %lld candidates -> %zu hits\n",
-                static_cast<long long>(index.last_candidates()), hits.size());
+                static_cast<long long>(index->last_candidates()), hits.size());
     for (const kjoin::SearchHit& hit : hits) {
       std::string hit_text;
       for (const auto& t : data.dataset.records[hit.object_index].tokens) {

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Full verification sweep: builds and tests the release, asan, and tsan
 # presets (see CMakePresets.json). The sanitizer presets compile with
-# KJOIN_FAULT_INJECTION=1, so the resilience suite's fault-point tests run
-# for real there instead of skipping; their ctest filters keep the
-# sanitizer passes to the threading/memory-sensitive suites plus
-# resilience_test (docs/robustness.md).
+# KJOIN_FAULT_INJECTION=1, so the resilience and serving suites'
+# fault-point tests run for real there instead of skipping; their ctest
+# filters keep the sanitizer passes to the threading/memory-sensitive
+# suites plus resilience_test and serve_test (docs/robustness.md,
+# docs/serving.md — snapshot byte surgery under asan, the concurrent
+# epoch-swap and search-service tests under tsan).
 #
 #   scripts/check.sh                 # release + asan + tsan
 #   scripts/check.sh default         # just one preset

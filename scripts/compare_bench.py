@@ -31,11 +31,17 @@ TRACKED = [
     (("fig11_verify", "cache_on_verify_seconds"), "lower"),
     (("fig11_verify", "cache_off_verify_seconds"), "lower"),
     (("deadline_overhead", "control_seconds"), "lower"),
+    # Serving sections from bench_search (docs/serving.md): the snapshot
+    # speedup is a ratio of the two cold-start paths, so it is stable
+    # where the raw load_seconds (milliseconds) would be noise-dominated.
+    (("serving_cold_start", "snapshot_speedup"), "higher"),
 ]
 
-# fig9_filter and fig14_threads are arrays keyed by scheme / thread count.
+# fig9_filter, fig14_threads and serving_qps are arrays keyed by
+# scheme / thread count / client count.
 TRACKED_FIG9 = "total_seconds"  # per scheme, lower is better
 TRACKED_FIG14 = "total_seconds"  # per thread count, lower is better
+TRACKED_SERVING = "qps"  # per client count, higher is better
 
 IDENTICAL_FLAGS = [
     ("fig11_verify", "results_identical"),
@@ -130,6 +136,18 @@ def main():
         fresh_flag = fresh_fig14.get(threads, {}).get("results_identical")
         if base_flag is True and fresh_flag is False:
             failures.append(f"fig14_threads[{threads}]/results_identical flipped to false")
+
+    base_serving = index_rows(base.get("serving_qps", []), "clients")
+    fresh_serving = index_rows(fresh.get("serving_qps", []), "clients")
+    for clients in base_serving:
+        compare_scalar(f"serving_qps[{clients}]/{TRACKED_SERVING}",
+                       base_serving[clients].get(TRACKED_SERVING),
+                       fresh_serving.get(clients, {}).get(TRACKED_SERVING),
+                       "higher", args.tolerance, failures)
+        base_flag = base_serving[clients].get("results_identical")
+        fresh_flag = fresh_serving.get(clients, {}).get("results_identical")
+        if base_flag is True and fresh_flag is False:
+            failures.append(f"serving_qps[{clients}]/results_identical flipped to false")
 
     for path in IDENTICAL_FLAGS:
         base_flag = lookup(base, path)

@@ -1,18 +1,37 @@
 #!/usr/bin/env bash
-# Builds the release tree and runs the bench-regression harness, writing a
-# machine-readable report (default BENCH_PR4.json in the repo root).
+# Builds the release tree and runs the bench-regression harness plus the
+# serving sections of bench_search, merging both into one machine-readable
+# report (default BENCH_PR5.json in the repo root).
 #
 #   scripts/run_bench.sh [out.json] [extra bench_regression flags...]
 #
 # Compare the report against the committed one from the previous PR to
-# catch hot-path regressions; docs/performance.md describes the schema.
+# catch hot-path regressions; docs/performance.md describes the
+# bench_regression schema and docs/serving.md the serving sections
+# (serving_cold_start, serving_qps).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo/BENCH_PR4.json}"
+out="${1:-$repo/BENCH_PR5.json}"
 shift || true
 
 cmake -B "$repo/build" -S "$repo" >/dev/null
-cmake --build "$repo/build" --target bench_regression -j "$(nproc)"
-"$repo/build/bench/bench_regression" --out "$out" "$@"
+cmake --build "$repo/build" --target bench_regression bench_search -j "$(nproc)"
+
+regression="$(mktemp /tmp/bench_regression.XXXXXX.json)"
+serving="$(mktemp /tmp/bench_serving.XXXXXX.json)"
+"$repo/build/bench/bench_regression" --out "$regression" "$@"
+"$repo/build/bench/bench_search" --out "$serving"
+
+python3 - "$regression" "$serving" "$out" <<'EOF'
+import json, sys
+merged = {}
+for path in sys.argv[1:3]:
+    with open(path) as f:
+        merged.update(json.load(f))
+with open(sys.argv[3], "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+EOF
+rm -f "$regression" "$serving"
 echo "report: $out"

@@ -1,0 +1,127 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace kjoin {
+
+std::vector<double> DefaultLatencyBuckets() {
+  // 1 µs .. 100 s, four buckets per decade (10^(1/4) spacing covers the
+  // p50/p95/p99 interpolation to within ~±30% anywhere in the range).
+  std::vector<double> bounds;
+  for (int exp = -6; exp <= 1; ++exp) {
+    for (double mantissa : {1.0, 1.778, 3.162, 5.623}) {
+      bounds.push_back(mantissa * std::pow(10.0, exp));
+    }
+  }
+  bounds.push_back(100.0);
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  KJOIN_CHECK(!bounds_.empty()) << "a histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    KJOIN_CHECK_LT(bounds_[i - 1], bounds_[i]) << "bucket bounds must increase";
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<int64_t>(value * 1e9), std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+double Histogram::Quantile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), then walk the buckets.
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double into = (rank - static_cast<double>(cumulative)) /
+                          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Histogram::ToJson() const {
+  std::string json = "{\"count\":" + std::to_string(count());
+  json += ",\"sum\":" + FmtDouble(sum());
+  json += ",\"p50\":" + FmtDouble(Quantile(0.50));
+  json += ",\"p95\":" + FmtDouble(Quantile(0.95));
+  json += ",\"p99\":" + FmtDouble(Quantile(0.99));
+  json += "}";
+  return json;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = DefaultLatencyBuckets();
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string json = "{";
+  bool first = true;
+  // std::map iterates in key order, so the export is stable.
+  for (const auto& [name, counter] : counters_) {
+    json += (first ? "" : ",");
+    json += "\"" + name + "\":" + std::to_string(counter->value());
+    first = false;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    json += (first ? "" : ",");
+    json += "\"" + name + "\":" + histogram->ToJson();
+    first = false;
+  }
+  json += "}";
+  return json;
+}
+
+}  // namespace kjoin

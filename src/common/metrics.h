@@ -1,0 +1,104 @@
+#ifndef KJOIN_COMMON_METRICS_H_
+#define KJOIN_COMMON_METRICS_H_
+
+// Lightweight serving metrics: named counters and fixed-bucket latency
+// histograms, exported as JSON.
+//
+// The serving layer (src/serve/) reports its health through one
+// MetricsRegistry: the search service counts admitted/shed/deadline-
+// exceeded queries and observes per-query latency, the index manager
+// counts swaps and rebuild time, the snapshot loader records load time
+// and bytes. A scrape renders the whole registry as one JSON object
+// (ToJson), so an embedding server can expose it on a debug endpoint
+// verbatim.
+//
+// Thread safety: all methods may be called concurrently. Counter and
+// Histogram updates are single relaxed atomic RMWs — cheap enough for
+// per-query paths. Counter/Histogram pointers returned by the registry
+// are stable for the registry's lifetime (node-based storage), so hot
+// paths resolve a metric once and keep the pointer.
+//
+// Histograms use fixed bucket upper bounds chosen at creation
+// (DefaultLatencyBuckets spans 1 µs .. 100 s log-spaced) and derive
+// quantiles by linear interpolation inside the owning bucket — the
+// standard fixed-bucket estimate (what Prometheus' histogram_quantile
+// computes), exact at bucket boundaries.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kjoin {
+
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Strictly increasing bucket upper bounds; a final implicit +inf bucket
+// catches everything above the last bound.
+std::vector<double> DefaultLatencyBuckets();
+
+class Histogram {
+ public:
+  // `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  // Quantile estimate in [0, 1] (0.5 = p50). Returns 0 when empty.
+  // Values in the overflow bucket report the last finite bound.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // {"count":N,"sum":S,"p50":...,"p95":...,"p99":...}
+  std::string ToJson() const;
+
+ private:
+  std::vector<double> bounds_;
+  // bounds_.size() + 1 buckets; the last is the +inf overflow.
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  // Sum accumulated in fixed-point nanounits to stay a single atomic add.
+  std::atomic<int64_t> sum_nanos_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates. The returned pointer stays valid for the registry's
+  // lifetime. Names are free-form; use "subsystem.metric" by convention.
+  Counter* counter(std::string_view name);
+  // On first use `bounds` fixes the histogram's buckets (empty = default
+  // latency buckets); later calls with the same name ignore `bounds`.
+  Histogram* histogram(std::string_view name, std::vector<double> bounds = {});
+
+  // One JSON object: counters as integers, histograms as
+  // {"count":...,"sum":...,"p50":...,"p95":...,"p99":...}. Keys sorted.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace kjoin
+
+#endif  // KJOIN_COMMON_METRICS_H_

@@ -1,21 +1,36 @@
 #include "core/kjoin_index.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "core/prefix.h"
 
 namespace kjoin {
 
+namespace {
+
+// Candidate count of the calling thread's last Search. A mutable member
+// would race under concurrent Search calls; a thread-local slot keeps the
+// observability without any synchronization on the query path.
+thread_local int64_t tls_last_candidates = 0;
+
+// Deadline/cancel polling stride inside the verification loop. Polling is
+// two relaxed loads every kControlStride pairs — invisible next to one
+// verification — while bounding overshoot to a handful of pairs.
+constexpr int kControlStride = 8;
+
+}  // namespace
+
 KJoinIndex::KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options,
                        std::vector<Object> objects)
     : hierarchy_(&hierarchy),
       options_(options),
       objects_(std::move(objects)),
-      lca_(hierarchy),
+      lca_(std::make_shared<LcaIndex>(hierarchy)),
       sim_cache_(options.sim_cache ? std::make_unique<SimCache>(options.sim_cache_capacity)
                                    : nullptr),
-      element_sim_(lca_, options.element_metric, sim_cache_.get()),
+      element_sim_(*lca_, options.element_metric, sim_cache_.get()),
       signatures_(hierarchy, options.element_metric, options.scheme, options.delta),
       object_sim_(element_sim_, options.delta, options.set_metric),
       verifier_(element_sim_, signatures_,
@@ -23,6 +38,27 @@ KJoinIndex::KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options,
                                 options.set_metric, options.count_pruning,
                                 options.weighted_count_pruning, options.plus_mode}) {
   for (int32_t i = 0; i < static_cast<int32_t>(objects_.size()); ++i) IndexObject(i);
+}
+
+KJoinIndex::KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options,
+                       std::vector<Object> objects, RestoredParts parts)
+    : hierarchy_(&hierarchy),
+      options_(options),
+      objects_(std::move(objects)),
+      lca_(parts.lca != nullptr ? std::move(parts.lca)
+                                : std::make_shared<const LcaIndex>(hierarchy)),
+      sim_cache_(options.sim_cache ? std::make_unique<SimCache>(options.sim_cache_capacity)
+                                   : nullptr),
+      element_sim_(*lca_, options.element_metric, sim_cache_.get()),
+      signatures_(hierarchy, options.element_metric, options.scheme, options.delta),
+      object_sim_(element_sim_, options.delta, options.set_metric),
+      verifier_(element_sim_, signatures_,
+                VerifierOptions{options.delta, options.tau, options.verify_mode,
+                                options.set_metric, options.count_pruning,
+                                options.weighted_count_pruning, options.plus_mode}),
+      postings_(std::move(parts.postings)) {
+  KJOIN_CHECK(&lca_->hierarchy() == hierarchy_)
+      << "restored LCA index belongs to a different hierarchy";
 }
 
 void KJoinIndex::IndexObject(int32_t index) {
@@ -40,6 +76,8 @@ int32_t KJoinIndex::Insert(const Object& object) {
   IndexObject(index);
   return index;
 }
+
+int64_t KJoinIndex::last_candidates() { return tls_last_candidates; }
 
 std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
   std::vector<Signature> sigs = signatures_.Generate(query);
@@ -85,7 +123,7 @@ std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
       }
     }
   }
-  last_candidates_ = static_cast<int64_t>(candidates.size());
+  tls_last_candidates = static_cast<int64_t>(candidates.size());
   return candidates;
 }
 
@@ -117,6 +155,78 @@ std::vector<SearchHit> KJoinIndex::SearchTopK(const Object& query, int32_t k,
     if (k > 0 && static_cast<int32_t>(result.size()) >= k) break;
   }
   return result;
+}
+
+Status KJoinIndex::SearchControlled(const Object& query, const JoinControl& control,
+                                    std::vector<SearchHit>* hits,
+                                    SearchStats* stats) const {
+  hits->clear();
+  const bool has_deadline = control.deadline_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(has_deadline ? control.deadline_seconds : 0.0));
+  const auto tripped = [&]() -> Status {
+    if (control.cancel_token != nullptr && control.cancel_token->cancelled()) {
+      return CancelledError("search cancelled");
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      return DeadlineExceededError("search deadline exceeded");
+    }
+    return OkStatus();
+  };
+
+  Status status = tripped();
+  VerifyStats verify_stats;
+  int64_t candidate_count = 0;
+  if (status.ok()) {
+    const std::vector<int32_t> candidates = Candidates(query);
+    candidate_count = static_cast<int64_t>(candidates.size());
+    int since_poll = 0;
+    for (int32_t i : candidates) {
+      if (++since_poll >= kControlStride) {
+        since_poll = 0;
+        status = tripped();
+        if (!status.ok()) break;
+      }
+      if (!verifier_.Verify(query, objects_[i], &verify_stats)) continue;
+      hits->push_back({i, object_sim_.Similarity(query, objects_[i])});
+    }
+  }
+  std::sort(hits->begin(), hits->end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.object_index < b.object_index;
+  });
+  if (stats != nullptr) {
+    stats->candidates = candidate_count;
+    stats->verify = verify_stats;
+  }
+  return status;
+}
+
+Status KJoinIndex::Search(const Object& query, const JoinControl& control,
+                          std::vector<SearchHit>* hits, SearchStats* stats) const {
+  return SearchControlled(query, control, hits, stats);
+}
+
+Status KJoinIndex::SearchTopK(const Object& query, int32_t k, double min_similarity,
+                              const JoinControl& control, std::vector<SearchHit>* hits,
+                              SearchStats* stats) const {
+  if (min_similarity < options_.tau) {
+    return InvalidArgumentError("SearchTopK min_similarity " +
+                                std::to_string(min_similarity) +
+                                " below the index's configured tau " +
+                                std::to_string(options_.tau));
+  }
+  KJOIN_RETURN_IF_ERROR(SearchControlled(query, control, hits, stats));
+  std::vector<SearchHit> result;
+  for (const SearchHit& hit : *hits) {
+    if (hit.similarity + 1e-9 < min_similarity) continue;
+    result.push_back(hit);
+    if (k > 0 && static_cast<int32_t>(result.size()) >= k) break;
+  }
+  *hits = std::move(result);
+  return OkStatus();
 }
 
 }  // namespace kjoin

@@ -15,12 +15,21 @@
 //   KJoinIndex index(tree, options, objects);
 //   index.Insert(more_objects[i]);
 //   std::vector<SearchHit> hits = index.Search(query);
+//
+// Thread safety: Search and SearchTopK are safe for any number of
+// concurrent callers — every mutable state they touch (verifier scratch,
+// SimCache L1, the last_candidates observability slot) is per-thread, and
+// concurrent results are identical to serial execution. Insert mutates
+// the index and requires external synchronization: no Search may run
+// concurrently with it (serve/index_manager.h never mutates a published
+// index; it swaps in a rebuilt one instead).
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/kjoin.h"
 #include "core/verifier.h"
 
@@ -33,6 +42,12 @@ struct SearchHit {
   friend bool operator==(const SearchHit&, const SearchHit&) = default;
 };
 
+// Per-call observability for the controlled Search overloads.
+struct SearchStats {
+  int64_t candidates = 0;
+  VerifyStats verify;
+};
+
 class KJoinIndex {
  public:
   // Copies `objects` into the index (it owns its collection so that
@@ -41,8 +56,20 @@ class KJoinIndex {
   // candidates are checked at query time.
   KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options, std::vector<Object> objects);
 
+  // Snapshot/clone adoption: the inverted index and the LCA tables are
+  // supplied instead of being re-derived from `objects` (serve/snapshot.h
+  // restores them from disk; serve/index_manager.h shares them across
+  // epochs). `lca` may be shared between indexes over the same hierarchy;
+  // `postings` must be exactly the posting lists IndexObject would build.
+  struct RestoredParts {
+    std::shared_ptr<const LcaIndex> lca;  // null = build from the hierarchy
+    std::unordered_map<SigId, std::vector<int32_t>> postings;
+  };
+  KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options, std::vector<Object> objects,
+             RestoredParts parts);
+
   // Appends one object; it becomes immediately searchable. Returns its
-  // index.
+  // index. NOT safe to call concurrently with Search (see header).
   int32_t Insert(const Object& object);
 
   // All indexed objects with SIMδ(query, object) >= τ, sorted by
@@ -55,22 +82,50 @@ class KJoinIndex {
   std::vector<SearchHit> SearchTopK(const Object& query, int32_t k,
                                     double min_similarity) const;
 
-  // Candidate count of the last Search on this thread (observability for
-  // benches; not synchronized across threads).
-  int64_t last_candidates() const { return last_candidates_; }
+  // Controlled entry points (serving path). With a default JoinControl
+  // they compute the same hits as the overloads above and return OK. The
+  // deadline and cancel token are polled between verifications; on a trip
+  // (kDeadlineExceeded / kCancelled) *hits holds the similar objects
+  // proven so far, sorted. The byte-budget fields of JoinControl do not
+  // apply to a single-probe search and are ignored. Unlike SearchTopK —
+  // whose threshold violation is a programming error and CHECKs — the
+  // controlled variant treats min_similarity < τ as untrusted input and
+  // returns kInvalidArgument.
+  Status Search(const Object& query, const JoinControl& control,
+                std::vector<SearchHit>* hits, SearchStats* stats = nullptr) const;
+  Status SearchTopK(const Object& query, int32_t k, double min_similarity,
+                    const JoinControl& control, std::vector<SearchHit>* hits,
+                    SearchStats* stats = nullptr) const;
+
+  // Candidate count of the last Search executed by the calling thread
+  // (observability for benches; the slot is thread-local, shared by all
+  // indexes the thread searches).
+  static int64_t last_candidates();
 
   int64_t num_indexed() const { return static_cast<int64_t>(objects_.size()); }
   const Object& object_at(int32_t index) const { return objects_[index]; }
+  const std::vector<Object>& objects() const { return objects_; }
   const KJoinOptions& options() const { return options_; }
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+
+  // The serialized halves of the prepared stack, for the snapshot writer
+  // and for epoch cloning (postings are copied, the LCA index is shared).
+  const std::unordered_map<SigId, std::vector<int32_t>>& postings() const {
+    return postings_;
+  }
+  std::shared_ptr<const LcaIndex> shared_lca() const { return lca_; }
 
  private:
   std::vector<int32_t> Candidates(const Object& query) const;
   void IndexObject(int32_t index);
+  Status SearchControlled(const Object& query, const JoinControl& control,
+                          std::vector<SearchHit>* hits, SearchStats* stats) const;
 
   const Hierarchy* hierarchy_;
   KJoinOptions options_;
   std::vector<Object> objects_;
-  LcaIndex lca_;
+  // Shared so snapshot restores and epoch clones reuse one table.
+  std::shared_ptr<const LcaIndex> lca_;
   // Declared before element_sim_, which captures the raw pointer (null
   // when options_.sim_cache is off).
   std::unique_ptr<SimCache> sim_cache_;
@@ -82,7 +137,6 @@ class KJoinIndex {
   // object). The list length doubles as the signature's document
   // frequency for ordering query prefixes.
   std::unordered_map<SigId, std::vector<int32_t>> postings_;
-  mutable int64_t last_candidates_ = 0;
 };
 
 }  // namespace kjoin

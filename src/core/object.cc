@@ -10,6 +10,21 @@ int32_t ObjectBuilder::InternToken(const std::string& token) {
   return it->second;
 }
 
+void ObjectBuilder::PreloadTokens(const std::vector<std::string>& tokens) {
+  KJOIN_CHECK(token_ids_.empty()) << "PreloadTokens needs a fresh builder";
+  for (const std::string& token : tokens) {
+    const int32_t id = InternToken(token);
+    KJOIN_CHECK_EQ(static_cast<size_t>(id) + 1, token_ids_.size())
+        << "duplicate token in preload table: " << token;
+  }
+}
+
+std::vector<std::string> ObjectBuilder::TokenTable() const {
+  std::vector<std::string> table(token_ids_.size());
+  for (const auto& [token, id] : token_ids_) table[id] = token;
+  return table;
+}
+
 Object ObjectBuilder::Build(int32_t id, const std::vector<std::string>& tokens) {
   Object object;
   object.id = id;

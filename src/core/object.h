@@ -51,6 +51,16 @@ class ObjectBuilder {
   // Dense id of `token`, creating one if new.
   int32_t InternToken(const std::string& token);
 
+  // Seeds a fresh builder with a snapshot's token table: tokens[i] gets
+  // id i, so objects built afterwards are id-compatible with a collection
+  // serialized alongside that table (serve/snapshot.h). Requires an
+  // interner with no tokens yet and no duplicate entries in `tokens`.
+  void PreloadTokens(const std::vector<std::string>& tokens);
+
+  // Every interned token in id order (the inverse of the intern map) —
+  // what PreloadTokens consumes on restore.
+  std::vector<std::string> TokenTable() const;
+
   int64_t num_distinct_tokens() const { return static_cast<int64_t>(token_ids_.size()); }
   bool multi_mapping() const { return multi_mapping_; }
 

@@ -34,6 +34,74 @@ Hierarchy::Hierarchy(std::vector<NodeId> parents, std::vector<std::string> label
   }
 }
 
+Hierarchy::Hierarchy(HierarchyParts parts, AdoptTag)
+    : parents_(std::move(parts.parents)),
+      labels_(std::move(parts.labels)),
+      depths_(std::move(parts.depths)),
+      child_offsets_(std::move(parts.child_offsets)),
+      child_nodes_(std::move(parts.child_nodes)),
+      leaves_(std::move(parts.leaves)),
+      height_(parts.height) {
+  for (NodeId v = 0; v < num_nodes(); ++v) label_index_[labels_[v]].push_back(v);
+}
+
+StatusOr<Hierarchy> Hierarchy::FromParts(HierarchyParts parts) {
+  const auto reject = [](const std::string& what) {
+    return InvalidArgumentError("hierarchy parts: " + what);
+  };
+  const int64_t n = static_cast<int64_t>(parts.parents.size());
+  if (n == 0) return reject("no nodes");
+  if (parts.labels.size() != parts.parents.size()) return reject("label count mismatch");
+  if (parts.depths.size() != parts.parents.size()) return reject("depth count mismatch");
+  if (parts.parents[0] != kInvalidNode) return reject("node 0 is not the root");
+  if (parts.depths[0] != 0) return reject("root depth is not 0");
+  if (parts.child_offsets.size() != static_cast<size_t>(n) + 1 ||
+      parts.child_nodes.size() != static_cast<size_t>(n) - 1) {
+    return reject("CSR adjacency sizes inconsistent");
+  }
+  if (parts.child_offsets[0] != 0 || parts.child_offsets[n] != n - 1) {
+    return reject("CSR offsets do not cover all children");
+  }
+  int height = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId p = parts.parents[v];
+    if (p < 0 || p >= v) return reject("parent of node " + std::to_string(v) + " out of order");
+    if (parts.depths[v] != parts.depths[p] + 1) {
+      return reject("depth of node " + std::to_string(v) + " inconsistent with its parent");
+    }
+    height = std::max(height, parts.depths[v]);
+  }
+  if (parts.height != height) return reject("height inconsistent with depths");
+  // The CSR must be exactly the adjacency of `parents` with each child
+  // list ascending: replay the fill the constructor would do and compare.
+  std::vector<int32_t> cursor(parts.child_offsets.begin(), parts.child_offsets.end() - 1);
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId p = parts.parents[v];
+    const int32_t slot = cursor[p]++;
+    if (slot >= parts.child_offsets[p + 1] || parts.child_nodes[slot] != v) {
+      return reject("CSR adjacency inconsistent with parents at node " + std::to_string(v));
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (parts.child_offsets[v + 1] < parts.child_offsets[v]) {
+      return reject("CSR offsets not monotone");
+    }
+    if (cursor[v] != parts.child_offsets[v + 1]) {
+      return reject("child list of node " + std::to_string(v) + " over- or under-full");
+    }
+  }
+  size_t leaf_cursor = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (parts.child_offsets[v] != parts.child_offsets[v + 1]) continue;
+    if (leaf_cursor >= parts.leaves.size() || parts.leaves[leaf_cursor] != v) {
+      return reject("leaf list inconsistent");
+    }
+    ++leaf_cursor;
+  }
+  if (leaf_cursor != parts.leaves.size()) return reject("leaf list has extra entries");
+  return Hierarchy(std::move(parts), AdoptTag{});
+}
+
 const std::vector<NodeId>& Hierarchy::NodesWithLabel(std::string_view label) const {
   static const std::vector<NodeId>* const kEmpty = new std::vector<NodeId>();
   auto it = label_index_.find(std::string(label));

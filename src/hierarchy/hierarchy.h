@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+
 namespace kjoin {
 
 // Index of a node inside one Hierarchy. Nodes are dense: 0..num_nodes()-1,
@@ -38,10 +40,31 @@ struct HierarchyStats {
   double avg_leaf_depth = 0.0;
 };
 
+// The full precomputed state of a Hierarchy, as serialized by the index
+// snapshot format (serve/snapshot.h). FromParts validates everything in
+// O(n) and adopts the arrays without re-deriving them.
+struct HierarchyParts {
+  std::vector<NodeId> parents;
+  std::vector<std::string> labels;
+  std::vector<int> depths;
+  std::vector<int32_t> child_offsets;
+  std::vector<NodeId> child_nodes;
+  std::vector<NodeId> leaves;
+  int height = 0;
+};
+
 class Hierarchy {
  public:
   // Use HierarchyBuilder to construct instances.
   Hierarchy(std::vector<NodeId> parents, std::vector<std::string> labels);
+
+  // Adopts precomputed arrays (snapshot restore). Unlike the constructor
+  // — which terminates on broken invariants, since its callers derive the
+  // arrays themselves — this treats `parts` as untrusted input: every
+  // derived array is checked for exact consistency with `parents` in
+  // O(n), and any mismatch returns kInvalidArgument instead of aborting.
+  // Only the label hash index is rebuilt.
+  static StatusOr<Hierarchy> FromParts(HierarchyParts parts);
 
   Hierarchy(const Hierarchy&) = delete;
   Hierarchy& operator=(const Hierarchy&) = delete;
@@ -96,7 +119,17 @@ class Hierarchy {
 
   HierarchyStats ComputeStats() const;
 
+  // Raw derived arrays, for the snapshot writer (serve/snapshot.h).
+  const std::vector<NodeId>& parents() const { return parents_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::vector<int>& depths() const { return depths_; }
+  const std::vector<int32_t>& child_offsets() const { return child_offsets_; }
+  const std::vector<NodeId>& child_nodes() const { return child_nodes_; }
+
  private:
+  struct AdoptTag {};
+  Hierarchy(HierarchyParts parts, AdoptTag);
+
   NodeId CheckId(NodeId node) const;
 
   std::vector<NodeId> parents_;       // parents_[0] == kInvalidNode

@@ -67,4 +67,61 @@ LcaIndex::LcaIndex(const Hierarchy& hierarchy) : hierarchy_(&hierarchy) {
   }
 }
 
+LcaIndex::LcaIndex(const Hierarchy& hierarchy, LcaTables tables, AdoptTag)
+    : hierarchy_(&hierarchy),
+      first_visit_(std::move(tables.first_visit)),
+      sparse_(std::move(tables.sparse)),
+      row_offset_(tables.row_offset.begin(), tables.row_offset.end()),
+      log2_floor_(std::move(tables.log2_floor)) {}
+
+LcaTables LcaIndex::tables() const {
+  LcaTables tables;
+  tables.first_visit = first_visit_;
+  tables.sparse = sparse_;
+  tables.row_offset.assign(row_offset_.begin(), row_offset_.end());
+  tables.log2_floor = log2_floor_;
+  return tables;
+}
+
+StatusOr<LcaIndex> LcaIndex::FromTables(const Hierarchy& hierarchy, LcaTables tables) {
+  const auto reject = [](const std::string& what) {
+    return InvalidArgumentError("lca tables: " + what);
+  };
+  const int64_t n = hierarchy.num_nodes();
+  // An Euler tour of an n-node tree visits 2n - 1 positions.
+  const uint64_t m = 2 * static_cast<uint64_t>(n) - 1;
+  if (tables.first_visit.size() != static_cast<size_t>(n)) {
+    return reject("first_visit size mismatch");
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    const int32_t i = tables.first_visit[v];
+    if (i < 0 || static_cast<uint64_t>(i) >= m) return reject("first_visit out of range");
+  }
+  if (tables.log2_floor.size() != m + 1) return reject("log2_floor size mismatch");
+  for (uint64_t len = 0; len <= m; ++len) {
+    const int8_t expected = len < 2 ? 0 : static_cast<int8_t>(tables.log2_floor[len / 2] + 1);
+    if (tables.log2_floor[len] != expected) return reject("log2_floor content mismatch");
+  }
+  const int levels = tables.log2_floor[m] + 1;
+  if (tables.row_offset.size() != static_cast<size_t>(levels) + 1 ||
+      tables.row_offset[0] != 0) {
+    return reject("row_offset shape mismatch");
+  }
+  for (int k = 0; k < levels; ++k) {
+    if (tables.row_offset[k + 1] - tables.row_offset[k] != m - (uint64_t{1} << k) + 1) {
+      return reject("row_offset level width mismatch");
+    }
+  }
+  if (tables.sparse.size() != tables.row_offset[levels]) return reject("sparse size mismatch");
+  // Range-check every packed entry so queries can never return a node id
+  // outside the hierarchy, whatever the table claims the minimum is.
+  const int64_t height = hierarchy.height();
+  for (const int64_t packed : tables.sparse) {
+    const int64_t node = packed & 0xffffffff;
+    const int64_t depth = packed >> 32;
+    if (node >= n || depth < 0 || depth > height) return reject("packed entry out of range");
+  }
+  return LcaIndex(hierarchy, std::move(tables), AdoptTag{});
+}
+
 }  // namespace kjoin

@@ -24,14 +24,35 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "hierarchy/hierarchy.h"
 
 namespace kjoin {
+
+// The serialized state of an LcaIndex (serve/snapshot.h): the Euler-tour
+// first-visit array plus the packed sparse table. FromTables adopts these
+// without re-running the O(n log n) RMQ build.
+struct LcaTables {
+  std::vector<int32_t> first_visit;
+  std::vector<int64_t> sparse;
+  std::vector<uint64_t> row_offset;
+  std::vector<int8_t> log2_floor;
+};
 
 class LcaIndex {
  public:
   // The hierarchy must outlive the index.
   explicit LcaIndex(const Hierarchy& hierarchy);
+
+  // Adopts a serialized table set. `tables` is untrusted: shapes, offsets
+  // and every packed entry's node/depth range are validated (one linear
+  // pass over the table, no RMQ rebuild); kInvalidArgument on any
+  // inconsistency, so a corrupt-but-CRC-valid snapshot can never index
+  // out of bounds.
+  static StatusOr<LcaIndex> FromTables(const Hierarchy& hierarchy, LcaTables tables);
+
+  // The serialized state, for the snapshot writer.
+  LcaTables tables() const;
 
   NodeId Lca(NodeId x, NodeId y) const {
     return static_cast<NodeId>(PackedLca(x, y) & 0xffffffff);
@@ -47,6 +68,9 @@ class LcaIndex {
   const Hierarchy& hierarchy() const { return *hierarchy_; }
 
  private:
+  struct AdoptTag {};
+  LcaIndex(const Hierarchy& hierarchy, LcaTables tables, AdoptTag);
+
   // (depth << 32) | node of the shallowest tour entry between the two
   // nodes' first visits.
   int64_t PackedLca(NodeId x, NodeId y) const {

@@ -1,0 +1,149 @@
+#include "serve/index_manager.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace kjoin::serve {
+
+IndexManager::IndexManager(LoadedIndex initial, ThreadPool* pool, MetricsRegistry* metrics)
+    : pool_(pool), metrics_(metrics) {
+  KJOIN_CHECK(initial.index != nullptr) << "IndexManager needs a loaded index";
+  auto epoch = std::make_shared<IndexEpoch>();
+  epoch->version = 1;
+  epoch->hierarchy = std::move(initial.hierarchy);
+  epoch->tokens = std::move(initial.tokens);
+  epoch->synonyms = std::move(initial.synonyms);
+  epoch->index = std::shared_ptr<const KJoinIndex>(std::move(initial.index));
+  PublishInitial(std::move(epoch));
+}
+
+IndexManager::IndexManager(std::shared_ptr<const Hierarchy> hierarchy, KJoinOptions options,
+                           std::vector<Object> objects, std::vector<std::string> tokens,
+                           std::vector<std::pair<std::string, std::string>> synonyms,
+                           ThreadPool* pool, MetricsRegistry* metrics)
+    : pool_(pool), metrics_(metrics) {
+  KJOIN_CHECK(hierarchy != nullptr) << "IndexManager needs a hierarchy";
+  auto epoch = std::make_shared<IndexEpoch>();
+  epoch->version = 1;
+  epoch->index =
+      std::make_shared<const KJoinIndex>(*hierarchy, options, std::move(objects));
+  epoch->hierarchy = std::move(hierarchy);
+  epoch->tokens = std::move(tokens);
+  epoch->synonyms = std::move(synonyms);
+  PublishInitial(std::move(epoch));
+}
+
+IndexManager::~IndexManager() {
+  // A rebuild scheduled on the shared pool captures `this`; wait it out.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return !rebuild_in_flight_; });
+}
+
+void IndexManager::PublishInitial(std::shared_ptr<const IndexEpoch> epoch) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  epoch_ = std::move(epoch);
+}
+
+std::shared_ptr<const IndexEpoch> IndexManager::Acquire() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+void IndexManager::InsertBatch(std::vector<Object> objects, std::vector<std::string> tokens) {
+  if (objects.empty() && tokens.empty()) return;
+  bool start_rebuild = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.insert(pending_.end(), std::make_move_iterator(objects.begin()),
+                    std::make_move_iterator(objects.end()));
+    if (!tokens.empty()) pending_tokens_ = std::move(tokens);
+    if (!rebuild_in_flight_) {
+      rebuild_in_flight_ = true;
+      start_rebuild = true;
+    }
+  }
+  if (!start_rebuild) return;  // the in-flight rebuild loop will pick the batch up
+  if (pool_ != nullptr && pool_->num_threads() > 1) {
+    pool_->Schedule([this] { RebuildLoop(); });
+  } else {
+    // No background lane exists to drain a scheduled task, so apply
+    // synchronously rather than parking the batch in a dead queue.
+    RebuildLoop();
+  }
+}
+
+void IndexManager::RebuildLoop() {
+  for (;;) {
+    std::vector<Object> batch;
+    std::vector<std::string> tokens_update;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty() && pending_tokens_.empty()) {
+        rebuild_in_flight_ = false;
+        idle_.notify_all();
+        return;
+      }
+      batch = std::move(pending_);
+      pending_.clear();
+      tokens_update = std::move(pending_tokens_);
+      pending_tokens_.clear();
+    }
+
+    WallTimer timer;
+    const std::shared_ptr<const IndexEpoch> current = Acquire();
+    // Shadow copy: objects and posting lists are copied, the LCA tables
+    // (the expensive immutable half) are shared between epochs.
+    KJoinIndex::RestoredParts parts;
+    parts.lca = current->index->shared_lca();
+    parts.postings = current->index->postings();
+    auto next_index = std::make_shared<KJoinIndex>(
+        *current->hierarchy, current->index->options(), current->index->objects(),
+        std::move(parts));
+    for (const Object& object : batch) next_index->Insert(object);
+
+    auto next = std::make_shared<IndexEpoch>();
+    next->version = current->version + 1;
+    next->hierarchy = current->hierarchy;
+    next->tokens = tokens_update.empty() ? current->tokens : std::move(tokens_update);
+    next->synonyms = current->synonyms;
+    next->index = std::move(next_index);
+    {
+      std::lock_guard<std::mutex> lock(epoch_mu_);
+      epoch_ = std::move(next);
+    }
+
+    if (metrics_ != nullptr) {
+      metrics_->counter("manager.swaps")->Increment();
+      metrics_->counter("manager.inserts")->Increment(static_cast<int64_t>(batch.size()));
+      metrics_->histogram("manager.rebuild_seconds")->Observe(timer.ElapsedSeconds());
+    }
+  }
+}
+
+void IndexManager::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return pending_.empty() && !rebuild_in_flight_; });
+}
+
+int64_t IndexManager::pending_inserts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(pending_.size());
+}
+
+Status IndexManager::SaveSnapshot(const std::string& path) const {
+  const std::shared_ptr<const IndexEpoch> epoch = Acquire();
+  SnapshotInput input;
+  input.index = epoch->index.get();
+  input.tokens = epoch->tokens;
+  input.synonyms = epoch->synonyms;
+  return SaveIndexSnapshot(input, path);
+}
+
+StatusOr<std::unique_ptr<IndexManager>> IndexManager::LoadFrom(const std::string& path,
+                                                               ThreadPool* pool,
+                                                               MetricsRegistry* metrics) {
+  KJOIN_ASSIGN_OR_RETURN(LoadedIndex loaded, LoadIndexSnapshot(path, metrics));
+  return std::make_unique<IndexManager>(std::move(loaded), pool, metrics);
+}
+
+}  // namespace kjoin::serve

@@ -1,0 +1,129 @@
+#ifndef KJOIN_SERVE_INDEX_MANAGER_H_
+#define KJOIN_SERVE_INDEX_MANAGER_H_
+
+// The live index behind a serving process: RCU-style epoch swapping.
+//
+// Readers call Acquire() — a pointer copy under a micro critical
+// section — and search the returned epoch for as long as they hold the
+// shared_ptr; they never wait on an update being applied. Writers batch inserts
+// through InsertBatch: the manager applies them to a *shadow copy* of the
+// current index on the background pool (sharing the immutable LCA tables,
+// copying the object collection and posting lists) and atomically swaps
+// the finished epoch in. A reader therefore always sees a fully built
+// index — either the old epoch or the new one, never a half-updated
+// structure — and stale epochs are freed by the last shared_ptr that
+// drops them (see docs/serving.md for the full semantics).
+//
+//   IndexManager manager(std::move(loaded), &pool, &metrics);
+//   auto epoch = manager.Acquire();            // reader, never blocks
+//   epoch->index->Search(query);
+//   manager.InsertBatch(std::move(objects));   // writer, async rebuild
+//   manager.Flush();                           // barrier: all applied
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/kjoin_index.h"
+#include "serve/snapshot.h"
+
+namespace kjoin::serve {
+
+// One immutable published generation of the serving stack. Everything a
+// query needs travels together so a reader's view is consistent even
+// while newer epochs are published.
+struct IndexEpoch {
+  int64_t version = 0;
+  std::shared_ptr<const Hierarchy> hierarchy;
+  std::vector<std::string> tokens;
+  std::vector<std::pair<std::string, std::string>> synonyms;
+  std::shared_ptr<const KJoinIndex> index;
+};
+
+class IndexManager {
+ public:
+  // Adopts a snapshot-loaded stack as epoch 1. `pool` (not owned, may be
+  // null) runs background rebuilds; with a null or single-lane pool the
+  // rebuild runs inline on the InsertBatch caller instead — same results,
+  // no hidden queue that nothing drains. `metrics` (not owned, may be
+  // null) receives manager.swaps / manager.inserts / manager.rebuild_seconds.
+  IndexManager(LoadedIndex initial, ThreadPool* pool, MetricsRegistry* metrics = nullptr);
+
+  // Builds epoch 1 from parts (the from-text cold-start path).
+  IndexManager(std::shared_ptr<const Hierarchy> hierarchy, KJoinOptions options,
+               std::vector<Object> objects, std::vector<std::string> tokens,
+               std::vector<std::pair<std::string, std::string>> synonyms, ThreadPool* pool,
+               MetricsRegistry* metrics = nullptr);
+
+  // Blocks until no rebuild is in flight (pending inserts are applied
+  // first), so a scheduled task never outlives the manager.
+  ~IndexManager();
+
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  // The current epoch: a shared_ptr copy under epoch_mu_ (held for a
+  // handful of instructions — rebuilds happen entirely outside it). The
+  // epoch stays valid while the returned pointer is held, regardless of
+  // how many swaps happen meanwhile.
+  std::shared_ptr<const IndexEpoch> Acquire() const;
+
+  // Queues `objects` for insertion and kicks a background rebuild; they
+  // become searchable when the next epoch is published (Flush() to wait).
+  // Objects must be token-id-compatible with the current epoch; when the
+  // batch introduced new interned tokens, pass the builder's full updated
+  // TokenTable() so the published epoch (and snapshots saved from it)
+  // stays self-describing.
+  void InsertBatch(std::vector<Object> objects, std::vector<std::string> tokens = {});
+
+  // Barrier: returns once every insert enqueued before the call is
+  // searchable via Acquire().
+  void Flush();
+
+  int64_t version() const { return Acquire()->version; }
+  // Inserts queued but not yet picked up by a rebuild (approximate — a
+  // batch being applied no longer counts).
+  int64_t pending_inserts() const;
+
+  // Serializes the current epoch (snapshot.h format).
+  Status SaveSnapshot(const std::string& path) const;
+
+  // Loads `path` and wraps it in a manager.
+  static StatusOr<std::unique_ptr<IndexManager>> LoadFrom(const std::string& path,
+                                                          ThreadPool* pool,
+                                                          MetricsRegistry* metrics = nullptr);
+
+ private:
+  void PublishInitial(std::shared_ptr<const IndexEpoch> epoch);
+  // Drains pending batches, one shadow rebuild + swap per batch, until
+  // none remain; then clears rebuild_in_flight_.
+  void RebuildLoop();
+
+  ThreadPool* pool_;
+  MetricsRegistry* metrics_;
+  // Not std::atomic<shared_ptr>: libstdc++ implements that as an
+  // embedded spinlock whose load() path unlocks with relaxed ordering,
+  // which ThreadSanitizer rejects as a data race on the stored pointer.
+  // A plain mutex costs the same handful of instructions and is provably
+  // race-free; the mutex only ever guards the pointer copy/swap, never a
+  // rebuild, so readers still never wait on writers' real work.
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<const IndexEpoch> epoch_;     // guarded by epoch_mu_
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_;                // signalled when a rebuild finishes
+  std::vector<Object> pending_;                 // guarded by mu_
+  std::vector<std::string> pending_tokens_;     // guarded by mu_; empty = unchanged
+  bool rebuild_in_flight_ = false;              // guarded by mu_
+};
+
+}  // namespace kjoin::serve
+
+#endif  // KJOIN_SERVE_INDEX_MANAGER_H_

@@ -1,0 +1,126 @@
+#include "serve/search_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace kjoin::serve {
+
+SearchService::SearchService(IndexManager* manager, ThreadPool* pool,
+                             SearchServiceOptions options, MetricsRegistry* metrics)
+    : manager_(manager), pool_(pool), options_(options), metrics_(metrics) {
+  KJOIN_CHECK(manager_ != nullptr) << "SearchService needs an IndexManager";
+  KJOIN_CHECK(pool_ != nullptr) << "SearchService needs a ThreadPool";
+}
+
+SearchService::~SearchService() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [&] { return async_outstanding_ == 0; });
+}
+
+bool SearchService::Admit() {
+  if (options_.max_in_flight <= 0) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const int64_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (now > options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void SearchService::Release() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+
+QueryResponse SearchService::Shed() {
+  if (metrics_ != nullptr) metrics_->counter("service.shed")->Increment();
+  QueryResponse response;
+  response.status = ResourceExhaustedError(
+      "query shed: " + std::to_string(options_.max_in_flight) + " queries already in flight");
+  return response;
+}
+
+QueryResponse SearchService::Execute(const QueryRequest& request) {
+  WallTimer timer;
+  QueryResponse response;
+  const std::shared_ptr<const IndexEpoch> epoch = manager_->Acquire();
+  response.epoch_version = epoch->version;
+  const KJoinIndex& index = *epoch->index;
+
+  JoinControl control;
+  control.deadline_seconds = request.deadline_seconds < 0.0
+                                 ? options_.default_deadline_seconds
+                                 : request.deadline_seconds;
+  control.cancel_token = request.cancel_token;
+
+  if (request.top_k > 0) {
+    const double min_similarity =
+        request.min_similarity > 0.0 ? request.min_similarity : index.options().tau;
+    response.status = index.SearchTopK(request.query, request.top_k, min_similarity, control,
+                                       &response.hits, &response.stats);
+  } else {
+    response.status = index.Search(request.query, control, &response.hits, &response.stats);
+  }
+  response.seconds = timer.ElapsedSeconds();
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("service.queries")->Increment();
+    metrics_->counter("service.hits")->Increment(static_cast<int64_t>(response.hits.size()));
+    metrics_->histogram("service.latency_seconds")->Observe(response.seconds);
+    if (IsDeadlineExceeded(response.status)) {
+      metrics_->counter("service.deadline_exceeded")->Increment();
+    } else if (IsCancelled(response.status)) {
+      metrics_->counter("service.cancelled")->Increment();
+    } else if (!response.status.ok()) {
+      metrics_->counter("service.errors")->Increment();
+    }
+  }
+  return response;
+}
+
+void SearchService::Submit(QueryRequest request, std::function<void(QueryResponse)> done) {
+  if (!Admit()) {
+    done(Shed());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++async_outstanding_;
+  }
+  pool_->Schedule([this, request = std::move(request), done = std::move(done)]() mutable {
+    QueryResponse response = Execute(request);
+    Release();
+    done(std::move(response));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--async_outstanding_ == 0) drained_.notify_all();
+  });
+}
+
+QueryResponse SearchService::Search(const QueryRequest& request) {
+  if (!Admit()) return Shed();
+  QueryResponse response = Execute(request);
+  Release();
+  return response;
+}
+
+std::vector<QueryResponse> SearchService::SearchBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<QueryResponse> responses(requests.size());
+  pool_->ParallelFor(static_cast<int64_t>(requests.size()),
+                     static_cast<int>(requests.size()),
+                     [&](int /*shard*/, int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         if (!Admit()) {
+                           responses[i] = Shed();
+                           continue;
+                         }
+                         responses[i] = Execute(requests[i]);
+                         Release();
+                       }
+                     });
+  return responses;
+}
+
+}  // namespace kjoin::serve

@@ -1,0 +1,122 @@
+#ifndef KJOIN_SERVE_SEARCH_SERVICE_H_
+#define KJOIN_SERVE_SEARCH_SERVICE_H_
+
+// Concurrent query execution over the live index, with the server-side
+// guard rails: per-query deadlines, cooperative cancellation, admission
+// control, and latency/outcome metrics.
+//
+// Every query acquires the IndexManager's current epoch once and runs
+// against that consistent view — a swap mid-query is invisible. Admission
+// control bounds the number of queries admitted at once; beyond the cap,
+// Submit sheds immediately with kResourceExhausted instead of building an
+// unbounded queue (the caller retries or degrades). Deadlines ride the
+// index's controlled search path: a tripped query returns the hits proven
+// so far with kDeadlineExceeded.
+//
+//   SearchService service(&manager, &pool, {.max_in_flight = 64,
+//                                           .default_deadline_seconds = 0.1},
+//                         &metrics);
+//   service.Submit(std::move(request), [](QueryResponse r) { ... });
+//   auto responses = service.SearchBatch(std::move(requests));  // sync
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/kjoin_index.h"
+#include "serve/index_manager.h"
+
+namespace kjoin::serve {
+
+struct SearchServiceOptions {
+  // Queries admitted (queued + executing) at once; above the cap Submit /
+  // SearchBatch shed with kResourceExhausted. <= 0 means unbounded.
+  int max_in_flight = 64;
+  // Deadline applied when a request does not set its own; <= 0 = none.
+  double default_deadline_seconds = 0.0;
+};
+
+struct QueryRequest {
+  // Must be built by a builder token-id-compatible with the indexed
+  // collection (MakeQueryPipeline for snapshot-loaded stacks).
+  Object query;
+  // > 0 = top-k search; 0 = all objects above the index's threshold.
+  int32_t top_k = 0;
+  // Top-k similarity floor; <= 0 uses the index's configured tau.
+  double min_similarity = 0.0;
+  // Per-request deadline; < 0 = service default, 0 = explicitly none.
+  double deadline_seconds = -1.0;
+  // Optional external cancel signal; not owned, must outlive the query.
+  const CancelToken* cancel_token = nullptr;
+};
+
+struct QueryResponse {
+  // OK, or why the query stopped (kResourceExhausted = shed before
+  // execution, kDeadlineExceeded / kCancelled = partial hits inside).
+  Status status;
+  std::vector<SearchHit> hits;
+  SearchStats stats;
+  // Epoch the query ran against (0 when shed).
+  int64_t epoch_version = 0;
+  double seconds = 0.0;
+};
+
+class SearchService {
+ public:
+  // `manager`, `pool` and `metrics` are borrowed and must outlive the
+  // service; `metrics` may be null. Metrics reported: service.queries,
+  // service.shed, service.deadline_exceeded, service.cancelled,
+  // service.errors, service.hits (counters) and service.latency_seconds
+  // (histogram).
+  SearchService(IndexManager* manager, ThreadPool* pool, SearchServiceOptions options = {},
+                MetricsRegistry* metrics = nullptr);
+
+  // Waits for every Submit()ted query to finish.
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  // Asynchronous: runs the query on the pool and invokes `done` with the
+  // response from a pool thread. A shed query invokes `done` inline with
+  // kResourceExhausted. Requires a pool with at least one background lane
+  // (num_threads >= 2); use Search/SearchBatch otherwise.
+  void Submit(QueryRequest request, std::function<void(QueryResponse)> done);
+
+  // Synchronous single query on the calling thread (still admission-
+  // counted, so a caller storm sheds the same way).
+  QueryResponse Search(const QueryRequest& request);
+
+  // Synchronous batch: fans the requests out across the pool with the
+  // caller participating, and returns responses in request order.
+  std::vector<QueryResponse> SearchBatch(const std::vector<QueryRequest>& requests);
+
+  // Queries currently admitted (approximate, for monitoring).
+  int64_t in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+ private:
+  bool Admit();
+  void Release();
+  QueryResponse Shed();
+  QueryResponse Execute(const QueryRequest& request);
+
+  IndexManager* manager_;
+  ThreadPool* pool_;
+  SearchServiceOptions options_;
+  MetricsRegistry* metrics_;
+  std::atomic<int64_t> in_flight_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;  // signalled when an async query finishes
+  int64_t async_outstanding_ = 0;    // guarded by mu_
+};
+
+}  // namespace kjoin::serve
+
+#endif  // KJOIN_SERVE_SEARCH_SERVICE_H_

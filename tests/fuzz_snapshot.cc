@@ -1,0 +1,51 @@
+// libFuzzer harness over the binary snapshot loader (docs/serving.md).
+// Built only with -DKJOIN_FUZZ=ON (Clang); run by hand:
+//
+//   cmake --preset default -DKJOIN_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build --target fuzz_snapshot -j
+//   ./build/tests/fuzz_snapshot -max_total_time=60
+//
+// Contract under test: arbitrary bytes either reconstruct a serving stack
+// or return a non-OK Status — no aborts, no leaks, no out-of-bounds reads
+// and no unbounded allocations (every array count is checked against the
+// remaining payload before it is trusted). Seed the corpus with a real
+// snapshot (similarity_search --save-snapshot) so the fuzzer gets past
+// the header quickly and mutates section payloads.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "serve/snapshot.h"
+
+namespace {
+
+std::string Reserialize(const kjoin::serve::LoadedIndex& loaded) {
+  kjoin::serve::SnapshotInput input;
+  input.index = loaded.index.get();
+  input.tokens = loaded.tokens;
+  input.synonyms = loaded.synonyms;
+  return kjoin::serve::SerializeIndexSnapshot(input);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  auto loaded = kjoin::serve::LoadIndexSnapshotFromBytes(bytes, "fuzz");
+  if (loaded.ok()) {
+    // The loader tolerates non-canonical section placement (gaps,
+    // permuted payload order), so re-serialization of an accepted file
+    // is a *normalization*: it must itself load, and the second
+    // serialization must be the fixed point.
+    const std::string canonical = Reserialize(*loaded);
+    auto again = kjoin::serve::LoadIndexSnapshotFromBytes(canonical, "fuzz2");
+    if (!again.ok()) __builtin_trap();
+    if (again->index->num_indexed() != loaded->index->num_indexed() ||
+        again->tokens != loaded->tokens || again->synonyms != loaded->synonyms) {
+      __builtin_trap();
+    }
+    if (Reserialize(*again) != canonical) __builtin_trap();
+  }
+  return 0;
+}
