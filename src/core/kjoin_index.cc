@@ -218,7 +218,9 @@ Status KJoinIndex::SearchTopK(const Object& query, int32_t k, double min_similar
                                 " below the index's configured tau " +
                                 std::to_string(options_.tau));
   }
-  KJOIN_RETURN_IF_ERROR(SearchControlled(query, control, hits, stats));
+  // Filter and truncate even when the search tripped its deadline or
+  // cancel token: partial hits still honor the caller's floor and k.
+  const Status status = SearchControlled(query, control, hits, stats);
   std::vector<SearchHit> result;
   for (const SearchHit& hit : *hits) {
     if (hit.similarity + 1e-9 < min_similarity) continue;
@@ -226,7 +228,7 @@ Status KJoinIndex::SearchTopK(const Object& query, int32_t k, double min_similar
     if (k > 0 && static_cast<int32_t>(result.size()) >= k) break;
   }
   *hits = std::move(result);
-  return OkStatus();
+  return status;
 }
 
 }  // namespace kjoin

@@ -86,7 +86,8 @@ class KJoinIndex {
   // they compute the same hits as the overloads above and return OK. The
   // deadline and cancel token are polled between verifications; on a trip
   // (kDeadlineExceeded / kCancelled) *hits holds the similar objects
-  // proven so far, sorted. The byte-budget fields of JoinControl do not
+  // proven so far, sorted — and for SearchTopK still filtered to
+  // min_similarity and truncated to k. The byte-budget fields of JoinControl do not
   // apply to a single-probe search and are ignored. Unlike SearchTopK —
   // whose threshold violation is a programming error and CHECKs — the
   // controlled variant treats min_similarity < τ as untrusted input and

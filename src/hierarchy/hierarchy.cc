@@ -72,6 +72,14 @@ StatusOr<Hierarchy> Hierarchy::FromParts(HierarchyParts parts) {
     height = std::max(height, parts.depths[v]);
   }
   if (parts.height != height) return reject("height inconsistent with depths");
+  // Monotone offsets plus the pinned endpoints above prove every offset
+  // lies in [0, n-1], so the replay below never indexes child_nodes out
+  // of bounds whatever the (untrusted) interior values are.
+  for (NodeId v = 0; v < n; ++v) {
+    if (parts.child_offsets[v + 1] < parts.child_offsets[v]) {
+      return reject("CSR offsets not monotone");
+    }
+  }
   // The CSR must be exactly the adjacency of `parents` with each child
   // list ascending: replay the fill the constructor would do and compare.
   std::vector<int32_t> cursor(parts.child_offsets.begin(), parts.child_offsets.end() - 1);
@@ -83,9 +91,6 @@ StatusOr<Hierarchy> Hierarchy::FromParts(HierarchyParts parts) {
     }
   }
   for (NodeId v = 0; v < n; ++v) {
-    if (parts.child_offsets[v + 1] < parts.child_offsets[v]) {
-      return reject("CSR offsets not monotone");
-    }
     if (cursor[v] != parts.child_offsets[v + 1]) {
       return reject("child list of node " + std::to_string(v) + " over- or under-full");
     }

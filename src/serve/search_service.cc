@@ -89,13 +89,21 @@ void SearchService::Submit(QueryRequest request, std::function<void(QueryRespons
     std::lock_guard<std::mutex> lock(mu_);
     ++async_outstanding_;
   }
-  pool_->Schedule([this, request = std::move(request), done = std::move(done)]() mutable {
+  auto task = [this, request = std::move(request), done = std::move(done)]() mutable {
     QueryResponse response = Execute(request);
     Release();
     done(std::move(response));
     std::lock_guard<std::mutex> lock(mu_);
     if (--async_outstanding_ == 0) drained_.notify_all();
-  });
+  };
+  if (pool_->num_threads() > 1) {
+    pool_->Schedule(std::move(task));
+  } else {
+    // A pool of 1 spawns no workers, so a scheduled task would sit in a
+    // queue nothing drains and the destructor would wait forever. Run
+    // inline instead, mirroring IndexManager::InsertBatch.
+    task();
+  }
 }
 
 QueryResponse SearchService::Search(const QueryRequest& request) {

@@ -85,8 +85,8 @@ class SearchService {
 
   // Asynchronous: runs the query on the pool and invokes `done` with the
   // response from a pool thread. A shed query invokes `done` inline with
-  // kResourceExhausted. Requires a pool with at least one background lane
-  // (num_threads >= 2); use Search/SearchBatch otherwise.
+  // kResourceExhausted. On a pool with no background lane (num_threads
+  // == 1) the query runs inline on the calling thread instead.
   void Submit(QueryRequest request, std::function<void(QueryResponse)> done);
 
   // Synchronous single query on the calling thread (still admission-

@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <limits>
 #include <cstring>
+#include <string_view>
+#include <unordered_set>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -402,7 +404,17 @@ StatusOr<std::vector<std::string>> ParseStringList(std::string_view payload,
                          " exceeds payload size");
   }
   std::vector<std::string> strings(count);
-  for (uint64_t i = 0; i < count; ++i) KJOIN_RETURN_IF_ERROR(r.Str(&strings[i]));
+  // The table feeds ObjectBuilder::PreloadTokens, whose intern map
+  // CHECK-fails on a repeat — reject forged duplicates here instead.
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    KJOIN_RETURN_IF_ERROR(r.Str(&strings[i]));
+    if (!seen.insert(strings[i]).second) {
+      return InvalidArgumentError(label + ": duplicate string '" + strings[i] + "' at entry " +
+                                  std::to_string(i));
+    }
+  }
   KJOIN_RETURN_IF_ERROR(r.ExpectEnd());
   return strings;
 }

@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "hierarchy/dag.h"
 #include "hierarchy/hierarchy.h"
 #include "hierarchy/hierarchy_builder.h"
@@ -203,6 +204,43 @@ TEST(HierarchyTest, CsrChildrenMatchParents) {
     EXPECT_EQ(tree.IsLeaf(v), kids.empty());
   }
   EXPECT_EQ(edges, tree.num_nodes() - 1);
+}
+
+// FromParts treats its input as untrusted (snapshot bytes whose CRCs an
+// attacker can recompute): forged interior CSR offsets must be rejected
+// before the replay loop can index child_nodes out of bounds. Runs under
+// the asan preset.
+TEST(HierarchyTest, FromPartsRejectsForgedCsrOffsets) {
+  // Valid baseline: root 0 with children {1, 2}; node 2 has child 3.
+  const auto make_parts = [] {
+    HierarchyParts parts;
+    parts.parents = {kInvalidNode, 0, 0, 2};
+    parts.labels = {"r", "a", "b", "c"};
+    parts.depths = {0, 1, 1, 2};
+    parts.child_offsets = {0, 2, 2, 3, 3};
+    parts.child_nodes = {1, 2, 3};
+    parts.leaves = {1, 3};
+    parts.height = 2;
+    return parts;
+  };
+  ASSERT_TRUE(Hierarchy::FromParts(make_parts()).ok());
+
+  // A negative interior offset seeds node 2's replay cursor below zero
+  // while still passing the `slot >= child_offsets[p + 1]` guard.
+  HierarchyParts negative = make_parts();
+  negative.child_offsets[2] = -50;
+  StatusOr<Hierarchy> forged = Hierarchy::FromParts(std::move(negative));
+  ASSERT_FALSE(forged.ok());
+  EXPECT_TRUE(IsInvalidArgument(forged.status())) << forged.status().ToString();
+
+  // An oversized interior pair passes the same guard with a slot far past
+  // child_nodes.size().
+  HierarchyParts oversized = make_parts();
+  oversized.child_offsets[2] = 100;
+  oversized.child_offsets[3] = 200;
+  forged = Hierarchy::FromParts(std::move(oversized));
+  ASSERT_FALSE(forged.ok());
+  EXPECT_TRUE(IsInvalidArgument(forged.status())) << forged.status().ToString();
 }
 
 TEST(HierarchyBuilderTest, AddPathReusesNodes) {

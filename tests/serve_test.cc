@@ -338,6 +338,21 @@ TEST(SnapshotCorruptionTest, DuplicateTagIsRejected) {
   EXPECT_TRUE(IsInvalidArgument(status)) << status.ToString();
 }
 
+// A CRC-valid snapshot whose TOKS table repeats a string must fail the
+// load cleanly: the table feeds ObjectBuilder::PreloadTokens, whose
+// intern map CHECK-fails on a repeat, so the parser is the last chance
+// to turn the forgery into a Status instead of a process abort.
+TEST(SnapshotCorruptionTest, DuplicateTokenEntryIsRejected) {
+  serve::SnapshotInput input;
+  input.index = &*Stack().index;
+  input.tokens = Stack().prepared.builder->TokenTable();
+  ASSERT_FALSE(input.tokens.empty());
+  input.tokens.push_back(input.tokens.front());
+  const Status status = LoadStatus(serve::SerializeIndexSnapshot(input));
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(IsInvalidArgument(status)) << status.ToString();
+}
+
 // A corrupted payload with its checksums recomputed gets past the CRC
 // layer on purpose: the structural validators are the last line of
 // defense and must turn garbage into a clean Status, never a crash or an
@@ -478,6 +493,31 @@ TEST(ConcurrentSearchTest, EightReadersMatchSerial) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// A top-k search that trips its deadline mid-scan still honors the
+// caller's contract on the partial result: at most k hits, all at or
+// above min_similarity. The microsecond deadlines pass the initial check
+// but expire by the first control poll (every 8 verifications), so the
+// trip lands with unfiltered hits accumulated — exactly the case where a
+// raw early return would leak below-floor and beyond-k hits.
+TEST(ConcurrentSearchTest, TrippedTopKStillFiltersAndTruncates) {
+  ServeStack& stack = Stack();
+  const std::vector<Object> queries = MakeQueries(stack.prepared.builder.get(), 24);
+  const double floor = 0.9;  // above tau = 0.6, so some proven hits get filtered
+  for (const Object& query : queries) {
+    for (const double deadline : {1e-12, 1e-7, 1e-6, 1e-5}) {
+      JoinControl control;
+      control.deadline_seconds = deadline;
+      std::vector<SearchHit> hits;
+      const Status status = stack.index->SearchTopK(query, /*k=*/1, floor, control, &hits);
+      if (!status.ok()) {
+        EXPECT_TRUE(IsDeadlineExceeded(status)) << status.ToString();
+      }
+      EXPECT_LE(hits.size(), 1u);
+      for (const SearchHit& hit : hits) EXPECT_GE(hit.similarity + 1e-9, floor);
+    }
+  }
 }
 
 // --------------------------------------------------- IndexManager
@@ -708,6 +748,27 @@ TEST(SearchServiceTest, SubmitRunsOnPoolAndDestructorDrains) {
   }  // ~SearchService is the drain barrier: every done callback has run
   EXPECT_EQ(completed.load(), kQueries);
   EXPECT_EQ(failed.load(), 0);
+}
+
+// A pool of 1 spawns no workers, so a Schedule()d query would sit in a
+// queue nothing drains and the destructor would hang on the drain wait.
+// Submit must detect the missing background lane and run inline instead.
+TEST(SearchServiceTest, SubmitOnSingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  std::unique_ptr<serve::IndexManager> manager = MakeManager(&pool);
+  bool called = false;
+  {
+    serve::SearchService service(manager.get(), &pool);
+    serve::QueryRequest request;
+    request.query = Stack().prepared.objects[5];
+    service.Submit(std::move(request), [&](serve::QueryResponse response) {
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_FALSE(response.hits.empty());
+      called = true;
+    });
+    EXPECT_TRUE(called);  // ran inline on the calling thread
+  }  // ~SearchService must not deadlock on the drain wait
+  EXPECT_TRUE(called);
 }
 
 // The acceptance bar for the serving PR: eight clients with deadlines and
