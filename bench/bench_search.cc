@@ -1,9 +1,13 @@
 // Extension bench (not a paper figure): KJoinIndex similarity-search
 // throughput vs threshold, plus the serving stack — snapshot-load vs
-// text-parse+rebuild cold start, and concurrent SearchService QPS with
-// latency percentiles. With --out the serving sections are written as a
-// JSON report that scripts/run_bench.sh merges into BENCH_PR5.json
-// (scripts/compare_bench.py tracks the speedup and per-client QPS).
+// text-parse+rebuild cold start, concurrent SearchService QPS with
+// latency percentiles, the durable write path (acked insert latency with
+// WAL fsync, delta-publish bytes vs a full postings copy, compaction
+// pauses), and search throughput as a function of delta-chain depth
+// against a compacted twin. With --out the serving sections are written
+// as a JSON report that scripts/run_bench.sh merges into BENCH_PR6.json
+// (scripts/compare_bench.py tracks the speedup, per-client QPS, delta
+// publish bytes, and per-depth QPS + identity flags).
 //
 //   ./bench_search [--n 20000] [--queries 2000]
 //                  [--serve_n 4000] [--serve_queries 240] [--out serving.json]
@@ -17,6 +21,7 @@
 
 #include "bench_util.h"
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/kjoin_index.h"
@@ -47,6 +52,22 @@ struct ConcurrentRow {
   double p99_ms = 0.0;
   bool results_identical = false;
 };
+
+struct DeltaRow {
+  int depth = 0;
+  double delta_qps = 0.0;
+  double flat_qps = 0.0;
+  double overhead_pct = 0.0;
+  bool results_identical = false;
+};
+
+int64_t PostingEntryBytes(const kjoin::KJoinIndex& index) {
+  int64_t entries = 0;
+  for (const auto& [sig, list] : index.postings()) {
+    entries += static_cast<int64_t>(list.size());
+  }
+  return entries * static_cast<int64_t>(sizeof(int32_t));
+}
 
 }  // namespace
 
@@ -195,6 +216,166 @@ int main(int argc, char** argv) {
   }
   std::remove(snapshot_path.c_str());
 
+  // ---- serving: durable write path (WAL fsync on the ack path) ---------
+  // One shared base stack for the write-path and delta-depth sections.
+  kjoin::bench::PrintHeader("Durable write path (WAL fsync per acked batch)");
+  kjoin::BenchmarkData wp_data = kjoin::MakePoiBenchmark(*serve_n, /*seed=*/51);
+  auto wp_hierarchy = std::make_shared<const kjoin::Hierarchy>(std::move(wp_data.hierarchy));
+  const kjoin::PreparedObjects wp_prepared =
+      kjoin::BuildObjects(*wp_hierarchy, wp_data.dataset, /*multi_mapping=*/true, 0.8);
+  constexpr int kWriteBatches = 64;
+  constexpr int kObjectsPerBatch = 8;
+  auto make_write_batch = [&](int b) {
+    std::vector<kjoin::Object> batch;
+    batch.reserve(kObjectsPerBatch);
+    for (int i = 0; i < kObjectsPerBatch; ++i) {
+      const int64_t id = b * kObjectsPerBatch + i;
+      batch.push_back(wp_prepared.builder->Build(static_cast<int32_t>(*serve_n + id),
+                                                 wp_data.dataset.records[id % *serve_n].tokens));
+    }
+    return batch;
+  };
+  // Writers run inline (no pool): the acked latency includes the WAL
+  // append + fsync AND the epoch publish, i.e. the full ack path. The
+  // first run never compacts, isolating the delta-publish cost; the
+  // second run uses the default compaction threshold so the periodic
+  // fold shows up in its tail latency.
+  auto run_write_path = [&](kjoin::serve::IndexManagerOptions manager_options,
+                            const std::string& wal_path, kjoin::MetricsRegistry* registry,
+                            std::vector<double>* out_ms) {
+    auto manager = std::make_unique<kjoin::serve::IndexManager>(
+        wp_hierarchy, serve_options, wp_prepared.objects, wp_prepared.builder->TokenTable(),
+        wp_data.dataset.synonyms, /*pool=*/nullptr, registry, manager_options);
+    std::remove(wal_path.c_str());
+    if (!manager->AttachWal(wal_path).ok()) {
+      std::fprintf(stderr, "WAL attach failed: %s\n", wal_path.c_str());
+      std::exit(1);
+    }
+    for (int b = 0; b < kWriteBatches; ++b) {
+      kjoin::WallTimer acked;
+      if (!manager->InsertBatch(make_write_batch(b)).ok()) {
+        std::fprintf(stderr, "insert rejected in write-path bench\n");
+        std::exit(1);
+      }
+      out_ms->push_back(acked.ElapsedSeconds() * 1e3);
+    }
+    manager->Flush();
+    std::sort(out_ms->begin(), out_ms->end());
+    return manager;
+  };
+
+  kjoin::serve::IndexManagerOptions no_compaction;
+  no_compaction.max_delta_layers = 1 << 20;
+  kjoin::MetricsRegistry delta_metrics;
+  std::vector<double> delta_acked_ms;
+  auto delta_writer =
+      run_write_path(no_compaction, "/tmp/bench_search_delta.wal", &delta_metrics, &delta_acked_ms);
+  kjoin::MetricsRegistry compact_metrics;
+  std::vector<double> compact_acked_ms;
+  auto compact_writer =
+      run_write_path({}, "/tmp/bench_search_compact.wal", &compact_metrics, &compact_acked_ms);
+
+  const int64_t base_postings_bytes = [&] {
+    const kjoin::KJoinIndex base(*wp_hierarchy, serve_options, wp_prepared.objects);
+    return PostingEntryBytes(base);
+  }();
+  const int64_t delta_publishes = delta_metrics.counter("manager.delta_publishes")->value();
+  const double delta_publish_bytes_avg =
+      static_cast<double>(delta_metrics.counter("manager.rebuild_bytes")->value()) /
+      std::max<int64_t>(delta_publishes, 1);
+  const double full_copy_ratio = delta_publish_bytes_avg / std::max<int64_t>(base_postings_bytes, 1);
+  const int64_t compactions = compact_metrics.counter("manager.compactions")->value();
+  const double compaction_pause_ms_avg =
+      compact_metrics.histogram("manager.compaction_seconds")->sum() * 1e3 /
+      std::max<int64_t>(compactions, 1);
+  const double acked_p50_ms = Percentile(delta_acked_ms, 0.50);
+  const double acked_p99_ms = Percentile(delta_acked_ms, 0.99);
+  const double compacted_p99_ms = Percentile(compact_acked_ms, 0.99);
+  const int64_t wal_bytes = delta_writer->wal_size_bytes();
+
+  PrintRow({"metric", "value"}, 28);
+  PrintRow({"acked-p50-ms", Fmt(acked_p50_ms, 3)}, 28);
+  PrintRow({"acked-p99-ms", Fmt(acked_p99_ms, 3)}, 28);
+  PrintRow({"acked-p99-ms (compacting)", Fmt(compacted_p99_ms, 3)}, 28);
+  PrintRow({"delta-publish-bytes", Fmt(delta_publish_bytes_avg, 0)}, 28);
+  PrintRow({"base-postings-bytes", Fmt(static_cast<double>(base_postings_bytes), 0)}, 28);
+  PrintRow({"compaction-pause-ms", Fmt(compaction_pause_ms_avg, 3)}, 28);
+  std::printf("%lld acked batches, %lld WAL bytes; a delta publish writes %.2f%% of a "
+              "full postings copy (%lld compactions in the compacting run)\n",
+              static_cast<long long>(kWriteBatches), static_cast<long long>(wal_bytes),
+              full_copy_ratio * 100.0, static_cast<long long>(compactions));
+  delta_writer.reset();
+  compact_writer.reset();
+  std::remove("/tmp/bench_search_delta.wal");
+  std::remove("/tmp/bench_search_compact.wal");
+
+  // ---- serving: search QPS vs delta-chain depth ------------------------
+  // A growing delta chain vs a twin that compacts after every publish:
+  // same objects, same queries — the QPS gap is the chain's merge cost
+  // and the identity flag proves depth never changes answers.
+  kjoin::bench::PrintHeader("Search QPS vs delta depth (vs compacted twin)");
+  kjoin::serve::IndexManagerOptions always_compact;
+  always_compact.max_delta_layers = 0;
+  kjoin::serve::IndexManager chained(wp_hierarchy, serve_options, wp_prepared.objects,
+                                     wp_prepared.builder->TokenTable(),
+                                     wp_data.dataset.synonyms, /*pool=*/nullptr, nullptr,
+                                     no_compaction);
+  kjoin::serve::IndexManager flattened(wp_hierarchy, serve_options, wp_prepared.objects,
+                                       wp_prepared.builder->TokenTable(),
+                                       wp_data.dataset.synonyms, /*pool=*/nullptr, nullptr,
+                                       always_compact);
+  const int64_t depth_reps = std::max<int64_t>(1, 960 / static_cast<int64_t>(requests.size()));
+  auto measure_qps = [&](kjoin::serve::IndexManager& manager) {
+    const auto epoch = manager.Acquire();
+    kjoin::WallTimer timer;
+    int64_t measured = 0;
+    for (int64_t rep = 0; rep < depth_reps; ++rep) {
+      for (const kjoin::serve::QueryRequest& request : requests) {
+        measured += static_cast<int64_t>(epoch->index->Search(request.query).size());
+      }
+    }
+    (void)measured;
+    return static_cast<double>(depth_reps * requests.size()) /
+           std::max(timer.ElapsedSeconds(), 1e-9);
+  };
+  auto answers_identical = [&] {
+    const auto chained_epoch = chained.Acquire();
+    const auto flat_epoch = flattened.Acquire();
+    for (const kjoin::serve::QueryRequest& request : requests) {
+      if (chained_epoch->index->Search(request.query) !=
+          flat_epoch->index->Search(request.query)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  PrintRow({"depth", "delta-qps", "flat-qps", "overhead-%", "identical"}, 12);
+  std::vector<DeltaRow> delta_rows;
+  int inserted_batches = 0;
+  for (int depth : {0, 1, 4, 16}) {
+    for (; inserted_batches < depth; ++inserted_batches) {
+      std::vector<kjoin::Object> batch = make_write_batch(inserted_batches);
+      if (!chained.InsertBatch(batch).ok() ||
+          !flattened.InsertBatch(std::move(batch)).ok()) {
+        std::fprintf(stderr, "insert rejected in delta-depth bench\n");
+        return 1;
+      }
+    }
+    chained.Flush();
+    flattened.Flush();
+    DeltaRow row;
+    row.depth = chained.Acquire()->index->delta_depth();
+    row.delta_qps = measure_qps(chained);
+    row.flat_qps = measure_qps(flattened);
+    row.overhead_pct = (row.flat_qps / std::max(row.delta_qps, 1e-9) - 1.0) * 100.0;
+    row.results_identical = answers_identical();
+    delta_rows.push_back(row);
+    PrintRow({std::to_string(row.depth), Fmt(row.delta_qps, 0), Fmt(row.flat_qps, 0),
+              Fmt(row.overhead_pct, 1), JsonBool(row.results_identical)},
+             12);
+  }
+
   // ---- JSON report (serving sections only; run_bench.sh merges it) -----
   if (!out->empty()) {
     std::FILE* f = std::fopen(out->c_str(), "w");
@@ -216,6 +397,27 @@ int main(int argc, char** argv) {
                    "%s\n    {\"clients\": %d, \"qps\": %.1f, \"p50_ms\": %.3f, "
                    "\"p99_ms\": %.3f, \"results_identical\": %s}",
                    i == 0 ? "" : ",", row.clients, row.qps, row.p50_ms, row.p99_ms,
+                   JsonBool(row.results_identical).c_str());
+    }
+    std::fprintf(f, "\n  ],\n");
+    std::fprintf(f,
+                 "  \"serving_write_path\": {\"batches\": %d, \"objects_per_batch\": %d, "
+                 "\"acked_p50_ms\": %.4f, \"acked_p99_ms\": %.4f, "
+                 "\"compacted_p99_ms\": %.4f, \"wal_bytes\": %lld, "
+                 "\"delta_publish_bytes_avg\": %.0f, \"base_postings_bytes\": %lld, "
+                 "\"full_copy_ratio\": %.5f, \"compactions\": %lld, "
+                 "\"compaction_pause_ms_avg\": %.4f},\n",
+                 kWriteBatches, kObjectsPerBatch, acked_p50_ms, acked_p99_ms, compacted_p99_ms,
+                 static_cast<long long>(wal_bytes), delta_publish_bytes_avg,
+                 static_cast<long long>(base_postings_bytes), full_copy_ratio,
+                 static_cast<long long>(compactions), compaction_pause_ms_avg);
+    std::fprintf(f, "  \"serving_delta_search\": [");
+    for (size_t i = 0; i < delta_rows.size(); ++i) {
+      const DeltaRow& row = delta_rows[i];
+      std::fprintf(f,
+                   "%s\n    {\"depth\": %d, \"delta_qps\": %.1f, \"flat_qps\": %.1f, "
+                   "\"overhead_pct\": %.2f, \"results_identical\": %s}",
+                   i == 0 ? "" : ",", row.depth, row.delta_qps, row.flat_qps, row.overhead_pct,
                    JsonBool(row.results_identical).c_str());
     }
     std::fprintf(f, "\n  ]\n}\n");

@@ -2,15 +2,19 @@
 // RCU-swapped live index, and concurrent clients with deadlines and
 // admission control.
 //
-//   ./kjoin_server --n 5000 --clients 4 --queries 50 --snapshot poi.snap
+//   ./kjoin_server --n 5000 --clients 4 --queries 50 --snapshot poi.snap \
+//       --wal poi.wal
 //
 // With --snapshot the index is loaded from the file when it exists
 // (skipping tokenization, entity matching, signature generation and the
 // LCA build) and built-then-saved when it does not, so the second run
-// demonstrates the fast cold start. While clients are querying, the main
-// thread inserts a batch of new records; the epoch swap is visible only
-// as a version bump in the responses. Exits with the metrics registry
-// dumped as JSON.
+// demonstrates the fast cold start. With --wal every accepted write is
+// appended and fsynced before it is acked, and startup replays whatever
+// the log holds past the snapshot — kill the process mid-run and the
+// next run serves every acked batch (docs/serving.md, "Durability").
+// While clients are querying, the main thread inserts a batch of new
+// records; the epoch swap is visible only as a version bump in the
+// responses. Exits with the metrics registry dumped as JSON.
 
 #include <atomic>
 #include <cstdio>
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
   int64_t* max_in_flight = flags.Int("max-in-flight", 64, "admission cap (0 = unbounded)");
   int64_t* insert = flags.Int("insert", 200, "records to insert while clients run");
   std::string* snapshot = flags.String("snapshot", "", "snapshot file: load if present, else build and save");
+  std::string* wal = flags.String("wal", "", "write-ahead log: replay on start, append every write");
   if (!flags.Parse(argc, argv)) return 1;
 
   kjoin::ThreadPool pool(2);  // background lane for epoch rebuilds
@@ -94,6 +99,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!wal->empty()) {
+    const kjoin::Status attached = manager->AttachWal(*wal);
+    if (!attached.ok()) {
+      std::printf("WAL attach failed: %s\n", attached.ToString().c_str());
+      return 1;
+    }
+    std::printf("WAL attached: %s (%lld bytes after replay); epoch %lld, %lld objects\n",
+                wal->c_str(), static_cast<long long>(manager->wal_size_bytes()),
+                static_cast<long long>(manager->version()),
+                static_cast<long long>(manager->Acquire()->index->num_live()));
+  }
+
   kjoin::serve::SearchServiceOptions service_options;
   service_options.max_in_flight = static_cast<int>(*max_in_flight);
   service_options.default_deadline_seconds = *deadline;
@@ -144,7 +161,11 @@ int main(int argc, char** argv) {
       batch.push_back(builder->Build(static_cast<int32_t>(*n + i),
                                      data.dataset.records[i % *n].tokens));
     }
-    manager->InsertBatch(std::move(batch), builder->TokenTable());
+    const kjoin::Status inserted =
+        manager->InsertBatch(std::move(batch), builder->TokenTable());
+    if (!inserted.ok()) {
+      std::printf("insert rejected: %s\n", inserted.ToString().c_str());
+    }
     manager->Flush();
   }
   for (std::thread& t : client_threads) t.join();

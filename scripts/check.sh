@@ -15,14 +15,24 @@
 #                                    # committed BENCH_PR*.json
 #                                    # (scripts/compare_bench.py, fails on
 #                                    # >10% regression in tracked metrics)
+#   scripts/check.sh --recovery      # additionally run the WAL
+#                                    # kill-and-replay harness: a writer
+#                                    # process is hard-killed mid-stream,
+#                                    # the log tail is torn, and recovery
+#                                    # must reproduce every acked batch
+#                                    # byte-identically
+#                                    # (examples/wal_kill_replay.cc)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 run_bench=0
+run_recovery=0
 presets=()
 for arg in "$@"; do
   if [[ "$arg" == "--bench" ]]; then
     run_bench=1
+  elif [[ "$arg" == "--recovery" ]]; then
+    run_recovery=1
   else
     presets+=("$arg")
   fi
@@ -40,6 +50,30 @@ for preset in "${presets[@]}"; do
   (cd "$repo" && ctest --preset "$preset")
 done
 echo "all presets green: ${presets[*]}"
+
+if [[ $run_recovery -eq 1 ]]; then
+  echo "==> [recovery] build wal_kill_replay"
+  cmake -B "$repo/build" -S "$repo" >/dev/null
+  cmake --build "$repo/build" --target wal_kill_replay -j "$(nproc)" >/dev/null
+  harness="$repo/build/examples/wal_kill_replay"
+  workdir="$(mktemp -d /tmp/kjoin_recovery.XXXXXX)"
+  trap 'rm -rf "$workdir"' EXIT
+
+  echo "==> [recovery] writer killed mid-stream after batch 17/30"
+  "$harness" --dir "$workdir" --mode writer --batches 30 --kill-after 17 && status=0 || status=$?
+  if [[ $status -ne 7 ]]; then
+    echo "expected the writer to _exit(7), got $status" >&2
+    exit 1
+  fi
+  echo "==> [recovery] tear the log tail (simulated crash mid-append)"
+  "$harness" --dir "$workdir" --mode tear
+  echo "==> [recovery] verify: every acked batch recovered byte-identically"
+  "$harness" --dir "$workdir" --mode verify
+  echo "==> [recovery] resume the writer to completion and re-verify"
+  "$harness" --dir "$workdir" --mode writer --batches 30
+  "$harness" --dir "$workdir" --mode verify
+  echo "recovery harness passed"
+fi
 
 if [[ $run_bench -eq 1 ]]; then
   echo "==> [bench] fresh bench_regression run"

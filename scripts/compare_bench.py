@@ -35,13 +35,19 @@ TRACKED = [
     # speedup is a ratio of the two cold-start paths, so it is stable
     # where the raw load_seconds (milliseconds) would be noise-dominated.
     (("serving_cold_start", "snapshot_speedup"), "higher"),
+    # Write path: the per-publish delta bytes are deterministic (a pure
+    # function of the workload), so any growth means the delta layer
+    # started copying state it used to share. The fsync-bound acked
+    # latencies are too disk-noisy to gate on and are reported only.
+    (("serving_write_path", "delta_publish_bytes_avg"), "lower"),
 ]
 
-# fig9_filter, fig14_threads and serving_qps are arrays keyed by
-# scheme / thread count / client count.
+# fig9_filter, fig14_threads, serving_qps and serving_delta_search are
+# arrays keyed by scheme / thread count / client count / delta depth.
 TRACKED_FIG9 = "total_seconds"  # per scheme, lower is better
 TRACKED_FIG14 = "total_seconds"  # per thread count, lower is better
 TRACKED_SERVING = "qps"  # per client count, higher is better
+TRACKED_DELTA = "delta_qps"  # per delta depth, higher is better
 
 IDENTICAL_FLAGS = [
     ("fig11_verify", "results_identical"),
@@ -148,6 +154,18 @@ def main():
         fresh_flag = fresh_serving.get(clients, {}).get("results_identical")
         if base_flag is True and fresh_flag is False:
             failures.append(f"serving_qps[{clients}]/results_identical flipped to false")
+
+    base_delta = index_rows(base.get("serving_delta_search", []), "depth")
+    fresh_delta = index_rows(fresh.get("serving_delta_search", []), "depth")
+    for depth in base_delta:
+        compare_scalar(f"serving_delta_search[{depth}]/{TRACKED_DELTA}",
+                       base_delta[depth].get(TRACKED_DELTA),
+                       fresh_delta.get(depth, {}).get(TRACKED_DELTA),
+                       "higher", args.tolerance, failures)
+        base_flag = base_delta[depth].get("results_identical")
+        fresh_flag = fresh_delta.get(depth, {}).get("results_identical")
+        if base_flag is True and fresh_flag is False:
+            failures.append(f"serving_delta_search[{depth}]/results_identical flipped to false")
 
     for path in IDENTICAL_FLAGS:
         base_flag = lookup(base, path)

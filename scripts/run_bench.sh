@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # Builds the release tree and runs the bench-regression harness plus the
 # serving sections of bench_search, merging both into one machine-readable
-# report (default BENCH_PR5.json in the repo root).
+# report (default BENCH_PR6.json in the repo root).
 #
 #   scripts/run_bench.sh [out.json] [extra bench_regression flags...]
 #
 # Compare the report against the committed one from the previous PR to
 # catch hot-path regressions; docs/performance.md describes the
 # bench_regression schema and docs/serving.md the serving sections
-# (serving_cold_start, serving_qps).
+# (serving_cold_start, serving_qps, serving_write_path,
+# serving_delta_search).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo/BENCH_PR5.json}"
+out="${1:-$repo/BENCH_PR6.json}"
 shift || true
 
 cmake -B "$repo/build" -S "$repo" >/dev/null

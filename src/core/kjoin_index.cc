@@ -59,12 +59,36 @@ KJoinIndex::KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options,
       postings_(std::move(parts.postings)) {
   KJOIN_CHECK(&lca_->hierarchy() == hierarchy_)
       << "restored LCA index belongs to a different hierarchy";
+  for (const int32_t index : parts.tombstones) {
+    KJOIN_CHECK(index >= 0 && static_cast<size_t>(index) < objects_.size())
+        << "restored tombstone " << index << " outside the collection";
+    dead_.insert(index);
+  }
+  total_dead_ = static_cast<int64_t>(dead_.size());
 }
+
+KJoinIndex::KJoinIndex(std::shared_ptr<const KJoinIndex> base)
+    : hierarchy_(base->hierarchy_),
+      options_(base->options_),
+      base_(std::move(base)),
+      base_total_(static_cast<int32_t>(base_->num_indexed())),
+      depth_(base_->depth_ + 1),
+      total_dead_(base_->total_dead_),
+      lca_(base_->lca_),
+      sim_cache_(options_.sim_cache ? std::make_unique<SimCache>(options_.sim_cache_capacity)
+                                    : nullptr),
+      element_sim_(*lca_, options_.element_metric, sim_cache_.get()),
+      signatures_(*hierarchy_, options_.element_metric, options_.scheme, options_.delta),
+      object_sim_(element_sim_, options_.delta, options_.set_metric),
+      verifier_(element_sim_, signatures_,
+                VerifierOptions{options_.delta, options_.tau, options_.verify_mode,
+                                options_.set_metric, options_.count_pruning,
+                                options_.weighted_count_pruning, options_.plus_mode}) {}
 
 void KJoinIndex::IndexObject(int32_t index) {
   // Full signature set, deduplicated per object.
   std::vector<SigId> ids;
-  for (const Signature& sig : signatures_.Generate(objects_[index])) ids.push_back(sig.id);
+  for (const Signature& sig : signatures_.Generate(object_at(index))) ids.push_back(sig.id);
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   for (SigId id : ids) postings_[id].push_back(index);
@@ -72,22 +96,55 @@ void KJoinIndex::IndexObject(int32_t index) {
 
 int32_t KJoinIndex::Insert(const Object& object) {
   objects_.push_back(object);
-  const int32_t index = static_cast<int32_t>(objects_.size() - 1);
+  const int32_t index = base_total_ + static_cast<int32_t>(objects_.size()) - 1;
   IndexObject(index);
   return index;
+}
+
+bool KJoinIndex::DeleteObject(int32_t index) {
+  KJOIN_CHECK(index >= 0 && index < num_indexed())
+      << "DeleteObject index " << index << " outside [0, " << num_indexed() << ")";
+  if (deleted(index)) return false;
+  dead_.insert(index);
+  ++total_dead_;
+  return true;
+}
+
+void KJoinIndex::CollectLayers(std::vector<const KJoinIndex*>* layers) const {
+  if (base_ != nullptr) base_->CollectLayers(layers);
+  layers->push_back(this);
 }
 
 int64_t KJoinIndex::last_candidates() { return tls_last_candidates; }
 
 std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
+  // The usual case is a flat index (one layer, no tombstones); deltas
+  // probe every layer's postings. Layers are ordered deepest base first,
+  // so concatenating a signature's lists preserves ascending object
+  // order (each layer only indexes objects past its base).
+  const KJoinIndex* flat[1] = {this};
+  std::vector<const KJoinIndex*> chain;
+  const KJoinIndex* const* layers = flat;
+  size_t num_layers = 1;
+  if (base_ != nullptr) {
+    CollectLayers(&chain);
+    layers = chain.data();
+    num_layers = chain.size();
+  }
+  const bool check_dead = total_dead_ > 0;
+
   std::vector<Signature> sigs = signatures_.Generate(query);
-  // Order by indexed-side document frequency ascending (posting-list
-  // length; absent signatures have df 0). Any fixed order is sound for
-  // the asymmetric search argument; df-ascending keeps probed lists
-  // short.
+  // Order by indexed-side document frequency ascending (chain-summed
+  // posting-list length; absent signatures have df 0). Any fixed order is
+  // sound for the asymmetric search argument; df-ascending keeps probed
+  // lists short.
   auto df_of = [&](SigId id) {
-    auto it = postings_.find(id);
-    return it == postings_.end() ? int64_t{0} : static_cast<int64_t>(it->second.size());
+    int64_t df = 0;
+    for (size_t l = 0; l < num_layers; ++l) {
+      auto it = layers[l]->postings_.find(id);
+      if (it != layers[l]->postings_.end()) df += static_cast<int64_t>(it->second.size());
+    }
+    return df;
   };
   std::sort(sigs.begin(), sigs.end(), [&](const Signature& a, const Signature& b) {
     const int64_t dfa = df_of(a.id);
@@ -107,18 +164,20 @@ std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
   }
 
   std::vector<int32_t> candidates;
-  std::vector<char> seen(objects_.size(), 0);
+  std::vector<char> seen(static_cast<size_t>(num_indexed()), 0);
   SigId previous = 0;
   bool have_previous = false;
   for (int32_t k = 0; k < prefix; ++k) {
     if (have_previous && sigs[k].id == previous) continue;
     previous = sigs[k].id;
     have_previous = true;
-    auto it = postings_.find(sigs[k].id);
-    if (it == postings_.end()) continue;
-    for (int32_t i : it->second) {
-      if (!seen[i]) {
+    for (size_t l = 0; l < num_layers; ++l) {
+      auto it = layers[l]->postings_.find(sigs[k].id);
+      if (it == layers[l]->postings_.end()) continue;
+      for (int32_t i : it->second) {
+        if (seen[i]) continue;
         seen[i] = 1;
+        if (check_dead && deleted(i)) continue;
         candidates.push_back(i);
       }
     }
@@ -127,12 +186,52 @@ std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
   return candidates;
 }
 
+void KJoinIndex::Flatten(std::vector<Object>* objects, RestoredParts* parts) const {
+  std::vector<const KJoinIndex*> layers;
+  CollectLayers(&layers);
+
+  objects->clear();
+  objects->reserve(static_cast<size_t>(num_indexed()));
+  std::unordered_set<int32_t> dead;
+  for (const KJoinIndex* layer : layers) {
+    // Dead objects are kept in place: chain-global indexes stay stable
+    // across a flatten, so published hits and WAL deletes keep meaning
+    // the same rows.
+    objects->insert(objects->end(), layer->objects_.begin(), layer->objects_.end());
+    dead.insert(layer->dead_.begin(), layer->dead_.end());
+  }
+
+  parts->lca = lca_;
+  parts->tombstones.assign(dead.begin(), dead.end());
+  std::sort(parts->tombstones.begin(), parts->tombstones.end());
+
+  parts->postings.clear();
+  for (const KJoinIndex* layer : layers) {
+    for (const auto& [id, list] : layer->postings_) {
+      std::vector<int32_t>& out = parts->postings[id];
+      for (const int32_t index : list) {
+        if (dead.find(index) == dead.end()) out.push_back(index);
+      }
+    }
+  }
+  // A signature all of whose carriers died must not leave an empty list
+  // behind (the snapshot format forbids them, and df counts would skew).
+  for (auto it = parts->postings.begin(); it != parts->postings.end();) {
+    if (it->second.empty()) {
+      it = parts->postings.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::vector<SearchHit> KJoinIndex::Search(const Object& query) const {
   std::vector<SearchHit> hits;
   VerifyStats stats;
   for (int32_t i : Candidates(query)) {
-    if (!verifier_.Verify(query, objects_[i], &stats)) continue;
-    hits.push_back({i, object_sim_.Similarity(query, objects_[i])});
+    const Object& object = object_at(i);
+    if (!verifier_.Verify(query, object, &stats)) continue;
+    hits.push_back({i, object_sim_.Similarity(query, object)});
   }
   std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
     if (a.similarity != b.similarity) return a.similarity > b.similarity;
@@ -189,8 +288,9 @@ Status KJoinIndex::SearchControlled(const Object& query, const JoinControl& cont
         status = tripped();
         if (!status.ok()) break;
       }
-      if (!verifier_.Verify(query, objects_[i], &verify_stats)) continue;
-      hits->push_back({i, object_sim_.Similarity(query, objects_[i])});
+      const Object& object = object_at(i);
+      if (!verifier_.Verify(query, object, &verify_stats)) continue;
+      hits->push_back({i, object_sim_.Similarity(query, object)});
     }
   }
   std::sort(hits->begin(), hits->end(), [](const SearchHit& a, const SearchHit& b) {

@@ -16,17 +16,28 @@
 //   index.Insert(more_objects[i]);
 //   std::vector<SearchHit> hits = index.Search(query);
 //
+// Delta layering (the serving write path): a KJoinIndex built over a
+// shared_ptr base stores only its own objects and postings; probes merge
+// the chain's posting lists at query time, so publishing an update epoch
+// costs O(batch), not O(index) (serve/index_manager.h folds deep chains
+// back into a flat base via Flatten()). Tombstones make objects
+// deletable anywhere in the chain without touching the layers below:
+// object indexes are never reused, deleted entries are skipped at probe
+// time and dropped when the chain is flattened.
+//
 // Thread safety: Search and SearchTopK are safe for any number of
 // concurrent callers — every mutable state they touch (verifier scratch,
 // SimCache L1, the last_candidates observability slot) is per-thread, and
-// concurrent results are identical to serial execution. Insert mutates
-// the index and requires external synchronization: no Search may run
-// concurrently with it (serve/index_manager.h never mutates a published
-// index; it swaps in a rebuilt one instead).
+// concurrent results are identical to serial execution. Insert and
+// DeleteObject mutate the index and require external synchronization: no
+// Search may run concurrently with them (serve/index_manager.h never
+// mutates a published index; it layers a delta over it instead). A base
+// an immutable delta chain is built over must no longer be mutated.
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -60,17 +71,32 @@ class KJoinIndex {
   // supplied instead of being re-derived from `objects` (serve/snapshot.h
   // restores them from disk; serve/index_manager.h shares them across
   // epochs). `lca` may be shared between indexes over the same hierarchy;
-  // `postings` must be exactly the posting lists IndexObject would build.
+  // `postings` must be exactly the posting lists IndexObject would build;
+  // `tombstones` are the deleted object indexes (sorted or not).
   struct RestoredParts {
     std::shared_ptr<const LcaIndex> lca;  // null = build from the hierarchy
     std::unordered_map<SigId, std::vector<int32_t>> postings;
+    std::vector<int32_t> tombstones;
   };
   KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options, std::vector<Object> objects,
              RestoredParts parts);
 
+  // Delta layer: an initially-empty index over `base` (which must no
+  // longer be mutated). Shares the base's hierarchy, options and LCA
+  // tables; Insert/DeleteObject touch only this layer, searches see the
+  // whole chain. Object indexes continue the base's numbering.
+  explicit KJoinIndex(std::shared_ptr<const KJoinIndex> base);
+
   // Appends one object; it becomes immediately searchable. Returns its
-  // index. NOT safe to call concurrently with Search (see header).
+  // (chain-global) index. NOT safe to call concurrently with Search (see
+  // header).
   int32_t Insert(const Object& object);
+
+  // Tombstones an object anywhere in the chain: it stops matching
+  // queries immediately and is dropped by the next Flatten(). Idempotent
+  // — returns false when the object was already deleted. `index` must be
+  // in [0, num_indexed()). NOT safe to call concurrently with Search.
+  bool DeleteObject(int32_t index);
 
   // All indexed objects with SIMδ(query, object) >= τ, sorted by
   // descending similarity (ties: ascending index). The query must come
@@ -103,14 +129,50 @@ class KJoinIndex {
   // indexes the thread searches).
   static int64_t last_candidates();
 
-  int64_t num_indexed() const { return static_cast<int64_t>(objects_.size()); }
-  const Object& object_at(int32_t index) const { return objects_[index]; }
+  // Objects ever indexed across the chain, deleted ones included (object
+  // indexes are stable, never compacted away while the chain lives).
+  int64_t num_indexed() const {
+    return base_total_ + static_cast<int64_t>(objects_.size());
+  }
+  // num_indexed() minus tombstoned objects.
+  int64_t num_live() const { return num_indexed() - total_dead_; }
+  // Whether `index` is tombstoned in this layer or any layer below.
+  bool deleted(int32_t index) const {
+    for (const KJoinIndex* layer = this; layer != nullptr; layer = layer->base_.get()) {
+      if (layer->dead_.find(index) != layer->dead_.end()) return true;
+      // The owning layer reached: deeper layers predate the object.
+      if (index >= layer->base_total_) return false;
+    }
+    return false;
+  }
+  const Object& object_at(int32_t index) const {
+    const KJoinIndex* layer = this;
+    while (index < layer->base_total_) layer = layer->base_.get();
+    return layer->objects_[index - layer->base_total_];
+  }
+  // Objects stored by THIS layer only (the full collection for a flat
+  // index; the tail past the base for a delta). Snapshot writers flatten
+  // first (see Flatten).
   const std::vector<Object>& objects() const { return objects_; }
   const KJoinOptions& options() const { return options_; }
   const Hierarchy& hierarchy() const { return *hierarchy_; }
 
-  // The serialized halves of the prepared stack, for the snapshot writer
-  // and for epoch cloning (postings are copied, the LCA index is shared).
+  // Delta-chain observability: 0 for a flat index, layers above the
+  // flat base otherwise.
+  int delta_depth() const { return depth_; }
+  const std::shared_ptr<const KJoinIndex>& base() const { return base_; }
+
+  // Collapses the chain into flat parts: the full object collection
+  // (dead objects kept in place so indexes stay stable), merged postings
+  // with tombstoned entries dropped, and the union of tombstones sorted
+  // ascending. Feeding the results to the RestoredParts constructor
+  // yields a flat index that answers every query identically — no
+  // signature regeneration, O(total postings) work.
+  void Flatten(std::vector<Object>* objects, RestoredParts* parts) const;
+
+  // The serialized halves of this layer's prepared stack, for the
+  // snapshot writer and for epoch cloning (postings are copied, the LCA
+  // index is shared). Like objects(), covers THIS layer only.
   const std::unordered_map<SigId, std::vector<int32_t>>& postings() const {
     return postings_;
   }
@@ -119,12 +181,23 @@ class KJoinIndex {
  private:
   std::vector<int32_t> Candidates(const Object& query) const;
   void IndexObject(int32_t index);
+  void CollectLayers(std::vector<const KJoinIndex*>* layers) const;
   Status SearchControlled(const Object& query, const JoinControl& control,
                           std::vector<SearchHit>* hits, SearchStats* stats) const;
 
   const Hierarchy* hierarchy_;
   KJoinOptions options_;
+  // This layer's objects; chain-global index = base_total_ + local slot.
   std::vector<Object> objects_;
+  // Delta layering: null base_ = flat index. base_total_ caches the
+  // base's num_indexed() (fixed — a layered-over base is immutable);
+  // depth_ counts layers above the flat root; dead_ holds the indexes
+  // THIS layer tombstoned; total_dead_ the chain-wide count.
+  std::shared_ptr<const KJoinIndex> base_;
+  int32_t base_total_ = 0;
+  int depth_ = 0;
+  int64_t total_dead_ = 0;
+  std::unordered_set<int32_t> dead_;
   // Shared so snapshot restores and epoch clones reuse one table.
   std::shared_ptr<const LcaIndex> lca_;
   // Declared before element_sim_, which captures the raw pointer (null
@@ -134,9 +207,10 @@ class KJoinIndex {
   SignatureGenerator signatures_;
   ObjectSimilarity object_sim_;
   Verifier verifier_;
-  // signature -> indexed objects carrying it (full sets, deduplicated per
-  // object). The list length doubles as the signature's document
-  // frequency for ordering query prefixes.
+  // signature -> objects of THIS layer carrying it (full sets,
+  // deduplicated per object, chain-global indexes). The chain-summed
+  // list length doubles as the signature's document frequency for
+  // ordering query prefixes.
   std::unordered_map<SigId, std::vector<int32_t>> postings_;
 };
 

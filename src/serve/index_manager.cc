@@ -1,28 +1,56 @@
 #include "serve/index_manager.h"
 
+#include <string>
+#include <unordered_set>
+#include <utility>
+
 #include "common/logging.h"
 #include "common/timer.h"
+#include "serve/wire_format.h"
 
 namespace kjoin::serve {
+namespace {
 
-IndexManager::IndexManager(LoadedIndex initial, ThreadPool* pool, MetricsRegistry* metrics)
-    : pool_(pool), metrics_(metrics) {
+// Posting entries a layer holds (its own lists only) — the payload a
+// publish actually materialized, reported as manager.rebuild_bytes.
+int64_t PostingBytes(const KJoinIndex& index) {
+  int64_t entries = 0;
+  for (const auto& [sig, list] : index.postings()) {
+    entries += static_cast<int64_t>(list.size());
+  }
+  return entries * static_cast<int64_t>(sizeof(int32_t));
+}
+
+}  // namespace
+
+IndexManager::IndexManager(LoadedIndex initial, ThreadPool* pool, MetricsRegistry* metrics,
+                           IndexManagerOptions options)
+    : pool_(pool), metrics_(metrics), manager_options_(options) {
   KJOIN_CHECK(initial.index != nullptr) << "IndexManager needs a loaded index";
+  KJOIN_CHECK(manager_options_.max_delta_layers >= 0)
+      << "max_delta_layers must be non-negative";
   auto epoch = std::make_shared<IndexEpoch>();
   epoch->version = 1;
+  epoch->durable_seq = initial.durable_seq;
   epoch->hierarchy = std::move(initial.hierarchy);
   epoch->tokens = std::move(initial.tokens);
   epoch->synonyms = std::move(initial.synonyms);
   epoch->index = std::shared_ptr<const KJoinIndex>(std::move(initial.index));
+  latest_tokens_ = epoch->tokens;
+  logical_size_ = epoch->index->num_indexed();
+  last_acked_seq_ = epoch->durable_seq;
   PublishInitial(std::move(epoch));
 }
 
 IndexManager::IndexManager(std::shared_ptr<const Hierarchy> hierarchy, KJoinOptions options,
                            std::vector<Object> objects, std::vector<std::string> tokens,
                            std::vector<std::pair<std::string, std::string>> synonyms,
-                           ThreadPool* pool, MetricsRegistry* metrics)
-    : pool_(pool), metrics_(metrics) {
+                           ThreadPool* pool, MetricsRegistry* metrics,
+                           IndexManagerOptions manager_options)
+    : pool_(pool), metrics_(metrics), manager_options_(manager_options) {
   KJOIN_CHECK(hierarchy != nullptr) << "IndexManager needs a hierarchy";
+  KJOIN_CHECK(manager_options_.max_delta_layers >= 0)
+      << "max_delta_layers must be non-negative";
   auto epoch = std::make_shared<IndexEpoch>();
   epoch->version = 1;
   epoch->index =
@@ -30,6 +58,8 @@ IndexManager::IndexManager(std::shared_ptr<const Hierarchy> hierarchy, KJoinOpti
   epoch->hierarchy = std::move(hierarchy);
   epoch->tokens = std::move(tokens);
   epoch->synonyms = std::move(synonyms);
+  latest_tokens_ = epoch->tokens;
+  logical_size_ = epoch->index->num_indexed();
   PublishInitial(std::move(epoch));
 }
 
@@ -49,20 +79,154 @@ std::shared_ptr<const IndexEpoch> IndexManager::Acquire() const {
   return epoch_;
 }
 
-void IndexManager::InsertBatch(std::vector<Object> objects, std::vector<std::string> tokens) {
-  if (objects.empty() && tokens.empty()) return;
+Status IndexManager::AttachWal(const std::string& path, bool fsync) {
+  // Settle in-flight work so replay extends a quiescent epoch.
+  Flush();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KJOIN_CHECK(wal_ == nullptr) << "AttachWal called twice";
+  }
+  const std::shared_ptr<const IndexEpoch> epoch = Acquire();
+
+  WalReplayInput input;
+  input.tokens = epoch->tokens;
+  input.num_nodes = epoch->hierarchy->num_nodes();
+  input.num_objects = epoch->index->num_indexed();
+  input.min_sequence_exclusive = epoch->durable_seq;
+  KJOIN_ASSIGN_OR_RETURN(WalReplayResult replay, WriteAheadLog::Replay(path, input));
+
+  if (!replay.records.empty()) {
+    // Running full token table across replayed records (records carry
+    // only the suffix they interned).
+    std::vector<std::string> running = epoch->tokens;
+    for (WalRecord& record : replay.records) {
+      MutationBatch batch;
+      batch.sequence = record.sequence;
+      batch.deletes = std::move(record.deletes);
+      batch.objects = std::move(record.objects);
+      if (!record.token_suffix.empty()) {
+        running.insert(running.end(), std::make_move_iterator(record.token_suffix.begin()),
+                       std::make_move_iterator(record.token_suffix.end()));
+        batch.tokens = running;
+      }
+      // One delta publish per record reproduces the pre-crash epoch
+      // cadence (and exercises compaction exactly as live traffic did).
+      std::vector<MutationBatch> one;
+      one.push_back(std::move(batch));
+      ApplyBatches(std::move(one));
+      MaybeCompact();
+    }
+    const std::shared_ptr<const IndexEpoch> replayed = Acquire();
+    std::lock_guard<std::mutex> lock(mu_);
+    last_acked_seq_ = replayed->durable_seq;
+    latest_tokens_ = replayed->tokens;
+    logical_size_ = replayed->index->num_indexed();
+    KJOIN_LOG(INFO) << "WAL replay applied " << replay.records.size()
+                    << " record(s) from " << path << ", durable_seq now "
+                    << replayed->durable_seq;
+  }
+  if (replay.torn_tail) {
+    KJOIN_LOG(WARNING) << "WAL " << path << " had a torn tail past byte "
+                       << replay.valid_bytes << "; unacked partial record dropped";
+    if (metrics_ != nullptr) metrics_->counter("manager.wal_torn_tail")->Increment();
+  }
+
+  // Open truncates any torn tail, so future appends extend intact bytes.
+  WriteAheadLog::Options wal_options;
+  wal_options.fsync = fsync;
+  KJOIN_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
+                         WriteAheadLog::Open(path, wal_options));
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = std::move(wal);
+  return OkStatus();
+}
+
+StatusOr<std::unique_ptr<IndexManager>> IndexManager::Recover(const std::string& snapshot_path,
+                                                              const std::string& wal_path,
+                                                              ThreadPool* pool,
+                                                              MetricsRegistry* metrics,
+                                                              IndexManagerOptions options) {
+  KJOIN_ASSIGN_OR_RETURN(LoadedIndex loaded, LoadIndexSnapshot(snapshot_path, metrics));
+  auto manager = std::make_unique<IndexManager>(std::move(loaded), pool, metrics, options);
+  KJOIN_RETURN_IF_ERROR(manager->AttachWal(wal_path));
+  return manager;
+}
+
+Status IndexManager::InsertBatch(std::vector<Object> objects, std::vector<std::string> tokens) {
+  MutationBatch batch;
+  batch.objects = std::move(objects);
+  batch.tokens = std::move(tokens);
+  return ApplyMutation(std::move(batch));
+}
+
+Status IndexManager::DeleteObjects(std::vector<int32_t> indexes) {
+  MutationBatch batch;
+  batch.deletes = std::move(indexes);
+  return ApplyMutation(std::move(batch));
+}
+
+Status IndexManager::UpdateObject(int32_t index, Object replacement,
+                                  std::vector<std::string> tokens) {
+  MutationBatch batch;
+  batch.deletes.push_back(index);
+  batch.objects.push_back(std::move(replacement));
+  batch.tokens = std::move(tokens);
+  return ApplyMutation(std::move(batch));
+}
+
+Status IndexManager::ApplyMutation(MutationBatch batch) {
+  if (batch.objects.empty() && batch.deletes.empty() && batch.tokens.empty()) {
+    return OkStatus();
+  }
   bool start_rebuild = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    pending_.insert(pending_.end(), std::make_move_iterator(objects.begin()),
-                    std::make_move_iterator(objects.end()));
-    if (!tokens.empty()) pending_tokens_ = std::move(tokens);
+    // Validate against the last *acked* state, not the published epoch —
+    // a racing batch's tokens may be acked but not yet swapped in.
+    if (!batch.tokens.empty()) {
+      KJOIN_RETURN_IF_ERROR(
+          ValidateTokenExtension(latest_tokens_, batch.tokens, "IndexManager"));
+    }
+    for (int32_t index : batch.deletes) {
+      if (index < 0 || index >= logical_size_) {
+        return InvalidArgumentError("delete of object " + std::to_string(index) +
+                                    " outside the indexed collection of " +
+                                    std::to_string(logical_size_));
+      }
+    }
+    if (wal_ != nullptr) {
+      // The durability ack point: the record is framed, appended and
+      // fsynced before the batch is queued. Failure means nothing was
+      // acked — the caller may retry, recovery shows no trace.
+      WalRecord record;
+      record.sequence = last_acked_seq_ + 1;
+      record.deletes = std::move(batch.deletes);
+      record.objects = std::move(batch.objects);
+      if (batch.tokens.size() > latest_tokens_.size()) {
+        record.token_base = static_cast<int64_t>(latest_tokens_.size());
+        record.token_suffix.assign(batch.tokens.begin() + latest_tokens_.size(),
+                                   batch.tokens.end());
+      }
+      const int64_t before = wal_->size_bytes();
+      const Status appended = wal_->Append(record);
+      batch.deletes = std::move(record.deletes);
+      batch.objects = std::move(record.objects);
+      if (!appended.ok()) return appended;
+      if (metrics_ != nullptr) {
+        metrics_->counter("manager.wal_appends")->Increment();
+        metrics_->counter("manager.wal_bytes")->Increment(wal_->size_bytes() - before);
+      }
+    }
+    batch.sequence = ++last_acked_seq_;
+    if (!batch.tokens.empty()) latest_tokens_ = batch.tokens;
+    logical_size_ += static_cast<int64_t>(batch.objects.size());
+    pending_.push_back(std::move(batch));
     if (!rebuild_in_flight_) {
       rebuild_in_flight_ = true;
       start_rebuild = true;
     }
   }
-  if (!start_rebuild) return;  // the in-flight rebuild loop will pick the batch up
+  if (!start_rebuild) return OkStatus();  // the in-flight rebuild loop picks it up
   if (pool_ != nullptr && pool_->num_threads() > 1) {
     pool_->Schedule([this] { RebuildLoop(); });
   } else {
@@ -70,53 +234,117 @@ void IndexManager::InsertBatch(std::vector<Object> objects, std::vector<std::str
     // synchronously rather than parking the batch in a dead queue.
     RebuildLoop();
   }
+  return OkStatus();
 }
 
 void IndexManager::RebuildLoop() {
   for (;;) {
-    std::vector<Object> batch;
-    std::vector<std::string> tokens_update;
+    std::vector<MutationBatch> drained;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (pending_.empty() && pending_tokens_.empty()) {
+      if (pending_.empty()) {
         rebuild_in_flight_ = false;
         idle_.notify_all();
         return;
       }
-      batch = std::move(pending_);
+      drained = std::move(pending_);
       pending_.clear();
-      tokens_update = std::move(pending_tokens_);
-      pending_tokens_.clear();
     }
+    ApplyBatches(std::move(drained));
+    MaybeCompact();
+  }
+}
 
-    WallTimer timer;
-    const std::shared_ptr<const IndexEpoch> current = Acquire();
-    // Shadow copy: objects and posting lists are copied, the LCA tables
-    // (the expensive immutable half) are shared between epochs.
-    KJoinIndex::RestoredParts parts;
-    parts.lca = current->index->shared_lca();
-    parts.postings = current->index->postings();
-    auto next_index = std::make_shared<KJoinIndex>(
-        *current->hierarchy, current->index->options(), current->index->objects(),
-        std::move(parts));
-    for (const Object& object : batch) next_index->Insert(object);
+void IndexManager::ApplyBatches(std::vector<MutationBatch> batches) {
+  KJOIN_CHECK(!batches.empty());
+  WallTimer timer;
+  const std::shared_ptr<const IndexEpoch> current = Acquire();
 
-    auto next = std::make_shared<IndexEpoch>();
-    next->version = current->version + 1;
-    next->hierarchy = current->hierarchy;
-    next->tokens = tokens_update.empty() ? current->tokens : std::move(tokens_update);
-    next->synonyms = current->synonyms;
-    next->index = std::move(next_index);
-    {
-      std::lock_guard<std::mutex> lock(epoch_mu_);
-      epoch_ = std::move(next);
+  int64_t inserted = 0;
+  int64_t deleted = 0;
+  bool structural = false;
+  for (const MutationBatch& batch : batches) {
+    if (!batch.objects.empty() || !batch.deletes.empty()) structural = true;
+  }
+
+  std::shared_ptr<const KJoinIndex> next_index;
+  int64_t published_bytes = 0;
+  if (structural) {
+    // Delta layer over the published index: the base's objects and
+    // postings are shared, not copied, so this costs O(drained batches).
+    auto delta = std::make_shared<KJoinIndex>(current->index);
+    for (MutationBatch& batch : batches) {
+      for (int32_t index : batch.deletes) {
+        if (delta->DeleteObject(index)) ++deleted;
+      }
+      for (const Object& object : batch.objects) delta->Insert(object);
+      inserted += static_cast<int64_t>(batch.objects.size());
     }
+    published_bytes = PostingBytes(*delta);
+    next_index = std::move(delta);
+  } else {
+    // Tokens-only update: share the index outright, no layer needed.
+    next_index = current->index;
+  }
 
-    if (metrics_ != nullptr) {
-      metrics_->counter("manager.swaps")->Increment();
-      metrics_->counter("manager.inserts")->Increment(static_cast<int64_t>(batch.size()));
-      metrics_->histogram("manager.rebuild_seconds")->Observe(timer.ElapsedSeconds());
-    }
+  std::vector<std::string> tokens_update;
+  for (MutationBatch& batch : batches) {
+    if (!batch.tokens.empty()) tokens_update = std::move(batch.tokens);
+  }
+
+  auto next = std::make_shared<IndexEpoch>();
+  next->version = current->version + 1;
+  next->durable_seq = batches.back().sequence;
+  next->hierarchy = current->hierarchy;
+  next->tokens = tokens_update.empty() ? current->tokens : std::move(tokens_update);
+  next->synonyms = current->synonyms;
+  next->index = std::move(next_index);
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch_ = std::move(next);
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("manager.swaps")->Increment();
+    metrics_->counter("manager.inserts")->Increment(inserted);
+    metrics_->counter("manager.deletes")->Increment(deleted);
+    metrics_->counter("manager.delta_publishes")->Increment();
+    metrics_->counter("manager.rebuild_bytes")->Increment(published_bytes);
+    metrics_->histogram("manager.rebuild_seconds")->Observe(timer.ElapsedSeconds());
+  }
+}
+
+void IndexManager::MaybeCompact() {
+  const std::shared_ptr<const IndexEpoch> current = Acquire();
+  if (current->index->delta_depth() <= manager_options_.max_delta_layers) return;
+
+  WallTimer timer;
+  // Flatten is read-only on the published chain, so concurrent searches
+  // keep running against it while the flat replacement is built.
+  std::vector<Object> objects;
+  KJoinIndex::RestoredParts parts;
+  current->index->Flatten(&objects, &parts);
+  auto flat = std::make_shared<KJoinIndex>(*current->hierarchy, current->index->options(),
+                                           std::move(objects), std::move(parts));
+  const int64_t folded_bytes = PostingBytes(*flat);
+
+  auto next = std::make_shared<IndexEpoch>();
+  next->version = current->version + 1;
+  next->durable_seq = current->durable_seq;
+  next->hierarchy = current->hierarchy;
+  next->tokens = current->tokens;
+  next->synonyms = current->synonyms;
+  next->index = std::move(flat);
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch_ = std::move(next);
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("manager.swaps")->Increment();
+    metrics_->counter("manager.compactions")->Increment();
+    metrics_->counter("manager.rebuild_bytes")->Increment(folded_bytes);
+    metrics_->histogram("manager.compaction_seconds")->Observe(timer.ElapsedSeconds());
   }
 }
 
@@ -127,16 +355,39 @@ void IndexManager::Flush() {
 
 int64_t IndexManager::pending_inserts() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(pending_.size());
+  int64_t total = 0;
+  for (const MutationBatch& batch : pending_) {
+    total += static_cast<int64_t>(batch.objects.size());
+  }
+  return total;
 }
 
-Status IndexManager::SaveSnapshot(const std::string& path) const {
+int64_t IndexManager::wal_size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ != nullptr ? wal_->size_bytes() : 0;
+}
+
+Status IndexManager::SaveSnapshot(const std::string& path) {
   const std::shared_ptr<const IndexEpoch> epoch = Acquire();
   SnapshotInput input;
   input.index = epoch->index.get();
   input.tokens = epoch->tokens;
   input.synonyms = epoch->synonyms;
-  return SaveIndexSnapshot(input, path);
+  input.durable_seq = epoch->durable_seq;
+  KJOIN_RETURN_IF_ERROR(SaveIndexSnapshot(input, path));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    // Records the snapshot covers are dead weight; dropping them bounds
+    // replay time. Failure is benign — replay skips covered sequences.
+    const Status truncated = wal_->Truncate(epoch->durable_seq);
+    if (!truncated.ok()) {
+      KJOIN_LOG(WARNING) << "WAL truncation after snapshot failed (non-fatal): "
+                         << truncated;
+    } else if (metrics_ != nullptr) {
+      metrics_->counter("manager.wal_truncations")->Increment();
+    }
+  }
+  return OkStatus();
 }
 
 StatusOr<std::unique_ptr<IndexManager>> IndexManager::LoadFrom(const std::string& path,

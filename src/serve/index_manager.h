@@ -1,23 +1,35 @@
 #ifndef KJOIN_SERVE_INDEX_MANAGER_H_
 #define KJOIN_SERVE_INDEX_MANAGER_H_
 
-// The live index behind a serving process: RCU-style epoch swapping.
+// The live index behind a serving process: RCU-style epoch swapping,
+// delta-epoch publication, and WAL-backed durability.
 //
 // Readers call Acquire() — a pointer copy under a micro critical
 // section — and search the returned epoch for as long as they hold the
-// shared_ptr; they never wait on an update being applied. Writers batch inserts
-// through InsertBatch: the manager applies them to a *shadow copy* of the
-// current index on the background pool (sharing the immutable LCA tables,
-// copying the object collection and posting lists) and atomically swaps
-// the finished epoch in. A reader therefore always sees a fully built
-// index — either the old epoch or the new one, never a half-updated
-// structure — and stale epochs are freed by the last shared_ptr that
-// drops them (see docs/serving.md for the full semantics).
+// shared_ptr; they never wait on an update being applied. Writers batch
+// mutations through InsertBatch / DeleteObjects / UpdateObject: the
+// manager layers them into a *delta index* over the current epoch on the
+// background pool (the base's objects and postings are shared, not
+// copied — publishing costs O(batch), see core/kjoin_index.h) and
+// atomically swaps the finished epoch in. A reader therefore always sees
+// a fully built index — either the old epoch or the new one, never a
+// half-updated structure — and stale epochs are freed by the last
+// shared_ptr that drops them. Once the delta chain grows past
+// IndexManagerOptions::max_delta_layers, the rebuild loop folds it into
+// a new flat base and publishes that the same way — compaction never
+// blocks Acquire() (see docs/serving.md for the full semantics).
+//
+// Durability: with AttachWal() (or Recover()), every mutation batch is
+// appended to a CRC-framed write-ahead log and fsynced *before* the call
+// returns OK — an acked batch survives a crash. Recovery = load the last
+// snapshot + replay the WAL records past its durable sequence;
+// SaveSnapshot() drops the records a new snapshot covers (serve/wal.h).
 //
 //   IndexManager manager(std::move(loaded), &pool, &metrics);
+//   KJOIN_RETURN_IF_ERROR(manager.AttachWal("/data/kjoin.wal"));
 //   auto epoch = manager.Acquire();            // reader, never blocks
 //   epoch->index->Search(query);
-//   manager.InsertBatch(std::move(objects));   // writer, async rebuild
+//   manager.InsertBatch(std::move(objects));   // writer, durable + async
 //   manager.Flush();                           // barrier: all applied
 
 #include <condition_variable>
@@ -33,6 +45,7 @@
 #include "common/thread_pool.h"
 #include "core/kjoin_index.h"
 #include "serve/snapshot.h"
+#include "serve/wal.h"
 
 namespace kjoin::serve {
 
@@ -41,33 +54,63 @@ namespace kjoin::serve {
 // while newer epochs are published.
 struct IndexEpoch {
   int64_t version = 0;
+  // Sequence of the last acked mutation folded into this epoch (0 when
+  // the stack never had mutations). Snapshots saved from the epoch carry
+  // it so recovery knows where WAL replay starts.
+  int64_t durable_seq = 0;
   std::shared_ptr<const Hierarchy> hierarchy;
   std::vector<std::string> tokens;
   std::vector<std::pair<std::string, std::string>> synonyms;
   std::shared_ptr<const KJoinIndex> index;
 };
 
+struct IndexManagerOptions {
+  // Delta chain depth past which the rebuild loop folds the chain into a
+  // new flat base epoch. Deeper chains make probes touch more posting
+  // maps; shallower ones compact (O(index)) more often.
+  int max_delta_layers = 4;
+};
+
 class IndexManager {
  public:
   // Adopts a snapshot-loaded stack as epoch 1. `pool` (not owned, may be
   // null) runs background rebuilds; with a null or single-lane pool the
-  // rebuild runs inline on the InsertBatch caller instead — same results,
+  // rebuild runs inline on the mutating caller instead — same results,
   // no hidden queue that nothing drains. `metrics` (not owned, may be
-  // null) receives manager.swaps / manager.inserts / manager.rebuild_seconds.
-  IndexManager(LoadedIndex initial, ThreadPool* pool, MetricsRegistry* metrics = nullptr);
+  // null) receives the manager.* counters and histograms listed in
+  // docs/serving.md.
+  IndexManager(LoadedIndex initial, ThreadPool* pool, MetricsRegistry* metrics = nullptr,
+               IndexManagerOptions options = {});
 
   // Builds epoch 1 from parts (the from-text cold-start path).
   IndexManager(std::shared_ptr<const Hierarchy> hierarchy, KJoinOptions options,
                std::vector<Object> objects, std::vector<std::string> tokens,
                std::vector<std::pair<std::string, std::string>> synonyms, ThreadPool* pool,
-               MetricsRegistry* metrics = nullptr);
+               MetricsRegistry* metrics = nullptr, IndexManagerOptions manager_options = {});
 
-  // Blocks until no rebuild is in flight (pending inserts are applied
+  // Blocks until no rebuild is in flight (pending mutations are applied
   // first), so a scheduled task never outlives the manager.
   ~IndexManager();
 
   IndexManager(const IndexManager&) = delete;
   IndexManager& operator=(const IndexManager&) = delete;
+
+  // Replays `path` (records newer than the current epoch's durable_seq;
+  // a missing file is an empty log) and then appends every future
+  // mutation there before acking it. Call once, before concurrent
+  // traffic — replay publishes epochs synchronously on the calling
+  // thread. `fsync` off trades durability for append speed (benches).
+  // Fails with kDataLoss/kInvalidArgument when the log cannot extend the
+  // current state (sequence gap, token-table divergence); the manager
+  // keeps serving its pre-call state in that case.
+  Status AttachWal(const std::string& path, bool fsync = true);
+
+  // LoadFrom + AttachWal: the standard crash-recovery entry point.
+  static StatusOr<std::unique_ptr<IndexManager>> Recover(const std::string& snapshot_path,
+                                                         const std::string& wal_path,
+                                                         ThreadPool* pool,
+                                                         MetricsRegistry* metrics = nullptr,
+                                                         IndexManagerOptions options = {});
 
   // The current epoch: a shared_ptr copy under epoch_mu_ (held for a
   // handful of instructions — rebuilds happen entirely outside it). The
@@ -76,38 +119,78 @@ class IndexManager {
   std::shared_ptr<const IndexEpoch> Acquire() const;
 
   // Queues `objects` for insertion and kicks a background rebuild; they
-  // become searchable when the next epoch is published (Flush() to wait).
-  // Objects must be token-id-compatible with the current epoch; when the
-  // batch introduced new interned tokens, pass the builder's full updated
-  // TokenTable() so the published epoch (and snapshots saved from it)
-  // stays self-describing.
-  void InsertBatch(std::vector<Object> objects, std::vector<std::string> tokens = {});
+  // become searchable when the next epoch is published (Flush() to
+  // wait). Objects must be token-id-compatible with the current epoch;
+  // when the batch introduced new interned tokens, pass the builder's
+  // full updated TokenTable() so the published epoch (and snapshots
+  // saved from it) stays self-describing. The table is validated as an
+  // append-only extension: a table that shrinks or rewrites an existing
+  // id is rejected with kInvalidArgument and nothing is queued. With a
+  // WAL attached, OK means the batch is durable (appended + fsynced).
+  Status InsertBatch(std::vector<Object> objects, std::vector<std::string> tokens = {});
 
-  // Barrier: returns once every insert enqueued before the call is
+  // Tombstones the given chain-global object indexes (the values Search
+  // hits report). Out-of-range indexes reject the whole batch with
+  // kInvalidArgument; deleting an already-deleted object is a no-op.
+  Status DeleteObjects(std::vector<int32_t> indexes);
+
+  // Atomically (within one published epoch) tombstones `index` and
+  // inserts `replacement`, which receives a fresh object index. `tokens`
+  // as for InsertBatch.
+  Status UpdateObject(int32_t index, Object replacement,
+                      std::vector<std::string> tokens = {});
+
+  // Barrier: returns once every mutation acked before the call is
   // searchable via Acquire().
   void Flush();
 
   int64_t version() const { return Acquire()->version; }
-  // Inserts queued but not yet picked up by a rebuild (approximate — a
+  // Inserts acked but not yet picked up by a rebuild (approximate — a
   // batch being applied no longer counts).
   int64_t pending_inserts() const;
+  // Bytes in the attached WAL (0 when none): header + intact records.
+  int64_t wal_size_bytes() const;
 
-  // Serializes the current epoch (snapshot.h format).
-  Status SaveSnapshot(const std::string& path) const;
+  // Serializes the current epoch (snapshot.h format, flattened) and then
+  // drops the WAL records the snapshot now covers. A failed WAL
+  // truncation is logged, not fatal — replay skips covered records.
+  Status SaveSnapshot(const std::string& path);
 
-  // Loads `path` and wraps it in a manager.
+  // Loads `path` and wraps it in a manager (no WAL; see Recover).
   static StatusOr<std::unique_ptr<IndexManager>> LoadFrom(const std::string& path,
                                                           ThreadPool* pool,
                                                           MetricsRegistry* metrics = nullptr);
 
  private:
+  // One acked mutation batch queued for the rebuild loop. Deletes apply
+  // before inserts; `tokens` (when non-empty) is the full validated
+  // table after the batch.
+  struct MutationBatch {
+    int64_t sequence = 0;
+    std::vector<int32_t> deletes;
+    std::vector<Object> objects;
+    std::vector<std::string> tokens;
+  };
+
   void PublishInitial(std::shared_ptr<const IndexEpoch> epoch);
-  // Drains pending batches, one shadow rebuild + swap per batch, until
-  // none remain; then clears rebuild_in_flight_.
+  // Validates, WAL-appends (the ack point), queues, and kicks the
+  // rebuild loop.
+  Status ApplyMutation(MutationBatch batch);
+  // Drains acked batches, one delta-epoch publish per drain (plus a
+  // compaction epoch when the chain got deep), until none remain; then
+  // clears rebuild_in_flight_.
   void RebuildLoop();
+  // Layers `batches` into one delta over the current epoch and publishes
+  // it. Single-writer: only RebuildLoop and pre-concurrency recovery
+  // call this.
+  void ApplyBatches(std::vector<MutationBatch> batches);
+  // Publishes a flattened epoch when the delta chain is past
+  // max_delta_layers.
+  void MaybeCompact();
 
   ThreadPool* pool_;
   MetricsRegistry* metrics_;
+  IndexManagerOptions manager_options_;
   // Not std::atomic<shared_ptr>: libstdc++ implements that as an
   // embedded spinlock whose load() path unlocks with relaxed ordering,
   // which ThreadSanitizer rejects as a data race on the stored pointer.
@@ -119,9 +202,16 @@ class IndexManager {
 
   mutable std::mutex mu_;
   std::condition_variable idle_;                // signalled when a rebuild finishes
-  std::vector<Object> pending_;                 // guarded by mu_
-  std::vector<std::string> pending_tokens_;     // guarded by mu_; empty = unchanged
+  std::vector<MutationBatch> pending_;          // guarded by mu_; acked, not yet applied
   bool rebuild_in_flight_ = false;              // guarded by mu_
+  // Write-path bookkeeping, all guarded by mu_. latest_tokens_ is the
+  // table after the last *acked* batch (the epoch may lag it while a
+  // rebuild is in flight) — incoming tables are validated against it so
+  // two racing token-carrying batches cannot silently shrink the table.
+  std::vector<std::string> latest_tokens_;
+  int64_t logical_size_ = 0;                    // num_indexed() incl. acked pending inserts
+  int64_t last_acked_seq_ = 0;
+  std::unique_ptr<WriteAheadLog> wal_;          // null until AttachWal
 };
 
 }  // namespace kjoin::serve

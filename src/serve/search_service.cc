@@ -56,8 +56,10 @@ QueryResponse SearchService::Execute(const QueryRequest& request) {
   control.cancel_token = request.cancel_token;
 
   if (request.top_k > 0) {
+    // < 0 is the "unset" sentinel; an explicit 0.0 must reach the index
+    // (which rejects floors below tau) instead of silently becoming tau.
     const double min_similarity =
-        request.min_similarity > 0.0 ? request.min_similarity : index.options().tau;
+        request.min_similarity < 0.0 ? index.options().tau : request.min_similarity;
     response.status = index.SearchTopK(request.query, request.top_k, min_similarity, control,
                                        &response.hits, &response.stats);
   } else {
@@ -90,11 +92,25 @@ void SearchService::Submit(QueryRequest request, std::function<void(QueryRespons
     ++async_outstanding_;
   }
   auto task = [this, request = std::move(request), done = std::move(done)]() mutable {
+    // Scope-guard the bookkeeping so it runs on every exit path — in
+    // particular when `done` throws. Without it, a throwing callback
+    // would skip the decrement and ~SearchService would wait forever.
+    struct Finisher {
+      SearchService* service;
+      ~Finisher() {
+        service->Release();
+        std::lock_guard<std::mutex> lock(service->mu_);
+        if (--service->async_outstanding_ == 0) service->drained_.notify_all();
+      }
+    } finisher{this};
     QueryResponse response = Execute(request);
-    Release();
-    done(std::move(response));
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--async_outstanding_ == 0) drained_.notify_all();
+    try {
+      done(std::move(response));
+    } catch (...) {
+      KJOIN_LOG(ERROR) << "Submit() completion callback threw; see the "
+                          "callback contract in search_service.h";
+      if (metrics_ != nullptr) metrics_->counter("service.callback_exceptions")->Increment();
+    }
   };
   if (pool_->num_threads() > 1) {
     pool_->Schedule(std::move(task));

@@ -48,8 +48,11 @@ struct QueryRequest {
   Object query;
   // > 0 = top-k search; 0 = all objects above the index's threshold.
   int32_t top_k = 0;
-  // Top-k similarity floor; <= 0 uses the index's configured tau.
-  double min_similarity = 0.0;
+  // Top-k similarity floor; < 0 (the default) uses the index's
+  // configured tau. An explicit value — including 0.0 — is forwarded to
+  // the index, which validates it (values below tau return
+  // kInvalidArgument). The sentinel mirrors deadline_seconds below.
+  double min_similarity = -1.0;
   // Per-request deadline; < 0 = service default, 0 = explicitly none.
   double deadline_seconds = -1.0;
   // Optional external cancel signal; not owned, must outlive the query.
@@ -87,6 +90,12 @@ class SearchService {
   // response from a pool thread. A shed query invokes `done` inline with
   // kResourceExhausted. On a pool with no background lane (num_threads
   // == 1) the query runs inline on the calling thread instead.
+  //
+  // Callback contract: `done` should not throw. If it does anyway, the
+  // exception is caught and logged (service.callback_exceptions counts
+  // them) — the admission slot and the destructor's outstanding count
+  // are released regardless, so one bad callback can neither leak
+  // capacity nor hang ~SearchService.
   void Submit(QueryRequest request, std::function<void(QueryResponse)> done);
 
   // Synchronous single query on the calling thread (still admission-

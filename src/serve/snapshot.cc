@@ -19,14 +19,16 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "hierarchy/lca.h"
+#include "serve/wire_format.h"
 
 namespace kjoin::serve {
 namespace {
 
-// Derived arrays are serialized by memcpy, so their element widths are
-// part of the format.
-static_assert(sizeof(int) == 4, "snapshot format assumes 32-bit int");
-static_assert(sizeof(double) == 8, "snapshot format assumes 64-bit double");
+// Byte-level encoding lives in serve/wire_format.h (shared with the
+// write-ahead log); this file owns the section framing and the
+// section-payload layouts.
+using wire::ByteReader;
+using wire::ByteWriter;
 
 constexpr uint32_t FourCc(char a, char b, char c, char d) {
   return static_cast<uint32_t>(static_cast<uint8_t>(a)) |
@@ -44,9 +46,10 @@ constexpr uint32_t kTagTokens = FourCc('T', 'O', 'K', 'S');
 constexpr uint32_t kTagSynonyms = FourCc('S', 'Y', 'N', 'S');
 constexpr uint32_t kTagObjects = FourCc('O', 'B', 'J', 'S');
 constexpr uint32_t kTagPostings = FourCc('P', 'O', 'S', 'T');
+constexpr uint32_t kTagDurability = FourCc('D', 'U', 'R', 'A');
 
-constexpr uint32_t kKnownTags[] = {kTagOptions, kTagHierarchy, kTagLca,    kTagTokens,
-                                   kTagSynonyms, kTagObjects,  kTagPostings};
+constexpr uint32_t kKnownTags[] = {kTagOptions,  kTagHierarchy, kTagLca,      kTagTokens,
+                                   kTagSynonyms, kTagObjects,   kTagPostings, kTagDurability};
 constexpr size_t kNumSections = std::size(kKnownTags);
 
 constexpr size_t kHeaderBytes = 16;        // magic, version, count, table CRC
@@ -60,152 +63,6 @@ std::string TagName(uint32_t tag) {
   }
   return name;
 }
-
-// ---------------------------------------------------------------------------
-// Byte-level encoding. Scalars are written little-endian by explicit
-// shifts; bulk arrays go through memcpy in host layout (the format is a
-// same-architecture serving artifact, see the header comment).
-
-class ByteWriter {
- public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) { Little(v, 4); }
-  void U64(uint64_t v) { Little(v, 8); }
-  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
-  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
-  void F64(double v) {
-    uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    U64(bits);
-  }
-  void Str(std::string_view s) {
-    U32(static_cast<uint32_t>(s.size()));
-    out_.append(s.data(), s.size());
-  }
-  void Raw(const void* data, size_t n) { out_.append(static_cast<const char*>(data), n); }
-  template <typename T>
-  void RawVec(const std::vector<T>& v) {
-    U64(v.size());
-    Raw(v.data(), v.size() * sizeof(T));
-  }
-
-  std::string Take() { return std::move(out_); }
-
- private:
-  void Little(uint64_t v, int bytes) {
-    for (int i = 0; i < bytes; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-
-  std::string out_;
-};
-
-// Bounds-checked reads over one section payload. Every overrun is
-// reported as kDataLoss with the section label and byte offset; no read
-// ever touches memory past the payload.
-class ByteReader {
- public:
-  ByteReader(std::string_view data, std::string label)
-      : data_(data), label_(std::move(label)) {}
-
-  uint64_t offset() const { return pos_; }
-  uint64_t remaining() const { return data_.size() - pos_; }
-  const std::string& label() const { return label_; }
-
-  Status U8(uint8_t* v) {
-    KJOIN_RETURN_IF_ERROR(Need(1));
-    *v = static_cast<uint8_t>(data_[pos_++]);
-    return OkStatus();
-  }
-  Status U32(uint32_t* v) {
-    uint64_t wide;
-    KJOIN_RETURN_IF_ERROR(Little(4, &wide));
-    *v = static_cast<uint32_t>(wide);
-    return OkStatus();
-  }
-  Status U64(uint64_t* v) { return Little(8, v); }
-  Status I32(int32_t* v) {
-    uint32_t u;
-    KJOIN_RETURN_IF_ERROR(U32(&u));
-    *v = static_cast<int32_t>(u);
-    return OkStatus();
-  }
-  Status I64(int64_t* v) {
-    uint64_t u;
-    KJOIN_RETURN_IF_ERROR(U64(&u));
-    *v = static_cast<int64_t>(u);
-    return OkStatus();
-  }
-  Status F64(double* v) {
-    uint64_t bits;
-    KJOIN_RETURN_IF_ERROR(U64(&bits));
-    std::memcpy(v, &bits, sizeof(*v));
-    return OkStatus();
-  }
-  Status Str(std::string* out) {
-    uint32_t len;
-    KJOIN_RETURN_IF_ERROR(U32(&len));
-    KJOIN_RETURN_IF_ERROR(Need(len));
-    out->assign(data_.data() + pos_, len);
-    pos_ += len;
-    return OkStatus();
-  }
-  Status Bytes(void* dst, uint64_t n) {
-    KJOIN_RETURN_IF_ERROR(Need(n));
-    std::memcpy(dst, data_.data() + pos_, n);
-    pos_ += n;
-    return OkStatus();
-  }
-  // Length-prefixed bulk array. The count is checked against the bytes
-  // actually left before the resize, so a corrupt length can never drive
-  // a multi-gigabyte allocation.
-  template <typename T>
-  Status RawVec(std::vector<T>* out) {
-    uint64_t count;
-    KJOIN_RETURN_IF_ERROR(U64(&count));
-    if (count > remaining() / sizeof(T)) {
-      return DataLossError(label_ + ": array of " + std::to_string(count) +
-                           " elements does not fit in the " + std::to_string(remaining()) +
-                           " bytes left at offset " + std::to_string(pos_));
-    }
-    out->resize(count);
-    return Bytes(out->data(), count * sizeof(T));
-  }
-
-  // Remaining payload must be fully consumed — trailing garbage means the
-  // writer and reader disagree about the layout.
-  Status ExpectEnd() const {
-    if (remaining() != 0) {
-      return DataLossError(label_ + ": " + std::to_string(remaining()) +
-                           " unexpected trailing bytes");
-    }
-    return OkStatus();
-  }
-
- private:
-  Status Little(int bytes, uint64_t* v) {
-    KJOIN_RETURN_IF_ERROR(Need(bytes));
-    uint64_t out = 0;
-    for (int i = 0; i < bytes; ++i) {
-      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
-    }
-    pos_ += bytes;
-    *v = out;
-    return OkStatus();
-  }
-
-  Status Need(uint64_t n) {
-    if (remaining() < n) {
-      return DataLossError(label_ + ": truncated at offset " + std::to_string(pos_) +
-                           " (need " + std::to_string(n) + " bytes, have " +
-                           std::to_string(remaining()) + ")");
-    }
-    return OkStatus();
-  }
-
-  std::string_view data_;
-  uint64_t pos_ = 0;
-  std::string label_;
-};
 
 // ---------------------------------------------------------------------------
 // Section writers.
@@ -244,36 +101,12 @@ void WriteLca(const LcaIndex& lca, ByteWriter* w) {
   w->RawVec(t.sparse);
 }
 
-void WriteStringList(const std::vector<std::string>& strings, ByteWriter* w) {
-  w->U64(strings.size());
-  for (const std::string& s : strings) w->Str(s);
-}
-
 void WriteSynonyms(const std::vector<std::pair<std::string, std::string>>& synonyms,
                    ByteWriter* w) {
   w->U64(synonyms.size());
   for (const auto& [alias, label] : synonyms) {
     w->Str(alias);
     w->Str(label);
-  }
-}
-
-void WriteObjects(const std::vector<Object>& objects, ByteWriter* w) {
-  w->U64(objects.size());
-  for (const Object& o : objects) {
-    w->I32(o.id);
-    w->U32(static_cast<uint32_t>(o.elements.size()));
-    for (const Element& e : o.elements) {
-      w->I32(e.token_id);
-      // Interned tokens are restored from the TOKS table; the rare
-      // hand-built element without an id carries its surface form inline.
-      if (e.token_id < 0) w->Str(e.token);
-      w->U32(static_cast<uint32_t>(e.mappings.size()));
-      for (const ElementMapping& m : e.mappings) {
-        w->I32(m.node);
-        w->F64(m.phi);
-      }
-    }
   }
 }
 
@@ -291,6 +124,12 @@ void WritePostings(const std::unordered_map<SigId, std::vector<int32_t>>& postin
     w->I64(id);
     w->RawVec(*list);
   }
+}
+
+void WriteDurability(int64_t durable_seq, const std::vector<int32_t>& tombstones,
+                     ByteWriter* w) {
+  w->I64(durable_seq);
+  w->RawVec(tombstones);  // sorted ascending by the caller
 }
 
 // ---------------------------------------------------------------------------
@@ -393,28 +232,13 @@ StatusOr<LcaTables> ParseLcaSection(std::string_view payload, const std::string&
   return tables;
 }
 
-StatusOr<std::vector<std::string>> ParseStringList(std::string_view payload,
+StatusOr<std::vector<std::string>> ParseTokenTable(std::string_view payload,
                                                    const std::string& label) {
   ByteReader r(payload, label);
-  uint64_t count;
-  KJOIN_RETURN_IF_ERROR(r.U64(&count));
-  // Each entry costs at least its 4-byte length prefix.
-  if (count > r.remaining() / 4) {
-    return DataLossError(label + ": string count " + std::to_string(count) +
-                         " exceeds payload size");
-  }
-  std::vector<std::string> strings(count);
+  std::vector<std::string> strings;
   // The table feeds ObjectBuilder::PreloadTokens, whose intern map
-  // CHECK-fails on a repeat — reject forged duplicates here instead.
-  std::unordered_set<std::string_view> seen;
-  seen.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    KJOIN_RETURN_IF_ERROR(r.Str(&strings[i]));
-    if (!seen.insert(strings[i]).second) {
-      return InvalidArgumentError(label + ": duplicate string '" + strings[i] + "' at entry " +
-                                  std::to_string(i));
-    }
-  }
+  // CHECK-fails on a repeat — reject forged duplicates at parse time.
+  KJOIN_RETURN_IF_ERROR(wire::ParseStringList(r, /*reject_duplicates=*/true, &strings));
   KJOIN_RETURN_IF_ERROR(r.ExpectEnd());
   return strings;
 }
@@ -441,66 +265,8 @@ StatusOr<std::vector<Object>> ParseObjects(std::string_view payload, const std::
                                            const std::vector<std::string>& tokens,
                                            int64_t num_nodes) {
   ByteReader r(payload, label);
-  uint64_t count;
-  KJOIN_RETURN_IF_ERROR(r.U64(&count));
-  if (count > r.remaining() / 8) {  // id + element count minimum
-    return DataLossError(label + ": object count " + std::to_string(count) +
-                         " exceeds payload size");
-  }
-  std::vector<Object> objects(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    Object& o = objects[i];
-    uint32_t num_elements;
-    KJOIN_RETURN_IF_ERROR(r.I32(&o.id));
-    KJOIN_RETURN_IF_ERROR(r.U32(&num_elements));
-    if (num_elements > r.remaining() / 8) {  // token id + mapping count minimum
-      return DataLossError(label + ": object " + std::to_string(i) + " claims " +
-                           std::to_string(num_elements) + " elements, payload too small");
-    }
-    o.elements.resize(num_elements);
-    for (uint32_t j = 0; j < num_elements; ++j) {
-      Element& e = o.elements[j];
-      KJOIN_RETURN_IF_ERROR(r.I32(&e.token_id));
-      if (e.token_id < 0) {
-        if (e.token_id != -1) {
-          return InvalidArgumentError(label + ": object " + std::to_string(i) +
-                                      " has invalid token id " + std::to_string(e.token_id));
-        }
-        KJOIN_RETURN_IF_ERROR(r.Str(&e.token));
-      } else if (static_cast<size_t>(e.token_id) >= tokens.size()) {
-        return InvalidArgumentError(label + ": object " + std::to_string(i) + " token id " +
-                                    std::to_string(e.token_id) + " outside the table of " +
-                                    std::to_string(tokens.size()) + " tokens");
-      } else {
-        e.token = tokens[e.token_id];
-      }
-      uint32_t num_mappings;
-      KJOIN_RETURN_IF_ERROR(r.U32(&num_mappings));
-      if (num_mappings > r.remaining() / 12) {  // node + phi per mapping
-        return DataLossError(label + ": element claims " + std::to_string(num_mappings) +
-                             " mappings, payload too small");
-      }
-      e.mappings.resize(num_mappings);
-      double previous_phi = 2.0;
-      for (uint32_t k = 0; k < num_mappings; ++k) {
-        ElementMapping& m = e.mappings[k];
-        KJOIN_RETURN_IF_ERROR(r.I32(&m.node));
-        KJOIN_RETURN_IF_ERROR(r.F64(&m.phi));
-        if (m.node < 0 || m.node >= num_nodes) {
-          return InvalidArgumentError(label + ": mapping node " + std::to_string(m.node) +
-                                      " outside hierarchy of " + std::to_string(num_nodes) +
-                                      " nodes");
-        }
-        if (!std::isfinite(m.phi) || m.phi < 0.0 || m.phi > 1.0) {
-          return InvalidArgumentError(label + ": mapping confidence out of [0, 1]");
-        }
-        if (m.phi > previous_phi) {
-          return InvalidArgumentError(label + ": element mappings not sorted by phi");
-        }
-        previous_phi = m.phi;
-      }
-    }
-  }
+  std::vector<Object> objects;
+  KJOIN_RETURN_IF_ERROR(wire::ParseObjectList(r, tokens, num_nodes, &objects));
   KJOIN_RETURN_IF_ERROR(r.ExpectEnd());
   return objects;
 }
@@ -546,6 +312,34 @@ StatusOr<std::unordered_map<SigId, std::vector<int32_t>>> ParsePostings(
   }
   KJOIN_RETURN_IF_ERROR(r.ExpectEnd());
   return postings;
+}
+
+struct Durability {
+  int64_t durable_seq = 0;
+  std::vector<int32_t> tombstones;
+};
+
+StatusOr<Durability> ParseDurability(std::string_view payload, const std::string& label,
+                                     int64_t num_objects) {
+  ByteReader r(payload, label);
+  Durability dura;
+  KJOIN_RETURN_IF_ERROR(r.I64(&dura.durable_seq));
+  if (dura.durable_seq < 0) {
+    return InvalidArgumentError(label + ": negative durable sequence " +
+                                std::to_string(dura.durable_seq));
+  }
+  KJOIN_RETURN_IF_ERROR(r.RawVec(&dura.tombstones));
+  int32_t last = -1;
+  for (const int32_t index : dura.tombstones) {
+    if (index <= last || static_cast<int64_t>(index) >= num_objects) {
+      return InvalidArgumentError(label +
+                                  ": tombstones are not an ascending list of ids < " +
+                                  std::to_string(num_objects));
+    }
+    last = index;
+  }
+  KJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  return dura;
 }
 
 // ---------------------------------------------------------------------------
@@ -678,7 +472,7 @@ StatusOr<LoadedIndex> ParseSnapshot(std::string_view bytes, std::string_view sou
   auto lca = std::make_shared<const LcaIndex>(std::move(lca_restored));
 
   KJOIN_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
-                         ParseStringList(payload(kTagTokens), label(kTagTokens)));
+                         ParseTokenTable(payload(kTagTokens), label(kTagTokens)));
   KJOIN_ASSIGN_OR_RETURN(auto synonyms,
                          ParseSynonyms(payload(kTagSynonyms), label(kTagSynonyms)));
   KJOIN_ASSIGN_OR_RETURN(std::vector<Object> objects,
@@ -686,6 +480,9 @@ StatusOr<LoadedIndex> ParseSnapshot(std::string_view bytes, std::string_view sou
   KJOIN_ASSIGN_OR_RETURN(auto postings,
                          ParsePostings(payload(kTagPostings), label(kTagPostings),
                                        static_cast<int64_t>(objects.size())));
+  KJOIN_ASSIGN_OR_RETURN(Durability dura,
+                         ParseDurability(payload(kTagDurability), label(kTagDurability),
+                                         static_cast<int64_t>(objects.size())));
 
   LoadedIndex loaded;
   loaded.hierarchy = hierarchy;
@@ -694,9 +491,11 @@ StatusOr<LoadedIndex> ParseSnapshot(std::string_view bytes, std::string_view sou
   KJoinIndex::RestoredParts parts;
   parts.lca = std::move(lca);
   parts.postings = std::move(postings);
+  parts.tombstones = std::move(dura.tombstones);
   loaded.index = std::make_unique<KJoinIndex>(*hierarchy, options, std::move(objects),
                                               std::move(parts));
   loaded.file_bytes = bytes.size();
+  loaded.durable_seq = dura.durable_seq;
   return loaded;
 }
 
@@ -730,34 +529,29 @@ struct MmapGuard {
 
 }  // namespace
 
-uint32_t Crc32(std::string_view bytes) {
-  static const uint32_t* table = [] {
-    auto* t = new uint32_t[256];
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (const char ch : bytes) {
-    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
 std::string SerializeIndexSnapshot(const SnapshotInput& input) {
   KJOIN_CHECK(input.index != nullptr) << "SnapshotInput needs an index";
   const KJoinIndex& index = *input.index;
   const Hierarchy& hierarchy = index.hierarchy();
+
+  // A snapshot is always one flat layer: collapse a delta chain (or a
+  // flat index carrying tombstones, whose postings still hold the dead
+  // entries) first. The collapse is O(objects + postings) — no
+  // signature regeneration.
+  std::vector<Object> flat_objects;
+  KJoinIndex::RestoredParts flat_parts;
+  const bool collapse = index.delta_depth() > 0 || index.num_live() != index.num_indexed();
+  if (collapse) index.Flatten(&flat_objects, &flat_parts);
+  const std::vector<Object>& all_objects = collapse ? flat_objects : index.objects();
+  const auto& all_postings = collapse ? flat_parts.postings : index.postings();
+  const std::vector<int32_t>& tombstones = flat_parts.tombstones;  // empty when !collapse
 
   // The token table must assign every indexed element's id to its surface
   // form. Start from the caller's table (which may also carry query-only
   // tokens) and fill gaps from the objects; ids interned but used by no
   // object get unique placeholders so PreloadTokens can replay the table.
   std::vector<std::string> tokens = input.tokens;
-  for (const Object& o : index.objects()) {
+  for (const Object& o : all_objects) {
     for (const Element& e : o.elements) {
       if (e.token_id < 0) continue;
       if (static_cast<size_t>(e.token_id) >= tokens.size()) tokens.resize(e.token_id + 1);
@@ -793,7 +587,7 @@ std::string SerializeIndexSnapshot(const SnapshotInput& input) {
   }
   {
     ByteWriter w;
-    WriteStringList(tokens, &w);
+    wire::WriteStringList(tokens, &w);
     sections[3] = {kTagTokens, w.Take()};
   }
   {
@@ -803,13 +597,18 @@ std::string SerializeIndexSnapshot(const SnapshotInput& input) {
   }
   {
     ByteWriter w;
-    WriteObjects(index.objects(), &w);
+    wire::WriteObjectList(all_objects, &w);
     sections[5] = {kTagObjects, w.Take()};
   }
   {
     ByteWriter w;
-    WritePostings(index.postings(), &w);
+    WritePostings(all_postings, &w);
     sections[6] = {kTagPostings, w.Take()};
+  }
+  {
+    ByteWriter w;
+    WriteDurability(input.durable_seq, tombstones, &w);
+    sections[7] = {kTagDurability, w.Take()};
   }
   return AssembleFile(std::move(sections));
 }

@@ -19,6 +19,12 @@
 //   SectionEntry × count   { tag, payload CRC32, offset, size }
 //   payloads...
 //
+// Format version 2 adds the DURA section: the epoch's durable sequence
+// number (the last WAL record folded into the snapshot, see serve/wal.h)
+// and the tombstoned object indexes. A delta-layered index (see
+// core/kjoin_index.h) is flattened before serializing, so a snapshot is
+// always a single flat layer.
+//
 // Every section payload carries its own CRC32; the loader verifies the
 // header, the table checksum and each section checksum before parsing,
 // then validates all structural invariants (id ranges, array shapes)
@@ -49,10 +55,11 @@ namespace kjoin::serve {
 
 // Bumped whenever the payload layout changes; the loader rejects other
 // versions with kInvalidArgument (no cross-version migration — re-save).
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 // CRC32 (IEEE 802.3, the zlib polynomial) of `bytes`. Exposed so tests
-// can forge and break section checksums deliberately.
+// can forge and break section checksums deliberately (defined in
+// serve/wire_format.cc, shared with the WAL).
 uint32_t Crc32(std::string_view bytes);
 
 // What a snapshot serializes. `index` is required. `tokens` is the
@@ -64,6 +71,10 @@ struct SnapshotInput {
   const KJoinIndex* index = nullptr;
   std::vector<std::string> tokens;
   std::vector<std::pair<std::string, std::string>> synonyms;
+  // Sequence number of the last WAL record this state includes; WAL
+  // records above it are replayed on recovery (serve/wal.h). 0 for a
+  // stack that never had a WAL.
+  int64_t durable_seq = 0;
 };
 
 // A fully reconstructed serving stack. The index holds raw references to
@@ -75,6 +86,8 @@ struct LoadedIndex {
   std::vector<std::pair<std::string, std::string>> synonyms;
   std::unique_ptr<KJoinIndex> index;
   uint64_t file_bytes = 0;
+  // The snapshot's DURA sequence (see SnapshotInput::durable_seq).
+  int64_t durable_seq = 0;
 };
 
 // Renders the snapshot bytes in memory (the file format, exactly).

@@ -1,0 +1,148 @@
+#ifndef KJOIN_SERVE_WAL_H_
+#define KJOIN_SERVE_WAL_H_
+
+// Append-only, CRC-framed write-ahead log for the serving index.
+//
+// IndexManager appends every mutation batch here *before* acking it, so
+// writes accepted between snapshots survive a crash: recovery loads the
+// last snapshot and replays the records newer than its durable sequence
+// number, reaching a state byte-identical to re-applying the acked
+// batches in order (docs/serving.md, "Durability").
+//
+// File layout (all integers little-endian, see serve/wire_format.h):
+//
+//   FileHeader { magic "KJWL", format version }                  8 bytes
+//   Record frame × N { payload CRC32, payload size (u64) }      12 bytes
+//     payload  { sequence (i64),
+//                token update: u8 flag [, base size (u64),
+//                                        new-token string list],
+//                deletes (i32 array),
+//                object list }
+//
+// Sequence numbers are the manager's acked-batch counter: strictly
+// increasing by one across the log. Records at or below a snapshot's
+// durable sequence are dropped by Truncate() after the snapshot lands.
+//
+// Torn tails are tolerated, corruption is not forgiven: replay stops at
+// the first frame that is truncated or fails its CRC and keeps the
+// intact prefix (a crash mid-append can only tear the final, un-acked
+// record — Append rolls the file back on any write/fsync failure, so a
+// record is either fully durable and acked or absent). A CRC-valid
+// record that fails semantic validation (sequence gap, token-table
+// divergence, out-of-range delete) is a hard kDataLoss /
+// kInvalidArgument: the log disagrees with the snapshot it extends.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/object.h"
+
+namespace kjoin::serve {
+
+// Bumped whenever the record payload layout changes; replay rejects
+// other versions with kInvalidArgument (no migration — snapshot and
+// delete the log).
+inline constexpr uint32_t kWalFormatVersion = 1;
+// magic + version; record frames start here.
+inline constexpr size_t kWalHeaderBytes = 8;
+// CRC + payload size; the payload follows.
+inline constexpr size_t kWalFrameBytes = 12;
+
+// One acked mutation batch. Deletes apply before inserts: they name
+// global object indexes that existed before the batch.
+struct WalRecord {
+  int64_t sequence = 0;
+  std::vector<int32_t> deletes;
+  std::vector<Object> objects;
+  // Token-table update: the append-only interner grew from `token_base`
+  // entries by `token_suffix`. An empty suffix means the table did not
+  // change (token_base is then 0 and unused).
+  int64_t token_base = 0;
+  std::vector<std::string> token_suffix;
+};
+
+// What Replay needs to interpret a log semantically: the state of the
+// snapshot the log extends.
+struct WalReplayInput {
+  std::vector<std::string> tokens;   // snapshot's token table
+  int64_t num_nodes = 0;             // hierarchy size, bounds mapping nodes
+  int64_t num_objects = 0;           // snapshot's collection size
+  int64_t min_sequence_exclusive = 0;  // snapshot's durable sequence
+};
+
+struct WalReplayResult {
+  // Intact records with sequence > min_sequence_exclusive, in order.
+  // Records already covered by the snapshot are CRC-checked and skipped.
+  std::vector<WalRecord> records;
+  // Byte offset of the end of the intact prefix; Open() truncates the
+  // file here before appending again.
+  uint64_t valid_bytes = 0;
+  // The file had a torn or corrupt tail past valid_bytes.
+  bool torn_tail = false;
+};
+
+class WriteAheadLog {
+ public:
+  struct Options {
+    // fsync after every append (the durability point). Off only for
+    // benchmarks that want to isolate serialization cost.
+    bool fsync = true;
+  };
+
+  // Opens `path` for appending, creating it (with a fresh header) when
+  // absent or empty. An existing file is frame-scanned and any torn tail
+  // is truncated away, so new records always extend the intact prefix.
+  // A file that is not a K-Join WAL returns kInvalidArgument untouched.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                       Options options);
+  // Default options (fsync on). A separate overload because a nested
+  // class' member initializers are not usable in a default argument.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Serializes `record`, writes the frame and fsyncs (the commit point).
+  // On any write or fsync failure the file is rolled back to its
+  // pre-append size and kDataLoss is returned: the record is either
+  // fully durable or absent, never half-written-and-acked. Fault points
+  // serve/wal_append (before the write) and serve/wal_fsync (at the
+  // commit) exercise both failure arms.
+  Status Append(const WalRecord& record);
+
+  // Drops records with sequence <= up_to (the snapshot's durable
+  // sequence): rewrites the kept suffix to a temp file and renames it
+  // over the log.
+  Status Truncate(int64_t up_to_sequence);
+
+  const std::string& path() const { return path_; }
+  // Current log size (header + intact frames), for observability.
+  int64_t size_bytes() const { return static_cast<int64_t>(end_offset_); }
+
+  // Reads `path` and semantically validates the records extending the
+  // snapshot described by `input`. A missing file is an empty log, not
+  // an error. Kept records must start at min_sequence_exclusive + 1 and
+  // increase by one — a gap means the log and snapshot diverged
+  // (kDataLoss). Object token ids are resolved against the running token
+  // table (snapshot table + replayed suffixes); deletes are bounds-
+  // checked against the running collection size.
+  static StatusOr<WalReplayResult> Replay(const std::string& path,
+                                          const WalReplayInput& input);
+
+ private:
+  WriteAheadLog(std::string path, Options options, int fd, uint64_t end_offset);
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  uint64_t end_offset_ = 0;
+};
+
+}  // namespace kjoin::serve
+
+#endif  // KJOIN_SERVE_WAL_H_

@@ -1,0 +1,163 @@
+#include "serve/wire_format.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace kjoin::serve {
+
+// Derived arrays are serialized by memcpy, so their element widths are
+// part of the formats built on this layer.
+static_assert(sizeof(int) == 4, "wire format assumes 32-bit int");
+static_assert(sizeof(double) == 8, "wire format assumes 64-bit double");
+
+uint32_t Crc32(std::string_view bytes) {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status ValidateTokenExtension(const std::vector<std::string>& current,
+                              const std::vector<std::string>& incoming,
+                              std::string_view context) {
+  const std::string where(context);
+  if (incoming.size() < current.size()) {
+    return InvalidArgumentError(
+        where + ": token table shrank from " + std::to_string(current.size()) + " to " +
+        std::to_string(incoming.size()) +
+        " entries; token ids are append-only interned, pass the full updated table");
+  }
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (incoming[i] != current[i]) {
+      return InvalidArgumentError(where + ": token table rewrites id " + std::to_string(i) +
+                                  " ('" + current[i] + "' -> '" + incoming[i] +
+                                  "'); interned ids are immutable");
+    }
+  }
+  return OkStatus();
+}
+
+namespace wire {
+
+void WriteStringList(const std::vector<std::string>& strings, ByteWriter* w) {
+  w->U64(strings.size());
+  for (const std::string& s : strings) w->Str(s);
+}
+
+Status ParseStringList(ByteReader& r, bool reject_duplicates,
+                       std::vector<std::string>* out) {
+  uint64_t count;
+  KJOIN_RETURN_IF_ERROR(r.U64(&count));
+  // Each entry costs at least its 4-byte length prefix.
+  if (count > r.remaining() / 4) {
+    return DataLossError(r.label() + ": string count " + std::to_string(count) +
+                         " exceeds payload size");
+  }
+  out->assign(count, std::string());
+  std::unordered_set<std::string_view> seen;
+  if (reject_duplicates) seen.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    KJOIN_RETURN_IF_ERROR(r.Str(&(*out)[i]));
+    if (reject_duplicates && !seen.insert((*out)[i]).second) {
+      return InvalidArgumentError(r.label() + ": duplicate string '" + (*out)[i] +
+                                  "' at entry " + std::to_string(i));
+    }
+  }
+  return OkStatus();
+}
+
+void WriteObjectList(const std::vector<Object>& objects, ByteWriter* w) {
+  w->U64(objects.size());
+  for (const Object& o : objects) {
+    w->I32(o.id);
+    w->U32(static_cast<uint32_t>(o.elements.size()));
+    for (const Element& e : o.elements) {
+      w->I32(e.token_id);
+      if (e.token_id < 0) w->Str(e.token);
+      w->U32(static_cast<uint32_t>(e.mappings.size()));
+      for (const ElementMapping& m : e.mappings) {
+        w->I32(m.node);
+        w->F64(m.phi);
+      }
+    }
+  }
+}
+
+Status ParseObjectList(ByteReader& r, const std::vector<std::string>& tokens,
+                       int64_t num_nodes, std::vector<Object>* out) {
+  const std::string& label = r.label();
+  uint64_t count;
+  KJOIN_RETURN_IF_ERROR(r.U64(&count));
+  if (count > r.remaining() / 8) {  // id + element count minimum
+    return DataLossError(label + ": object count " + std::to_string(count) +
+                         " exceeds payload size");
+  }
+  out->assign(count, Object());
+  for (uint64_t i = 0; i < count; ++i) {
+    Object& o = (*out)[i];
+    uint32_t num_elements;
+    KJOIN_RETURN_IF_ERROR(r.I32(&o.id));
+    KJOIN_RETURN_IF_ERROR(r.U32(&num_elements));
+    if (num_elements > r.remaining() / 8) {  // token id + mapping count minimum
+      return DataLossError(label + ": object " + std::to_string(i) + " claims " +
+                           std::to_string(num_elements) + " elements, payload too small");
+    }
+    o.elements.resize(num_elements);
+    for (uint32_t j = 0; j < num_elements; ++j) {
+      Element& e = o.elements[j];
+      KJOIN_RETURN_IF_ERROR(r.I32(&e.token_id));
+      if (e.token_id < 0) {
+        if (e.token_id != -1) {
+          return InvalidArgumentError(label + ": object " + std::to_string(i) +
+                                      " has invalid token id " + std::to_string(e.token_id));
+        }
+        KJOIN_RETURN_IF_ERROR(r.Str(&e.token));
+      } else if (static_cast<size_t>(e.token_id) >= tokens.size()) {
+        return InvalidArgumentError(label + ": object " + std::to_string(i) + " token id " +
+                                    std::to_string(e.token_id) + " outside the table of " +
+                                    std::to_string(tokens.size()) + " tokens");
+      } else {
+        e.token = tokens[e.token_id];
+      }
+      uint32_t num_mappings;
+      KJOIN_RETURN_IF_ERROR(r.U32(&num_mappings));
+      if (num_mappings > r.remaining() / 12) {  // node + phi per mapping
+        return DataLossError(label + ": element claims " + std::to_string(num_mappings) +
+                             " mappings, payload too small");
+      }
+      e.mappings.resize(num_mappings);
+      double previous_phi = 2.0;
+      for (uint32_t k = 0; k < num_mappings; ++k) {
+        ElementMapping& m = e.mappings[k];
+        KJOIN_RETURN_IF_ERROR(r.I32(&m.node));
+        KJOIN_RETURN_IF_ERROR(r.F64(&m.phi));
+        if (m.node < 0 || m.node >= num_nodes) {
+          return InvalidArgumentError(label + ": mapping node " + std::to_string(m.node) +
+                                      " outside hierarchy of " + std::to_string(num_nodes) +
+                                      " nodes");
+        }
+        if (!std::isfinite(m.phi) || m.phi < 0.0 || m.phi > 1.0) {
+          return InvalidArgumentError(label + ": mapping confidence out of [0, 1]");
+        }
+        if (m.phi > previous_phi) {
+          return InvalidArgumentError(label + ": element mappings not sorted by phi");
+        }
+        previous_phi = m.phi;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace wire
+}  // namespace kjoin::serve

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -624,6 +625,142 @@ TEST(IndexManagerTest, ConcurrentReadersDuringSwaps) {
   EXPECT_EQ(manager->Acquire()->index->num_indexed(), Stack().index->num_indexed() + 12);
 }
 
+// Regression for the write-path token bug: InsertBatch used to blindly
+// overwrite the pending table, so of two racing token-carrying batches
+// the later ack silently won — even if its table was older and SHORTER,
+// un-interning ids the other batch's objects already used. The table
+// must be validated as an append-only extension of the last acked one.
+TEST(IndexManagerTest, RacingTokenTablesValidatedAppendOnly) {
+  std::unique_ptr<serve::IndexManager> manager = MakeManager(nullptr);
+  const std::vector<std::string> base = Stack().prepared.builder->TokenTable();
+
+  std::vector<std::string> first = base;
+  first.push_back("race_tok_a");
+  ASSERT_TRUE(manager
+                  ->InsertBatch(MakeInserts(Stack().prepared.builder.get(), 2,
+                                            static_cast<int32_t>(kRecords)),
+                                first)
+                  .ok());
+
+  // The losing racer arrives with the stale (pre-extension) table: with
+  // the old overwrite semantics this would shrink the published table.
+  const Status stale =
+      manager->InsertBatch(MakeInserts(Stack().prepared.builder.get(), 2,
+                                       static_cast<int32_t>(kRecords) + 2),
+                           base);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(IsInvalidArgument(stale)) << stale.ToString();
+  EXPECT_NE(stale.message().find("shrank"), std::string::npos) << stale.ToString();
+
+  // A rewrite of an existing id is just as invalid as a shrink.
+  std::vector<std::string> rewritten = first;
+  rewritten[0] = "hijacked_id_0";
+  const Status hijack = manager->InsertBatch(
+      MakeInserts(Stack().prepared.builder.get(), 1, static_cast<int32_t>(kRecords) + 4),
+      rewritten);
+  ASSERT_FALSE(hijack.ok());
+  EXPECT_TRUE(IsInvalidArgument(hijack)) << hijack.ToString();
+
+  // A genuine extension still lands, and the failed batches left nothing.
+  std::vector<std::string> second = first;
+  second.push_back("race_tok_b");
+  ASSERT_TRUE(manager
+                  ->InsertBatch(MakeInserts(Stack().prepared.builder.get(), 2,
+                                            static_cast<int32_t>(kRecords) + 2),
+                                second)
+                  .ok());
+  manager->Flush();
+  const auto epoch = manager->Acquire();
+  EXPECT_EQ(epoch->tokens, second);
+  EXPECT_EQ(epoch->index->num_indexed(), Stack().index->num_indexed() + 4);
+
+  // Concurrent racers whose tables are each valid extensions of what
+  // they raced against: at least one must win, the table never shrinks,
+  // and the final table is always a prefix-extension of `second`. Runs
+  // under the tsan preset.
+  std::vector<std::string> third = second;
+  third.push_back("race_tok_c");
+  std::vector<std::string> fourth = third;
+  fourth.push_back("race_tok_d");
+  std::atomic<int> accepted{0};
+  std::thread racer_a([&] {
+    if (manager
+            ->InsertBatch(MakeInserts(Stack().prepared.builder.get(), 1,
+                                      static_cast<int32_t>(kRecords) + 4),
+                          third)
+            .ok()) {
+      accepted.fetch_add(1);
+    }
+  });
+  std::thread racer_b([&] {
+    if (manager
+            ->InsertBatch(MakeInserts(Stack().prepared.builder.get(), 1,
+                                      static_cast<int32_t>(kRecords) + 5),
+                          fourth)
+            .ok()) {
+      accepted.fetch_add(1);
+    }
+  });
+  racer_a.join();
+  racer_b.join();
+  manager->Flush();
+  EXPECT_GE(accepted.load(), 1);
+  const auto final_epoch = manager->Acquire();
+  ASSERT_GE(final_epoch->tokens.size(), third.size());
+  for (size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(final_epoch->tokens[i], second[i]);
+  }
+}
+
+TEST(IndexManagerTest, DeleteHidesHitsAndUpdateReplaces) {
+  std::unique_ptr<serve::IndexManager> manager = MakeManager(nullptr);
+  const Record& record = Stack().dataset.records[5];
+  const Object self_query = Stack().prepared.builder->Build(-1, record.tokens);
+
+  auto hit_indexes = [&](const std::shared_ptr<const serve::IndexEpoch>& epoch) {
+    std::set<int32_t> indexes;
+    for (const SearchHit& hit : epoch->index->Search(self_query)) {
+      indexes.insert(hit.object_index);
+    }
+    return indexes;
+  };
+  ASSERT_TRUE(hit_indexes(manager->Acquire()).count(5));
+
+  ASSERT_TRUE(manager->DeleteObjects({5}).ok());
+  manager->Flush();
+  const auto after_delete = manager->Acquire();
+  EXPECT_FALSE(hit_indexes(after_delete).count(5));
+  EXPECT_TRUE(after_delete->index->deleted(5));
+  EXPECT_EQ(after_delete->index->num_live(), Stack().index->num_indexed() - 1);
+  // Deleting again is an ack'd no-op, not an error.
+  ASSERT_TRUE(manager->DeleteObjects({5}).ok());
+  manager->Flush();
+  EXPECT_EQ(manager->Acquire()->index->num_live(), Stack().index->num_indexed() - 1);
+
+  // Update: object 6 moves to a fresh index in one published epoch.
+  const Object replacement = Stack().prepared.builder->Build(
+      6, Stack().dataset.records[6].tokens);
+  ASSERT_TRUE(manager->UpdateObject(6, replacement).ok());
+  manager->Flush();
+  const auto after_update = manager->Acquire();
+  EXPECT_TRUE(after_update->index->deleted(6));
+  const int32_t new_slot = static_cast<int32_t>(after_update->index->num_indexed()) - 1;
+  EXPECT_FALSE(after_update->index->deleted(new_slot));
+  const Object probe = Stack().prepared.builder->Build(
+      -1, Stack().dataset.records[6].tokens);
+  std::set<int32_t> indexes;
+  for (const SearchHit& hit : after_update->index->Search(probe)) {
+    indexes.insert(hit.object_index);
+  }
+  EXPECT_FALSE(indexes.count(6));
+  EXPECT_TRUE(indexes.count(new_slot));
+
+  // Bounds are validated before anything is acked.
+  const Status oob = manager->DeleteObjects({static_cast<int32_t>(1 << 20)});
+  ASSERT_FALSE(oob.ok());
+  EXPECT_TRUE(IsInvalidArgument(oob)) << oob.ToString();
+}
+
 TEST(IndexManagerTest, SaveSnapshotAndLoadFrom) {
   const std::string path = testing::TempDir() + "/serve_test_manager.snap";
   std::unique_ptr<serve::IndexManager> manager = MakeManager(nullptr);
@@ -769,6 +906,83 @@ TEST(SearchServiceTest, SubmitOnSingleLanePoolRunsInline) {
     EXPECT_TRUE(called);  // ran inline on the calling thread
   }  // ~SearchService must not deadlock on the drain wait
   EXPECT_TRUE(called);
+}
+
+// Regression for the drain-hang bug: a done callback that throws used to
+// skip the async_outstanding_ decrement, so ~SearchService waited
+// forever. The bookkeeping is now scope-guarded; the exception is caught,
+// counted, and destruction completes (this test finishing IS the assert).
+TEST(SearchServiceTest, ThrowingDoneCallbackDoesNotHangDestructor) {
+  ThreadPool pool(2);
+  MetricsRegistry metrics;
+  std::unique_ptr<serve::IndexManager> manager = MakeManager(&pool);
+  std::atomic<int> clean_callbacks{0};
+  {
+    serve::SearchService service(manager.get(), &pool, {}, &metrics);
+    serve::QueryRequest request;
+    request.query = Stack().prepared.objects[5];
+    service.Submit(request, [](serve::QueryResponse) {
+      throw std::runtime_error("callback contract violation");
+    });
+    // A well-behaved query after the thrower: the admission slot the
+    // thrower held must have been released.
+    service.Submit(request,
+                   [&](serve::QueryResponse) { clean_callbacks.fetch_add(1); });
+  }  // must not deadlock
+  EXPECT_EQ(clean_callbacks.load(), 1);
+  EXPECT_EQ(metrics.counter("service.callback_exceptions")->value(), 1);
+
+  // The inline (single-lane) path swallows the throw the same way rather
+  // than propagating it out of Submit.
+  ThreadPool single(1);
+  std::unique_ptr<serve::IndexManager> inline_manager = MakeManager(&single);
+  {
+    serve::SearchService service(inline_manager.get(), &single, {}, &metrics);
+    serve::QueryRequest request;
+    request.query = Stack().prepared.objects[5];
+    EXPECT_NO_THROW(service.Submit(request, [](serve::QueryResponse) {
+      throw std::runtime_error("inline violation");
+    }));
+    EXPECT_EQ(service.in_flight(), 0);
+  }
+  EXPECT_EQ(metrics.counter("service.callback_exceptions")->value(), 2);
+}
+
+// Regression for the min_similarity sentinel bug: the service used to
+// treat only values > 0 as "caller set it", so an explicit floor of 0.0
+// silently became tau instead of reaching the index's validation. The
+// unset sentinel is now negative, mirroring deadline_seconds.
+TEST(SearchServiceTest, ExplicitZeroMinSimilarityReachesTheIndex) {
+  ThreadPool pool(2);
+  std::unique_ptr<serve::IndexManager> manager = MakeManager(&pool);
+  serve::SearchService service(manager.get(), &pool);
+
+  serve::QueryRequest request;
+  request.query = Stack().prepared.objects[5];
+  request.top_k = 2;
+
+  // Default (-1): index tau applies, the query succeeds.
+  serve::QueryResponse response = service.Search(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_FALSE(response.hits.empty());
+
+  // Explicit 0.0: below tau (0.6), the index must reject it — not run
+  // a silently-tau'd query that looks like 0.0 worked.
+  request.min_similarity = 0.0;
+  response = service.Search(request);
+  ASSERT_FALSE(response.status.ok());
+  EXPECT_TRUE(IsInvalidArgument(response.status)) << response.status.ToString();
+
+  // Explicit floors at and above tau behave as before.
+  request.min_similarity = 0.6;
+  response = service.Search(request);
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  request.min_similarity = 0.9;
+  response = service.Search(request);
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  for (const SearchHit& hit : response.hits) {
+    EXPECT_GE(hit.similarity + 1e-9, 0.9);
+  }
 }
 
 // The acceptance bar for the serving PR: eight clients with deadlines and
