@@ -41,6 +41,7 @@
 #include "common/rng.h"
 #include "core/element_similarity.h"
 #include "core/sim_cache.h"
+#include "core/simd.h"
 #include "data/generator.h"
 #include "hierarchy/hierarchy_generator.h"
 #include "hierarchy/lca.h"
@@ -151,8 +152,22 @@ MicroLcaReport RunMicroLca(int64_t queries) {
 struct SchemeRow {
   std::string scheme;
   double total_seconds = 0.0;
+  double filter_seconds = 0.0;
   int64_t candidates = 0;
   int64_t results = 0;
+};
+
+// fig10_filter_delta: the SIMD filter engine vs forced-scalar dispatch
+// per δ, plus result identity across thread counts and dispatch levels.
+struct FilterDeltaRow {
+  double delta = 0.0;
+  double filter_seconds = 0.0;         // dispatched (best of 3)
+  double scalar_filter_seconds = 0.0;  // KJOIN-forced scalar (best of 3)
+  double filter_speedup_vs_scalar = 0.0;
+  double total_seconds = 0.0;
+  int64_t candidates = 0;
+  int64_t results = 0;
+  bool results_identical = true;  // across threads 1/2/8 and scalar-vs-SIMD
 };
 
 struct VerifyReport {
@@ -305,11 +320,69 @@ int main(int argc, char** argv) {
     options.weighted_prefix = scheme == kjoin::SignatureScheme::kDeepPath;
     const kjoin::JoinResult result =
         kjoin::bench::RunKJoin(poi.hierarchy, prepared.objects, options);
-    scheme_rows.push_back(
-        {name, result.stats.total_seconds, result.stats.candidates, result.stats.results});
-    std::printf("%-14s %.3fs  candidates=%lld  results=%lld\n", name.c_str(),
-                result.stats.total_seconds, static_cast<long long>(result.stats.candidates),
+    scheme_rows.push_back({name, result.stats.total_seconds, result.stats.filter_seconds,
+                           result.stats.candidates, result.stats.results});
+    std::printf("%-14s %.3fs (filter %.3fs)  candidates=%lld  results=%lld\n", name.c_str(),
+                result.stats.total_seconds, result.stats.filter_seconds,
+                static_cast<long long>(result.stats.candidates),
                 static_cast<long long>(result.stats.results));
+  }
+
+  // ---- fig10-style δ sweep: SIMD filter engine vs forced scalar ----
+  // Deep-path prefixes at τ=0.85; δ controls signature expansion and so
+  // posting-list density — the regime the vector ScanCount accumulator
+  // targets. Timing is best-of-3 per dispatch level; identity is checked
+  // on every run against the δ's 1-thread dispatched baseline.
+  std::printf("== filter engine vs scalar dispatch (deep_path, tau=0.85) ==\n");
+  std::vector<FilterDeltaRow> filter_delta_rows;
+  for (const double delta : {0.7, 0.8, 0.9}) {
+    kjoin::KJoinOptions options;
+    options.delta = delta;
+    options.tau = 0.85;
+    options.scheme = kjoin::SignatureScheme::kDeepPath;
+    options.weighted_prefix = true;
+    FilterDeltaRow row;
+    row.delta = delta;
+    std::vector<std::pair<int32_t, int32_t>> baseline_pairs;
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const int threads : {1, 2, 8}) {
+        options.num_threads = threads;
+        const kjoin::JoinResult result =
+            kjoin::bench::RunKJoin(poi.hierarchy, prepared.objects, options);
+        if (threads == 1) {
+          if (rep == 0) {
+            baseline_pairs = result.pairs;
+            row.candidates = result.stats.candidates;
+            row.results = result.stats.results;
+          }
+          if (rep == 0 || result.stats.filter_seconds < row.filter_seconds) {
+            row.filter_seconds = result.stats.filter_seconds;
+            row.total_seconds = result.stats.total_seconds;
+          }
+        }
+        if (result.pairs != baseline_pairs) row.results_identical = false;
+      }
+    }
+    kjoin::simd::SetActiveLevelForTest(kjoin::simd::IsaLevel::kScalar);
+    options.num_threads = 1;
+    for (int rep = 0; rep < 3; ++rep) {
+      const kjoin::JoinResult result =
+          kjoin::bench::RunKJoin(poi.hierarchy, prepared.objects, options);
+      if (rep == 0 || result.stats.filter_seconds < row.scalar_filter_seconds) {
+        row.scalar_filter_seconds = result.stats.filter_seconds;
+      }
+      if (result.pairs != baseline_pairs) row.results_identical = false;
+    }
+    kjoin::simd::ResetActiveLevelForTest();
+    row.filter_speedup_vs_scalar =
+        row.filter_seconds > 0.0 ? row.scalar_filter_seconds / row.filter_seconds : 0.0;
+    filter_delta_rows.push_back(row);
+    std::printf("delta=%.1f  filter %.4fs vs scalar %.4fs (%.2fx) | total %.3fs | "
+                "candidates=%lld results=%lld identical=%s\n",
+                delta, row.filter_seconds, row.scalar_filter_seconds,
+                row.filter_speedup_vs_scalar, row.total_seconds,
+                static_cast<long long>(row.candidates), static_cast<long long>(row.results),
+                JsonBool(row.results_identical).c_str());
   }
 
   // ---- fig11-style verification: SimCache off vs on (K-Join+) ----
@@ -471,9 +544,24 @@ int main(int argc, char** argv) {
     const SchemeRow& row = scheme_rows[i];
     std::fprintf(f,
                  "%s\n    {\"scheme\": \"%s\", \"total_seconds\": %.4f, "
-                 "\"candidates\": %lld, \"results\": %lld}",
+                 "\"filter_seconds\": %.4f, \"candidates\": %lld, \"results\": %lld}",
                  i == 0 ? "" : ",", row.scheme.c_str(), row.total_seconds,
-                 static_cast<long long>(row.candidates), static_cast<long long>(row.results));
+                 row.filter_seconds, static_cast<long long>(row.candidates),
+                 static_cast<long long>(row.results));
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"fig10_filter_delta\": [");
+  for (size_t i = 0; i < filter_delta_rows.size(); ++i) {
+    const FilterDeltaRow& row = filter_delta_rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"delta\": %.1f, \"filter_seconds\": %.4f, "
+                 "\"scalar_filter_seconds\": %.4f, \"filter_speedup_vs_scalar\": %.3f, "
+                 "\"total_seconds\": %.4f, \"candidates\": %lld, \"results\": %lld, "
+                 "\"results_identical\": %s}",
+                 i == 0 ? "" : ",", row.delta, row.filter_seconds,
+                 row.scalar_filter_seconds, row.filter_speedup_vs_scalar, row.total_seconds,
+                 static_cast<long long>(row.candidates), static_cast<long long>(row.results),
+                 JsonBool(row.results_identical).c_str());
   }
   std::fprintf(f, "\n  ],\n");
   std::fprintf(f,

@@ -62,11 +62,7 @@ struct DeltaRow {
 };
 
 int64_t PostingEntryBytes(const kjoin::KJoinIndex& index) {
-  int64_t entries = 0;
-  for (const auto& [sig, list] : index.postings()) {
-    entries += static_cast<int64_t>(list.size());
-  }
-  return entries * static_cast<int64_t>(sizeof(int32_t));
+  return index.posting_entries() * static_cast<int64_t>(sizeof(int32_t));
 }
 
 }  // namespace

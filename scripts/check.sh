@@ -22,17 +22,26 @@
 #                                    # must reproduce every acked batch
 #                                    # byte-identically
 #                                    # (examples/wal_kill_replay.cc)
+#   scripts/check.sh --no-simd       # additionally re-run the filter
+#                                    # suites with KJOIN_FORCE_SCALAR=1,
+#                                    # pinning the kernel dispatch
+#                                    # (core/simd.h) to the scalar
+#                                    # fallbacks — the results must not
+#                                    # change
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 run_bench=0
 run_recovery=0
+run_no_simd=0
 presets=()
 for arg in "$@"; do
   if [[ "$arg" == "--bench" ]]; then
     run_bench=1
   elif [[ "$arg" == "--recovery" ]]; then
     run_recovery=1
+  elif [[ "$arg" == "--no-simd" ]]; then
+    run_no_simd=1
   else
     presets+=("$arg")
   fi
@@ -50,6 +59,19 @@ for preset in "${presets[@]}"; do
   (cd "$repo" && ctest --preset "$preset")
 done
 echo "all presets green: ${presets[*]}"
+
+if [[ $run_no_simd -eq 1 ]]; then
+  # Scalar-fallback pass: the same release binaries, with dispatch forced
+  # to the scalar kernels before the first probe. Covers the suites that
+  # exercise the filter engine (the simd_test identity sweeps assert the
+  # join results and JoinStats counters match the SIMD paths bit for bit).
+  echo "==> [no-simd] release suites with KJOIN_FORCE_SCALAR=1"
+  cmake -B "$repo/build" -S "$repo" >/dev/null
+  cmake --build "$repo/build" -j "$(nproc)" >/dev/null
+  (cd "$repo/build" && KJOIN_FORCE_SCALAR=1 ctest --output-on-failure \
+    -L '^(simd_test|core_test|kjoin_test|property_test|random_join_test|serve_test)$')
+  echo "no-simd pass green"
+fi
 
 if [[ $run_recovery -eq 1 ]]; then
   echo "==> [recovery] build wal_kill_replay"

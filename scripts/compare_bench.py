@@ -42,12 +42,19 @@ TRACKED = [
     (("serving_write_path", "delta_publish_bytes_avg"), "lower"),
 ]
 
-# fig9_filter, fig14_threads, serving_qps and serving_delta_search are
-# arrays keyed by scheme / thread count / client count / delta depth.
+# fig9_filter, fig10_filter_delta, fig14_threads, serving_qps,
+# serving_delta_search and micro_intersect rows are arrays keyed by
+# scheme / delta / thread count / client count / delta depth / ratio.
 TRACKED_FIG9 = "total_seconds"  # per scheme, lower is better
+TRACKED_FIG10 = "filter_seconds"  # per delta, lower is better
 TRACKED_FIG14 = "total_seconds"  # per thread count, lower is better
 TRACKED_SERVING = "qps"  # per client count, higher is better
 TRACKED_DELTA = "delta_qps"  # per delta depth, higher is better
+TRACKED_INTERSECT = "dispatched_qps"  # per length ratio, higher is better
+# The skews worth gating on: balanced (merge kernel), the dispatch
+# crossover, and heavy skew (gallop kernel). Intermediate rows are
+# reported in the JSON but too noisy to fail on.
+TRACKED_INTERSECT_RATIOS = ["1:1", "1:32", "1:1000"]
 
 IDENTICAL_FLAGS = [
     ("fig11_verify", "results_identical"),
@@ -130,6 +137,41 @@ def main():
                        base_fig9[scheme].get(TRACKED_FIG9),
                        fresh_fig9.get(scheme, {}).get(TRACKED_FIG9),
                        "lower", args.tolerance, failures)
+
+    base_fig10 = index_rows(base.get("fig10_filter_delta", []), "delta")
+    fresh_fig10 = index_rows(fresh.get("fig10_filter_delta", []), "delta")
+    for delta in base_fig10:
+        compare_scalar(f"fig10_filter_delta[{delta}]/{TRACKED_FIG10}",
+                       base_fig10[delta].get(TRACKED_FIG10),
+                       fresh_fig10.get(delta, {}).get(TRACKED_FIG10),
+                       "lower", args.tolerance, failures)
+        base_flag = base_fig10[delta].get("results_identical")
+        fresh_flag = fresh_fig10.get(delta, {}).get("results_identical")
+        if base_flag is True and fresh_flag is False:
+            failures.append(f"fig10_filter_delta[{delta}]/results_identical flipped to false")
+
+    base_mi = index_rows(lookup(base, ("micro_intersect", "rows")) or [], "ratio")
+    fresh_mi = index_rows(lookup(fresh, ("micro_intersect", "rows")) or [], "ratio")
+    for ratio in TRACKED_INTERSECT_RATIOS:
+        if ratio not in base_mi:
+            continue
+        compare_scalar(f"micro_intersect[{ratio}]/{TRACKED_INTERSECT}",
+                       base_mi[ratio].get(TRACKED_INTERSECT),
+                       fresh_mi.get(ratio, {}).get(TRACKED_INTERSECT),
+                       "higher", args.tolerance, failures)
+        if base_mi[ratio].get("identical") is True and \
+                fresh_mi.get(ratio, {}).get("identical") is False:
+            failures.append(f"micro_intersect[{ratio}]/identical flipped to false")
+    base_acc = lookup(base, ("micro_intersect", "accumulate"))
+    fresh_acc = lookup(fresh, ("micro_intersect", "accumulate"))
+    if isinstance(base_acc, dict):
+        compare_scalar("micro_intersect/accumulate/dispatched_mops",
+                       base_acc.get("dispatched_mops"),
+                       (fresh_acc or {}).get("dispatched_mops"),
+                       "higher", args.tolerance, failures)
+        if base_acc.get("identical") is True and \
+                (fresh_acc or {}).get("identical") is False:
+            failures.append("micro_intersect/accumulate/identical flipped to false")
 
     base_fig14 = index_rows(base.get("fig14_threads", []), "threads")
     fresh_fig14 = index_rows(fresh.get("fig14_threads", []), "threads")

@@ -1,38 +1,42 @@
 #!/usr/bin/env bash
-# Builds the release tree and runs the bench-regression harness plus the
-# serving sections of bench_search, merging both into one machine-readable
-# report (default BENCH_PR6.json in the repo root).
+# Builds the release tree and runs the bench-regression harness, the
+# serving sections of bench_search and the filter-kernel microbench,
+# merging all three into one machine-readable report (default
+# BENCH_PR7.json in the repo root).
 #
 #   scripts/run_bench.sh [out.json] [extra bench_regression flags...]
 #
 # Compare the report against the committed one from the previous PR to
 # catch hot-path regressions; docs/performance.md describes the
-# bench_regression schema and docs/serving.md the serving sections
-# (serving_cold_start, serving_qps, serving_write_path,
-# serving_delta_search).
+# bench_regression schema and the micro_intersect section, and
+# docs/serving.md the serving sections (serving_cold_start, serving_qps,
+# serving_write_path, serving_delta_search).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo/BENCH_PR6.json}"
+out="${1:-$repo/BENCH_PR7.json}"
 shift || true
 
 cmake -B "$repo/build" -S "$repo" >/dev/null
-cmake --build "$repo/build" --target bench_regression bench_search -j "$(nproc)"
+cmake --build "$repo/build" --target bench_regression bench_search bench_micro_intersect \
+  -j "$(nproc)"
 
 regression="$(mktemp /tmp/bench_regression.XXXXXX.json)"
 serving="$(mktemp /tmp/bench_serving.XXXXXX.json)"
+intersect="$(mktemp /tmp/bench_intersect.XXXXXX.json)"
 "$repo/build/bench/bench_regression" --out "$regression" "$@"
 "$repo/build/bench/bench_search" --out "$serving"
+"$repo/build/bench/bench_micro_intersect" --out "$intersect"
 
-python3 - "$regression" "$serving" "$out" <<'EOF'
+python3 - "$regression" "$serving" "$intersect" "$out" <<'EOF'
 import json, sys
 merged = {}
-for path in sys.argv[1:3]:
+for path in sys.argv[1:4]:
     with open(path) as f:
         merged.update(json.load(f))
-with open(sys.argv[3], "w") as f:
+with open(sys.argv[4], "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 EOF
-rm -f "$regression" "$serving"
+rm -f "$regression" "$serving" "$intersect"
 echo "report: $out"

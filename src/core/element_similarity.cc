@@ -44,6 +44,26 @@ double ElementSimilarity::NodeSimUncached(NodeId x, NodeId y) const {
   return 0.0;
 }
 
+double ElementSimilarity::NodeSimFromDepth(NodeId x, NodeId y, int lca_depth) const {
+  // Same arithmetic as NodeSimUncached with the LcaDepth probe replaced by
+  // the caller's batched result. x == y needs no special case: there
+  // lca_depth == depth(x) == depth(y), and both metrics evaluate to
+  // exactly 1.0.
+  const int dx = hierarchy().depth(x);
+  const int dy = hierarchy().depth(y);
+  switch (metric_) {
+    case ElementMetric::kKJoin: {
+      const int denom = std::max(dx, dy);
+      return denom == 0 ? 1.0 : static_cast<double>(lca_depth) / denom;
+    }
+    case ElementMetric::kWuPalmer: {
+      const int denom = dx + dy;
+      return denom == 0 ? 1.0 : 2.0 * lca_depth / denom;
+    }
+  }
+  return 0.0;
+}
+
 double ElementSimilarity::Sim(const Element& x, const Element& y) const {
   // Identical tokens are maximally similar regardless of mappings.
   if (x.token_id >= 0 && x.token_id == y.token_id) return 1.0;

@@ -38,6 +38,15 @@ class ElementSimilarity {
   const LcaIndex& lca() const { return *lca_; }
   const Hierarchy& hierarchy() const { return lca_->hierarchy(); }
 
+  // True when a SimCache fronts node-pair lookups. Callers that batch LCA
+  // resolution themselves (verifier.cc's bigraph build) must stay on
+  // Sim() when this is set, or cache hit counters would drift.
+  bool cached() const { return cache_ != nullptr; }
+
+  // NodeSim with the LCA depth already in hand (LcaIndex::LcaDepthBatch).
+  // Bit-identical to an uncached NodeSim(x, y).
+  double NodeSimFromDepth(NodeId x, NodeId y, int lca_depth) const;
+
   // --- Threshold geometry (static, metric-parameterized) ---------------
 
   // d_δ: the minimum LCA depth of two *different* δ-similar nodes

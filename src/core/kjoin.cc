@@ -10,8 +10,8 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/timer.h"
-#include "core/inverted_index.h"
 #include "core/prefix.h"
+#include "core/simd.h"
 
 namespace kjoin {
 
@@ -180,6 +180,7 @@ KJoin::Prepared KJoin::Prepare(const std::vector<const std::vector<Object>*>& co
   Prepared prepared;
   prepared.sigs.resize(n);
   prepared.prefix_len.assign(n, 0);
+  prepared.prefix_ranks.resize(n);
   const int lanes = ShardsForWork(n, kMinPrepareObjectsPerShard, pool_->num_threads());
 
   // Pass 1: per-shard signature generation with shard-local df maps; the
@@ -213,15 +214,27 @@ KJoin::Prepared KJoin::Prepare(const std::vector<const std::vector<Object>*>& co
   stats->prepare_tasks +=
       pool_->ParallelFor(n, lanes, [&](int shard, int64_t begin, int64_t end) {
         int64_t since_poll = 0;
+        static thread_local std::vector<int32_t> ranks;
         for (int64_t i = begin; i < end; ++i) {
           if (polled && (since_poll++ % kPreparePollStride) == 0 &&
               !controller->Poll(JoinPhase::kPrepare)) {
             return;
           }
-          SortByGlobalOrder(*order, &prepared.sigs[i]);
+          SortByGlobalOrderWithRanks(*order, &prepared.sigs[i], &ranks);
           const int32_t prefix = PrefixLengthFor(prepared.sigs[i], objects[i]->size());
           prepared.prefix_len[i] = prefix;
           shard_prefix[shard] += prefix;
+          // The prefix as deduplicated ranks: sorted ascending, so equal
+          // ranks (one signature reached through several elements) are
+          // adjacent.
+          std::vector<int32_t>& out = prepared.prefix_ranks[i];
+          out.reserve(prefix);
+          int32_t previous_rank = -1;
+          for (int32_t k = 0; k < prefix; ++k) {
+            if (ranks[k] == previous_rank) continue;
+            previous_rank = ranks[k];
+            out.push_back(previous_rank);
+          }
         }
       });
   for (int s = 0; s < lanes; ++s) stats->prefix_signatures += shard_prefix[s];
@@ -430,22 +443,39 @@ Status KJoin::JoinImpl(const std::vector<Object>& left, const std::vector<Object
 
   // ---- filter: index left prefixes, probe (self: probe x reads y < x) ----
   phase_timer.Restart();
-  InvertedIndex index(order.num_signatures());
+  // Rank-keyed CSR over the indexed prefixes: one flat doc array plus a
+  // rank -> [begin, end) offset table. Lists ascend by construction (the
+  // fill pass walks objects in order), which the self-join cutoff and the
+  // ScanCount accumulator both rely on. Built in a count + fill pass; a
+  // mid-build trip leaves the arrays inconsistent, but a tripped
+  // controller zeroes num_probes so they are never probed.
+  const int32_t num_ranks = order.num_signatures();
+  const int32_t num_indexed = static_cast<int32_t>(left.size());
+  std::vector<int64_t> rank_offset(static_cast<size_t>(num_ranks) + 1, 0);
+  std::vector<int32_t> rank_docs;
   if (!controller.tripped()) {
-    const int32_t num_indexed = static_cast<int32_t>(left.size());
     int64_t since_poll = 0;
+    bool counted = true;
     for (int32_t x = 0; x < num_indexed; ++x) {
       if (polled && (since_poll++ % kIndexPollStride) == 0 &&
           !controller.Poll(JoinPhase::kFilter)) {
+        counted = false;
         break;
       }
-      const std::vector<Signature>& sigs = prepared.sigs[x];
-      int32_t previous_rank = -1;
-      for (int32_t k = 0; k < prepared.prefix_len[x]; ++k) {
-        const int32_t rank = order.Rank(sigs[k].id);
-        if (rank == previous_rank) continue;  // duplicate signature value
-        previous_rank = rank;
-        index.Add(rank, x);
+      for (const int32_t rank : prepared.prefix_ranks[x]) ++rank_offset[rank + 1];
+    }
+    if (counted) {
+      for (int32_t r = 0; r < num_ranks; ++r) rank_offset[r + 1] += rank_offset[r];
+      rank_docs.resize(static_cast<size_t>(rank_offset[num_ranks]));
+      std::vector<int64_t> cursor(rank_offset.begin(), rank_offset.end() - 1);
+      for (int32_t x = 0; x < num_indexed; ++x) {
+        if (polled && (since_poll++ % kIndexPollStride) == 0 &&
+            !controller.Poll(JoinPhase::kFilter)) {
+          break;
+        }
+        for (const int32_t rank : prepared.prefix_ranks[x]) {
+          rank_docs[static_cast<size_t>(cursor[rank]++)] = x;
+        }
       }
     }
   }
@@ -464,10 +494,23 @@ Status KJoin::JoinImpl(const std::vector<Object>& left, const std::vector<Object
   // The probe body is shared by self and R-S joins: both emit
   // (indexed id, probe id) pairs in probe order; self mode additionally
   // stops each posting list at the probe itself (ascending lists).
+  //
+  // Each probe ScanCounts its prefix's posting lists into a dense
+  // per-shard counter array and extracts the touched objects in ascending
+  // order (simd.h kernels). The candidate SET per probe is identical to
+  // the old per-list dedup walk; within a probe the emission order is
+  // ascending-by-index instead of first-occurrence, which no consumer
+  // observes (verification restores candidate order, results are sets).
   auto probe = [&](int /*shard*/, int32_t begin, int32_t end,
                    std::vector<std::pair<int32_t, int32_t>>* out) {
     const size_t shard_base = out->size();
-    std::vector<int32_t> last_probe(left.size(), -1);
+    // Counters stay all-zero between probes: extraction clears as it
+    // drains, so only touched blocks are ever revisited.
+    std::vector<uint8_t> counts(left.size(), 0);
+    const int64_t counter_blocks =
+        (static_cast<int64_t>(left.size()) + simd::kCounterBlock - 1) / simd::kCounterBlock;
+    std::vector<uint64_t> touched(static_cast<size_t>((counter_blocks + 63) / 64), 0);
+    int32_t block_buf[simd::kCounterBlock];
     int64_t since_poll = 0;
     for (int32_t p = begin; p < end; ++p) {
       if (polled && (since_poll++ % kProbePollStride) == 0 &&
@@ -475,17 +518,34 @@ Status KJoin::JoinImpl(const std::vector<Object>& left, const std::vector<Object
         return;
       }
       const size_t probe_base = out->size();
-      const std::vector<Signature>& sigs = prepared.sigs[probe_sig_offset + p];
-      int32_t previous_rank = -1;
-      for (int32_t k = 0; k < prepared.prefix_len[probe_sig_offset + p]; ++k) {
-        const int32_t rank = order.Rank(sigs[k].id);
-        if (rank == previous_rank) continue;
-        previous_rank = rank;
-        for (int32_t y : index.List(rank)) {
-          if (self && y >= p) break;  // ascending list: only p itself and later follow
-          if (last_probe[y] == p) continue;
-          last_probe[y] = p;
-          out->emplace_back(y, p);
+      const int32_t limit = self ? p : num_indexed;
+      if (limit > 0) {
+        for (const int32_t rank : prepared.prefix_ranks[probe_sig_offset + p]) {
+          const int32_t* list = rank_docs.data() + rank_offset[rank];
+          int32_t n = static_cast<int32_t>(rank_offset[rank + 1] - rank_offset[rank]);
+          if (self && n > 0 && list[n - 1] >= limit) {
+            // Ascending list: clip to entries below the probe BEFORE
+            // accumulating, so counters past the cutoff stay untouched.
+            n = static_cast<int32_t>(std::lower_bound(list, list + n, limit) - list);
+          }
+          simd::AccumulateCounts(list, n, counts.data(), touched.data());
+        }
+        for (size_t w = 0; w < touched.size(); ++w) {
+          uint64_t bits = touched[w];
+          if (bits == 0) continue;
+          touched[w] = 0;
+          while (bits != 0) {
+            const int bit = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            const int64_t block_begin =
+                (static_cast<int64_t>(w) * 64 + bit) * simd::kCounterBlock;
+            const int32_t len = static_cast<int32_t>(std::min<int64_t>(
+                simd::kCounterBlock, static_cast<int64_t>(left.size()) - block_begin));
+            const int32_t found = simd::ExtractAndClearBlock(
+                counts.data() + block_begin, static_cast<int32_t>(block_begin), len,
+                /*threshold=*/1, block_buf);
+            for (int32_t v = 0; v < found; ++v) out->emplace_back(block_buf[v], p);
+          }
         }
         if (max_per_probe > 0 &&
             static_cast<int64_t>(out->size() - probe_base) > max_per_probe) {

@@ -223,9 +223,13 @@ class KJoin {
   class JoinController;
 
   // Per-object signature lists sorted by global order plus prefix length.
+  // prefix_ranks[i] is object i's prefix as deduplicated global ranks
+  // (ascending) — the filter phase indexes and probes through it without
+  // ever re-resolving SigId -> rank hashes.
   struct Prepared {
     std::vector<std::vector<Signature>> sigs;
     std::vector<int32_t> prefix_len;
+    std::vector<std::vector<int32_t>> prefix_ranks;
   };
 
   // Both public joins funnel here; `self` selects self-join semantics

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/prefix.h"
+#include "core/simd.h"
 
 namespace kjoin {
 
@@ -19,6 +20,27 @@ thread_local int64_t tls_last_candidates = 0;
 // two relaxed loads every kControlStride pairs — invisible next to one
 // verification — while bounding overshoot to a handful of pairs.
 constexpr int kControlStride = 8;
+
+// Per-thread probe scratch (shared across all indexes the thread
+// searches): dense ScanCount counters plus the touched-block bitmap.
+// Invariant between calls: every counter is zero and every bitmap word is
+// zero — extraction restores both as it drains, so repeated searches
+// never re-touch cold memory.
+struct ProbeScratch {
+  std::vector<uint8_t> counts;
+  std::vector<uint64_t> touched;
+
+  void EnsureCapacity(int64_t num_objects) {
+    if (static_cast<int64_t>(counts.size()) < num_objects) {
+      counts.resize(static_cast<size_t>(num_objects), 0);
+      const int64_t blocks =
+          (num_objects + simd::kCounterBlock - 1) / simd::kCounterBlock;
+      touched.resize(static_cast<size_t>((blocks + 63) / 64), 0);
+    }
+  }
+};
+
+thread_local ProbeScratch tls_probe_scratch;
 
 }  // namespace
 
@@ -38,6 +60,7 @@ KJoinIndex::KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options,
                                 options.set_metric, options.count_pruning,
                                 options.weighted_count_pruning, options.plus_mode}) {
   for (int32_t i = 0; i < static_cast<int32_t>(objects_.size()); ++i) IndexObject(i);
+  FreezeTail();
 }
 
 KJoinIndex::KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options,
@@ -56,7 +79,7 @@ KJoinIndex::KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options,
                 VerifierOptions{options.delta, options.tau, options.verify_mode,
                                 options.set_metric, options.count_pruning,
                                 options.weighted_count_pruning, options.plus_mode}),
-      postings_(std::move(parts.postings)) {
+      store_(std::move(parts.postings)) {
   KJOIN_CHECK(&lca_->hierarchy() == hierarchy_)
       << "restored LCA index belongs to a different hierarchy";
   for (const int32_t index : parts.tombstones) {
@@ -86,12 +109,30 @@ KJoinIndex::KJoinIndex(std::shared_ptr<const KJoinIndex> base)
                                 options_.weighted_count_pruning, options_.plus_mode}) {}
 
 void KJoinIndex::IndexObject(int32_t index) {
-  // Full signature set, deduplicated per object.
+  // Full signature set, deduplicated per object. New entries go to the
+  // mutable tail; the flat build freezes it into the CSR store once.
   std::vector<SigId> ids;
   for (const Signature& sig : signatures_.Generate(object_at(index))) ids.push_back(sig.id);
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  for (SigId id : ids) postings_[id].push_back(index);
+  for (SigId id : ids) tail_[id].push_back(index);
+  tail_entries_ += static_cast<int64_t>(ids.size());
+}
+
+void KJoinIndex::FreezeTail() {
+  KJOIN_CHECK(store_.empty());
+  std::vector<SigId> keys;
+  keys.reserve(tail_.size());
+  for (const auto& [id, list] : tail_) keys.push_back(id);
+  std::sort(keys.begin(), keys.end());
+  PostingStore::Builder builder;
+  for (const SigId id : keys) {
+    const std::vector<int32_t>& list = tail_.at(id);
+    builder.Add(id, list.data(), static_cast<int32_t>(list.size()));
+  }
+  store_ = builder.Finish();
+  tail_.clear();
+  tail_entries_ = 0;
 }
 
 int32_t KJoinIndex::Insert(const Object& object) {
@@ -119,9 +160,8 @@ int64_t KJoinIndex::last_candidates() { return tls_last_candidates; }
 
 std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
   // The usual case is a flat index (one layer, no tombstones); deltas
-  // probe every layer's postings. Layers are ordered deepest base first,
-  // so concatenating a signature's lists preserves ascending object
-  // order (each layer only indexes objects past its base).
+  // probe every layer's postings — the frozen CSR store plus the mutable
+  // tail of each.
   const KJoinIndex* flat[1] = {this};
   std::vector<const KJoinIndex*> chain;
   const KJoinIndex* const* layers = flat;
@@ -141,8 +181,10 @@ std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
   auto df_of = [&](SigId id) {
     int64_t df = 0;
     for (size_t l = 0; l < num_layers; ++l) {
-      auto it = layers[l]->postings_.find(id);
-      if (it != layers[l]->postings_.end()) df += static_cast<int64_t>(it->second.size());
+      const int32_t slot = layers[l]->store_.Find(id);
+      if (slot >= 0) df += layers[l]->store_.length(slot);
+      auto it = layers[l]->tail_.find(id);
+      if (it != layers[l]->tail_.end()) df += static_cast<int64_t>(it->second.size());
     }
     return df;
   };
@@ -163,8 +205,16 @@ std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
         sigs, MinSimilarElements(query.size(), options_.tau, options_.set_metric));
   }
 
-  std::vector<int32_t> candidates;
-  std::vector<char> seen(static_cast<size_t>(num_indexed()), 0);
+  // ScanCount the prefix's posting lists into the dense counter array,
+  // then extract every object touched at least once, block by block in
+  // ascending index order. Candidate SET (and count) are identical to the
+  // old per-list dedup scan; only the emission order changes, and every
+  // consumer either sorts hits or treats candidates as a set.
+  ProbeScratch& scratch = tls_probe_scratch;
+  scratch.EnsureCapacity(num_indexed());
+  uint8_t* counts = scratch.counts.data();
+  uint64_t* touched = scratch.touched.data();
+
   SigId previous = 0;
   bool have_previous = false;
   for (int32_t k = 0; k < prefix; ++k) {
@@ -172,13 +222,35 @@ std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
     previous = sigs[k].id;
     have_previous = true;
     for (size_t l = 0; l < num_layers; ++l) {
-      auto it = layers[l]->postings_.find(sigs[k].id);
-      if (it == layers[l]->postings_.end()) continue;
-      for (int32_t i : it->second) {
-        if (seen[i]) continue;
-        seen[i] = 1;
-        if (check_dead && deleted(i)) continue;
-        candidates.push_back(i);
+      const int32_t slot = layers[l]->store_.Find(sigs[k].id);
+      if (slot >= 0) layers[l]->store_.AccumulateSlot(slot, counts, touched);
+      auto it = layers[l]->tail_.find(sigs[k].id);
+      if (it != layers[l]->tail_.end()) {
+        simd::AccumulateCounts(it->second.data(), static_cast<int32_t>(it->second.size()),
+                               counts, touched);
+      }
+    }
+  }
+
+  std::vector<int32_t> candidates;
+  const int64_t total = num_indexed();
+  const int64_t words =
+      ((total + simd::kCounterBlock - 1) / simd::kCounterBlock + 63) / 64;
+  int32_t buf[simd::kCounterBlock];
+  for (int64_t w = 0; w < words; ++w) {
+    uint64_t bits = touched[w];
+    touched[w] = 0;
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const int64_t block_begin = (w * 64 + bit) * simd::kCounterBlock;
+      const int32_t len =
+          static_cast<int32_t>(std::min<int64_t>(simd::kCounterBlock, total - block_begin));
+      const int32_t n = simd::ExtractAndClearBlock(
+          counts + block_begin, static_cast<int32_t>(block_begin), len, 1, buf);
+      for (int32_t v = 0; v < n; ++v) {
+        if (check_dead && deleted(buf[v])) continue;
+        candidates.push_back(buf[v]);
       }
     }
   }
@@ -205,24 +277,49 @@ void KJoinIndex::Flatten(std::vector<Object>* objects, RestoredParts* parts) con
   parts->tombstones.assign(dead.begin(), dead.end());
   std::sort(parts->tombstones.begin(), parts->tombstones.end());
 
-  parts->postings.clear();
+  // Union of every layer's signatures, ascending, then one merged list
+  // per signature fed straight to the CSR builder. Layers are ordered
+  // deepest base first and each layer only indexes objects past its base,
+  // so concatenating per-layer lists (each layer: frozen store first,
+  // then its tail) keeps doc ids ascending without a sort.
+  std::vector<SigId> keys;
   for (const KJoinIndex* layer : layers) {
-    for (const auto& [id, list] : layer->postings_) {
-      std::vector<int32_t>& out = parts->postings[id];
-      for (const int32_t index : list) {
-        if (dead.find(index) == dead.end()) out.push_back(index);
+    for (int32_t slot = 0; slot < layer->store_.num_lists(); ++slot) {
+      keys.push_back(layer->store_.key(slot));
+    }
+    for (const auto& [id, list] : layer->tail_) keys.push_back(id);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  PostingStore::Builder builder;
+  std::vector<int32_t> merged;
+  std::vector<int32_t> decode_buf;
+  for (const SigId id : keys) {
+    merged.clear();
+    for (const KJoinIndex* layer : layers) {
+      const int32_t slot = layer->store_.Find(id);
+      if (slot >= 0) {
+        const int32_t n = layer->store_.length(slot);
+        decode_buf.resize(static_cast<size_t>(n));
+        layer->store_.Decode(slot, decode_buf.data());
+        for (int32_t v = 0; v < n; ++v) {
+          if (dead.find(decode_buf[v]) == dead.end()) merged.push_back(decode_buf[v]);
+        }
+      }
+      auto it = layer->tail_.find(id);
+      if (it != layer->tail_.end()) {
+        for (const int32_t index : it->second) {
+          if (dead.find(index) == dead.end()) merged.push_back(index);
+        }
       }
     }
+    // A signature all of whose carriers died must not leave an empty list
+    // behind (the snapshot format forbids them, and df counts would skew).
+    if (merged.empty()) continue;
+    builder.Add(id, merged.data(), static_cast<int32_t>(merged.size()));
   }
-  // A signature all of whose carriers died must not leave an empty list
-  // behind (the snapshot format forbids them, and df counts would skew).
-  for (auto it = parts->postings.begin(); it != parts->postings.end();) {
-    if (it->second.empty()) {
-      it = parts->postings.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  parts->postings = builder.Finish();
 }
 
 std::vector<SearchHit> KJoinIndex::Search(const Object& query) const {

@@ -34,14 +34,17 @@
 // mutates a published index; it layers a delta over it instead). A base
 // an immutable delta chain is built over must no longer be mutated.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/kjoin.h"
+#include "core/posting_store.h"
 #include "core/verifier.h"
 
 namespace kjoin {
@@ -71,11 +74,12 @@ class KJoinIndex {
   // supplied instead of being re-derived from `objects` (serve/snapshot.h
   // restores them from disk; serve/index_manager.h shares them across
   // epochs). `lca` may be shared between indexes over the same hierarchy;
-  // `postings` must be exactly the posting lists IndexObject would build;
-  // `tombstones` are the deleted object indexes (sorted or not).
+  // `postings` is the frozen CSR store holding exactly the posting lists
+  // IndexObject would build; `tombstones` are the deleted object indexes
+  // (sorted or not).
   struct RestoredParts {
     std::shared_ptr<const LcaIndex> lca;  // null = build from the hierarchy
-    std::unordered_map<SigId, std::vector<int32_t>> postings;
+    PostingStore postings;
     std::vector<int32_t> tombstones;
   };
   KJoinIndex(const Hierarchy& hierarchy, KJoinOptions options, std::vector<Object> objects,
@@ -164,23 +168,69 @@ class KJoinIndex {
 
   // Collapses the chain into flat parts: the full object collection
   // (dead objects kept in place so indexes stay stable), merged postings
-  // with tombstoned entries dropped, and the union of tombstones sorted
-  // ascending. Feeding the results to the RestoredParts constructor
-  // yields a flat index that answers every query identically — no
-  // signature regeneration, O(total postings) work.
+  // re-frozen into one CSR store with tombstoned entries dropped, and the
+  // union of tombstones sorted ascending. Feeding the results to the
+  // RestoredParts constructor yields a flat index that answers every
+  // query identically — no signature regeneration, O(total postings)
+  // work.
   void Flatten(std::vector<Object>* objects, RestoredParts* parts) const;
 
-  // The serialized halves of this layer's prepared stack, for the
-  // snapshot writer and for epoch cloning (postings are copied, the LCA
-  // index is shared). Like objects(), covers THIS layer only.
-  const std::unordered_map<SigId, std::vector<int32_t>>& postings() const {
-    return postings_;
+  // Posting entries stored by THIS layer (frozen + mutable tail). The
+  // serving layer sizes epochs by this; benches report it.
+  int64_t posting_entries() const { return store_.num_entries() + tail_entries_; }
+
+  // This layer's frozen CSR store (empty for delta layers, which keep
+  // their postings in the mutable tail until a Flatten/compaction).
+  const PostingStore& packed_postings() const { return store_; }
+
+  // Calls fn(SigId, const int32_t* docs, int32_t count) for every posting
+  // list of THIS layer in ascending SigId order, frozen store and mutable
+  // tail merged (tail entries follow store entries; both halves ascend,
+  // so the combined list is ascending). The pointer is only valid during
+  // the call. This is the snapshot writer's traversal: SigId-sorted
+  // without building a map copy.
+  template <typename Fn>
+  void ForEachPosting(Fn&& fn) const {
+    std::vector<std::pair<SigId, const std::vector<int32_t>*>> tail_sorted;
+    tail_sorted.reserve(tail_.size());
+    for (const auto& [id, list] : tail_) tail_sorted.emplace_back(id, &list);
+    std::sort(tail_sorted.begin(), tail_sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<int32_t> scratch;
+    size_t t = 0;
+    for (int32_t slot = 0; slot < store_.num_lists(); ++slot) {
+      const SigId id = store_.key(slot);
+      // Tail-only signatures below this store key first.
+      for (; t < tail_sorted.size() && tail_sorted[t].first < id; ++t) {
+        fn(tail_sorted[t].first, tail_sorted[t].second->data(),
+           static_cast<int32_t>(tail_sorted[t].second->size()));
+      }
+      const int32_t n = store_.length(slot);
+      const std::vector<int32_t>* extra =
+          (t < tail_sorted.size() && tail_sorted[t].first == id) ? tail_sorted[t].second
+                                                                 : nullptr;
+      scratch.resize(static_cast<size_t>(n) + (extra != nullptr ? extra->size() : 0));
+      store_.Decode(slot, scratch.data());
+      if (extra != nullptr) {
+        std::copy(extra->begin(), extra->end(), scratch.begin() + n);
+        ++t;
+      }
+      fn(id, scratch.data(), static_cast<int32_t>(scratch.size()));
+    }
+    for (; t < tail_sorted.size(); ++t) {
+      fn(tail_sorted[t].first, tail_sorted[t].second->data(),
+         static_cast<int32_t>(tail_sorted[t].second->size()));
+    }
   }
+
   std::shared_ptr<const LcaIndex> shared_lca() const { return lca_; }
 
  private:
   std::vector<int32_t> Candidates(const Object& query) const;
   void IndexObject(int32_t index);
+  // Moves the mutable tail into the frozen CSR store (only legal while
+  // the store is empty — the flat build path).
+  void FreezeTail();
   void CollectLayers(std::vector<const KJoinIndex*>* layers) const;
   Status SearchControlled(const Object& query, const JoinControl& control,
                           std::vector<SearchHit>* hits, SearchStats* stats) const;
@@ -210,8 +260,13 @@ class KJoinIndex {
   // signature -> objects of THIS layer carrying it (full sets,
   // deduplicated per object, chain-global indexes). The chain-summed
   // list length doubles as the signature's document frequency for
-  // ordering query prefixes.
-  std::unordered_map<SigId, std::vector<int32_t>> postings_;
+  // ordering query prefixes. Frozen lists live in the CSR store; objects
+  // inserted after the freeze go to the mutable tail (their indexes are
+  // strictly above everything frozen, so per-signature the concatenation
+  // store-then-tail stays ascending). Delta layers are tail-only.
+  PostingStore store_;
+  std::unordered_map<SigId, std::vector<int32_t>> tail_;
+  int64_t tail_entries_ = 0;
 };
 
 }  // namespace kjoin

@@ -76,6 +76,22 @@ void SortByGlobalOrder(const GlobalSignatureOrder& order, std::vector<Signature>
   for (size_t i = 0; i < keyed.size(); ++i) (*sigs)[i] = keyed[i].second;
 }
 
+void SortByGlobalOrderWithRanks(const GlobalSignatureOrder& order,
+                                std::vector<Signature>* sigs, std::vector<int32_t>* ranks) {
+  std::vector<std::pair<int32_t, Signature>> keyed;
+  keyed.reserve(sigs->size());
+  for (const Signature& sig : *sigs) keyed.emplace_back(order.Rank(sig.id), sig);
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.element < b.second.element;
+  });
+  ranks->resize(keyed.size());
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    (*sigs)[i] = keyed[i].second;
+    (*ranks)[i] = keyed[i].first;
+  }
+}
+
 int32_t PrefixLengthDistinct(const std::vector<Signature>& sigs,
                              int32_t min_similar_elements) {
   if (sigs.empty()) return 0;

@@ -71,6 +71,12 @@ class GlobalSignatureOrder {
 // prefix routines and the join driver expect.
 void SortByGlobalOrder(const GlobalSignatureOrder& order, std::vector<Signature>* sigs);
 
+// SortByGlobalOrder, also writing the per-signature ranks (parallel to the
+// sorted `sigs`, ascending with ties across elements) into `ranks` so the
+// join driver never re-resolves Rank() in the hot path.
+void SortByGlobalOrderWithRanks(const GlobalSignatureOrder& order, std::vector<Signature>* sigs,
+                                std::vector<int32_t>* ranks);
+
 // Prefix length under the distinct-element rule. `sigs` must be sorted by
 // global order. `min_similar_elements` is τ_S. Returns a value in
 // [1, sigs.size()] for non-empty input (0 only for empty input).

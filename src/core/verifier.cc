@@ -147,12 +147,89 @@ Bigraph* GraphSlot(VerifyScratch* scratch, size_t slot) {
   return &scratch->graphs[slot];
 }
 
+// A pure K-Join element: one mapping at full confidence. For such pairs
+// Eq. 2 collapses to a single NodeSim, which is one LCA probe.
+bool IsSingleFullMapping(const Element& e) {
+  return e.mappings.size() == 1 && e.mappings[0].phi == 1.0;
+}
+
+// Batched bigraph build for pure elements with caching off: every
+// cross-node pair's LCA is resolved through LcaIndex::LcaDepthBatch in
+// one pass, so the sparse-table misses overlap instead of serializing
+// through Sim(). Edge set and weights are bit-identical to the scalar
+// loop (NodeSimFromDepth reproduces the uncached Sim arithmetic), and
+// edges are inserted in the same (a, b) order.
+void BuildGroupBigraphBatched(const ObjectSimilarity& object_sim, const Object& x,
+                              const Object& y, std::span<const int32_t> left,
+                              std::span<const int32_t> right, Bigraph* graph) {
+  const ElementSimilarity& esim = object_sim.element_similarity();
+  const size_t cells = left.size() * right.size();
+  static thread_local std::vector<double> sims;
+  static thread_local std::vector<NodeId> xs, ys;
+  static thread_local std::vector<int32_t> cell_of_pair, depths;
+  sims.assign(cells, 0.0);
+  xs.clear();
+  ys.clear();
+  cell_of_pair.clear();
+  for (size_t a = 0; a < left.size(); ++a) {
+    const Element& ex = x.elements[left[a]];
+    for (size_t b = 0; b < right.size(); ++b) {
+      const Element& ey = y.elements[right[b]];
+      const size_t cell = a * right.size() + b;
+      if ((ex.token_id >= 0 && ex.token_id == ey.token_id) ||
+          (ex.token == ey.token && !ex.token.empty()) ||
+          ex.mappings[0].node == ey.mappings[0].node) {
+        sims[cell] = 1.0;
+      } else {
+        xs.push_back(ex.mappings[0].node);
+        ys.push_back(ey.mappings[0].node);
+        cell_of_pair.push_back(static_cast<int32_t>(cell));
+      }
+    }
+  }
+  depths.resize(xs.size());
+  esim.lca().LcaDepthBatch(xs.data(), ys.data(), static_cast<int32_t>(xs.size()),
+                           depths.data());
+  for (size_t p = 0; p < xs.size(); ++p) {
+    sims[static_cast<size_t>(cell_of_pair[p])] = esim.NodeSimFromDepth(xs[p], ys[p], depths[p]);
+  }
+  for (size_t a = 0; a < left.size(); ++a) {
+    for (size_t b = 0; b < right.size(); ++b) {
+      const double sim = sims[a * right.size() + b];
+      if (sim >= object_sim.delta() - 1e-12) {
+        graph->AddEdge(static_cast<int32_t>(a), static_cast<int32_t>(b), sim);
+      }
+    }
+  }
+}
+
 // The δ-thresholded bigraph restricted to one group, into a pooled graph.
 void BuildGroupBigraph(const ObjectSimilarity& object_sim, const Object& x, const Object& y,
                        std::span<const int32_t> left, std::span<const int32_t> right,
                        Bigraph* graph) {
   graph->Reset(static_cast<int32_t>(left.size()), static_cast<int32_t>(right.size()));
   const ElementSimilarity& esim = object_sim.element_similarity();
+  if (!esim.cached() && !left.empty() && !right.empty()) {
+    bool pure = true;
+    for (const int32_t i : left) {
+      if (!IsSingleFullMapping(x.elements[i])) {
+        pure = false;
+        break;
+      }
+    }
+    if (pure) {
+      for (const int32_t j : right) {
+        if (!IsSingleFullMapping(y.elements[j])) {
+          pure = false;
+          break;
+        }
+      }
+    }
+    if (pure) {
+      BuildGroupBigraphBatched(object_sim, x, y, left, right, graph);
+      return;
+    }
+  }
   for (size_t a = 0; a < left.size(); ++a) {
     for (size_t b = 0; b < right.size(); ++b) {
       const double sim = esim.Sim(x.elements[left[a]], y.elements[right[b]]);

@@ -65,6 +65,13 @@ class LcaIndex {
     return static_cast<int>(PackedLca(x, y) >> 32);
   }
 
+  // Batched LcaDepth over `count` pairs: depths[t] = LcaDepth(xs[t], ys[t]).
+  // Runs in prefetch tiles — the range endpoints for a tile of pairs are
+  // computed (and their sparse-table lines prefetched) before any of the
+  // tile's minima are taken, hiding the cache misses that dominate when
+  // the verifier resolves a whole bigraph's edges at once.
+  void LcaDepthBatch(const NodeId* xs, const NodeId* ys, int32_t count, int32_t* depths) const;
+
   const Hierarchy& hierarchy() const { return *hierarchy_; }
 
  private:

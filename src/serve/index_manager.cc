@@ -14,11 +14,7 @@ namespace {
 // Posting entries a layer holds (its own lists only) — the payload a
 // publish actually materialized, reported as manager.rebuild_bytes.
 int64_t PostingBytes(const KJoinIndex& index) {
-  int64_t entries = 0;
-  for (const auto& [sig, list] : index.postings()) {
-    entries += static_cast<int64_t>(list.size());
-  }
-  return entries * static_cast<int64_t>(sizeof(int32_t));
+  return index.posting_entries() * static_cast<int64_t>(sizeof(int32_t));
 }
 
 }  // namespace

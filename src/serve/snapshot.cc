@@ -110,20 +110,24 @@ void WriteSynonyms(const std::vector<std::pair<std::string, std::string>>& synon
   }
 }
 
-void WritePostings(const std::unordered_map<SigId, std::vector<int32_t>>& postings,
-                   ByteWriter* w) {
-  // Sorted by signature id so identical indexes serialize to identical
-  // bytes regardless of hash-map iteration order.
-  std::vector<std::pair<SigId, const std::vector<int32_t>*>> entries;
-  entries.reserve(postings.size());
-  for (const auto& [id, list] : postings) entries.push_back({id, &list});
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  w->U64(entries.size());
-  for (const auto& [id, list] : entries) {
-    w->I64(id);
-    w->RawVec(*list);
-  }
+// Version-3 POST payload: the CSR form, three raw arrays. `traverse`
+// must call its callback once per list in ascending SigId order (both
+// posting sources — KJoinIndex::ForEachPosting and PostingStore::ForEach
+// — already traverse that way, so nothing is sorted here and identical
+// indexes serialize to identical bytes).
+template <typename Traverse>
+void WritePostings(const Traverse& traverse, ByteWriter* w) {
+  std::vector<SigId> keys;
+  std::vector<int64_t> list_offsets{0};
+  std::vector<int32_t> docs;
+  traverse([&](SigId id, const int32_t* list, int32_t count) {
+    keys.push_back(id);
+    docs.insert(docs.end(), list, list + count);
+    list_offsets.push_back(static_cast<int64_t>(docs.size()));
+  });
+  w->RawVec(keys);
+  w->RawVec(list_offsets);
+  w->RawVec(docs);
 }
 
 void WriteDurability(int64_t durable_seq, const std::vector<int32_t>& tombstones,
@@ -271,47 +275,51 @@ StatusOr<std::vector<Object>> ParseObjects(std::string_view payload, const std::
   return objects;
 }
 
-StatusOr<std::unordered_map<SigId, std::vector<int32_t>>> ParsePostings(
-    std::string_view payload, const std::string& label, int64_t num_objects) {
+StatusOr<PostingStore> ParsePostings(std::string_view payload, const std::string& label,
+                                     int64_t num_objects) {
   ByteReader r(payload, label);
-  uint64_t count;
-  KJOIN_RETURN_IF_ERROR(r.U64(&count));
-  if (count > r.remaining() / 16) {  // sig id + list length minimum
-    return DataLossError(label + ": posting count " + std::to_string(count) +
-                         " exceeds payload size");
+  std::vector<SigId> keys;
+  std::vector<int64_t> list_offsets;
+  std::vector<int32_t> docs;
+  KJOIN_RETURN_IF_ERROR(r.RawVec(&keys));
+  KJOIN_RETURN_IF_ERROR(r.RawVec(&list_offsets));
+  KJOIN_RETURN_IF_ERROR(r.RawVec(&docs));
+  KJOIN_RETURN_IF_ERROR(r.ExpectEnd());
+  if (list_offsets.size() != keys.size() + 1 || list_offsets.front() != 0 ||
+      list_offsets.back() != static_cast<int64_t>(docs.size())) {
+    return InvalidArgumentError(label + ": posting offset table shape mismatch");
   }
-  std::unordered_map<SigId, std::vector<int32_t>> postings;
-  postings.reserve(count);
-  SigId previous = 0;
-  for (uint64_t i = 0; i < count; ++i) {
-    SigId id = 0;
-    KJOIN_RETURN_IF_ERROR(r.I64(&id));
-    if (i > 0 && id <= previous) {
+  // A linear repack: each validated list feeds the CSR builder directly,
+  // no map and no re-sort — the on-disk order IS the index order.
+  PostingStore::Builder builder;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0 && keys[i] <= keys[i - 1]) {
       return InvalidArgumentError(label + ": signature ids not strictly increasing");
     }
-    previous = id;
-    std::vector<int32_t> list;
-    KJOIN_RETURN_IF_ERROR(r.RawVec(&list));
-    if (list.empty()) {
+    const int64_t begin = list_offsets[i];
+    const int64_t end = list_offsets[i + 1];
+    // begin >= 0 by induction: offsets start at 0 and each list adds a
+    // positive length.
+    if (end <= begin) {
       return InvalidArgumentError(label + ": empty posting list for signature " +
-                                  std::to_string(id));
+                                  std::to_string(keys[i]));
     }
     int32_t last = -1;
-    for (int32_t v : list) {
+    for (int64_t j = begin; j < end; ++j) {
       // Lists are strictly ascending object indexes by construction
       // (IndexObject appends in insertion order); anything else is a
       // corrupt or foreign file.
-      if (v <= last || static_cast<int64_t>(v) >= num_objects) {
+      if (docs[j] <= last || static_cast<int64_t>(docs[j]) >= num_objects) {
         return InvalidArgumentError(label + ": posting list for signature " +
-                                    std::to_string(id) + " is not an ascending list of ids < " +
+                                    std::to_string(keys[i]) +
+                                    " is not an ascending list of ids < " +
                                     std::to_string(num_objects));
       }
-      last = v;
+      last = docs[j];
     }
-    postings.emplace(id, std::move(list));
+    builder.Add(keys[i], docs.data() + begin, static_cast<int32_t>(end - begin));
   }
-  KJOIN_RETURN_IF_ERROR(r.ExpectEnd());
-  return postings;
+  return builder.Finish();
 }
 
 struct Durability {
@@ -543,7 +551,6 @@ std::string SerializeIndexSnapshot(const SnapshotInput& input) {
   const bool collapse = index.delta_depth() > 0 || index.num_live() != index.num_indexed();
   if (collapse) index.Flatten(&flat_objects, &flat_parts);
   const std::vector<Object>& all_objects = collapse ? flat_objects : index.objects();
-  const auto& all_postings = collapse ? flat_parts.postings : index.postings();
   const std::vector<int32_t>& tombstones = flat_parts.tombstones;  // empty when !collapse
 
   // The token table must assign every indexed element's id to its surface
@@ -602,7 +609,14 @@ std::string SerializeIndexSnapshot(const SnapshotInput& input) {
   }
   {
     ByteWriter w;
-    WritePostings(all_postings, &w);
+    // Both sources traverse ascending SigIds: the flattened chain through
+    // its freshly built CSR store, a flat live index through its frozen
+    // store merged with any post-freeze tail inserts.
+    if (collapse) {
+      WritePostings([&](auto&& fn) { flat_parts.postings.ForEach(fn); }, &w);
+    } else {
+      WritePostings([&](auto&& fn) { index.ForEachPosting(fn); }, &w);
+    }
     sections[6] = {kTagPostings, w.Take()};
   }
   {

@@ -25,6 +25,12 @@
 // core/kjoin_index.h) is flattened before serializing, so a snapshot is
 // always a single flat layer.
 //
+// Format version 3 re-lays the POST section as the CSR postings form
+// (core/posting_store.h): one SigId key array (ascending), one
+// list-offset array, one flat doc array — written straight off the frozen
+// store, loaded by a linear repack into a PostingStore. No map is built
+// on either side.
+//
 // Every section payload carries its own CRC32; the loader verifies the
 // header, the table checksum and each section checksum before parsing,
 // then validates all structural invariants (id ranges, array shapes)
@@ -55,7 +61,7 @@ namespace kjoin::serve {
 
 // Bumped whenever the payload layout changes; the loader rejects other
 // versions with kInvalidArgument (no cross-version migration — re-save).
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 // CRC32 (IEEE 802.3, the zlib polynomial) of `bytes`. Exposed so tests
 // can forge and break section checksums deliberately (defined in

@@ -1,0 +1,421 @@
+// Kernel-equivalence suite for the SIMD filter engine (core/simd.h,
+// core/posting_store.h). Two layers:
+//
+//  * property tests sweep random inputs through every IsaLevel the
+//    machine supports and assert each kernel family (block decode,
+//    intersection, count accumulate/extract) is bit-identical to a
+//    straightforward scalar reference;
+//  * end-to-end tests run the same self-join, R-S join and index Search
+//    under each forced dispatch level and assert identical result pairs
+//    AND identical JoinStats counters — the dispatch level must be
+//    unobservable in anything but wall-clock.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/kjoin.h"
+#include "core/kjoin_index.h"
+#include "core/posting_store.h"
+#include "core/simd.h"
+#include "data/benchmark_suite.h"
+
+namespace kjoin {
+namespace {
+
+using simd::IsaLevel;
+
+std::vector<IsaLevel> SupportedLevels() {
+  std::vector<IsaLevel> levels;
+  for (IsaLevel level : {IsaLevel::kScalar, IsaLevel::kSse42, IsaLevel::kAvx2}) {
+    if (static_cast<int>(level) <= static_cast<int>(simd::MaxSupportedLevel())) {
+      levels.push_back(level);
+    }
+  }
+  return levels;
+}
+
+// Sorted, deduplicated random doc list in [0, universe).
+std::vector<int32_t> RandomDocs(Rng& rng, int32_t max_len, int32_t universe) {
+  const int32_t len = 1 + static_cast<int32_t>(rng.NextUint64(static_cast<uint64_t>(max_len)));
+  std::set<int32_t> docs;
+  while (static_cast<int32_t>(docs.size()) < len) {
+    docs.insert(static_cast<int32_t>(rng.NextUint64(static_cast<uint64_t>(universe))));
+  }
+  return std::vector<int32_t>(docs.begin(), docs.end());
+}
+
+// Reference bit-packer matching the PostingStore block payload: each
+// value (delta - 1) at `bits` bits, LSB-first from bit 0, plus one pad
+// word so vector decoders can over-read.
+std::vector<uint64_t> PackDeltas(const std::vector<int32_t>& docs, int32_t first, int bits) {
+  std::vector<uint64_t> words(docs.empty() ? 1 : (docs.size() * bits + 63) / 64 + 1, 0);
+  int32_t prev = first;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const uint64_t v = static_cast<uint64_t>(docs[i] - prev - 1);
+    const size_t bit = i * static_cast<size_t>(bits);
+    words[bit / 64] |= v << (bit % 64);
+    if (bit % 64 + static_cast<size_t>(bits) > 64) {
+      words[bit / 64 + 1] |= v >> (64 - bit % 64);
+    }
+    prev = docs[i];
+  }
+  return words;
+}
+
+TEST(SimdKernelTest, DecodeDeltaBlockMatchesScalarAtEveryLevel) {
+  Rng rng(71);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Build a block-shaped list: first id raw, up to 127 packed deltas.
+    std::vector<int32_t> docs = RandomDocs(rng, simd::kCounterBlock, 1 << 14);
+    const int32_t first = docs.front();
+    docs.erase(docs.begin());
+    int32_t max_gap = 0;
+    int32_t prev = first;
+    for (int32_t d : docs) {
+      max_gap = std::max(max_gap, d - prev - 1);
+      prev = d;
+    }
+    const int bits = max_gap == 0 ? 0 : 64 - static_cast<int>(__builtin_clzll(
+                                                 static_cast<uint64_t>(max_gap)));
+    const std::vector<uint64_t> words = PackDeltas(docs, first, bits);
+    for (IsaLevel level : SupportedLevels()) {
+      std::vector<int32_t> out(docs.size() + 8, -1);
+      simd::DecodeDeltaBlockAt(level, words.data(), bits,
+                               static_cast<int32_t>(docs.size()), first, out.data());
+      out.resize(docs.size());
+      EXPECT_EQ(out, docs) << "level=" << simd::IsaLevelName(level) << " bits=" << bits
+                           << " iter=" << iter;
+    }
+  }
+}
+
+TEST(SimdKernelTest, DecodeConsecutiveRunUsesZeroBits) {
+  // bits == 0 is the consecutive-run encoding: no payload words read
+  // beyond the pad, output is an iota from first + 1.
+  const uint64_t pad = 0;
+  for (IsaLevel level : SupportedLevels()) {
+    std::vector<int32_t> out(127, -1);
+    simd::DecodeDeltaBlockAt(level, &pad, /*bits=*/0, /*count=*/127, /*first=*/41,
+                             out.data());
+    for (int32_t i = 0; i < 127; ++i) {
+      ASSERT_EQ(out[static_cast<size_t>(i)], 42 + i) << simd::IsaLevelName(level);
+    }
+  }
+}
+
+TEST(SimdKernelTest, IntersectionMatchesReferenceAcrossSkews) {
+  Rng rng(72);
+  // Length ratios from balanced to ~1:1000 — crossing the gallop switch.
+  const int32_t kShort[] = {1, 3, 8, 33, 130, 700};
+  for (int iter = 0; iter < 60; ++iter) {
+    for (int32_t short_len : kShort) {
+      const std::vector<int32_t> a = RandomDocs(rng, short_len, 1 << 13);
+      const std::vector<int32_t> b = RandomDocs(rng, 1000, 1 << 13);
+      std::vector<int32_t> expect;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(expect));
+      for (IsaLevel level : SupportedLevels()) {
+        for (int variant = 0; variant < 3; ++variant) {
+          std::vector<int32_t> out(std::min(a.size(), b.size()) + 1);
+          int32_t n = 0;
+          switch (variant) {
+            case 0:
+              n = simd::IntersectSortedAt(level, a.data(), static_cast<int32_t>(a.size()),
+                                          b.data(), static_cast<int32_t>(b.size()),
+                                          out.data());
+              break;
+            case 1:
+              n = simd::IntersectLinearAt(level, a.data(), static_cast<int32_t>(a.size()),
+                                          b.data(), static_cast<int32_t>(b.size()),
+                                          out.data());
+              break;
+            default:
+              n = simd::IntersectGallopAt(level, a.data(), static_cast<int32_t>(a.size()),
+                                          b.data(), static_cast<int32_t>(b.size()),
+                                          out.data());
+          }
+          out.resize(static_cast<size_t>(n));
+          EXPECT_EQ(out, expect)
+              << "level=" << simd::IsaLevelName(level) << " variant=" << variant
+              << " an=" << a.size() << " bn=" << b.size();
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, IntersectionHandlesEmptyAndDisjoint) {
+  const std::vector<int32_t> a = {1, 5, 9};
+  const std::vector<int32_t> b = {2, 6, 10};
+  for (IsaLevel level : SupportedLevels()) {
+    int32_t out[4];
+    EXPECT_EQ(simd::IntersectSortedAt(level, a.data(), 0, b.data(), 3, out), 0);
+    EXPECT_EQ(simd::IntersectSortedAt(level, a.data(), 3, b.data(), 0, out), 0);
+    EXPECT_EQ(simd::IntersectSortedAt(level, a.data(), 3, b.data(), 3, out), 0);
+    EXPECT_EQ(simd::IntersectGallopAt(level, a.data(), 3, b.data(), 3, out), 0);
+  }
+}
+
+TEST(SimdKernelTest, AccumulateExtractMatchesReferenceAndClears) {
+  Rng rng(73);
+  const int32_t kUniverse = 4096;  // 32 counter blocks
+  const int32_t num_blocks = kUniverse / simd::kCounterBlock;
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<uint8_t> counts(static_cast<size_t>(kUniverse), 0);
+    std::vector<uint64_t> touched((static_cast<size_t>(num_blocks) + 63) / 64, 0);
+    std::vector<int> reference(static_cast<size_t>(kUniverse), 0);
+    const int lists = 1 + static_cast<int>(rng.NextUint64(6));
+    for (int l = 0; l < lists; ++l) {
+      const std::vector<int32_t> docs = RandomDocs(rng, 600, kUniverse);
+      simd::AccumulateCounts(docs.data(), static_cast<int32_t>(docs.size()), counts.data(),
+                             touched.data());
+      for (int32_t d : docs) reference[static_cast<size_t>(d)]++;
+    }
+    // Every touched block must be marked.
+    for (int32_t d = 0; d < kUniverse; ++d) {
+      if (reference[static_cast<size_t>(d)] == 0) continue;
+      const int32_t blk = d / simd::kCounterBlock;
+      ASSERT_TRUE(touched[static_cast<size_t>(blk) / 64] & (1ull << (blk % 64)));
+    }
+    const int threshold = 1 + static_cast<int>(rng.NextUint64(3));
+    const IsaLevel level = SupportedLevels()[iter % SupportedLevels().size()];
+    std::vector<int32_t> got;
+    for (int32_t blk = 0; blk < num_blocks; ++blk) {
+      int32_t buf[simd::kCounterBlock];
+      const int32_t begin = blk * simd::kCounterBlock;
+      const int32_t n = simd::ExtractAndClearBlockAt(level, counts.data() + begin, begin,
+                                                     simd::kCounterBlock, threshold, buf);
+      got.insert(got.end(), buf, buf + n);
+    }
+    std::vector<int32_t> expect;
+    for (int32_t d = 0; d < kUniverse; ++d) {
+      if (reference[static_cast<size_t>(d)] >= threshold) expect.push_back(d);
+    }
+    EXPECT_EQ(got, expect) << "level=" << simd::IsaLevelName(level)
+                           << " threshold=" << threshold;
+    // Extraction clears as it goes: the array must be all-zero again.
+    EXPECT_EQ(std::count(counts.begin(), counts.end(), 0),
+              static_cast<long>(counts.size()));
+  }
+}
+
+TEST(SimdKernelTest, AccumulateSaturatesAt255) {
+  std::vector<uint8_t> counts(static_cast<size_t>(simd::kCounterBlock), 0);
+  uint64_t touched = 0;
+  const int32_t doc = 7;
+  for (int i = 0; i < 300; ++i) simd::AccumulateCounts(&doc, 1, counts.data(), &touched);
+  EXPECT_EQ(counts[7], 255);
+  for (IsaLevel level : SupportedLevels()) {
+    std::vector<uint8_t> copy = counts;
+    int32_t buf[simd::kCounterBlock];
+    const int32_t n = simd::ExtractAndClearBlockAt(level, copy.data(), 0,
+                                                   simd::kCounterBlock, 255, buf);
+    ASSERT_EQ(n, 1) << simd::IsaLevelName(level);
+    EXPECT_EQ(buf[0], 7);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PostingStore round-trips.
+
+TEST(PostingStoreTest, BuildDecodeRoundTrip) {
+  Rng rng(74);
+  for (int iter = 0; iter < 30; ++iter) {
+    PostingStore::Builder builder;
+    std::vector<std::pair<SigId, std::vector<int32_t>>> lists;
+    SigId id = 0;
+    const int num_lists = 1 + static_cast<int>(rng.NextUint64(40));
+    for (int l = 0; l < num_lists; ++l) {
+      id += 1 + static_cast<SigId>(rng.NextUint64(1 << 20));
+      lists.emplace_back(id, RandomDocs(rng, 500, 1 << 15));
+      builder.Add(id, lists.back().second.data(),
+                  static_cast<int32_t>(lists.back().second.size()));
+    }
+    const PostingStore store = builder.Finish();
+    ASSERT_EQ(store.num_lists(), num_lists);
+    int64_t entries = 0;
+    for (const auto& [key, docs] : lists) entries += static_cast<int64_t>(docs.size());
+    EXPECT_EQ(store.num_entries(), entries);
+    for (const auto& [key, docs] : lists) {
+      const int32_t slot = store.Find(key);
+      ASSERT_GE(slot, 0);
+      ASSERT_EQ(store.length(slot), static_cast<int32_t>(docs.size()));
+      std::vector<int32_t> out(docs.size());
+      store.Decode(slot, out.data());
+      EXPECT_EQ(out, docs);
+    }
+    EXPECT_EQ(store.Find(id + 1), -1);
+    // ForEach visits every list ascending with the same payloads.
+    size_t visited = 0;
+    store.ForEach([&](SigId key, const int32_t* docs, int32_t count) {
+      ASSERT_LT(visited, lists.size());
+      EXPECT_EQ(key, lists[visited].first);
+      ASSERT_EQ(count, static_cast<int32_t>(lists[visited].second.size()));
+      EXPECT_TRUE(std::equal(docs, docs + count, lists[visited].second.begin()));
+      ++visited;
+    });
+    EXPECT_EQ(visited, lists.size());
+  }
+}
+
+TEST(PostingStoreTest, CountBelowAndAccumulateBelowRespectLimit) {
+  Rng rng(75);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::vector<int32_t> docs = RandomDocs(rng, 700, 2000);
+    PostingStore::Builder builder;
+    builder.Add(11, docs.data(), static_cast<int32_t>(docs.size()));
+    const PostingStore store = builder.Finish();
+    const int32_t slot = store.Find(11);
+    for (int32_t limit : {0, 1, 100, 1000, 1999, 2000, 5000}) {
+      const int32_t expect = static_cast<int32_t>(
+          std::lower_bound(docs.begin(), docs.end(), limit) - docs.begin());
+      EXPECT_EQ(store.CountBelow(slot, limit), expect) << "limit=" << limit;
+      std::vector<uint8_t> counts(2048, 0);
+      std::vector<uint64_t> touched(1, 0);
+      store.AccumulateSlotBelow(slot, limit, counts.data(), touched.data());
+      int32_t bumped = 0;
+      for (size_t d = 0; d < counts.size(); ++d) {
+        if (!counts[d]) continue;
+        ++bumped;
+        EXPECT_LT(static_cast<int32_t>(d), limit);
+      }
+      EXPECT_EQ(bumped, expect);
+    }
+  }
+}
+
+TEST(PostingStoreTest, IntersectSlotsMatchesReference) {
+  Rng rng(76);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::vector<int32_t> a = RandomDocs(rng, 900, 1 << 12);
+    const std::vector<int32_t> b = RandomDocs(rng, 40, 1 << 12);
+    PostingStore::Builder builder;
+    builder.Add(1, a.data(), static_cast<int32_t>(a.size()));
+    builder.Add(2, b.data(), static_cast<int32_t>(b.size()));
+    const PostingStore store = builder.Finish();
+    std::vector<int32_t> expect;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect));
+    for (IsaLevel level : SupportedLevels()) {
+      simd::SetActiveLevelForTest(level);
+      std::vector<int32_t> out(std::min(a.size(), b.size()) + 1);
+      const int32_t n = store.IntersectSlots(store.Find(1), store.Find(2), out.data());
+      out.resize(static_cast<size_t>(n));
+      EXPECT_EQ(out, expect) << simd::IsaLevelName(level);
+      // Symmetric: driving from the other slot gives the same set.
+      std::vector<int32_t> out2(out.size() + 8);
+      const int32_t n2 = store.IntersectSlots(store.Find(2), store.Find(1), out2.data());
+      out2.resize(static_cast<size_t>(n2));
+      EXPECT_EQ(out2, expect) << simd::IsaLevelName(level);
+    }
+    simd::ResetActiveLevelForTest();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end dispatch invariance: pairs and JoinStats counters must be
+// identical at every forced level (docs/performance.md's contract).
+
+void ExpectSameCounters(const JoinStats& a, const JoinStats& b, const char* label) {
+  EXPECT_EQ(a.total_signatures, b.total_signatures) << label;
+  EXPECT_EQ(a.prefix_signatures, b.prefix_signatures) << label;
+  EXPECT_EQ(a.candidates, b.candidates) << label;
+  EXPECT_EQ(a.results, b.results) << label;
+  EXPECT_EQ(a.verify.pairs_verified, b.verify.pairs_verified) << label;
+  EXPECT_EQ(a.verify.pruned_by_count, b.verify.pruned_by_count) << label;
+  EXPECT_EQ(a.verify.pruned_by_weighted_count, b.verify.pruned_by_weighted_count) << label;
+  EXPECT_EQ(a.verify.accepted_by_lower_bound, b.verify.accepted_by_lower_bound) << label;
+  EXPECT_EQ(a.verify.rejected_by_upper_bound, b.verify.rejected_by_upper_bound) << label;
+  EXPECT_EQ(a.verify.hungarian_runs, b.verify.hungarian_runs) << label;
+}
+
+class SimdDispatchTest : public testing::Test {
+ protected:
+  void TearDown() override { simd::ResetActiveLevelForTest(); }
+};
+
+TEST_F(SimdDispatchTest, SelfJoinIdenticalAtEveryLevel) {
+  const BenchmarkData data = MakeResBenchmark(/*seed=*/301);
+  const PreparedObjects prepared =
+      BuildObjects(data.hierarchy, data.dataset, /*multi_mapping=*/false);
+  KJoinOptions options;
+  options.delta = 0.8;
+  options.tau = 0.7;
+  const KJoin join(data.hierarchy, options);
+
+  simd::SetActiveLevelForTest(IsaLevel::kScalar);
+  const JoinResult baseline = join.SelfJoin(prepared.objects);
+  EXPECT_GT(baseline.stats.results, 0);
+  for (IsaLevel level : SupportedLevels()) {
+    for (int threads : {1, 2, 8}) {
+      simd::SetActiveLevelForTest(level);
+      KJoinOptions opt = options;
+      opt.num_threads = threads;
+      const JoinResult got = KJoin(data.hierarchy, opt).SelfJoin(prepared.objects);
+      EXPECT_EQ(got.pairs, baseline.pairs)
+          << simd::IsaLevelName(level) << " threads=" << threads;
+      ExpectSameCounters(got.stats, baseline.stats, simd::IsaLevelName(level));
+    }
+  }
+}
+
+TEST_F(SimdDispatchTest, RSJoinIdenticalAtEveryLevel) {
+  const BenchmarkData data = MakePubBenchmark(/*seed=*/302);
+  const PreparedObjects prepared =
+      BuildObjects(data.hierarchy, data.dataset, /*multi_mapping=*/false);
+  std::vector<Object> left(prepared.objects.begin(),
+                           prepared.objects.begin() + prepared.objects.size() / 2);
+  std::vector<Object> right(prepared.objects.begin() + prepared.objects.size() / 2,
+                            prepared.objects.end());
+  KJoinOptions options;
+  options.delta = 0.8;
+  options.tau = 0.75;
+  const KJoin join(data.hierarchy, options);
+
+  simd::SetActiveLevelForTest(IsaLevel::kScalar);
+  const JoinResult baseline = join.Join(left, right);
+  for (IsaLevel level : SupportedLevels()) {
+    simd::SetActiveLevelForTest(level);
+    const JoinResult got = join.Join(left, right);
+    EXPECT_EQ(got.pairs, baseline.pairs) << simd::IsaLevelName(level);
+    ExpectSameCounters(got.stats, baseline.stats, simd::IsaLevelName(level));
+  }
+}
+
+TEST_F(SimdDispatchTest, IndexSearchIdenticalAtEveryLevelAndAfterInserts) {
+  const BenchmarkData data = MakeResBenchmark(/*seed=*/303);
+  const PreparedObjects prepared =
+      BuildObjects(data.hierarchy, data.dataset, /*multi_mapping=*/false);
+  KJoinOptions options;
+  options.delta = 0.8;
+  options.tau = 0.7;
+  // Split: most objects frozen into the flat store, the rest inserted
+  // into the mutable tail — Search must cross both identically.
+  const size_t cut = prepared.objects.size() - 50;
+  std::vector<Object> base(prepared.objects.begin(),
+                           prepared.objects.begin() + static_cast<long>(cut));
+  KJoinIndex index(data.hierarchy, options, std::move(base));
+  for (size_t i = cut; i < prepared.objects.size(); ++i) {
+    index.Insert(prepared.objects[i]);
+  }
+
+  std::vector<std::vector<SearchHit>> baseline;
+  simd::SetActiveLevelForTest(IsaLevel::kScalar);
+  for (size_t q = 0; q < 40; ++q) baseline.push_back(index.Search(prepared.objects[q]));
+  for (IsaLevel level : SupportedLevels()) {
+    simd::SetActiveLevelForTest(level);
+    for (size_t q = 0; q < 40; ++q) {
+      EXPECT_EQ(index.Search(prepared.objects[q]), baseline[q])
+          << simd::IsaLevelName(level) << " query=" << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kjoin
