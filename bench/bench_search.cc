@@ -212,6 +212,53 @@ int main(int argc, char** argv) {
   }
   std::remove(snapshot_path.c_str());
 
+  // ---- serving: adaptive admission + health tracking overhead ----------
+  // A/B over the same manager and queries: a service with the adaptive
+  // controller off and no metrics vs one with the controller, its
+  // metrics, and a health poll per rep. Reps alternate sides so drift
+  // (caches, frequency scaling) lands on both; the overhead must stay
+  // under 1% at steady state (compare_bench.py gates it).
+  kjoin::bench::PrintHeader("Adaptive admission overhead (alternating A/B reps)");
+  kjoin::serve::SearchServiceOptions static_options;
+  static_options.adaptive = false;
+  static_options.max_in_flight = 64;
+  kjoin::serve::SearchService static_service(&manager, &pool, static_options);
+  kjoin::MetricsRegistry admission_metrics;
+  kjoin::serve::SearchServiceOptions adaptive_options;
+  adaptive_options.max_in_flight = 64;
+  kjoin::serve::SearchService adaptive_service(&manager, &pool, adaptive_options,
+                                               &admission_metrics);
+  constexpr int kAdmissionReps = 8;
+  double static_seconds = 0.0;
+  double adaptive_seconds = 0.0;
+  for (int rep = 0; rep < kAdmissionReps; ++rep) {
+    for (const int side : {0, 1}) {
+      kjoin::serve::SearchService& side_service =
+          side == 0 ? static_service : adaptive_service;
+      kjoin::WallTimer timer;
+      if (side == 1) (void)manager.HealthSnapshot();  // the monitoring poll
+      for (const kjoin::serve::QueryRequest& request : requests) {
+        if (!side_service.Search(request).status.ok()) {
+          std::fprintf(stderr, "query failed in admission bench\n");
+          return 1;
+        }
+      }
+      (side == 0 ? static_seconds : adaptive_seconds) += timer.ElapsedSeconds();
+    }
+  }
+  const double admission_queries =
+      static_cast<double>(kAdmissionReps) * static_cast<double>(requests.size());
+  const double static_qps = admission_queries / std::max(static_seconds, 1e-9);
+  const double adaptive_qps = admission_queries / std::max(adaptive_seconds, 1e-9);
+  const double admission_overhead_pct = (static_qps / std::max(adaptive_qps, 1e-9) - 1.0) * 100.0;
+  PrintRow({"service", "qps"}, 24);
+  PrintRow({"static cap, no metrics", Fmt(static_qps, 0)}, 24);
+  PrintRow({"adaptive + health", Fmt(adaptive_qps, 0)}, 24);
+  std::printf("adaptive admission overhead: %.2f%% (effective cap still %lld/%d)\n",
+              admission_overhead_pct,
+              static_cast<long long>(adaptive_service.effective_cap()),
+              adaptive_options.max_in_flight);
+
   // ---- serving: durable write path (WAL fsync on the ack path) ---------
   // One shared base stack for the write-path and delta-depth sections.
   kjoin::bench::PrintHeader("Durable write path (WAL fsync per acked batch)");
@@ -396,6 +443,12 @@ int main(int argc, char** argv) {
                    JsonBool(row.results_identical).c_str());
     }
     std::fprintf(f, "\n  ],\n");
+    std::fprintf(f,
+                 "  \"serving_admission\": {\"reps\": %d, \"queries_per_rep\": %zu, "
+                 "\"static_qps\": %.1f, \"adaptive_qps\": %.1f, "
+                 "\"overhead_pct\": %.3f},\n",
+                 kAdmissionReps, requests.size(), static_qps, adaptive_qps,
+                 admission_overhead_pct);
     std::fprintf(f,
                  "  \"serving_write_path\": {\"batches\": %d, \"objects_per_batch\": %d, "
                  "\"acked_p50_ms\": %.4f, \"acked_p99_ms\": %.4f, "

@@ -13,6 +13,17 @@
 // minimum the log must deliver. `tear` appends garbage to the log,
 // simulating a crash mid-append; recovery must drop the torn tail and
 // keep every acked record. scripts/check.sh --recovery drives all three.
+//
+// Fault schedules: when built with fault injection (the asan/tsan
+// presets), KJOIN_FAULT_SCHEDULE / KJOIN_FAULT_SEED arm seeded
+// probabilistic faults for the whole process, e.g.
+//
+//   KJOIN_FAULT_SCHEDULE=serve/wal_fsync:0.2 KJOIN_FAULT_SEED=7
+//   ./wal_kill_replay --dir /tmp/kr --mode writer ...
+//
+// A writer batch rejected by an injected fault is simply not recorded as
+// acked, so the verify contract is unchanged: whatever *was* acked must
+// survive.
 
 #include <unistd.h>
 
@@ -22,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/flags.h"
 #include "data/benchmark_suite.h"
 #include "serve/index_manager.h"
@@ -128,7 +140,20 @@ int RunWriter(Stack& stack, int64_t n, const std::string& snap, const std::strin
   std::printf("writer: resuming at batch %lld, target %lld\n",
               static_cast<long long>(start + 1), static_cast<long long>(batches));
   for (int64_t b = start + 1; b <= batches; ++b) {
-    const kjoin::Status acked = manager->InsertBatch(MakeBatch(stack, n, b));
+    // Under an injected fault schedule an append can fail (kDataLoss) or
+    // the manager can be degraded read-only (kUnavailable). Both are the
+    // server telling the client "not acked, try again" — so retry the
+    // *same* batch until it acks, keeping the acked prefix contiguous
+    // (the verifier replays batches 1..durable in order). Anything else
+    // is a real bug.
+    kjoin::Status acked = manager->InsertBatch(MakeBatch(stack, n, b));
+    for (int attempt = 0;
+         !acked.ok() && (kjoin::IsDataLoss(acked) || kjoin::IsUnavailable(acked)) &&
+         attempt < 500;
+         ++attempt) {
+      ::usleep(2000);  // give the background probe room to heal the log
+      acked = manager->InsertBatch(MakeBatch(stack, n, b));
+    }
     if (!acked.ok()) {
       std::fprintf(stderr, "batch %lld rejected: %s\n", static_cast<long long>(b),
                    acked.ToString().c_str());
@@ -220,6 +245,15 @@ int main(int argc, char** argv) {
   int64_t* batches = flags.Int("batches", 40, "total batches the writer aims for");
   int64_t* kill_after = flags.Int("kill-after", 0, "writer _exit()s after acking this batch (0 = run to completion)");
   if (!flags.Parse(argc, argv)) return 1;
+
+  // Externally driven fault schedules (KJOIN_FAULT_SCHEDULE /
+  // KJOIN_FAULT_SEED) arm the whole process; a no-op when unset or when
+  // fault points are compiled out (release builds).
+  const kjoin::Status faults = kjoin::fault::EnableFromEnv();
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
 
   const std::string snap = *dir + "/base.snap";
   const std::string wal = *dir + "/log.wal";

@@ -28,12 +28,21 @@
 #                                    # (core/simd.h) to the scalar
 #                                    # fallbacks — the results must not
 #                                    # change
+#   scripts/check.sh --chaos         # additionally run the chaos harness
+#                                    # (tests/chaos_test.cc) at full
+#                                    # strength: KJOIN_CHAOS_TRIALS=300
+#                                    # randomized kill-and-recover trials
+#                                    # under both sanitizer presets, with
+#                                    # seeded fault storms over the WAL,
+#                                    # snapshot and directory-fsync paths
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 run_bench=0
 run_recovery=0
 run_no_simd=0
+run_chaos=0
+chaos_trials="${KJOIN_CHAOS_TRIALS:-300}"
 presets=()
 for arg in "$@"; do
   if [[ "$arg" == "--bench" ]]; then
@@ -42,6 +51,8 @@ for arg in "$@"; do
     run_recovery=1
   elif [[ "$arg" == "--no-simd" ]]; then
     run_no_simd=1
+  elif [[ "$arg" == "--chaos" ]]; then
+    run_chaos=1
   else
     presets+=("$arg")
   fi
@@ -59,6 +70,9 @@ for preset in "${presets[@]}"; do
   (cd "$repo" && ctest --preset "$preset")
 done
 echo "all presets green: ${presets[*]}"
+if [[ $run_chaos -eq 0 ]]; then
+  echo "(chaos harness ran at its quick in-suite default; scripts/check.sh --chaos runs the ${chaos_trials}-trial sweep)"
+fi
 
 if [[ $run_no_simd -eq 1 ]]; then
   # Scalar-fallback pass: the same release binaries, with dispatch forced
@@ -95,6 +109,24 @@ if [[ $run_recovery -eq 1 ]]; then
   "$harness" --dir "$workdir" --mode writer --batches 30
   "$harness" --dir "$workdir" --mode verify
   echo "recovery harness passed"
+fi
+
+if [[ $run_chaos -eq 1 ]]; then
+  # Full-strength chaos: the default ctest passes above already run the
+  # suite at its quick 25-trial default; this pass re-runs the randomized
+  # kill-and-recover harness at $chaos_trials trials under both
+  # sanitizers, where fault points are compiled in and the seeded storms
+  # actually fire.
+  for preset in asan tsan; do
+    echo "==> [chaos/$preset] build chaos_test"
+    cmake --preset "$preset" -S "$repo" >/dev/null
+    cmake --build --preset "$preset" --target chaos_test -j "$(nproc)" >/dev/null
+    echo "==> [chaos/$preset] $chaos_trials randomized kill-and-recover trials"
+    KJOIN_CHAOS_TRIALS="$chaos_trials" \
+      "$repo/build-$preset/tests/chaos_test" \
+      --gtest_filter='ChaosTest.RandomizedKillAndRecoverTrials'
+  done
+  echo "chaos harness passed ($chaos_trials trials per sanitizer)"
 fi
 
 if [[ $run_bench -eq 1 ]]; then

@@ -40,6 +40,19 @@ TRACKED = [
     # started copying state it used to share. The fsync-bound acked
     # latencies are too disk-noisy to gate on and are reported only.
     (("serving_write_path", "delta_publish_bytes_avg"), "lower"),
+    # Admission: the adaptive controller's steady-state QPS must keep up
+    # with the baseline run's (its overhead_pct also has an absolute <1%
+    # gate below, independent of any baseline).
+    (("serving_admission", "adaptive_qps"), "higher"),
+]
+
+# Absolute gates checked on the fresh report alone — properties the
+# current build must hold regardless of what the baseline measured.
+# (json path, ceiling): fails when the value is present and >= ceiling.
+ABSOLUTE_CEILINGS = [
+    # Adaptive admission + health tracking must cost <1% QPS at steady
+    # state vs a static-cap, no-metrics service (docs/robustness.md).
+    (("serving_admission", "overhead_pct"), 1.0),
 ]
 
 # fig9_filter, fig10_filter_delta, fig14_threads, serving_qps,
@@ -129,6 +142,18 @@ def main():
     for path, direction in TRACKED:
         compare_scalar("/".join(path), lookup(base, path), lookup(fresh, path), direction,
                        args.tolerance, failures)
+
+    for path, ceiling in ABSOLUTE_CEILINGS:
+        label = "/".join(path)
+        value = lookup(fresh, path)
+        if not isinstance(value, (int, float)):
+            print(f"  skip  {label}: absent from fresh run (absolute ceiling {ceiling:g})")
+            continue
+        if value >= ceiling:
+            failures.append(f"{label}: {value:g} breaches absolute ceiling {ceiling:g}")
+            print(f"  FAIL {label}: {value:g} (absolute ceiling {ceiling:g})")
+        else:
+            print(f"  ok   {label}: {value:g} (absolute ceiling {ceiling:g})")
 
     base_fig9 = index_rows(base.get("fig9_filter", []), "scheme")
     fresh_fig9 = index_rows(fresh.get("fig9_filter", []), "scheme")

@@ -1,6 +1,7 @@
 #include "common/fault_injection.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
 #include <unordered_map>
 
@@ -69,7 +70,11 @@ Status EnableFromSpec(std::string_view spec) {
     std::string_view name = entry;
     double probability = 1.0;
     int64_t max_fires = -1;
-    if (const size_t eq = entry.find('='); eq != std::string_view::npos) {
+    // '=' and ':' both separate point from rate; ':' never appears in a
+    // point name (they are "area/site"), so the first of either wins.
+    size_t eq = entry.find('=');
+    if (const size_t colon = entry.find(':'); colon < eq) eq = colon;
+    if (eq != std::string_view::npos) {
       name = entry.substr(0, eq);
       std::string_view rest = entry.substr(eq + 1);
       std::string prob_text(rest);
@@ -98,6 +103,21 @@ Status EnableFromSpec(std::string_view spec) {
     Enable(name, probability, max_fires);
   }
   return OkStatus();
+}
+
+Status EnableFromEnv() {
+  if (const char* seed = std::getenv("KJOIN_FAULT_SEED"); seed != nullptr && *seed != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(seed, &end, 10);
+    if (end == seed || *end != '\0') {
+      return InvalidArgumentError(std::string("KJOIN_FAULT_SEED: not a decimal seed: ") +
+                                  seed);
+    }
+    SetSeed(static_cast<uint64_t>(parsed));
+  }
+  const char* schedule = std::getenv("KJOIN_FAULT_SCHEDULE");
+  if (schedule == nullptr || *schedule == '\0') return OkStatus();
+  return EnableFromSpec(schedule);
 }
 
 bool ShouldFail(std::string_view point) {

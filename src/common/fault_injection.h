@@ -25,7 +25,11 @@
 // Faults fire with a configurable probability drawn from one global
 // seeded PRNG (SetSeed), so probabilistic fault schedules are
 // reproducible. Enable specs can also come from a flag or environment
-// string via EnableFromSpec("a/b,c/d=0.5,e/f=1x3").
+// string via EnableFromSpec("a/b,c/d=0.5,e/f=1x3"), and whole processes
+// can be armed from the outside through KJOIN_FAULT_SCHEDULE /
+// KJOIN_FAULT_SEED (EnableFromEnv) — the chaos harness and
+// wal_kill_replay use this to sustain failures across a child process's
+// lifetime instead of tripping once.
 
 #include <cstdint>
 #include <string>
@@ -70,8 +74,18 @@ void SetSeed(uint64_t seed);
 
 // Parses "point[=probability[xmax_fires]]" entries separated by ','
 // (e.g. "hierarchy_io/short_read,dag/unfold=0.5,verifier/alloc=1x2") and
-// arms each. Returns kInvalidArgument on malformed entries.
+// arms each. ':' is accepted in place of '=' ("point:rate"), so specs can
+// live in environments where '=' is awkward (env var values, CLI tools
+// that split on '='). Returns kInvalidArgument on malformed entries.
 Status EnableFromSpec(std::string_view spec);
+
+// Arms the schedule in the KJOIN_FAULT_SCHEDULE environment variable
+// ("point:rate,point2:rate2x3,..."), seeding the PRNG from
+// KJOIN_FAULT_SEED first when set (decimal). Unset variables are a
+// no-op; a malformed schedule is kInvalidArgument with nothing armed
+// beyond the entries parsed before the error. Call early in main() of a
+// binary that should accept externally driven fault schedules.
+Status EnableFromEnv();
 
 // True iff `point` is armed and this hit fires. Called via
 // KJOIN_FAULT_POINT; thread-safe.

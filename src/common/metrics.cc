@@ -93,6 +93,15 @@ Counter* MetricsRegistry::counter(std::string_view name) {
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
 Histogram* MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -113,6 +122,11 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, counter] : counters_) {
     json += (first ? "" : ",");
     json += "\"" + name + "\":" + std::to_string(counter->value());
+    first = false;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    json += (first ? "" : ",");
+    json += "\"" + name + "\":" + std::to_string(gauge->value());
     first = false;
   }
   for (const auto& [name, histogram] : histograms_) {

@@ -44,6 +44,17 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+// A settable level (health state, effective admission cap, queue depth):
+// the last Set wins, unlike a Counter's monotone accumulation.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 // Strictly increasing bucket upper bounds; a final implicit +inf bucket
 // catches everything above the last bound.
 std::vector<double> DefaultLatencyBuckets();
@@ -85,17 +96,20 @@ class MetricsRegistry {
   // Finds or creates. The returned pointer stays valid for the registry's
   // lifetime. Names are free-form; use "subsystem.metric" by convention.
   Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
   // On first use `bounds` fixes the histogram's buckets (empty = default
   // latency buckets); later calls with the same name ignore `bounds`.
   Histogram* histogram(std::string_view name, std::vector<double> bounds = {});
 
-  // One JSON object: counters as integers, histograms as
-  // {"count":...,"sum":...,"p50":...,"p95":...,"p99":...}. Keys sorted.
+  // One JSON object: counters and gauges as integers, histograms as
+  // {"count":...,"sum":...,"p50":...,"p95":...,"p99":...}. Keys sorted
+  // within each kind (counters, then gauges, then histograms).
   std::string ToJson() const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 

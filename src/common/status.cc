@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
   }
@@ -55,6 +57,9 @@ Status ResourceExhaustedError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));

@@ -41,6 +41,7 @@ enum class StatusCode : int {
   kNotFound = 5,
   kResourceExhausted = 8,
   kInternal = 13,
+  kUnavailable = 14,
   kDataLoss = 15,
 };
 
@@ -84,6 +85,7 @@ Status DeadlineExceededError(std::string message);
 Status NotFoundError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
 Status DataLossError(std::string message);
 
 inline bool IsCancelled(const Status& s) { return s.code() == StatusCode::kCancelled; }
@@ -97,6 +99,7 @@ inline bool IsNotFound(const Status& s) { return s.code() == StatusCode::kNotFou
 inline bool IsResourceExhausted(const Status& s) {
   return s.code() == StatusCode::kResourceExhausted;
 }
+inline bool IsUnavailable(const Status& s) { return s.code() == StatusCode::kUnavailable; }
 inline bool IsDataLoss(const Status& s) { return s.code() == StatusCode::kDataLoss; }
 
 std::ostream& operator<<(std::ostream& os, const Status& status);

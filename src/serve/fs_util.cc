@@ -1,0 +1,102 @@
+#include "serve/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+namespace kjoin::serve {
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncDir(const std::string& dir) {
+  if (KJOIN_FAULT_POINT("serve/dir_fsync")) {
+    return DataLossError("injected directory fsync failure: " + dir);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return DataLossError("cannot open directory for fsync: " + dir + ": " +
+                         std::strerror(errno));
+  }
+  const bool synced = ::fsync(fd) == 0;
+  const int err = errno;
+  ::close(fd);
+  if (!synced) {
+    return DataLossError("directory fsync failed: " + dir + ": " + std::strerror(err));
+  }
+  return OkStatus();
+}
+
+namespace {
+
+bool WriteFully(int fd, std::string_view bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return NotFoundError("cannot open " + tmp + " for writing: " + std::strerror(errno));
+  }
+  std::string error;
+  if (KJOIN_FAULT_POINT("serve/write") || !WriteFully(fd, bytes)) {
+    error = "short write: " + tmp;
+  } else if (::fsync(fd) != 0) {
+    error = "fsync failed: " + tmp + ": " + std::strerror(errno);
+  }
+  ::close(fd);
+  if (error.empty() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = "rename " + tmp + " -> " + path + " failed: " + std::strerror(errno);
+  }
+  if (error.empty()) {
+    // The rename is not durable until the directory entry is. On failure
+    // the final file may exist but could vanish on crash — treat it as a
+    // failed publish and take it back out.
+    const Status dir_synced = FsyncDir(DirName(path));
+    if (!dir_synced.ok()) {
+      std::remove(path.c_str());
+      return dir_synced;
+    }
+    return OkStatus();
+  }
+  std::remove(tmp.c_str());
+  return DataLossError(error);
+}
+
+Status RemoveFileDurably(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return DataLossError("cannot remove " + path + ": " + std::strerror(errno));
+  }
+  return FsyncDir(DirName(path));
+}
+
+Status RenameFileDurably(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return DataLossError("rename " + from + " -> " + to + " failed: " +
+                         std::strerror(errno));
+  }
+  return FsyncDir(DirName(to));
+}
+
+}  // namespace kjoin::serve

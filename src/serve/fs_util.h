@@ -1,0 +1,49 @@
+#ifndef KJOIN_SERVE_FS_UTIL_H_
+#define KJOIN_SERVE_FS_UTIL_H_
+
+// Crash-safe filesystem primitives shared by the serving tier's durable
+// artifacts (snapshots, snapshot generations, the WAL's truncate path).
+//
+// The rule they encode: a rename only survives a crash once the *parent
+// directory* has been fsynced — fsyncing the file alone persists its
+// bytes but not the directory entry pointing at them. Every publish
+// therefore goes tmp-write → fsync(file) → rename → fsync(parent dir),
+// and readers can treat the presence of a final-named file as proof it
+// is complete (docs/robustness.md, "Failure modes and degraded
+// operation").
+//
+// Fault points: serve/write (torn tmp write), serve/dir_fsync (the
+// directory fsync after a rename fails) — both surface as kDataLoss.
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace kjoin::serve {
+
+// Everything before the final '/' ("." when `path` has no directory
+// component), for fsyncing the parent of a freshly renamed file.
+std::string DirName(const std::string& path);
+
+// fsyncs the directory itself so renames/unlinks inside it are durable.
+// Fault point serve/dir_fsync.
+Status FsyncDir(const std::string& dir);
+
+// Atomically publishes `bytes` at `path`: writes `path`.tmp, fsyncs it,
+// renames over `path`, and fsyncs the parent directory. On any failure
+// the tmp file is removed and `path` is untouched — a crash or error can
+// never leave a torn file under the final name. Fault points serve/write
+// and serve/dir_fsync.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+// Removes `path` and fsyncs the parent directory, so retention deletes
+// are as durable as the publishes they undo. Missing files are OK.
+Status RemoveFileDurably(const std::string& path);
+
+// Renames `from` to `to` (same directory) and fsyncs the parent.
+Status RenameFileDurably(const std::string& from, const std::string& to);
+
+}  // namespace kjoin::serve
+
+#endif  // KJOIN_SERVE_FS_UTIL_H_

@@ -1,5 +1,7 @@
 #include "serve/index_manager.h"
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -15,6 +17,12 @@ namespace {
 // publish actually materialized, reported as manager.rebuild_bytes.
 int64_t PostingBytes(const KJoinIndex& index) {
   return index.posting_entries() * static_cast<int64_t>(sizeof(int32_t));
+}
+
+// Retry hint for writes rejected while degraded: one probe interval —
+// the soonest the state can possibly have changed.
+int64_t RetryAfterMs(const IndexManagerOptions& options) {
+  return std::max<int64_t>(1, static_cast<int64_t>(options.wal_probe_interval_seconds * 1e3));
 }
 
 }  // namespace
@@ -60,9 +68,14 @@ IndexManager::IndexManager(std::shared_ptr<const Hierarchy> hierarchy, KJoinOpti
 }
 
 IndexManager::~IndexManager() {
-  // A rebuild scheduled on the shared pool captures `this`; wait it out.
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return !rebuild_in_flight_; });
+  {
+    // A rebuild scheduled on the shared pool captures `this`; wait it out.
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [&] { return !rebuild_in_flight_; });
+    shutdown_ = true;
+  }
+  probe_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
 }
 
 void IndexManager::PublishInitial(std::shared_ptr<const IndexEpoch> epoch) {
@@ -148,6 +161,24 @@ StatusOr<std::unique_ptr<IndexManager>> IndexManager::Recover(const std::string&
   return manager;
 }
 
+StatusOr<std::unique_ptr<IndexManager>> IndexManager::RecoverFromStore(
+    SnapshotStore* store, const std::string& wal_path, ThreadPool* pool,
+    MetricsRegistry* metrics, IndexManagerOptions options) {
+  KJOIN_ASSIGN_OR_RETURN(RecoverResult recovered, store->Recover());
+  if (recovered.quarantined > 0) {
+    KJOIN_LOG(WARNING) << "recovery failed over to generation " << recovered.generation
+                       << " after quarantining " << recovered.quarantined
+                       << " corrupt newer generation(s)";
+  }
+  auto manager =
+      std::make_unique<IndexManager>(std::move(recovered.loaded), pool, metrics, options);
+  // Replay starts at the recovered generation's durable sequence; the
+  // WAL still holds those records because truncation respects the
+  // store's oldest-retained floor (SaveSnapshot(SnapshotStore*)).
+  KJOIN_RETURN_IF_ERROR(manager->AttachWal(wal_path));
+  return manager;
+}
+
 Status IndexManager::InsertBatch(std::vector<Object> objects, std::vector<std::string> tokens) {
   MutationBatch batch;
   batch.objects = std::move(objects);
@@ -177,6 +208,15 @@ Status IndexManager::ApplyMutation(MutationBatch batch) {
   bool start_rebuild = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (health_ == HealthState::kDegradedReadOnly) {
+      // Reject before touching the sick log: the probe loop owns the
+      // only writes to it until it heals (see HealthState).
+      if (metrics_ != nullptr) metrics_->counter("manager.writes_rejected")->Increment();
+      return UnavailableError(
+          "index is read-only after " + std::to_string(consecutive_wal_failures_) +
+          " consecutive WAL failure(s); retry_after_ms=" +
+          std::to_string(RetryAfterMs(manager_options_)));
+    }
     // Validate against the last *acked* state, not the published epoch —
     // a racing batch's tokens may be acked but not yet swapped in.
     if (!batch.tokens.empty()) {
@@ -207,7 +247,18 @@ Status IndexManager::ApplyMutation(MutationBatch batch) {
       const Status appended = wal_->Append(record);
       batch.deletes = std::move(record.deletes);
       batch.objects = std::move(record.objects);
-      if (!appended.ok()) return appended;
+      if (!appended.ok()) {
+        if (++consecutive_wal_failures_ >= manager_options_.wal_failure_trip_threshold) {
+          TripReadOnlyLocked();
+        }
+        return appended;
+      }
+      consecutive_wal_failures_ = 0;
+      if (health_ == HealthState::kRecovering) {
+        // A real durable append is the proof the probe only hinted at.
+        SetHealthLocked(HealthState::kServing);
+        KJOIN_LOG(INFO) << "WAL append succeeded after recovery probe; write service restored";
+      }
       if (metrics_ != nullptr) {
         metrics_->counter("manager.wal_appends")->Increment();
         metrics_->counter("manager.wal_bytes")->Increment(wal_->size_bytes() - before);
@@ -363,6 +414,83 @@ int64_t IndexManager::wal_size_bytes() const {
   return wal_ != nullptr ? wal_->size_bytes() : 0;
 }
 
+ManagerHealth IndexManager::HealthSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ManagerHealth health;
+  health.state = health_;
+  health.consecutive_wal_failures = consecutive_wal_failures_;
+  health.read_only_trips = read_only_trips_;
+  health.recoveries = health_recoveries_;
+  return health;
+}
+
+void IndexManager::SetHealthLocked(HealthState next) {
+  health_ = next;
+  if (metrics_ != nullptr) {
+    metrics_->gauge("manager.health_state")->Set(static_cast<int64_t>(next));
+  }
+}
+
+void IndexManager::TripReadOnlyLocked() {
+  if (health_ == HealthState::kDegradedReadOnly) return;
+  SetHealthLocked(HealthState::kDegradedReadOnly);
+  ++read_only_trips_;
+  if (metrics_ != nullptr) metrics_->counter("manager.read_only_trips")->Increment();
+  KJOIN_LOG(ERROR) << "tripping degraded read-only mode after "
+                   << consecutive_wal_failures_
+                   << " consecutive WAL failure(s); reads keep serving, a "
+                   << "background probe watches the log";
+  if (!probe_thread_.joinable()) {
+    probe_thread_ = std::thread([this] { ProbeLoop(); });
+  }
+  probe_cv_.notify_all();
+}
+
+void IndexManager::ProbeLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(manager_options_.wal_probe_interval_seconds));
+  for (;;) {
+    probe_cv_.wait(lock, [&] {
+      return shutdown_ || health_ == HealthState::kDegradedReadOnly;
+    });
+    if (shutdown_) return;
+    // Degraded: re-test the log until it heals. Probing under mu_ is
+    // deliberate — writes are rejected fast while degraded, so the lock
+    // is uncontended, and it keeps the probe's fd use serialized with
+    // Truncate's fd swap.
+    while (!shutdown_ && health_ == HealthState::kDegradedReadOnly) {
+      const Status probed = wal_->Probe();
+      if (metrics_ != nullptr) metrics_->counter("manager.wal_probes")->Increment();
+      if (probed.ok()) {
+        consecutive_wal_failures_ = 0;
+        ++health_recoveries_;
+        SetHealthLocked(HealthState::kRecovering);
+        if (metrics_ != nullptr) metrics_->counter("manager.recoveries")->Increment();
+        KJOIN_LOG(INFO) << "WAL probe succeeded; accepting writes again (recovering)";
+        break;
+      }
+      if (metrics_ != nullptr) metrics_->counter("manager.wal_probe_failures")->Increment();
+      probe_cv_.wait_for(lock, interval, [&] { return shutdown_; });
+    }
+    if (shutdown_) return;
+  }
+}
+
+void IndexManager::TruncateWalAfterSnapshot(int64_t up_to_sequence) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr || up_to_sequence <= 0) return;
+  // Records the snapshot covers are dead weight; dropping them bounds
+  // replay time. Failure is benign — replay skips covered sequences.
+  const Status truncated = wal_->Truncate(up_to_sequence);
+  if (!truncated.ok()) {
+    KJOIN_LOG(WARNING) << "WAL truncation after snapshot failed (non-fatal): "
+                       << truncated;
+  } else if (metrics_ != nullptr) {
+    metrics_->counter("manager.wal_truncations")->Increment();
+  }
+}
+
 Status IndexManager::SaveSnapshot(const std::string& path) {
   const std::shared_ptr<const IndexEpoch> epoch = Acquire();
   SnapshotInput input;
@@ -371,18 +499,21 @@ Status IndexManager::SaveSnapshot(const std::string& path) {
   input.synonyms = epoch->synonyms;
   input.durable_seq = epoch->durable_seq;
   KJOIN_RETURN_IF_ERROR(SaveIndexSnapshot(input, path));
-  std::lock_guard<std::mutex> lock(mu_);
-  if (wal_ != nullptr) {
-    // Records the snapshot covers are dead weight; dropping them bounds
-    // replay time. Failure is benign — replay skips covered sequences.
-    const Status truncated = wal_->Truncate(epoch->durable_seq);
-    if (!truncated.ok()) {
-      KJOIN_LOG(WARNING) << "WAL truncation after snapshot failed (non-fatal): "
-                         << truncated;
-    } else if (metrics_ != nullptr) {
-      metrics_->counter("manager.wal_truncations")->Increment();
-    }
-  }
+  TruncateWalAfterSnapshot(epoch->durable_seq);
+  return OkStatus();
+}
+
+Status IndexManager::SaveSnapshot(SnapshotStore* store) {
+  const std::shared_ptr<const IndexEpoch> epoch = Acquire();
+  SnapshotInput input;
+  input.index = epoch->index.get();
+  input.tokens = epoch->tokens;
+  input.synonyms = epoch->synonyms;
+  input.durable_seq = epoch->durable_seq;
+  KJOIN_ASSIGN_OR_RETURN(const PublishResult published, store->Publish(input));
+  // The store's floor, not this epoch's durable_seq: an older retained
+  // generation must still find its replay records after a failover.
+  TruncateWalAfterSnapshot(published.wal_truncate_floor);
   return OkStatus();
 }
 

@@ -24,6 +24,17 @@
 // returns OK — an acked batch survives a crash. Recovery = load the last
 // snapshot + replay the WAL records past its durable sequence;
 // SaveSnapshot() drops the records a new snapshot covers (serve/wal.h).
+// The store-backed variants (SaveSnapshot(SnapshotStore*),
+// RecoverFromStore) keep the last N generations and fail over past a
+// corrupt one (serve/snapshot_store.h).
+//
+// Self-healing: when the log itself goes bad (sustained append/fsync
+// failures — full disk, dying device), the manager trips into degraded
+// read-only mode instead of failing every caller into the broken write
+// path: reads keep serving the last published epoch untouched, writes
+// return kUnavailable with a retry-after hint, and a background probe
+// re-tests the log and restores write service automatically (see
+// HealthState below and docs/robustness.md).
 //
 //   IndexManager manager(std::move(loaded), &pool, &metrics);
 //   KJOIN_RETURN_IF_ERROR(manager.AttachWal("/data/kjoin.wal"));
@@ -37,6 +48,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -45,6 +57,7 @@
 #include "common/thread_pool.h"
 #include "core/kjoin_index.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
 #include "serve/wal.h"
 
 namespace kjoin::serve {
@@ -69,6 +82,40 @@ struct IndexManagerOptions {
   // new flat base epoch. Deeper chains make probes touch more posting
   // maps; shallower ones compact (O(index)) more often.
   int max_delta_layers = 4;
+  // Consecutive WAL append/fsync failures that trip degraded read-only
+  // mode (see HealthState below). 1 trips on the first failure; higher
+  // values ride out isolated transients without degrading.
+  int wal_failure_trip_threshold = 3;
+  // How often the background probe re-tests a failed log while degraded.
+  double wal_probe_interval_seconds = 0.25;
+};
+
+// The manager's write-availability state machine. Reads are unaffected
+// by every state: Acquire() keeps returning the last published epoch.
+//
+//   kServing --[trip_threshold consecutive WAL failures]--> kDegradedReadOnly
+//   kDegradedReadOnly --[background WriteAheadLog::Probe() succeeds]--> kRecovering
+//   kRecovering --[first real append succeeds]--> kServing
+//   kRecovering --[failures reach the threshold again]--> kDegradedReadOnly
+//
+// While degraded, mutations are rejected *before* touching the log with
+// kUnavailable (message carries a machine-readable retry_after_ms=
+// hint); the probe loop owns the only writes to the sick log, so a
+// flapping disk cannot ack a batch it then loses.
+enum class HealthState {
+  kServing = 0,
+  kDegradedReadOnly = 1,
+  kRecovering = 2,
+};
+
+// Point-in-time health (IndexManager::HealthSnapshot()); the same
+// transitions are published as metrics (manager.health_state gauge,
+// manager.read_only_trips / manager.recoveries counters).
+struct ManagerHealth {
+  HealthState state = HealthState::kServing;
+  int consecutive_wal_failures = 0;
+  int64_t read_only_trips = 0;
+  int64_t recoveries = 0;
 };
 
 class IndexManager {
@@ -112,6 +159,15 @@ class IndexManager {
                                                          MetricsRegistry* metrics = nullptr,
                                                          IndexManagerOptions options = {});
 
+  // Store-backed recovery with automatic failover: loads the newest
+  // generation that validates (corrupt newer ones are quarantined, see
+  // serve/snapshot_store.h) and replays the WAL past its durable
+  // sequence. Fails only when no generation is loadable or the log
+  // semantically diverges from every loadable one.
+  static StatusOr<std::unique_ptr<IndexManager>> RecoverFromStore(
+      SnapshotStore* store, const std::string& wal_path, ThreadPool* pool,
+      MetricsRegistry* metrics = nullptr, IndexManagerOptions options = {});
+
   // The current epoch: a shared_ptr copy under epoch_mu_ (held for a
   // handful of instructions — rebuilds happen entirely outside it). The
   // epoch stays valid while the returned pointer is held, regardless of
@@ -151,10 +207,20 @@ class IndexManager {
   // Bytes in the attached WAL (0 when none): header + intact records.
   int64_t wal_size_bytes() const;
 
+  // Current write-availability state; reads never degrade (see
+  // HealthState). Writes while degraded return kUnavailable.
+  ManagerHealth HealthSnapshot() const;
+
   // Serializes the current epoch (snapshot.h format, flattened) and then
   // drops the WAL records the snapshot now covers. A failed WAL
   // truncation is logged, not fatal — replay skips covered records.
   Status SaveSnapshot(const std::string& path);
+
+  // Publishes the current epoch as the store's next generation, then
+  // truncates the WAL only up to the store's reported floor (the oldest
+  // *retained* generation's durable sequence), so failover to an older
+  // generation still finds the records it needs to replay.
+  Status SaveSnapshot(SnapshotStore* store);
 
   // Loads `path` and wraps it in a manager (no WAL; see Recover).
   static StatusOr<std::unique_ptr<IndexManager>> LoadFrom(const std::string& path,
@@ -187,6 +253,16 @@ class IndexManager {
   // Publishes a flattened epoch when the delta chain is past
   // max_delta_layers.
   void MaybeCompact();
+  // Logged-but-non-fatal WAL truncation after a snapshot landed.
+  void TruncateWalAfterSnapshot(int64_t up_to_sequence);
+  // State transitions, all under mu_. TripReadOnlyLocked also lazily
+  // starts the probe thread.
+  void TripReadOnlyLocked();
+  void SetHealthLocked(HealthState next);
+  // Long-lived while degraded episodes exist: waits on probe_cv_ until
+  // degraded (or shutdown), then re-tests the log every
+  // wal_probe_interval_seconds until it heals.
+  void ProbeLoop();
 
   ThreadPool* pool_;
   MetricsRegistry* metrics_;
@@ -212,6 +288,16 @@ class IndexManager {
   int64_t logical_size_ = 0;                    // num_indexed() incl. acked pending inserts
   int64_t last_acked_seq_ = 0;
   std::unique_ptr<WriteAheadLog> wal_;          // null until AttachWal
+
+  // Degraded-mode state machine, all guarded by mu_. The probe thread
+  // starts lazily on the first trip and lives until the destructor.
+  HealthState health_ = HealthState::kServing;
+  int consecutive_wal_failures_ = 0;
+  int64_t read_only_trips_ = 0;
+  int64_t health_recoveries_ = 0;
+  bool shutdown_ = false;
+  std::condition_variable probe_cv_;            // degraded-or-shutdown signal
+  std::thread probe_thread_;
 };
 
 }  // namespace kjoin::serve

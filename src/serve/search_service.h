@@ -13,6 +13,24 @@
 // index's controlled search path: a tripped query returns the hits proven
 // so far with kDeadlineExceeded.
 //
+// Admission is *adaptive* by default: shedding late (after queuing) burns
+// pool time on queries that will miss their deadlines anyway, so the
+// service watches two load signals and sheds early instead —
+//
+//  - a queue-delay EWMA (admit -> execute latency of async queries): a
+//    request whose effective deadline is already below the estimated
+//    wait is shed up front as deadline-infeasible, before it queues;
+//  - the recent deadline-miss fraction, fed to an AIMD controller that
+//    walks an effective in-flight cap between min_in_flight and
+//    max_in_flight — halved when a window of queries misses too often,
+//    +1 per clean window.
+//
+// Shed responses carry the load picture (in-flight, effective cap) and a
+// machine-readable retry_after_ms= hint; service.shed_total breaks out
+// by reason (service.shed_cap / service.shed_deadline_infeasible), and
+// the service.effective_cap gauge tracks the controller
+// (docs/robustness.md, "Failure modes and degraded operation").
+//
 //   SearchService service(&manager, &pool, {.max_in_flight = 64,
 //                                           .default_deadline_seconds = 0.1},
 //                         &metrics);
@@ -36,10 +54,23 @@ namespace kjoin::serve {
 
 struct SearchServiceOptions {
   // Queries admitted (queued + executing) at once; above the cap Submit /
-  // SearchBatch shed with kResourceExhausted. <= 0 means unbounded.
+  // SearchBatch shed with kResourceExhausted. <= 0 means unbounded (and
+  // disables the adaptive controller — there is no cap to adapt).
   int max_in_flight = 64;
   // Deadline applied when a request does not set its own; <= 0 = none.
   double default_deadline_seconds = 0.0;
+  // Adaptive admission (see the header comment). Off = the fixed
+  // max_in_flight cap and no early deadline-infeasible shedding.
+  bool adaptive = true;
+  // AIMD floor: the effective cap never drops below this, so a miss
+  // storm cannot shed the service to zero.
+  int min_in_flight = 4;
+  // Weight of the newest queue-delay sample in the EWMA (0..1].
+  double queue_delay_ewma_alpha = 0.2;
+  // Queries per AIMD adjustment window.
+  int aimd_window = 32;
+  // Window deadline-miss fraction at or above which the cap is halved.
+  double aimd_miss_threshold = 0.5;
 };
 
 struct QueryRequest {
@@ -74,9 +105,12 @@ class SearchService {
  public:
   // `manager`, `pool` and `metrics` are borrowed and must outlive the
   // service; `metrics` may be null. Metrics reported: service.queries,
-  // service.shed, service.deadline_exceeded, service.cancelled,
-  // service.errors, service.hits (counters) and service.latency_seconds
-  // (histogram).
+  // service.shed (legacy total, kept for dashboards), service.shed_total
+  // and its per-reason breakdown service.shed_cap /
+  // service.shed_deadline_infeasible, service.deadline_exceeded,
+  // service.cancelled, service.errors, service.hits (counters),
+  // service.effective_cap (gauge), service.latency_seconds and
+  // service.queue_delay_seconds (histograms).
   SearchService(IndexManager* manager, ThreadPool* pool, SearchServiceOptions options = {},
                 MetricsRegistry* metrics = nullptr);
 
@@ -108,18 +142,50 @@ class SearchService {
 
   // Queries currently admitted (approximate, for monitoring).
   int64_t in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+  // The AIMD controller's current cap (== max_in_flight when adaptive is
+  // off or the controller has not yet backed off).
+  int64_t effective_cap() const { return effective_cap_.load(std::memory_order_relaxed); }
+  // Estimated admit -> execute wait, the deadline-infeasible signal.
+  double queue_delay_ewma_seconds() const {
+    return static_cast<double>(queue_delay_ewma_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  // Test hook: plants the queue-delay estimate so deadline-infeasible
+  // shedding is exercisable without real queue pressure.
+  void SetQueueDelayEwmaForTest(double seconds) {
+    queue_delay_ewma_ns_.store(static_cast<int64_t>(seconds * 1e9),
+                               std::memory_order_relaxed);
+  }
 
  private:
+  enum class ShedReason { kCap, kDeadlineInfeasible };
+
   bool Admit();
   void Release();
-  QueryResponse Shed();
-  QueryResponse Execute(const QueryRequest& request);
+  // The request's effective deadline (service default applied); <= 0 =
+  // none.
+  double EffectiveDeadline(const QueryRequest& request) const;
+  // Early shed: the queue-delay estimate already exceeds the deadline.
+  bool DeadlineInfeasible(double deadline_seconds) const;
+  QueryResponse Shed(ShedReason reason, double deadline_seconds);
+  // Folds one admit -> execute wait into the EWMA.
+  void UpdateQueueDelay(double seconds);
+  // Feeds the AIMD controller one query outcome.
+  void NoteOutcome(bool deadline_missed);
+  QueryResponse Execute(const QueryRequest& request, double queue_delay_seconds);
 
   IndexManager* manager_;
   ThreadPool* pool_;
   SearchServiceOptions options_;
   MetricsRegistry* metrics_;
   std::atomic<int64_t> in_flight_{0};
+
+  // Adaptive admission state. All updates are relaxed: the controller is
+  // a heuristic and the occasional lost update only delays an adjustment
+  // by one sample, never corrupts anything.
+  std::atomic<int64_t> effective_cap_{0};       // set from options in ctor
+  std::atomic<int64_t> queue_delay_ewma_ns_{0};
+  std::atomic<int64_t> window_queries_{0};
+  std::atomic<int64_t> window_misses_{0};
 
   mutable std::mutex mu_;
   std::condition_variable drained_;  // signalled when an async query finishes

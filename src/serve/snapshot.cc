@@ -19,6 +19,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "hierarchy/lca.h"
+#include "serve/fs_util.h"
 #include "serve/wire_format.h"
 
 namespace kjoin::serve {
@@ -628,19 +629,11 @@ std::string SerializeIndexSnapshot(const SnapshotInput& input) {
 }
 
 Status SaveIndexSnapshot(const SnapshotInput& input, const std::string& path) {
-  const std::string bytes = SerializeIndexSnapshot(input);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return NotFoundError("cannot open snapshot for writing: " + path + ": " +
-                         std::strerror(errno));
-  }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (KJOIN_FAULT_POINT("serve/write") || written != bytes.size() || !flushed) {
-    std::remove(path.c_str());
-    return DataLossError("short write saving snapshot: " + path);
-  }
-  return OkStatus();
+  // tmp + fsync + rename + parent-dir fsync: a file under the final name
+  // is always a complete snapshot, even across a crash mid-save
+  // (serve/fs_util.h). Failures leave any previous snapshot at `path`
+  // untouched.
+  return AtomicWriteFile(path, SerializeIndexSnapshot(input));
 }
 
 StatusOr<LoadedIndex> LoadIndexSnapshot(const std::string& path, MetricsRegistry* metrics) {

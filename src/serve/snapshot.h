@@ -99,8 +99,10 @@ struct LoadedIndex {
 // Renders the snapshot bytes in memory (the file format, exactly).
 std::string SerializeIndexSnapshot(const SnapshotInput& input);
 
-// Serializes and writes atomically-ish (write to `path`, fail with
-// kDataLoss on short writes).
+// Serializes and publishes atomically: tmp write, fsync, rename, parent
+// directory fsync (serve/fs_util.h). On failure — including injected
+// serve/write and serve/dir_fsync faults — any previous snapshot at
+// `path` is untouched and no torn file appears under the final name.
 Status SaveIndexSnapshot(const SnapshotInput& input, const std::string& path);
 
 // Memory-maps `path` and reconstructs the stack. When `metrics` is given,

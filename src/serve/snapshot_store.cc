@@ -1,0 +1,223 @@
+#include "serve/snapshot_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "serve/fs_util.h"
+
+namespace kjoin::serve {
+namespace {
+
+constexpr char kGenPrefix[] = "gen-";
+constexpr char kGenSuffix[] = ".kjsn";
+constexpr char kQuarantineSuffix[] = ".quarantine";
+constexpr int kGenDigits = 12;
+
+std::string GenName(int64_t generation) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%0*" PRId64 "%s", kGenPrefix, kGenDigits,
+                generation, kGenSuffix);
+  return name;
+}
+
+// gen-000000000042.kjsn -> 42; -1 for anything else (quarantined files,
+// tmp files, MANIFEST, strays).
+int64_t ParseGenName(const std::string& name) {
+  const size_t prefix = sizeof(kGenPrefix) - 1;
+  const size_t suffix = sizeof(kGenSuffix) - 1;
+  if (name.size() != prefix + kGenDigits + suffix) return -1;
+  if (name.compare(0, prefix, kGenPrefix) != 0) return -1;
+  if (name.compare(prefix + kGenDigits, suffix, kGenSuffix) != 0) return -1;
+  int64_t generation = 0;
+  for (int i = 0; i < kGenDigits; ++i) {
+    const char c = name[prefix + static_cast<size_t>(i)];
+    if (c < '0' || c > '9') return -1;
+    generation = generation * 10 + (c - '0');
+  }
+  return generation;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string dir, SnapshotStoreOptions options,
+                             MetricsRegistry* metrics)
+    : dir_(std::move(dir)), options_(options), metrics_(metrics) {}
+
+StatusOr<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(const std::string& dir,
+                                                             SnapshotStoreOptions options,
+                                                             MetricsRegistry* metrics) {
+  if (options.retain < 1) {
+    return InvalidArgumentError("SnapshotStore retain must be >= 1, got " +
+                                std::to_string(options.retain));
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return NotFoundError("cannot create snapshot store directory " + dir + ": " +
+                         std::strerror(errno));
+  }
+  std::unique_ptr<SnapshotStore> store(new SnapshotStore(dir, options, metrics));
+  // Never reuse a generation number, including one whose file was
+  // quarantined — a fresh publish under a quarantined number would make
+  // the forensic copy ambiguous.
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return NotFoundError("cannot open snapshot store directory " + dir + ": " +
+                         std::strerror(errno));
+  }
+  int64_t max_gen = 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    const size_t q = name.rfind(kQuarantineSuffix);
+    if (q != std::string::npos && q + sizeof(kQuarantineSuffix) - 1 == name.size()) {
+      name.resize(q);
+    }
+    max_gen = std::max(max_gen, ParseGenName(name));
+  }
+  ::closedir(d);
+  store->next_generation_ = max_gen + 1;
+  return store;
+}
+
+std::vector<SnapshotGeneration> SnapshotStore::ListLocked() const {
+  std::vector<SnapshotGeneration> out;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return out;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    const int64_t generation = ParseGenName(name);
+    if (generation < 0) continue;
+    out.push_back({generation, dir_ + "/" + name});
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotGeneration& a, const SnapshotGeneration& b) {
+              return a.generation < b.generation;
+            });
+  return out;
+}
+
+std::vector<SnapshotGeneration> SnapshotStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ListLocked();
+}
+
+int64_t SnapshotStore::TruncateFloorLocked(
+    const std::vector<SnapshotGeneration>& retained) const {
+  int64_t floor = -1;
+  for (const SnapshotGeneration& gen : retained) {
+    const auto it = known_.find(gen.generation);
+    if (it == known_.end()) return 0;  // unknown seq: keep the whole WAL
+    floor = floor < 0 ? it->second.durable_seq : std::min(floor, it->second.durable_seq);
+  }
+  return floor < 0 ? 0 : floor;
+}
+
+void SnapshotStore::WriteManifestLocked(
+    const std::vector<SnapshotGeneration>& retained) const {
+  std::string text = "# kjoin snapshot store manifest (advisory; the files' own\n";
+  text += "# checksums are authoritative — see serve/snapshot_store.h)\n";
+  for (const SnapshotGeneration& gen : retained) {
+    const auto it = known_.find(gen.generation);
+    char line[160];
+    if (it != known_.end()) {
+      std::snprintf(line, sizeof(line),
+                    "%s durable_seq=%" PRId64 " crc32=%08x bytes=%" PRIu64 "\n",
+                    GenName(gen.generation).c_str(), it->second.durable_seq,
+                    it->second.crc32, it->second.bytes);
+    } else {
+      std::snprintf(line, sizeof(line), "%s durable_seq=? crc32=? bytes=?\n",
+                    GenName(gen.generation).c_str());
+    }
+    text += line;
+  }
+  const Status written = AtomicWriteFile(dir_ + "/MANIFEST", text);
+  if (!written.ok()) {
+    KJOIN_LOG(WARNING) << "snapshot store manifest write failed (advisory): " << written;
+  }
+}
+
+StatusOr<PublishResult> SnapshotStore::Publish(const SnapshotInput& input) {
+  const std::string bytes = SerializeIndexSnapshot(input);
+  std::lock_guard<std::mutex> lock(mu_);
+  PublishResult result;
+  result.generation = next_generation_++;
+  result.path = dir_ + "/" + GenName(result.generation);
+  // Atomic publish: on any failure no file appears under the final name
+  // and the store's existing generations are untouched (the skipped
+  // generation number is simply never reused).
+  KJOIN_RETURN_IF_ERROR(AtomicWriteFile(result.path, bytes));
+  known_[result.generation] = {input.durable_seq, Crc32(bytes),
+                               static_cast<uint64_t>(bytes.size())};
+  if (metrics_ != nullptr) metrics_->counter("store.publishes")->Increment();
+
+  std::vector<SnapshotGeneration> retained = ListLocked();
+  size_t keep_from = 0;
+  while (retained.size() - keep_from > static_cast<size_t>(options_.retain)) {
+    const SnapshotGeneration& oldest = retained[keep_from];
+    const Status removed = RemoveFileDurably(oldest.path);
+    if (!removed.ok()) {
+      // An unremovable generation is extra safety, not an error worth
+      // failing the publish over.
+      KJOIN_LOG(WARNING) << "snapshot store prune of " << oldest.path
+                         << " failed (non-fatal): " << removed;
+    } else {
+      known_.erase(oldest.generation);
+      if (metrics_ != nullptr) metrics_->counter("store.pruned")->Increment();
+    }
+    ++keep_from;
+  }
+  retained.erase(retained.begin(), retained.begin() + static_cast<ptrdiff_t>(keep_from));
+
+  result.wal_truncate_floor = TruncateFloorLocked(retained);
+  WriteManifestLocked(retained);
+  return result;
+}
+
+StatusOr<RecoverResult> SnapshotStore::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotGeneration> retained = ListLocked();
+  RecoverResult result;
+  while (!retained.empty()) {
+    const SnapshotGeneration candidate = retained.back();
+    StatusOr<LoadedIndex> loaded = LoadIndexSnapshot(candidate.path, metrics_);
+    if (loaded.ok()) {
+      result.loaded = std::move(*loaded);
+      result.generation = candidate.generation;
+      result.path = candidate.path;
+      auto& known = known_[candidate.generation];
+      known.durable_seq = result.loaded.durable_seq;
+      known.bytes = result.loaded.file_bytes;
+      if (metrics_ != nullptr) metrics_->counter("store.recoveries")->Increment();
+      if (result.quarantined > 0) WriteManifestLocked(retained);
+      return result;
+    }
+    // Corrupt, truncated, or version-skewed: set it aside under a name
+    // recovery never scans and fail over to the next-newest generation.
+    KJOIN_LOG(WARNING) << "snapshot generation " << candidate.path
+                       << " failed validation, quarantining: " << loaded.status();
+    const Status moved = RenameFileDurably(candidate.path, candidate.path + kQuarantineSuffix);
+    if (!moved.ok()) {
+      // Leave it in place; the next recovery retries (and re-fails past)
+      // it. Still fail over now — the load verdict stands.
+      KJOIN_LOG(ERROR) << "cannot quarantine " << candidate.path << ": " << moved;
+    }
+    known_.erase(candidate.generation);
+    if (metrics_ != nullptr) metrics_->counter("store.quarantined")->Increment();
+    ++result.quarantined;
+    retained.pop_back();
+  }
+  return NotFoundError("snapshot store " + dir_ + " holds no loadable generation" +
+                       (result.quarantined > 0
+                            ? " (" + std::to_string(result.quarantined) + " quarantined)"
+                            : ""));
+}
+
+}  // namespace kjoin::serve

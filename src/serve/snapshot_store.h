@@ -1,0 +1,145 @@
+#ifndef KJOIN_SERVE_SNAPSHOT_STORE_H_
+#define KJOIN_SERVE_SNAPSHOT_STORE_H_
+
+// Versioned snapshot *generations* with automatic failover on recovery.
+//
+// A single snapshot file is a single point of failure: one torn sector
+// and the process cannot cold-start. The store keeps the last N
+// published generations in one directory —
+//
+//   store/
+//     gen-000000000041.kjsn
+//     gen-000000000042.kjsn
+//     gen-000000000043.kjsn            <- newest
+//     gen-000000000040.kjsn.quarantine <- corrupt, set aside by recovery
+//     MANIFEST                         <- advisory, see below
+//
+// — so recovery can fall back: it scans newest-first, fully validates
+// each candidate (header, section CRCs, structural invariants — the
+// snapshot loader's normal paranoia), renames any corrupt or truncated
+// generation to `<name>.quarantine` (kept for forensics, never loaded
+// again), and serves from the newest generation that passes. Startup
+// fails only when *no* generation is loadable (kNotFound).
+//
+// Publishes are crash-atomic (tmp + fsync + rename + parent-dir fsync,
+// serve/fs_util.h): a file under a gen-*.kjsn name is always a complete
+// snapshot, so the failure model recovery handles is bit rot and torn
+// hardware writes, not half-finished publishes. After each publish the
+// store prunes to the newest `retain` generations (durable removes).
+//
+// WAL interplay: a fallback generation is older than the newest, so the
+// WAL must retain every record past the *oldest retained* generation's
+// durable sequence, not the newest's. Publish() reports that floor as
+// `wal_truncate_floor` (0 = unknown, keep everything); IndexManager's
+// store-backed SaveSnapshot truncates to it, and replay skips records a
+// given generation already covers (serve/wal.h).
+//
+// MANIFEST is advisory observability (one line per retained generation:
+// name, durable sequence, payload CRC32, byte size), rewritten
+// atomically after each publish. Recovery never trusts it — the files'
+// own checksums are the source of truth — so a stale or missing
+// manifest is harmless.
+//
+// Metrics (when a registry is given): store.publishes, store.pruned,
+// store.quarantined, store.recoveries.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "serve/snapshot.h"
+
+namespace kjoin::serve {
+
+struct SnapshotStoreOptions {
+  // Generations kept after each publish (>= 1). More survives more
+  // independent corruption events; each costs a full snapshot's disk.
+  int retain = 3;
+};
+
+// One on-disk generation, newest = highest number.
+struct SnapshotGeneration {
+  int64_t generation = 0;
+  std::string path;
+};
+
+struct PublishResult {
+  int64_t generation = 0;
+  std::string path;
+  // Highest WAL sequence droppable without stranding any retained
+  // generation: the minimum durable sequence across retained
+  // generations when all are known, 0 (drop nothing) otherwise — the
+  // store only learns a pre-existing generation's sequence by loading
+  // it, so the floor stays conservative until the retained window is
+  // entirely generations this process published or recovered.
+  int64_t wal_truncate_floor = 0;
+};
+
+struct RecoverResult {
+  LoadedIndex loaded;
+  int64_t generation = 0;
+  std::string path;
+  // Corrupt newer generations set aside before one loaded.
+  int quarantined = 0;
+};
+
+class SnapshotStore {
+ public:
+  // Opens (creating if absent) the store directory and indexes the
+  // generations already in it. `metrics` (not owned, may be null)
+  // receives the store.* counters.
+  static StatusOr<std::unique_ptr<SnapshotStore>> Open(
+      const std::string& dir, SnapshotStoreOptions options = {},
+      MetricsRegistry* metrics = nullptr);
+
+  // Serializes `input` and publishes it as the next generation, then
+  // prunes to the newest `retain` generations. On failure (including
+  // injected serve/write and serve/dir_fsync faults) no new generation
+  // is visible — a partially written publish can never be loaded.
+  StatusOr<PublishResult> Publish(const SnapshotInput& input);
+
+  // Newest-first failover recovery, as described above. kNotFound when
+  // the store holds no loadable generation.
+  StatusOr<RecoverResult> Recover();
+
+  // Retained generations, ascending (quarantined files excluded).
+  std::vector<SnapshotGeneration> List() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  SnapshotStore(std::string dir, SnapshotStoreOptions options, MetricsRegistry* metrics);
+
+  // Scans dir_ for gen-*.kjsn files (requires mu_).
+  std::vector<SnapshotGeneration> ListLocked() const;
+  // min durable_seq across `retained` when every one is known, else 0.
+  int64_t TruncateFloorLocked(const std::vector<SnapshotGeneration>& retained) const;
+  // Rewrites MANIFEST from what the store knows (requires mu_;
+  // advisory — failure is logged, never propagated).
+  void WriteManifestLocked(const std::vector<SnapshotGeneration>& retained) const;
+
+  const std::string dir_;
+  const SnapshotStoreOptions options_;
+  MetricsRegistry* const metrics_;
+
+  mutable std::mutex mu_;
+  int64_t next_generation_ = 1;  // guarded by mu_
+  // Durable sequence (and payload CRC, for the manifest) of generations
+  // this process published or successfully recovered; pre-existing
+  // generations are absent until loaded. Guarded by mu_.
+  struct KnownGeneration {
+    int64_t durable_seq = 0;
+    uint32_t crc32 = 0;
+    uint64_t bytes = 0;
+  };
+  std::map<int64_t, KnownGeneration> known_;
+};
+
+}  // namespace kjoin::serve
+
+#endif  // KJOIN_SERVE_SNAPSHOT_STORE_H_

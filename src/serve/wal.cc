@@ -13,6 +13,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "serve/fs_util.h"
 #include "serve/wire_format.h"
 
 namespace kjoin::serve {
@@ -209,10 +210,31 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& 
   return Open(path, Options());
 }
 
+Status WriteAheadLog::EnsureOpen() {
+  if (fd_ >= 0) return OkStatus();
+  const int fd = ::open(path_.c_str(), O_RDWR);
+  if (fd < 0) {
+    return DataLossError("cannot reopen WAL: " + path_ + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return DataLossError("cannot stat reopened WAL: " + path_ + ": " +
+                         std::strerror(err));
+  }
+  // The handle is only ever dropped right after Truncate fully rewrote
+  // the file, so its size is an intact frame boundary.
+  fd_ = fd;
+  end_offset_ = static_cast<uint64_t>(st.st_size);
+  return OkStatus();
+}
+
 Status WriteAheadLog::Append(const WalRecord& record) {
   if (KJOIN_FAULT_POINT("serve/wal_append")) {
     return DataLossError("injected WAL append failure: " + path_);
   }
+  KJOIN_RETURN_IF_ERROR(EnsureOpen());
   const std::string frame = SerializeRecord(record);
   std::string error;
   if (!WriteFull(fd_, end_offset_, frame)) {
@@ -221,6 +243,17 @@ Status WriteAheadLog::Append(const WalRecord& record) {
     error = "injected WAL fsync failure: " + path_;
   } else if (options_.fsync && ::fsync(fd_) != 0) {
     error = "WAL fsync failed: " + path_ + ": " + std::strerror(errno);
+  } else if (dir_sync_pending_) {
+    // A Truncate rename is still not directory-durable: a crash could
+    // roll the log (and this record with it) back, so the record may not
+    // be acked until the entry is pinned down.
+    const Status dir_synced = FsyncDir(DirName(path_));
+    if (dir_synced.ok()) {
+      dir_sync_pending_ = false;
+    } else {
+      error = "WAL directory entry still not durable: " + path_ + ": " +
+              dir_synced.message();
+    }
   }
   if (!error.empty()) {
     // Roll back so the record is never half-durable: a later replay must
@@ -234,6 +267,44 @@ Status WriteAheadLog::Append(const WalRecord& record) {
     return DataLossError(error);
   }
   end_offset_ += frame.size();
+  return OkStatus();
+}
+
+Status WriteAheadLog::Probe() {
+  if (KJOIN_FAULT_POINT("serve/wal_append")) {
+    return DataLossError("injected WAL append failure (probe): " + path_);
+  }
+  KJOIN_RETURN_IF_ERROR(EnsureOpen());
+  const char byte = 0;
+  std::string error;
+  if (!WriteFull(fd_, end_offset_, std::string_view(&byte, 1))) {
+    error = "WAL probe write failed: " + path_ + ": " + std::strerror(errno);
+  } else if (KJOIN_FAULT_POINT("serve/wal_fsync")) {
+    error = "injected WAL fsync failure (probe): " + path_;
+  } else if (options_.fsync && ::fsync(fd_) != 0) {
+    error = "WAL probe fsync failed: " + path_ + ": " + std::strerror(errno);
+  }
+  // Take the probe byte back off whether or not it made it to disk; a
+  // leftover byte is just a torn tail the next Open()/Replay drops.
+  if (::ftruncate(fd_, static_cast<off_t>(end_offset_)) != 0) {
+    if (error.empty()) {
+      error = "WAL probe truncate failed: " + path_ + ": " + std::strerror(errno);
+    }
+  } else if (options_.fsync && error.empty() && ::fsync(fd_) != 0) {
+    error = "WAL probe fsync failed: " + path_ + ": " + std::strerror(errno);
+  }
+  if (error.empty() && dir_sync_pending_) {
+    // Appends cannot ack until the truncate rename is directory-durable,
+    // so the log is not healthy until this succeeds either.
+    const Status dir_synced = FsyncDir(DirName(path_));
+    if (dir_synced.ok()) {
+      dir_sync_pending_ = false;
+    } else {
+      error = "WAL directory entry still not durable: " + path_ + ": " +
+              dir_synced.message();
+    }
+  }
+  if (!error.empty()) return DataLossError(error);
   return OkStatus();
 }
 
@@ -270,15 +341,26 @@ Status WriteAheadLog::Truncate(int64_t up_to_sequence) {
     std::remove(tmp.c_str());
     return DataLossError("cannot rewrite WAL: " + path_);
   }
+  // The rename happened: the directory entry now points at the rewritten
+  // log, so the handle MUST follow it no matter what fails below. Keeping
+  // the old fd would send every later append into the old, unlinked inode
+  // — acked, fsynced, and gone at the next open.
   const int new_fd = ::open(path_.c_str(), O_RDWR);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = new_fd;  // -1 on failure: EnsureOpen() retries at the next append
   if (new_fd < 0) {
     return DataLossError("cannot reopen truncated WAL: " + path_ + ": " +
                          std::strerror(errno));
   }
-  if (fd_ >= 0) ::close(fd_);
-  fd_ = new_fd;
   end_offset_ = kept.size();
-  return OkStatus();
+  // The rename is not durable until the parent directory entry is: a
+  // crash could otherwise roll the log back to its pre-truncate contents
+  // while the caller believes the rewrite landed. On failure the pending
+  // flag makes Append/Probe re-sync the directory before acking anything
+  // written on top of the rewrite.
+  const Status dir_synced = FsyncDir(DirName(path_));
+  dir_sync_pending_ = !dir_synced.ok();
+  return dir_synced;
 }
 
 StatusOr<WalReplayResult> WriteAheadLog::Replay(const std::string& path,

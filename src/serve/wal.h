@@ -116,9 +116,21 @@ class WriteAheadLog {
   Status Append(const WalRecord& record);
 
   // Drops records with sequence <= up_to (the snapshot's durable
-  // sequence): rewrites the kept suffix to a temp file and renames it
-  // over the log.
+  // sequence): rewrites the kept suffix to a temp file, renames it
+  // over the log, and fsyncs the parent directory so the rewrite
+  // survives a crash. Once the rename lands the handle follows the new
+  // file even when a later step fails — an error return can still leave
+  // the log truncated (and usable), never appending to the old inode.
   Status Truncate(int64_t up_to_sequence);
+
+  // Tests the append path without committing a record: writes one probe
+  // byte past the intact prefix, fsyncs, and truncates it back off. OK
+  // means the log can take real appends again — IndexManager's degraded
+  // read-only mode uses this to decide when to exit (index_manager.h).
+  // Exercises the same fault points as Append (serve/wal_append,
+  // serve/wal_fsync), so a sustained injected failure holds the probe
+  // down exactly as a sick disk would.
+  Status Probe();
 
   const std::string& path() const { return path_; }
   // Current log size (header + intact frames), for observability.
@@ -137,10 +149,18 @@ class WriteAheadLog {
  private:
   WriteAheadLog(std::string path, Options options, int fd, uint64_t end_offset);
 
+  // Reopens path_ after the handle was dropped (a Truncate whose reopen
+  // failed). No-op while a handle is live.
+  Status EnsureOpen();
+
   std::string path_;
   Options options_;
   int fd_ = -1;
   uint64_t end_offset_ = 0;
+  // Set when a Truncate rename landed but the parent-directory fsync did
+  // not: the rewrite could still roll back in a crash, so Append/Probe
+  // must re-sync the directory before acking anything on top of it.
+  bool dir_sync_pending_ = false;
 };
 
 }  // namespace kjoin::serve

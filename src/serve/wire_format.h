@@ -55,7 +55,10 @@ class ByteWriter {
     U32(static_cast<uint32_t>(s.size()));
     out_.append(s.data(), s.size());
   }
-  void Raw(const void* data, size_t n) { out_.append(static_cast<const char*>(data), n); }
+  // Tolerates data == nullptr when n == 0 (an empty vector's data()).
+  void Raw(const void* data, size_t n) {
+    if (n > 0) out_.append(static_cast<const char*>(data), n);
+  }
   template <typename T>
   void RawVec(const std::vector<T>& v) {
     U64(v.size());
@@ -123,7 +126,9 @@ class ByteReader {
   }
   Status Bytes(void* dst, uint64_t n) {
     KJOIN_RETURN_IF_ERROR(Need(n));
-    std::memcpy(dst, data_.data() + pos_, n);
+    // n == 0 arrives with dst == nullptr from an empty RawVec; memcpy's
+    // contract (and UBSan) forbids the null even for zero bytes.
+    if (n > 0) std::memcpy(dst, data_.data() + pos_, n);
     pos_ += n;
     return OkStatus();
   }
