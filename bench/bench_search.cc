@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +31,7 @@
 #include "hierarchy/hierarchy_io.h"
 #include "serve/index_manager.h"
 #include "serve/search_service.h"
+#include "serve/shard_router.h"
 #include "serve/snapshot.h"
 
 namespace {
@@ -419,6 +422,203 @@ int main(int argc, char** argv) {
              12);
   }
 
+  // ---- serving: sharded scatter-gather top-k ---------------------------
+  // Shard-per-core serving vs the single-index SearchService path, same
+  // collection, same top-k queries. QPS and latency at every shard count
+  // x client count, with an identity check against the single-index
+  // answers (the determinism contract), the progressive-bound prune
+  // counters, and a batching A/B (sync Search vs the Submit dispatcher
+  // path) at one client, where batching must be ~free.
+  //
+  // The workload is a top-1 lookup at a permissive floor (tau 0.4) — the
+  // regime progressive pruning targets: the k-th best similarity sits
+  // well above the floor, so the first shard to find the best match
+  // collapses every later shard's prefix and lets the length screen drop
+  // most of their verifications. As k grows (or the floor rises toward
+  // the k-th best) the bound converges to the floor and the sharded path
+  // converges to 8x the fixed per-probe cost; docs/serving.md discusses
+  // the tradeoff.
+  kjoin::bench::PrintHeader("Sharded scatter-gather serving (top-1 lookup, tau 0.4)");
+  kjoin::KJoinOptions shard_serve_options;
+  shard_serve_options.delta = 0.8;
+  shard_serve_options.tau = 0.4;
+  shard_serve_options.plus_mode = true;
+  std::vector<kjoin::serve::QueryRequest> shard_requests(*serve_queries);
+  for (int64_t q = 0; q < *serve_queries; ++q) {
+    std::vector<std::string> tokens = wp_data.dataset.records[(q * 97) % *serve_n].tokens;
+    if (tokens.size() > 1) tokens.pop_back();
+    shard_requests[q].query = wp_prepared.builder->Build(-1, tokens);
+    shard_requests[q].top_k = 1;
+  }
+  kjoin::ThreadPool shard_pool(2);
+  kjoin::serve::IndexManager single_manager(
+      wp_hierarchy, shard_serve_options, wp_prepared.objects,
+      wp_prepared.builder->TokenTable(), wp_data.dataset.synonyms, &shard_pool);
+  kjoin::serve::SearchService single_service(&single_manager, &shard_pool);
+  std::vector<std::vector<kjoin::SearchHit>> shard_baseline(shard_requests.size());
+  for (size_t q = 0; q < shard_requests.size(); ++q) {
+    shard_baseline[q] = single_service.Search(shard_requests[q]).hits;
+  }
+
+  struct ShardRow {
+    int shards = 0;
+    int clients = 0;
+    double qps = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    bool results_identical = false;
+  };
+  auto run_clients = [&](const std::function<kjoin::serve::QueryResponse(
+                             const kjoin::serve::QueryRequest&)>& search,
+                         int clients, ShardRow* row, kjoin::SearchStats* prune_totals) {
+    std::vector<std::vector<double>> latencies(clients);
+    std::atomic<int> mismatches{0};
+    std::atomic<int64_t> tightenings{0};
+    std::atomic<int64_t> pruned_lists{0};
+    std::atomic<int64_t> pruned_entries{0};
+    std::atomic<int64_t> pruned_blocks{0};
+    std::atomic<int64_t> raised_verifies{0};
+    std::atomic<int64_t> skipped_verifies{0};
+    kjoin::WallTimer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        latencies[c].reserve(shard_requests.size() / clients + 1);
+        for (size_t q = c; q < shard_requests.size(); q += clients) {
+          const kjoin::serve::QueryResponse response = search(shard_requests[q]);
+          latencies[c].push_back(response.seconds);
+          if (!response.status.ok() || response.hits != shard_baseline[q]) {
+            mismatches.fetch_add(1);
+          }
+          tightenings.fetch_add(response.stats.bound_tightenings);
+          pruned_lists.fetch_add(response.stats.bound_pruned_lists);
+          pruned_entries.fetch_add(response.stats.bound_pruned_entries);
+          pruned_blocks.fetch_add(response.stats.bound_pruned_blocks);
+          raised_verifies.fetch_add(response.stats.bound_raised_verifies);
+          skipped_verifies.fetch_add(response.stats.bound_skipped_verifies);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double seconds = wall.ElapsedSeconds();
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all.begin(), all.end());
+    row->clients = clients;
+    row->qps = static_cast<double>(all.size()) / std::max(seconds, 1e-9);
+    row->p50_ms = Percentile(all, 0.50) * 1e3;
+    row->p99_ms = Percentile(all, 0.99) * 1e3;
+    row->results_identical = mismatches.load() == 0;
+    if (prune_totals != nullptr) {
+      prune_totals->bound_tightenings += tightenings.load();
+      prune_totals->bound_pruned_lists += pruned_lists.load();
+      prune_totals->bound_pruned_entries += pruned_entries.load();
+      prune_totals->bound_pruned_blocks += pruned_blocks.load();
+      prune_totals->bound_raised_verifies += raised_verifies.load();
+      prune_totals->bound_skipped_verifies += skipped_verifies.load();
+    }
+  };
+
+  PrintRow({"shards", "clients", "qps", "p50-ms", "p99-ms", "identical"}, 12);
+  std::vector<ShardRow> baseline_rows;
+  for (int clients : {1, 8}) {
+    ShardRow row;
+    row.shards = 0;  // the single-index path
+    run_clients([&](const kjoin::serve::QueryRequest& r) { return single_service.Search(r); },
+                clients, &row, nullptr);
+    baseline_rows.push_back(row);
+    PrintRow({"single", std::to_string(clients), Fmt(row.qps, 0), Fmt(row.p50_ms, 3),
+              Fmt(row.p99_ms, 3), JsonBool(row.results_identical)},
+             12);
+  }
+
+  std::vector<ShardRow> shard_rows;
+  kjoin::SearchStats prune_totals;
+  double sharded_submit_qps = 0.0;
+  double sharded_sync_qps = 0.0;
+  for (int shards : {1, 2, 4, 8}) {
+    kjoin::serve::ShardedIndexManager sharded(
+        wp_hierarchy, shard_serve_options, wp_prepared.objects,
+        wp_prepared.builder->TokenTable(), wp_data.dataset.synonyms, shards, &shard_pool);
+    std::vector<std::unique_ptr<kjoin::serve::LocalShard>> backends;
+    std::vector<kjoin::serve::ShardBackend*> backend_ptrs;
+    for (int s = 0; s < shards; ++s) {
+      backends.push_back(std::make_unique<kjoin::serve::LocalShard>(&sharded, s));
+      backend_ptrs.push_back(backends.back().get());
+    }
+    kjoin::serve::ShardRouterOptions router_options;
+    // SearchBatch in the batching A/B enqueues the full query set at
+    // once; the default cap would shed it.
+    router_options.admission.max_in_flight = 4096;
+    kjoin::serve::ShardRouter router(backend_ptrs, &shard_pool, router_options);
+    for (int clients : {1, 8}) {
+      ShardRow row;
+      row.shards = shards;
+      run_clients([&](const kjoin::serve::QueryRequest& r) { return router.Search(r); },
+                  clients, &row, &prune_totals);
+      shard_rows.push_back(row);
+      PrintRow({std::to_string(shards), std::to_string(clients), Fmt(row.qps, 0),
+                Fmt(row.p50_ms, 3), Fmt(row.p99_ms, 3), JsonBool(row.results_identical)},
+               12);
+    }
+    if (shards == 8) {
+      // Batching A/B at one client (alternating reps): the Submit
+      // dispatcher path vs sync Search — the handoff + coalescing
+      // machinery must cost <= 5% when there is nothing to coalesce.
+      constexpr int kBatchReps = 4;
+      double sync_seconds = 0.0;
+      double submit_seconds = 0.0;
+      for (int rep = 0; rep < kBatchReps; ++rep) {
+        for (const int side : {0, 1}) {
+          kjoin::WallTimer timer;
+          if (side == 0) {
+            for (const kjoin::serve::QueryRequest& request : shard_requests) {
+              if (!router.Search(request).status.ok()) {
+                std::fprintf(stderr, "query failed in batching bench\n");
+                return 1;
+              }
+            }
+            sync_seconds += timer.ElapsedSeconds();
+          } else {
+            // Ping-pong Submit: one client never batches, isolating the
+            // dispatcher overhead.
+            const std::vector<kjoin::serve::QueryResponse> responses =
+                router.SearchBatch(shard_requests);
+            for (const kjoin::serve::QueryResponse& response : responses) {
+              if (!response.status.ok()) {
+                std::fprintf(stderr, "submit failed in batching bench\n");
+                return 1;
+              }
+            }
+            submit_seconds += timer.ElapsedSeconds();
+          }
+        }
+      }
+      const double batch_queries =
+          static_cast<double>(kBatchReps) * static_cast<double>(shard_requests.size());
+      sharded_sync_qps = batch_queries / std::max(sync_seconds, 1e-9);
+      sharded_submit_qps = batch_queries / std::max(submit_seconds, 1e-9);
+    }
+  }
+  const double single_8c_qps = baseline_rows.back().qps;
+  const ShardRow& sharded_8x8 = shard_rows.back();
+  const double sharded_speedup = sharded_8x8.qps / std::max(single_8c_qps, 1e-9);
+  const double batching_overhead_pct =
+      (sharded_sync_qps / std::max(sharded_submit_qps, 1e-9) - 1.0) * 100.0;
+  std::printf("8 shards / 8 clients: %.2fx the single-index path; bound tightened %lld "
+              "times, pruned %lld posting entries / %lld blocks, length-screened %lld "
+              "verifications across the runs\n",
+              sharded_speedup, static_cast<long long>(prune_totals.bound_tightenings),
+              static_cast<long long>(prune_totals.bound_pruned_entries),
+              static_cast<long long>(prune_totals.bound_pruned_blocks),
+              static_cast<long long>(prune_totals.bound_skipped_verifies));
+  std::printf("batching (8 shards, 1 client): sync %.0f qps, submit %.0f qps, "
+              "overhead %.2f%%\n",
+              sharded_sync_qps, sharded_submit_qps, batching_overhead_pct);
+
   // ---- JSON report (serving sections only; run_bench.sh merges it) -----
   if (!out->empty()) {
     std::FILE* f = std::fopen(out->c_str(), "w");
@@ -469,7 +669,45 @@ int main(int argc, char** argv) {
                    i == 0 ? "" : ",", row.depth, row.delta_qps, row.flat_qps, row.overhead_pct,
                    JsonBool(row.results_identical).c_str());
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    std::fprintf(f, "\n  ],\n");
+    std::fprintf(f, "  \"serving_sharded\": {\n    \"single_index\": [");
+    for (size_t i = 0; i < baseline_rows.size(); ++i) {
+      const ShardRow& row = baseline_rows[i];
+      std::fprintf(f,
+                   "%s\n      {\"clients\": %d, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                   "\"p99_ms\": %.3f, \"results_identical\": %s}",
+                   i == 0 ? "" : ",", row.clients, row.qps, row.p50_ms, row.p99_ms,
+                   JsonBool(row.results_identical).c_str());
+    }
+    std::fprintf(f, "\n    ],\n    \"sharded\": [");
+    for (size_t i = 0; i < shard_rows.size(); ++i) {
+      const ShardRow& row = shard_rows[i];
+      const double vs_single =
+          row.qps / std::max(row.clients == 1 ? baseline_rows.front().qps
+                                              : baseline_rows.back().qps,
+                             1e-9);
+      std::fprintf(f,
+                   "%s\n      {\"shards\": %d, \"clients\": %d, \"qps\": %.1f, "
+                   "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"qps_vs_single\": %.3f, "
+                   "\"results_identical\": %s}",
+                   i == 0 ? "" : ",", row.shards, row.clients, row.qps, row.p50_ms, row.p99_ms,
+                   vs_single, JsonBool(row.results_identical).c_str());
+    }
+    std::fprintf(f,
+                 "\n    ],\n    \"speedup_8shard_8client\": %.3f,\n"
+                 "    \"tau_prune\": {\"bound_tightenings\": %lld, "
+                 "\"bound_pruned_lists\": %lld, \"bound_pruned_entries\": %lld, "
+                 "\"bound_pruned_blocks\": %lld, \"bound_raised_verifies\": %lld, "
+                 "\"bound_skipped_verifies\": %lld},\n"
+                 "    \"batching\": {\"shards\": 8, \"clients\": 1, \"sync_qps\": %.1f, "
+                 "\"submit_qps\": %.1f, \"overhead_pct\": %.3f}\n  }\n}\n",
+                 sharded_speedup, static_cast<long long>(prune_totals.bound_tightenings),
+                 static_cast<long long>(prune_totals.bound_pruned_lists),
+                 static_cast<long long>(prune_totals.bound_pruned_entries),
+                 static_cast<long long>(prune_totals.bound_pruned_blocks),
+                 static_cast<long long>(prune_totals.bound_raised_verifies),
+                 static_cast<long long>(prune_totals.bound_skipped_verifies),
+                 sharded_sync_qps, sharded_submit_qps, batching_overhead_pct);
     std::fclose(f);
     std::printf("wrote %s\n", out->c_str());
   }

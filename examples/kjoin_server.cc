@@ -15,6 +15,15 @@
 // While clients are querying, the main thread inserts a batch of new
 // records; the epoch swap is visible only as a version bump in the
 // responses. Exits with the metrics registry dumped as JSON.
+//
+// With --shards N (N > 1) the demo serves the same collection from a
+// ShardedIndexManager behind a scatter-gather ShardRouter instead: every
+// query fans out to all N shards under one shared progressive top-k
+// bound (docs/serving.md, "Sharded serving"). The exit metrics JSON then
+// carries the per-shard probe/τ-prune counters (router.shard<i>.*), the
+// router queue depth, and a sharded.shard<i>.pending_inserts gauge per
+// shard;
+// --wal uses one log per shard (<wal>.shard-<i>).
 
 #include <atomic>
 #include <cstdio>
@@ -28,6 +37,7 @@
 #include "data/benchmark_suite.h"
 #include "serve/index_manager.h"
 #include "serve/search_service.h"
+#include "serve/shard_router.h"
 #include "serve/snapshot.h"
 
 int main(int argc, char** argv) {
@@ -41,6 +51,7 @@ int main(int argc, char** argv) {
   double* deadline = flags.Double("deadline", 0.1, "per-query deadline in seconds (0 = none)");
   int64_t* max_in_flight = flags.Int("max-in-flight", 64, "admission cap (0 = unbounded)");
   int64_t* insert = flags.Int("insert", 200, "records to insert while clients run");
+  int64_t* shards = flags.Int("shards", 1, "serve from N hash shards behind a scatter-gather router");
   std::string* snapshot = flags.String("snapshot", "", "snapshot file: load if present, else build and save");
   std::string* wal = flags.String("wal", "", "write-ahead log: replay on start, append every write");
   if (!flags.Parse(argc, argv)) return 1;
@@ -61,6 +72,117 @@ int main(int argc, char** argv) {
   kjoin::PreparedObjects prepared;        // build path
   kjoin::ObjectBuilder* builder = nullptr;
   auto hierarchy = std::make_shared<const kjoin::Hierarchy>(std::move(data.hierarchy));
+
+  // ---- sharded serving demo (--shards N) -------------------------------
+  if (*shards > 1) {
+    kjoin::WallTimer shard_cold_start;
+    prepared = kjoin::BuildObjects(*hierarchy, data.dataset, /*multi_mapping=*/true, *delta);
+    builder = prepared.builder.get();
+    kjoin::serve::ShardedIndexManager sharded(
+        hierarchy, options, prepared.objects, builder->TokenTable(),
+        data.dataset.synonyms, static_cast<int>(*shards), &pool, &metrics);
+    std::printf("cold start: built %lld objects across %lld shards in %.3fs\n",
+                static_cast<long long>(*n), static_cast<long long>(*shards),
+                shard_cold_start.ElapsedSeconds());
+    if (!wal->empty()) {
+      const kjoin::Status attached = sharded.AttachWal(*wal);
+      if (!attached.ok()) {
+        std::printf("WAL attach failed: %s\n", attached.ToString().c_str());
+        return 1;
+      }
+      std::printf("WAL attached: one log per shard (%s.shard-<i>), %lld objects after replay\n",
+                  wal->c_str(), static_cast<long long>(sharded.num_objects()));
+    }
+
+    std::vector<std::unique_ptr<kjoin::serve::LocalShard>> backends;
+    std::vector<kjoin::serve::ShardBackend*> backend_ptrs;
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      backends.push_back(std::make_unique<kjoin::serve::LocalShard>(&sharded, s));
+      backend_ptrs.push_back(backends.back().get());
+    }
+    kjoin::serve::ShardRouterOptions router_options;
+    router_options.admission.max_in_flight = static_cast<int>(*max_in_flight);
+    router_options.default_deadline_seconds = *deadline;
+    kjoin::serve::ShardRouter router(backend_ptrs, &pool, router_options, &metrics);
+
+    const int64_t total = *clients * *queries;
+    std::vector<kjoin::serve::QueryRequest> requests(total);
+    for (int64_t i = 0; i < total; ++i) {
+      std::vector<std::string> tokens = data.dataset.records[(i * 97) % *n].tokens;
+      if (!tokens.empty()) tokens.pop_back();
+      requests[i].query = builder->Build(-1, tokens);
+      requests[i].top_k = static_cast<int32_t>(*topk);
+    }
+
+    std::atomic<int64_t> ok{0}, tripped{0}, shed{0}, hits{0};
+    std::atomic<int64_t> tightenings{0}, pruned_entries{0}, screened{0};
+    kjoin::WallTimer serving;
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(*clients);
+    for (int64_t c = 0; c < *clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        for (int64_t q = 0; q < *queries; ++q) {
+          kjoin::serve::QueryResponse response = router.Search(requests[c * *queries + q]);
+          if (response.status.ok()) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } else if (kjoin::IsResourceExhausted(response.status)) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            tripped.fetch_add(1, std::memory_order_relaxed);
+          }
+          hits.fetch_add(static_cast<int64_t>(response.hits.size()),
+                         std::memory_order_relaxed);
+          tightenings.fetch_add(response.stats.bound_tightenings,
+                                std::memory_order_relaxed);
+          pruned_entries.fetch_add(response.stats.bound_pruned_entries,
+                                   std::memory_order_relaxed);
+          screened.fetch_add(response.stats.bound_skipped_verifies,
+                             std::memory_order_relaxed);
+        }
+      });
+    }
+
+    // A live update racing the clients: the batch is hash-partitioned
+    // across the shards, each shard publishes its own epoch.
+    if (*insert > 0) {
+      std::vector<kjoin::Object> batch;
+      batch.reserve(*insert);
+      for (int64_t i = 0; i < *insert; ++i) {
+        batch.push_back(builder->Build(static_cast<int32_t>(*n + i),
+                                       data.dataset.records[i % *n].tokens));
+      }
+      const kjoin::Status inserted =
+          sharded.InsertBatch(std::move(batch), builder->TokenTable());
+      if (!inserted.ok()) {
+        std::printf("insert rejected: %s\n", inserted.ToString().c_str());
+      }
+      sharded.Flush();
+    }
+    for (std::thread& t : client_threads) t.join();
+
+    std::printf("\nserved %lld queries from %lld clients across %d shards in %.3fs\n",
+                static_cast<long long>(total), static_cast<long long>(*clients),
+                sharded.num_shards(), serving.ElapsedSeconds());
+    std::printf("  ok %lld, deadline/cancel %lld, shed %lld, hits %lld\n",
+                static_cast<long long>(ok.load()), static_cast<long long>(tripped.load()),
+                static_cast<long long>(shed.load()), static_cast<long long>(hits.load()));
+    std::printf("  progressive bound: tightened %lld times, pruned %lld posting entries, "
+                "length-screened %lld verifications\n",
+                static_cast<long long>(tightenings.load()),
+                static_cast<long long>(pruned_entries.load()),
+                static_cast<long long>(screened.load()));
+    // Per-shard write-queue depth gauges land next to the router's
+    // per-shard probe/prune counters in the JSON dump.
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      metrics.gauge(kjoin::ShardMetricName("sharded", s, "pending_inserts"))
+          ->Set(sharded.shard(s)->pending_inserts());
+      std::printf("  shard %d: %lld objects, %lld pending inserts\n", s,
+                  static_cast<long long>(sharded.shard(s)->Acquire()->index->num_live()),
+                  static_cast<long long>(sharded.shard(s)->pending_inserts()));
+    }
+    std::printf("\nmetrics: %s\n", metrics.ToJson().c_str());
+    return 0;
+  }
 
   kjoin::WallTimer cold_start;
   bool loaded_from_snapshot = false;

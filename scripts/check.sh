@@ -4,9 +4,12 @@
 # KJOIN_FAULT_INJECTION=1, so the resilience and serving suites'
 # fault-point tests run for real there instead of skipping; their ctest
 # filters keep the sanitizer passes to the threading/memory-sensitive
-# suites plus resilience_test and serve_test (docs/robustness.md,
-# docs/serving.md — snapshot byte surgery under asan, the concurrent
-# epoch-swap and search-service tests under tsan).
+# suites plus resilience_test, serve_test, wal_test, shard_test and
+# chaos_test (docs/robustness.md, docs/serving.md — snapshot byte
+# surgery under asan; the concurrent epoch-swap, search-service and
+# shard-router scatter-gather tests under tsan; the sharded chaos case
+# with one degraded shard, ShardChaosTest.DegradedShardKeepsServingReads,
+# runs under both).
 #
 #   scripts/check.sh                 # release + asan + tsan
 #   scripts/check.sh default         # just one preset
@@ -125,6 +128,10 @@ if [[ $run_chaos -eq 1 ]]; then
     KJOIN_CHAOS_TRIALS="$chaos_trials" \
       "$repo/build-$preset/tests/chaos_test" \
       --gtest_filter='ChaosTest.RandomizedKillAndRecoverTrials'
+    echo "==> [chaos/$preset] sharded serving with one degraded shard"
+    cmake --build --preset "$preset" --target shard_test -j "$(nproc)" >/dev/null
+    "$repo/build-$preset/tests/shard_test" \
+      --gtest_filter='ShardChaosTest.DegradedShardKeepsServingReads'
   done
   echo "chaos harness passed ($chaos_trials trials per sanitizer)"
 fi

@@ -44,6 +44,10 @@ TRACKED = [
     # with the baseline run's (its overhead_pct also has an absolute <1%
     # gate below, independent of any baseline).
     (("serving_admission", "adaptive_qps"), "higher"),
+    # Sharded scatter-gather: the 8-shard/8-client speedup over the
+    # single-index path is a ratio of two same-run measurements, so it is
+    # stable where raw QPS drifts with the machine.
+    (("serving_sharded", "speedup_8shard_8client"), "higher"),
 ]
 
 # Absolute gates checked on the fresh report alone — properties the
@@ -53,6 +57,19 @@ ABSOLUTE_CEILINGS = [
     # Adaptive admission + health tracking must cost <1% QPS at steady
     # state vs a static-cap, no-metrics service (docs/robustness.md).
     (("serving_admission", "overhead_pct"), 1.0),
+    # The Submit dispatcher (batching) path must cost <=5% QPS at one
+    # client, where batches never form and its machinery is pure overhead
+    # (docs/serving.md, "Sharded serving").
+    (("serving_sharded", "batching", "overhead_pct"), 5.0),
+]
+
+# Absolute floors checked on the fresh report alone.
+# (json path, floor): fails when the value is present and < floor.
+ABSOLUTE_FLOORS = [
+    # The scatter-gather cascade with progressive pruning must beat the
+    # single-index path by >=2.5x at 8 shards / 8 clients on the top-1
+    # lookup workload (docs/serving.md, "Sharded serving").
+    (("serving_sharded", "speedup_8shard_8client"), 2.5),
 ]
 
 # fig9_filter, fig10_filter_delta, fig14_threads, serving_qps,
@@ -155,6 +172,18 @@ def main():
         else:
             print(f"  ok   {label}: {value:g} (absolute ceiling {ceiling:g})")
 
+    for path, floor in ABSOLUTE_FLOORS:
+        label = "/".join(path)
+        value = lookup(fresh, path)
+        if not isinstance(value, (int, float)):
+            print(f"  skip  {label}: absent from fresh run (absolute floor {floor:g})")
+            continue
+        if value < floor:
+            failures.append(f"{label}: {value:g} under absolute floor {floor:g}")
+            print(f"  FAIL {label}: {value:g} (absolute floor {floor:g})")
+        else:
+            print(f"  ok   {label}: {value:g} (absolute floor {floor:g})")
+
     base_fig9 = index_rows(base.get("fig9_filter", []), "scheme")
     fresh_fig9 = index_rows(fresh.get("fig9_filter", []), "scheme")
     for scheme in base_fig9:
@@ -233,6 +262,37 @@ def main():
         fresh_flag = fresh_delta.get(depth, {}).get("results_identical")
         if base_flag is True and fresh_flag is False:
             failures.append(f"serving_delta_search[{depth}]/results_identical flipped to false")
+
+    # serving_sharded rows are keyed by (shards, clients); identity at
+    # every shard count is the determinism contract, so any flip fails.
+    def sharded_rows(report, key):
+        rows = lookup(report, ("serving_sharded", key)) or []
+        return {(row.get("shards", 0), row["clients"]): row
+                for row in rows if isinstance(row, dict) and "clients" in row}
+
+    for key in ("single_index", "sharded"):
+        base_rows = sharded_rows(base, key)
+        fresh_rows = sharded_rows(fresh, key)
+        for row_key in base_rows:
+            label = f"serving_sharded/{key}[shards={row_key[0]},clients={row_key[1]}]"
+            compare_scalar(f"{label}/qps", base_rows[row_key].get("qps"),
+                           fresh_rows.get(row_key, {}).get("qps"),
+                           "higher", args.tolerance, failures)
+            base_flag = base_rows[row_key].get("results_identical")
+            fresh_flag = fresh_rows.get(row_key, {}).get("results_identical")
+            if base_flag is True and fresh_flag is False:
+                failures.append(f"{label}/results_identical flipped to false")
+    # Identity must also hold absolutely on the fresh run, baseline or not.
+    fresh_sharded = lookup(fresh, ("serving_sharded", "sharded")) or []
+    for row in fresh_sharded:
+        if isinstance(row, dict) and row.get("results_identical") is False:
+            failures.append(
+                f"serving_sharded/sharded[shards={row.get('shards')},"
+                f"clients={row.get('clients')}]/results_identical is false")
+    fresh_prune = lookup(fresh, ("serving_sharded", "tau_prune"))
+    if isinstance(fresh_prune, dict) and fresh_prune.get("bound_tightenings", 0) <= 0:
+        failures.append("serving_sharded/tau_prune/bound_tightenings is zero — "
+                        "the progressive bound never engaged")
 
     for path in IDENTICAL_FLAGS:
         base_flag = lookup(base, path)

@@ -138,4 +138,15 @@ std::string MetricsRegistry::ToJson() const {
   return json;
 }
 
+std::string ShardMetricName(std::string_view prefix, int shard, std::string_view name) {
+  std::string full;
+  full.reserve(prefix.size() + name.size() + 16);
+  full.append(prefix);
+  full.append(".shard");
+  full.append(std::to_string(shard));
+  full.push_back('.');
+  full.append(name);
+  return full;
+}
+
 }  // namespace kjoin

@@ -21,6 +21,14 @@ thread_local int64_t tls_last_candidates = 0;
 // verification — while bounding overshoot to a handful of pairs.
 constexpr int kControlStride = 8;
 
+// Float-safety slack between the shared SearchBound and the prune
+// thresholds derived from it: the progressive probe prunes strictly below
+// bound - slack, so a hit tied with the final k-th best can never be lost
+// to floating-point noise in the prefix-budget or overlap computations.
+// The verifier's own accept tolerance is 1e-9; 1e-7 dominates it by two
+// orders while costing no measurable extra work.
+constexpr double kSearchBoundSlack = 1e-7;
+
 // Per-thread probe scratch (shared across all indexes the thread
 // searches): dense ScanCount counters plus the touched-block bitmap.
 // Invariant between calls: every counter is zero and every bitmap word is
@@ -158,7 +166,8 @@ void KJoinIndex::CollectLayers(std::vector<const KJoinIndex*>* layers) const {
 
 int64_t KJoinIndex::last_candidates() { return tls_last_candidates; }
 
-std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
+std::vector<int32_t> KJoinIndex::Candidates(const Object& query, SearchBound* bound,
+                                            SearchStats* stats) const {
   // The usual case is a flat index (one layer, no tombstones); deltas
   // probe every layer's postings — the frozen CSR store plus the mutable
   // tail of each.
@@ -188,22 +197,38 @@ std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
     }
     return df;
   };
-  std::sort(sigs.begin(), sigs.end(), [&](const Signature& a, const Signature& b) {
-    const int64_t dfa = df_of(a.id);
-    const int64_t dfb = df_of(b.id);
-    if (dfa != dfb) return dfa < dfb;
-    if (a.id != b.id) return a.id < b.id;
-    return a.element < b.element;
-  });
+  // Cache each signature's df before sorting: df_of walks every layer's
+  // store and tail per call, and the comparator would re-derive it
+  // O(s log s) times per probe (the probes-per-query factor of a sharded
+  // scatter makes that per-probe cost visible).
+  std::vector<std::pair<int64_t, Signature>> keyed(sigs.size());
+  for (size_t i = 0; i < sigs.size(); ++i) keyed[i] = {df_of(sigs[i].id), sigs[i]};
+  std::sort(keyed.begin(), keyed.end(),
+            [](const std::pair<int64_t, Signature>& a,
+               const std::pair<int64_t, Signature>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              if (a.second.id != b.second.id) return a.second.id < b.second.id;
+              return a.second.element < b.second.element;
+            });
+  for (size_t i = 0; i < sigs.size(); ++i) sigs[i] = keyed[i].second;
 
-  int32_t prefix;
-  if (options_.weighted_prefix) {
-    prefix = PrefixLengthWeighted(
-        sigs, MinOverlapWithAnyPartner(query.size(), options_.tau, options_.set_metric));
-  } else {
-    prefix = PrefixLengthDistinct(
-        sigs, MinSimilarElements(query.size(), options_.tau, options_.set_metric));
-  }
+  // Prefix length at a given similarity floor. Prefixes nest: a floor
+  // above τ only ever shortens the prefix (the overlap budget grows with
+  // the floor and the signature order is fixed), so re-deriving the
+  // prefix mid-probe at a risen bound is exactly the prefix that floor
+  // would have produced up front.
+  auto prefix_at = [&](double floor) {
+    if (options_.weighted_prefix) {
+      return PrefixLengthWeighted(
+          sigs, MinOverlapWithAnyPartner(query.size(), floor, options_.set_metric));
+    }
+    return PrefixLengthDistinct(
+        sigs, MinSimilarElements(query.size(), floor, options_.set_metric));
+  };
+  int32_t prefix = prefix_at(options_.tau);
+  // The floor the current prefix was derived from (progressive probes
+  // re-derive it whenever the shared bound has risen past it).
+  double level = options_.tau;
 
   // ScanCount the prefix's posting lists into the dense counter array,
   // then extract every object touched at least once, block by block in
@@ -218,6 +243,38 @@ std::vector<int32_t> KJoinIndex::Candidates(const Object& query) const {
   SigId previous = 0;
   bool have_previous = false;
   for (int32_t k = 0; k < prefix; ++k) {
+    if (bound != nullptr) {
+      const double raised = bound->value() - kSearchBoundSlack;
+      if (raised > level) {
+        level = raised;
+        int32_t cut = prefix_at(level);
+        if (cut < k) cut = k;
+        if (cut < prefix) {
+          if (stats != nullptr) {
+            // Account the lists (and their entries/blocks) the tightened
+            // prefix lets this probe skip, deduplicating repeated
+            // signature ids the way the probe loop does.
+            SigId prev_id = cut > 0 ? sigs[cut - 1].id : 0;
+            bool have_prev = cut > 0;
+            for (int32_t j = cut; j < prefix; ++j) {
+              if (have_prev && sigs[j].id == prev_id) continue;
+              prev_id = sigs[j].id;
+              have_prev = true;
+              ++stats->bound_pruned_lists;
+              stats->bound_pruned_entries += df_of(sigs[j].id);
+              for (size_t l = 0; l < num_layers; ++l) {
+                const int32_t slot = layers[l]->store_.Find(sigs[j].id);
+                if (slot >= 0) {
+                  stats->bound_pruned_blocks += layers[l]->store_.num_blocks(slot);
+                }
+              }
+            }
+          }
+          prefix = cut;
+          if (k >= prefix) break;
+        }
+      }
+    }
     if (have_previous && sigs[k].id == previous) continue;
     previous = sigs[k].id;
     have_previous = true;
@@ -330,10 +387,7 @@ std::vector<SearchHit> KJoinIndex::Search(const Object& query) const {
     if (!verifier_.Verify(query, object, &stats)) continue;
     hits.push_back({i, object_sim_.Similarity(query, object)});
   }
-  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
-    if (a.similarity != b.similarity) return a.similarity > b.similarity;
-    return a.object_index < b.object_index;
-  });
+  std::sort(hits.begin(), hits.end(), HitBefore);
   return hits;
 }
 
@@ -390,10 +444,7 @@ Status KJoinIndex::SearchControlled(const Object& query, const JoinControl& cont
       hits->push_back({i, object_sim_.Similarity(query, object)});
     }
   }
-  std::sort(hits->begin(), hits->end(), [](const SearchHit& a, const SearchHit& b) {
-    if (a.similarity != b.similarity) return a.similarity > b.similarity;
-    return a.object_index < b.object_index;
-  });
+  std::sort(hits->begin(), hits->end(), HitBefore);
   if (stats != nullptr) {
     stats->candidates = candidate_count;
     stats->verify = verify_stats;
@@ -425,6 +476,125 @@ Status KJoinIndex::SearchTopK(const Object& query, int32_t k, double min_similar
     if (k > 0 && static_cast<int32_t>(result.size()) >= k) break;
   }
   *hits = std::move(result);
+  return status;
+}
+
+Status KJoinIndex::SearchTopK(const Object& query, int32_t k, double min_similarity,
+                              const JoinControl& control, SearchBound* bound,
+                              std::vector<SearchHit>* hits, SearchStats* stats) const {
+  if (bound == nullptr) return SearchTopK(query, k, min_similarity, control, hits, stats);
+  if (min_similarity < options_.tau) {
+    return InvalidArgumentError("SearchTopK min_similarity " +
+                                std::to_string(min_similarity) +
+                                " below the index's configured tau " +
+                                std::to_string(options_.tau));
+  }
+  return SearchTopKProgressive(query, k, min_similarity, control, bound, hits, stats);
+}
+
+Status KJoinIndex::SearchTopKProgressive(const Object& query, int32_t k,
+                                         double min_similarity, const JoinControl& control,
+                                         SearchBound* bound, std::vector<SearchHit>* hits,
+                                         SearchStats* stats) const {
+  hits->clear();
+  const bool has_deadline = control.deadline_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(has_deadline ? control.deadline_seconds : 0.0));
+  const auto tripped = [&]() -> Status {
+    if (control.cancel_token != nullptr && control.cancel_token->cancelled()) {
+      return CancelledError("search cancelled");
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      return DeadlineExceededError("search deadline exceeded");
+    }
+    return OkStatus();
+  };
+
+  Status status = tripped();
+  VerifyStats verify_stats;
+  int64_t candidate_count = 0;
+  // k > 0: a heap in HitBefore order with the worst kept hit at the
+  // front, so the k-th cut (and the bound offered from it) honors the
+  // documented total order through similarity ties. k <= 0: plain
+  // accumulation, no tightening possible without a k-th best.
+  std::vector<SearchHit> best;
+  if (status.ok()) {
+    const std::vector<int32_t> candidates = Candidates(query, bound, stats);
+    candidate_count = static_cast<int64_t>(candidates.size());
+    // One query, a stream of candidates: build the query's grouping plan
+    // once for the whole probe instead of once per verified pair.
+    ObjectGroupPlan query_plan;
+    verifier_.BuildPlan(query, &query_plan);
+    int since_poll = 0;
+    for (int32_t i : candidates) {
+      if (++since_poll >= kControlStride) {
+        since_poll = 0;
+        status = tripped();
+        if (!status.ok()) break;
+      }
+      // The slack keeps the verify threshold strictly below every
+      // similarity the bound was tightened to, so a final-top-k member
+      // (similarity >= the bound at all times) can never be rejected by
+      // float noise; anything the raised threshold does reject would
+      // also lose the k-th cut.
+      const double threshold = std::max(options_.tau, bound->value() - kSearchBoundSlack);
+      const Object& object = object_at(i);
+      bool similar;
+      if (threshold > options_.tau) {
+        // Length screen at the raised threshold: fuzzy overlap is a
+        // matching with per-pair weights <= 1, so it never exceeds
+        // min(|x|, |y|). When the overlap the threshold demands is above
+        // that, VerifyAt could only reject — skip the (plan building +
+        // grouping) work outright. The margin mirrors the verifier's
+        // `overlap >= needed - kEps` accept rule, so the screen only
+        // drops pairs a full verification would also drop.
+        const double min_size =
+            static_cast<double>(std::min(query.size(), object.size()));
+        if (MinFuzzyOverlap(query.size(), object.size(), threshold,
+                            options_.set_metric) > min_size + 1e-9) {
+          if (stats != nullptr) ++stats->bound_skipped_verifies;
+          continue;
+        }
+        if (stats != nullptr) ++stats->bound_raised_verifies;
+        similar = verifier_.VerifyAt(query, query_plan, object, threshold, &verify_stats);
+      } else {
+        similar =
+            verifier_.VerifyAt(query, query_plan, object, options_.tau, &verify_stats);
+      }
+      if (!similar) continue;
+      const double similarity = object_sim_.Similarity(query, object);
+      // Same floor rule as the plain SearchTopK filter.
+      if (similarity + 1e-9 < min_similarity) continue;
+      const SearchHit hit{i, similarity};
+      if (k <= 0) {
+        best.push_back(hit);
+        continue;
+      }
+      if (static_cast<int32_t>(best.size()) < k) {
+        best.push_back(hit);
+        std::push_heap(best.begin(), best.end(), HitBefore);
+        if (static_cast<int32_t>(best.size()) == k &&
+            bound->Tighten(best.front().similarity) && stats != nullptr) {
+          ++stats->bound_tightenings;
+        }
+      } else if (HitBefore(hit, best.front())) {
+        std::pop_heap(best.begin(), best.end(), HitBefore);
+        best.back() = hit;
+        std::push_heap(best.begin(), best.end(), HitBefore);
+        if (bound->Tighten(best.front().similarity) && stats != nullptr) {
+          ++stats->bound_tightenings;
+        }
+      }
+    }
+  }
+  std::sort(best.begin(), best.end(), HitBefore);
+  *hits = std::move(best);
+  if (stats != nullptr) {
+    stats->candidates = candidate_count;
+    stats->verify = verify_stats;
+  }
   return status;
 }
 

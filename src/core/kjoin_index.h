@@ -35,7 +35,9 @@
 // an immutable delta chain is built over must no longer be mutated.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -56,9 +58,91 @@ struct SearchHit {
   friend bool operator==(const SearchHit&, const SearchHit&) = default;
 };
 
-// Per-call observability for the controlled Search overloads.
+// Hit ordering used by every search entry point, total so concurrent and
+// sharded executions re-rank reproducibly: similarity descending, then
+// object index ascending. (KOIOS-style progressive top-k and the serving
+// router's gather both rely on the order being a strict total order.)
+inline bool HitBefore(const SearchHit& a, const SearchHit& b) {
+  if (a.similarity != b.similarity) return a.similarity > b.similarity;
+  return a.object_index < b.object_index;
+}
+
+// A monotonically-tightening similarity floor shared by the probes of one
+// logical top-k query (the scatter-gather serving path fans a query to
+// every shard and hands them all one bound). Each probe reports its own
+// running k-th-best similarity through Tighten(); every probe polls
+// value() to skip candidates — and whole prefix posting lists — that can
+// no longer place in the global top-k.
+//
+// Soundness: a probe only offers the k-th best of the hits it has itself
+// verified, and any subset's k-th best is <= the full result's k-th best,
+// so value() never exceeds the final k-th-best similarity. Probes prune
+// strictly below value() minus a float-safety slack, so ties survive and
+// the merged top-k is byte-identical to a single-index search (see
+// docs/serving.md, "Progressive τ contract").
+//
+// Lock-free: similarities are non-negative IEEE doubles, whose bit
+// patterns order like the values, so the fetch-max is a CAS loop over one
+// atomic uint64. Relaxed ordering suffices — the bound is a monotone
+// hint, and every use tolerates a stale read.
+class SearchBound {
+ public:
+  explicit SearchBound(double floor = 0.0) : bits_(Encode(floor)) {}
+
+  // The current floor (never decreases).
+  double value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+
+  // Raises the bound to at least `similarity`; returns true when this
+  // call advanced it.
+  bool Tighten(double similarity) {
+    const uint64_t proposed = Encode(similarity);
+    uint64_t current = bits_.load(std::memory_order_relaxed);
+    while (proposed > current) {
+      if (bits_.compare_exchange_weak(current, proposed, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static uint64_t Encode(double v) {
+    if (v < 0.0) v = 0.0;  // similarities are non-negative; clamp sentinels
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double Decode(uint64_t bits) {
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::atomic<uint64_t> bits_;
+};
+
+// Per-call observability for the controlled Search overloads. The bound_*
+// counters are only touched by the progressive SearchTopK overload: they
+// record how often this probe advanced the shared bound and how much
+// probe/verify work the tightened bound let it skip.
 struct SearchStats {
   int64_t candidates = 0;
+  // Tighten() calls that advanced the shared bound.
+  int64_t bound_tightenings = 0;
+  // Prefix posting lists never probed because the risen bound shortened
+  // the prefix, the entries those lists held, and the posting blocks the
+  // skip saved decoding.
+  int64_t bound_pruned_lists = 0;
+  int64_t bound_pruned_entries = 0;
+  int64_t bound_pruned_blocks = 0;
+  // Verifications that ran at a threshold above the index's configured
+  // tau (each rejects earlier than a tau-level verification would).
+  int64_t bound_raised_verifies = 0;
+  // Candidates dropped before verification because their sizes cannot
+  // reach the current bound: fuzzy overlap is a matching with per-pair
+  // weights <= 1, so it never exceeds min(|x|, |y|); when the overlap the
+  // bound demands is above that, VerifyAt could only reject.
+  int64_t bound_skipped_verifies = 0;
   VerifyStats verify;
 };
 
@@ -102,13 +186,16 @@ class KJoinIndex {
   // in [0, num_indexed()). NOT safe to call concurrently with Search.
   bool DeleteObject(int32_t index);
 
-  // All indexed objects with SIMδ(query, object) >= τ, sorted by
-  // descending similarity (ties: ascending index). The query must come
-  // from the same ObjectBuilder as the indexed collection.
+  // All indexed objects with SIMδ(query, object) >= τ, sorted by the
+  // documented total order (HitBefore: similarity descending, ties by
+  // ascending object index). The query must come from the same
+  // ObjectBuilder as the indexed collection.
   std::vector<SearchHit> Search(const Object& query) const;
 
   // The top-k most similar indexed objects with SIMδ >= min_similarity
-  // (which must be >= the index's τ). k <= 0 returns everything.
+  // (which must be >= the index's τ), in HitBefore order; the total
+  // order makes the k-th cut reproducible even through similarity ties.
+  // k <= 0 returns everything.
   std::vector<SearchHit> SearchTopK(const Object& query, int32_t k,
                                     double min_similarity) const;
 
@@ -127,6 +214,26 @@ class KJoinIndex {
   Status SearchTopK(const Object& query, int32_t k, double min_similarity,
                     const JoinControl& control, std::vector<SearchHit>* hits,
                     SearchStats* stats = nullptr) const;
+
+  // Progressive top-k (the scatter-gather serving path). Identical hits
+  // to the overload above, but `bound` — a shared, monotonically-
+  // tightening similarity floor, possibly advanced concurrently by other
+  // probes of the same logical query — lets the probe skip work that can
+  // no longer place in the final top-k:
+  //  - the signature prefix is recomputed at the risen bound, so whole
+  //    posting lists (and their blocks) are never probed;
+  //  - candidates verify at max(τ, bound - slack), so the count-pruning
+  //    and adaptive bounds reject earlier;
+  //  - once this probe holds k hits it reports its running k-th best
+  //    back through Tighten().
+  // A null `bound` behaves exactly like the plain overload. Hits with
+  // similarity >= the final k-th best are never pruned (the slack keeps
+  // ties float-safe), so results — including tie-break order — match the
+  // non-progressive path byte for byte. The bound's floor should be the
+  // caller's min_similarity (lower floors are sound, just less pruned).
+  Status SearchTopK(const Object& query, int32_t k, double min_similarity,
+                    const JoinControl& control, SearchBound* bound,
+                    std::vector<SearchHit>* hits, SearchStats* stats = nullptr) const;
 
   // Candidate count of the last Search executed by the calling thread
   // (observability for benches; the slot is thread-local, shared by all
@@ -226,7 +333,20 @@ class KJoinIndex {
   std::shared_ptr<const LcaIndex> shared_lca() const { return lca_; }
 
  private:
-  std::vector<int32_t> Candidates(const Object& query) const;
+  // Signature-prefix probe. With a non-null `bound`, the prefix length is
+  // re-derived from the bound's current value before each posting list;
+  // lists past the tightened prefix are skipped and accounted in `stats`
+  // (both may be null).
+  std::vector<int32_t> Candidates(const Object& query, SearchBound* bound,
+                                  SearchStats* stats) const;
+  std::vector<int32_t> Candidates(const Object& query) const {
+    return Candidates(query, nullptr, nullptr);
+  }
+  // The progressive verify loop behind the SearchBound overload: local
+  // top-k heap in HitBefore order, thresholds raised as `bound` tightens.
+  Status SearchTopKProgressive(const Object& query, int32_t k, double min_similarity,
+                               const JoinControl& control, SearchBound* bound,
+                               std::vector<SearchHit>* hits, SearchStats* stats) const;
   void IndexObject(int32_t index);
   // Moves the mutable tail into the frozen CSR store (only legal while
   // the store is empty — the flat build path).

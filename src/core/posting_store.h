@@ -84,6 +84,12 @@ class PostingStore {
     const auto s = static_cast<size_t>(slot);
     return static_cast<int32_t>(entry_offset_[s + 1] - entry_offset_[s]);
   }
+  // Blocks in the slot's skip table (a list the progressive top-k probe
+  // skips saves this many block decodes; see SearchStats).
+  int64_t num_blocks(int32_t slot) const {
+    const auto s = static_cast<size_t>(slot);
+    return block_offset_[s + 1] - block_offset_[s];
+  }
 
   // Decodes the whole list into out[0..length(slot)).
   void Decode(int32_t slot, int32_t* out) const;

@@ -615,12 +615,11 @@ bool Verifier::VerifyAdaptive(const Object& x, const Object& y, VerifyScratch* s
   return total_lower >= needed - kEps;
 }
 
-bool Verifier::VerifyWithPlans(const Object& x, const Object& y, const ObjectGroupPlan& plan_x,
-                               const ObjectGroupPlan& plan_y, VerifyScratch* scratch,
-                               VerifyStats* stats) const {
+bool Verifier::VerifyWithPlans(const Object& x, const Object& y, double tau,
+                               const ObjectGroupPlan& plan_x, const ObjectGroupPlan& plan_y,
+                               VerifyScratch* scratch, VerifyStats* stats) const {
   ++stats->pairs_verified;
-  const double needed =
-      MinFuzzyOverlap(x.size(), y.size(), options_.tau, options_.set_metric);
+  const double needed = MinFuzzyOverlap(x.size(), y.size(), tau, options_.set_metric);
   if (needed <= kEps) {
     ++stats->results;
     return true;
@@ -663,7 +662,7 @@ bool Verifier::Verify(const Object& x, const Object& y, const ObjectGroupPlan& p
                       const ObjectGroupPlan& plan_y, VerifyStats* stats) const {
   VerifyScratch& scratch = ThreadScratch();
   const ScratchGuard guard(&scratch);
-  return VerifyWithPlans(x, y, plan_x, plan_y, &scratch, stats);
+  return VerifyWithPlans(x, y, options_.tau, plan_x, plan_y, &scratch, stats);
 }
 
 bool Verifier::Verify(const Object& x, const Object& y, VerifyStats* stats) const {
@@ -671,7 +670,28 @@ bool Verifier::Verify(const Object& x, const Object& y, VerifyStats* stats) cons
   const ScratchGuard guard(&scratch);
   BuildPlan(x, &scratch.plan_x);
   BuildPlan(y, &scratch.plan_y);
-  return VerifyWithPlans(x, y, scratch.plan_x, scratch.plan_y, &scratch, stats);
+  return VerifyWithPlans(x, y, options_.tau, scratch.plan_x, scratch.plan_y, &scratch, stats);
+}
+
+bool Verifier::VerifyAt(const Object& x, const Object& y, double tau,
+                        VerifyStats* stats) const {
+  KJOIN_DCHECK(tau >= options_.tau)
+      << "VerifyAt threshold below the configured tau would be incomplete";
+  VerifyScratch& scratch = ThreadScratch();
+  const ScratchGuard guard(&scratch);
+  BuildPlan(x, &scratch.plan_x);
+  BuildPlan(y, &scratch.plan_y);
+  return VerifyWithPlans(x, y, tau, scratch.plan_x, scratch.plan_y, &scratch, stats);
+}
+
+bool Verifier::VerifyAt(const Object& x, const ObjectGroupPlan& plan_x, const Object& y,
+                        double tau, VerifyStats* stats) const {
+  KJOIN_DCHECK(tau >= options_.tau)
+      << "VerifyAt threshold below the configured tau would be incomplete";
+  VerifyScratch& scratch = ThreadScratch();
+  const ScratchGuard guard(&scratch);
+  BuildPlan(y, &scratch.plan_y);
+  return VerifyWithPlans(x, y, tau, plan_x, scratch.plan_y, &scratch, stats);
 }
 
 double Verifier::ExactSimilarity(const Object& x, const Object& y) const {

@@ -98,6 +98,22 @@ class Verifier {
   // per-thread scratch arena.
   bool Verify(const Object& x, const Object& y, VerifyStats* stats) const;
 
+  // True iff SIMδ(x, y) >= tau, for a per-call threshold at or above the
+  // configured options().tau. The progressive top-k search raises its
+  // effective threshold mid-query as the shared k-th-best bound tightens
+  // (core/kjoin_index.h, SearchBound); a higher tau means a higher
+  // required overlap, so every pruning lemma stays sound and rejections
+  // come earlier.
+  bool VerifyAt(const Object& x, const Object& y, double tau, VerifyStats* stats) const;
+
+  // VerifyAt with x's grouping plan prebuilt (BuildPlan). The search
+  // probe loop verifies one query against a stream of candidates;
+  // building the query's plan once per probe instead of once per pair
+  // removes the dominant fixed cost of each verification. `tau` may
+  // equal the configured options().tau.
+  bool VerifyAt(const Object& x, const ObjectGroupPlan& plan_x, const Object& y,
+                double tau, VerifyStats* stats) const;
+
   // Same, with the objects' precomputed grouping plans (BuildPlan). This
   // is the join's hot path: plans are built once per object and shared,
   // read-only, across all candidate pairs and verification shards.
@@ -114,10 +130,11 @@ class Verifier {
   const VerifierOptions& options() const { return options_; }
 
  private:
-  // Shared tail of both Verify overloads (prunes + mode dispatch).
-  bool VerifyWithPlans(const Object& x, const Object& y, const ObjectGroupPlan& plan_x,
-                       const ObjectGroupPlan& plan_y, VerifyScratch* scratch,
-                       VerifyStats* stats) const;
+  // Shared tail of the Verify overloads (prunes + mode dispatch) at the
+  // given threshold (options_.tau for the plain overloads).
+  bool VerifyWithPlans(const Object& x, const Object& y, double tau,
+                       const ObjectGroupPlan& plan_x, const ObjectGroupPlan& plan_y,
+                       VerifyScratch* scratch, VerifyStats* stats) const;
 
   // Partitions both objects' elements into node-signature groups, merging
   // groups that share an element (plus mode). The partition is stored as

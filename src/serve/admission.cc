@@ -1,0 +1,122 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace kjoin::serve {
+namespace {
+
+// Retry hint for shed responses: the estimated wait for load to move —
+// one queue-delay EWMA, floored at 1ms so the hint is never "now".
+int64_t RetryAfterMs(double queue_delay_seconds) {
+  return std::max<int64_t>(1, static_cast<int64_t>(queue_delay_seconds * 1e3));
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options, std::string metric_prefix,
+                                         MetricsRegistry* metrics)
+    : options_(options), prefix_(std::move(metric_prefix)), metrics_(metrics) {
+  KJOIN_CHECK(options_.min_in_flight >= 1) << "min_in_flight must be >= 1";
+  KJOIN_CHECK(options_.aimd_window >= 1) << "aimd_window must be >= 1";
+  options_.min_in_flight =
+      std::min(options_.min_in_flight, std::max(1, options_.max_in_flight));
+  effective_cap_.store(options_.max_in_flight, std::memory_order_relaxed);
+  if (metrics_ != nullptr && options_.max_in_flight > 0) {
+    metrics_->gauge(prefix_ + ".effective_cap")->Set(options_.max_in_flight);
+  }
+}
+
+AdmissionController::Outcome AdmissionController::TryAdmit(double deadline_seconds) {
+  if (options_.adaptive && deadline_seconds > 0.0 &&
+      queue_delay_ewma_seconds() >= deadline_seconds) {
+    // The query would spend its whole budget waiting: shed before it
+    // queues instead of after it has cost pool time.
+    return Outcome::kShedDeadlineInfeasible;
+  }
+  if (options_.max_in_flight <= 0) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    return Outcome::kAdmitted;
+  }
+  const int64_t cap = options_.adaptive ? effective_cap_.load(std::memory_order_relaxed)
+                                        : options_.max_in_flight;
+  const int64_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (now > cap) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return Outcome::kShedCap;
+  }
+  return Outcome::kAdmitted;
+}
+
+void AdmissionController::Release() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+
+void AdmissionController::RecordQueueDelay(double seconds) {
+  const int64_t sample = static_cast<int64_t>(seconds * 1e9);
+  const int64_t prev = queue_delay_ewma_ns_.load(std::memory_order_relaxed);
+  const int64_t next =
+      prev + static_cast<int64_t>(options_.queue_delay_ewma_alpha *
+                                  static_cast<double>(sample - prev));
+  queue_delay_ewma_ns_.store(next, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->histogram(prefix_ + ".queue_delay_seconds")->Observe(seconds);
+  }
+}
+
+void AdmissionController::NoteOutcome(bool deadline_missed) {
+  if (!options_.adaptive || options_.max_in_flight <= 0) return;
+  if (deadline_missed) window_misses_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t done = window_queries_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (done % options_.aimd_window != 0) return;
+  // End of a window: AIMD. Multiplicative decrease when the window
+  // missed too often, +1 additive recovery on a clean window. Counter
+  // races can at worst attribute a miss to the neighboring window.
+  const int64_t misses = window_misses_.exchange(0, std::memory_order_relaxed);
+  const double miss_fraction =
+      static_cast<double>(misses) / static_cast<double>(options_.aimd_window);
+  const int64_t cap = effective_cap_.load(std::memory_order_relaxed);
+  int64_t next = cap;
+  if (miss_fraction >= options_.aimd_miss_threshold) {
+    next = std::max<int64_t>(options_.min_in_flight, cap / 2);
+  } else if (cap < options_.max_in_flight) {
+    next = cap + 1;
+  }
+  if (next != cap) {
+    effective_cap_.store(next, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->gauge(prefix_ + ".effective_cap")->Set(next);
+  }
+}
+
+Status AdmissionController::ShedStatus(Outcome outcome, double deadline_seconds) {
+  const double queue_delay = queue_delay_ewma_seconds();
+  if (metrics_ != nullptr) {
+    metrics_->counter(prefix_ + ".shed")->Increment();  // legacy total
+    metrics_->counter(prefix_ + ".shed_total")->Increment();
+    metrics_->counter(outcome == Outcome::kShedCap
+                          ? prefix_ + ".shed_cap"
+                          : prefix_ + ".shed_deadline_infeasible")
+        ->Increment();
+  }
+  char message[256];
+  if (outcome == Outcome::kShedCap) {
+    std::snprintf(message, sizeof(message),
+                  "query shed (cap): in_flight=%lld effective_cap=%lld "
+                  "max_in_flight=%d retry_after_ms=%lld",
+                  static_cast<long long>(in_flight()),
+                  static_cast<long long>(effective_cap()), options_.max_in_flight,
+                  static_cast<long long>(RetryAfterMs(queue_delay)));
+  } else {
+    std::snprintf(message, sizeof(message),
+                  "query shed (deadline-infeasible): queue_delay_ewma_ms=%.3f "
+                  "deadline_ms=%.3f in_flight=%lld effective_cap=%lld "
+                  "retry_after_ms=%lld",
+                  queue_delay * 1e3, deadline_seconds * 1e3,
+                  static_cast<long long>(in_flight()),
+                  static_cast<long long>(effective_cap()),
+                  static_cast<long long>(RetryAfterMs(queue_delay)));
+  }
+  return ResourceExhaustedError(message);
+}
+
+}  // namespace kjoin::serve

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
@@ -11,27 +10,28 @@
 namespace kjoin::serve {
 namespace {
 
-// Retry hint for shed responses: the estimated wait for load to move —
-// one queue-delay EWMA, floored at 1ms so the hint is never "now".
-int64_t RetryAfterMs(double queue_delay_seconds) {
-  return std::max<int64_t>(1, static_cast<int64_t>(queue_delay_seconds * 1e3));
+AdmissionOptions ToAdmissionOptions(const SearchServiceOptions& options) {
+  AdmissionOptions admission;
+  admission.max_in_flight = options.max_in_flight;
+  admission.adaptive = options.adaptive;
+  admission.min_in_flight = options.min_in_flight;
+  admission.queue_delay_ewma_alpha = options.queue_delay_ewma_alpha;
+  admission.aimd_window = options.aimd_window;
+  admission.aimd_miss_threshold = options.aimd_miss_threshold;
+  return admission;
 }
 
 }  // namespace
 
 SearchService::SearchService(IndexManager* manager, ThreadPool* pool,
                              SearchServiceOptions options, MetricsRegistry* metrics)
-    : manager_(manager), pool_(pool), options_(options), metrics_(metrics) {
+    : manager_(manager),
+      pool_(pool),
+      options_(options),
+      metrics_(metrics),
+      admission_(ToAdmissionOptions(options), "service", metrics) {
   KJOIN_CHECK(manager_ != nullptr) << "SearchService needs an IndexManager";
   KJOIN_CHECK(pool_ != nullptr) << "SearchService needs a ThreadPool";
-  KJOIN_CHECK(options_.min_in_flight >= 1) << "min_in_flight must be >= 1";
-  KJOIN_CHECK(options_.aimd_window >= 1) << "aimd_window must be >= 1";
-  options_.min_in_flight = std::min(options_.min_in_flight,
-                                    std::max(1, options_.max_in_flight));
-  effective_cap_.store(options_.max_in_flight, std::memory_order_relaxed);
-  if (metrics_ != nullptr && options_.max_in_flight > 0) {
-    metrics_->gauge("service.effective_cap")->Set(options_.max_in_flight);
-  }
 }
 
 SearchService::~SearchService() {
@@ -39,106 +39,21 @@ SearchService::~SearchService() {
   drained_.wait(lock, [&] { return async_outstanding_ == 0; });
 }
 
-bool SearchService::Admit() {
-  if (options_.max_in_flight <= 0) {
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
-    return true;
-  }
-  const int64_t cap = options_.adaptive ? effective_cap_.load(std::memory_order_relaxed)
-                                        : options_.max_in_flight;
-  const int64_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (now > cap) {
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    return false;
-  }
-  return true;
-}
-
-void SearchService::Release() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
-
 double SearchService::EffectiveDeadline(const QueryRequest& request) const {
   return request.deadline_seconds < 0.0 ? options_.default_deadline_seconds
                                         : request.deadline_seconds;
 }
 
-bool SearchService::DeadlineInfeasible(double deadline_seconds) const {
-  if (!options_.adaptive || deadline_seconds <= 0.0) return false;
-  // The query would spend its whole budget waiting: shed before it
-  // queues instead of after it has cost pool time.
-  return queue_delay_ewma_seconds() >= deadline_seconds;
-}
-
-QueryResponse SearchService::Shed(ShedReason reason, double deadline_seconds) {
-  const double queue_delay = queue_delay_ewma_seconds();
-  if (metrics_ != nullptr) {
-    metrics_->counter("service.shed")->Increment();  // legacy total
-    metrics_->counter("service.shed_total")->Increment();
-    metrics_->counter(reason == ShedReason::kCap ? "service.shed_cap"
-                                                 : "service.shed_deadline_infeasible")
-        ->Increment();
-  }
-  char message[256];
-  if (reason == ShedReason::kCap) {
-    std::snprintf(message, sizeof(message),
-                  "query shed (cap): in_flight=%lld effective_cap=%lld "
-                  "max_in_flight=%d retry_after_ms=%lld",
-                  static_cast<long long>(in_flight()),
-                  static_cast<long long>(effective_cap()), options_.max_in_flight,
-                  static_cast<long long>(RetryAfterMs(queue_delay)));
-  } else {
-    std::snprintf(message, sizeof(message),
-                  "query shed (deadline-infeasible): queue_delay_ewma_ms=%.3f "
-                  "deadline_ms=%.3f in_flight=%lld effective_cap=%lld "
-                  "retry_after_ms=%lld",
-                  queue_delay * 1e3, deadline_seconds * 1e3,
-                  static_cast<long long>(in_flight()),
-                  static_cast<long long>(effective_cap()),
-                  static_cast<long long>(RetryAfterMs(queue_delay)));
-  }
+QueryResponse SearchService::Shed(AdmissionController::Outcome outcome,
+                                  double deadline_seconds) {
   QueryResponse response;
-  response.status = ResourceExhaustedError(message);
+  response.status = admission_.ShedStatus(outcome, deadline_seconds);
   return response;
-}
-
-void SearchService::UpdateQueueDelay(double seconds) {
-  const int64_t sample = static_cast<int64_t>(seconds * 1e9);
-  const int64_t prev = queue_delay_ewma_ns_.load(std::memory_order_relaxed);
-  const int64_t next =
-      prev + static_cast<int64_t>(options_.queue_delay_ewma_alpha *
-                                  static_cast<double>(sample - prev));
-  queue_delay_ewma_ns_.store(next, std::memory_order_relaxed);
-  if (metrics_ != nullptr) {
-    metrics_->histogram("service.queue_delay_seconds")->Observe(seconds);
-  }
-}
-
-void SearchService::NoteOutcome(bool deadline_missed) {
-  if (!options_.adaptive || options_.max_in_flight <= 0) return;
-  if (deadline_missed) window_misses_.fetch_add(1, std::memory_order_relaxed);
-  const int64_t done = window_queries_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (done % options_.aimd_window != 0) return;
-  // End of a window: AIMD. Multiplicative decrease when the window
-  // missed too often, +1 additive recovery on a clean window. Counter
-  // races can at worst attribute a miss to the neighboring window.
-  const int64_t misses = window_misses_.exchange(0, std::memory_order_relaxed);
-  const double miss_fraction =
-      static_cast<double>(misses) / static_cast<double>(options_.aimd_window);
-  const int64_t cap = effective_cap_.load(std::memory_order_relaxed);
-  int64_t next = cap;
-  if (miss_fraction >= options_.aimd_miss_threshold) {
-    next = std::max<int64_t>(options_.min_in_flight, cap / 2);
-  } else if (cap < options_.max_in_flight) {
-    next = cap + 1;
-  }
-  if (next != cap) {
-    effective_cap_.store(next, std::memory_order_relaxed);
-    if (metrics_ != nullptr) metrics_->gauge("service.effective_cap")->Set(next);
-  }
 }
 
 QueryResponse SearchService::Execute(const QueryRequest& request,
                                      double queue_delay_seconds) {
-  UpdateQueueDelay(queue_delay_seconds);
+  admission_.RecordQueueDelay(queue_delay_seconds);
   WallTimer timer;
   QueryResponse response;
   const std::shared_ptr<const IndexEpoch> epoch = manager_->Acquire();
@@ -160,7 +75,7 @@ QueryResponse SearchService::Execute(const QueryRequest& request,
     response.status = index.Search(request.query, control, &response.hits, &response.stats);
   }
   response.seconds = timer.ElapsedSeconds();
-  NoteOutcome(IsDeadlineExceeded(response.status));
+  admission_.NoteOutcome(IsDeadlineExceeded(response.status));
 
   if (metrics_ != nullptr) {
     metrics_->counter("service.queries")->Increment();
@@ -179,12 +94,9 @@ QueryResponse SearchService::Execute(const QueryRequest& request,
 
 void SearchService::Submit(QueryRequest request, std::function<void(QueryResponse)> done) {
   const double deadline = EffectiveDeadline(request);
-  if (DeadlineInfeasible(deadline)) {
-    done(Shed(ShedReason::kDeadlineInfeasible, deadline));
-    return;
-  }
-  if (!Admit()) {
-    done(Shed(ShedReason::kCap, deadline));
+  const AdmissionController::Outcome outcome = admission_.TryAdmit(deadline);
+  if (outcome != AdmissionController::Outcome::kAdmitted) {
+    done(Shed(outcome, deadline));
     return;
   }
   {
@@ -200,7 +112,7 @@ void SearchService::Submit(QueryRequest request, std::function<void(QueryRespons
     struct Finisher {
       SearchService* service;
       ~Finisher() {
-        service->Release();
+        service->admission_.Release();
         std::lock_guard<std::mutex> lock(service->mu_);
         if (--service->async_outstanding_ == 0) service->drained_.notify_all();
       }
@@ -229,12 +141,12 @@ void SearchService::Submit(QueryRequest request, std::function<void(QueryRespons
 
 QueryResponse SearchService::Search(const QueryRequest& request) {
   const double deadline = EffectiveDeadline(request);
-  if (DeadlineInfeasible(deadline)) return Shed(ShedReason::kDeadlineInfeasible, deadline);
-  if (!Admit()) return Shed(ShedReason::kCap, deadline);
+  const AdmissionController::Outcome outcome = admission_.TryAdmit(deadline);
+  if (outcome != AdmissionController::Outcome::kAdmitted) return Shed(outcome, deadline);
   // Synchronous callers never queue; their zero wait pulls the EWMA back
   // down as load drains.
   QueryResponse response = Execute(request, 0.0);
-  Release();
+  admission_.Release();
   return response;
 }
 
@@ -246,16 +158,14 @@ std::vector<QueryResponse> SearchService::SearchBatch(
                      [&](int /*shard*/, int64_t begin, int64_t end) {
                        for (int64_t i = begin; i < end; ++i) {
                          const double deadline = EffectiveDeadline(requests[i]);
-                         if (DeadlineInfeasible(deadline)) {
-                           responses[i] = Shed(ShedReason::kDeadlineInfeasible, deadline);
-                           continue;
-                         }
-                         if (!Admit()) {
-                           responses[i] = Shed(ShedReason::kCap, deadline);
+                         const AdmissionController::Outcome outcome =
+                             admission_.TryAdmit(deadline);
+                         if (outcome != AdmissionController::Outcome::kAdmitted) {
+                           responses[i] = Shed(outcome, deadline);
                            continue;
                          }
                          responses[i] = Execute(requests[i], 0.0);
-                         Release();
+                         admission_.Release();
                        }
                      });
   return responses;

@@ -13,22 +13,15 @@
 // index's controlled search path: a tripped query returns the hits proven
 // so far with kDeadlineExceeded.
 //
-// Admission is *adaptive* by default: shedding late (after queuing) burns
-// pool time on queries that will miss their deadlines anyway, so the
-// service watches two load signals and sheds early instead —
-//
-//  - a queue-delay EWMA (admit -> execute latency of async queries): a
-//    request whose effective deadline is already below the estimated
-//    wait is shed up front as deadline-infeasible, before it queues;
-//  - the recent deadline-miss fraction, fed to an AIMD controller that
-//    walks an effective in-flight cap between min_in_flight and
-//    max_in_flight — halved when a window of queries misses too often,
-//    +1 per clean window.
-//
-// Shed responses carry the load picture (in-flight, effective cap) and a
-// machine-readable retry_after_ms= hint; service.shed_total breaks out
-// by reason (service.shed_cap / service.shed_deadline_infeasible), and
-// the service.effective_cap gauge tracks the controller
+// Admission is *adaptive* by default and lives in the shared
+// AdmissionController (serve/admission.h, also behind the sharded
+// ShardRouter): a queue-delay EWMA sheds deadline-infeasible requests
+// before they queue, and an AIMD controller walks an effective in-flight
+// cap between min_in_flight and max_in_flight. Shed responses carry the
+// load picture (in-flight, effective cap) and a machine-readable
+// retry_after_ms= hint; service.shed_total breaks out by reason
+// (service.shed_cap / service.shed_deadline_infeasible), and the
+// service.effective_cap gauge tracks the controller
 // (docs/robustness.md, "Failure modes and degraded operation").
 //
 //   SearchService service(&manager, &pool, {.max_in_flight = 64,
@@ -48,6 +41,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/kjoin_index.h"
+#include "serve/admission.h"
 #include "serve/index_manager.h"
 
 namespace kjoin::serve {
@@ -141,51 +135,30 @@ class SearchService {
   std::vector<QueryResponse> SearchBatch(const std::vector<QueryRequest>& requests);
 
   // Queries currently admitted (approximate, for monitoring).
-  int64_t in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+  int64_t in_flight() const { return admission_.in_flight(); }
   // The AIMD controller's current cap (== max_in_flight when adaptive is
   // off or the controller has not yet backed off).
-  int64_t effective_cap() const { return effective_cap_.load(std::memory_order_relaxed); }
+  int64_t effective_cap() const { return admission_.effective_cap(); }
   // Estimated admit -> execute wait, the deadline-infeasible signal.
-  double queue_delay_ewma_seconds() const {
-    return static_cast<double>(queue_delay_ewma_ns_.load(std::memory_order_relaxed)) * 1e-9;
-  }
+  double queue_delay_ewma_seconds() const { return admission_.queue_delay_ewma_seconds(); }
   // Test hook: plants the queue-delay estimate so deadline-infeasible
   // shedding is exercisable without real queue pressure.
   void SetQueueDelayEwmaForTest(double seconds) {
-    queue_delay_ewma_ns_.store(static_cast<int64_t>(seconds * 1e9),
-                               std::memory_order_relaxed);
+    admission_.SetQueueDelayEwmaForTest(seconds);
   }
 
  private:
-  enum class ShedReason { kCap, kDeadlineInfeasible };
-
-  bool Admit();
-  void Release();
   // The request's effective deadline (service default applied); <= 0 =
   // none.
   double EffectiveDeadline(const QueryRequest& request) const;
-  // Early shed: the queue-delay estimate already exceeds the deadline.
-  bool DeadlineInfeasible(double deadline_seconds) const;
-  QueryResponse Shed(ShedReason reason, double deadline_seconds);
-  // Folds one admit -> execute wait into the EWMA.
-  void UpdateQueueDelay(double seconds);
-  // Feeds the AIMD controller one query outcome.
-  void NoteOutcome(bool deadline_missed);
+  QueryResponse Shed(AdmissionController::Outcome outcome, double deadline_seconds);
   QueryResponse Execute(const QueryRequest& request, double queue_delay_seconds);
 
   IndexManager* manager_;
   ThreadPool* pool_;
   SearchServiceOptions options_;
   MetricsRegistry* metrics_;
-  std::atomic<int64_t> in_flight_{0};
-
-  // Adaptive admission state. All updates are relaxed: the controller is
-  // a heuristic and the occasional lost update only delays an adjustment
-  // by one sample, never corrupts anything.
-  std::atomic<int64_t> effective_cap_{0};       // set from options in ctor
-  std::atomic<int64_t> queue_delay_ewma_ns_{0};
-  std::atomic<int64_t> window_queries_{0};
-  std::atomic<int64_t> window_misses_{0};
+  AdmissionController admission_;
 
   mutable std::mutex mu_;
   std::condition_variable drained_;  // signalled when an async query finishes
