@@ -4,10 +4,14 @@
 // latency percentiles, the durable write path (acked insert latency with
 // WAL fsync, delta-publish bytes vs a full postings copy, compaction
 // pauses), and search throughput as a function of delta-chain depth
-// against a compacted twin. With --out the serving sections are written
-// as a JSON report that scripts/run_bench.sh merges into BENCH_PR6.json
+// against a compacted twin, the sharded scatter-gather path, and the
+// network front end (the same router behind a loopback KJNP socket at
+// 1/8/64 connections vs in-process, answers bit-identical). With --out
+// the serving sections are written as a JSON report that
+// scripts/run_bench.sh merges into the PR bench file
 // (scripts/compare_bench.py tracks the speedup, per-client QPS, delta
-// publish bytes, and per-depth QPS + identity flags).
+// publish bytes, per-depth QPS + identity flags, and the network rows'
+// qps_vs_inprocess floor).
 //
 //   ./bench_search [--n 20000] [--queries 2000]
 //                  [--serve_n 4000] [--serve_queries 240] [--out serving.json]
@@ -17,6 +21,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +34,8 @@
 #include "core/kjoin_index.h"
 #include "data/dataset_io.h"
 #include "hierarchy/hierarchy_io.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/index_manager.h"
 #include "serve/search_service.h"
 #include "serve/shard_router.h"
@@ -41,12 +48,9 @@ using kjoin::bench::PrintRow;
 
 std::string JsonBool(bool b) { return b ? "true" : "false"; }
 
-double Percentile(std::vector<double> sorted_ascending, double q) {
-  if (sorted_ascending.empty()) return 0.0;
-  const size_t at = std::min(sorted_ascending.size() - 1,
-                             static_cast<size_t>(q * (sorted_ascending.size() - 1) + 0.5));
-  return sorted_ascending[at];
-}
+// Sample-exact nearest-rank percentile, shared with the metrics export
+// (common/metrics.h).
+using kjoin::PercentileOfSorted;
 
 struct ConcurrentRow {
   int clients = 0;
@@ -205,8 +209,8 @@ int main(int argc, char** argv) {
     ConcurrentRow row;
     row.clients = clients;
     row.qps = static_cast<double>(all.size()) / std::max(seconds, 1e-9);
-    row.p50_ms = Percentile(all, 0.50) * 1e3;
-    row.p99_ms = Percentile(all, 0.99) * 1e3;
+    row.p50_ms = PercentileOfSorted(all, 0.50) * 1e3;
+    row.p99_ms = PercentileOfSorted(all, 0.99) * 1e3;
     row.results_identical = mismatches.load() == 0;
     concurrent_rows.push_back(row);
     PrintRow({std::to_string(clients), Fmt(row.qps, 0), Fmt(row.p50_ms, 3), Fmt(row.p99_ms, 3),
@@ -334,9 +338,9 @@ int main(int argc, char** argv) {
   const double compaction_pause_ms_avg =
       compact_metrics.histogram("manager.compaction_seconds")->sum() * 1e3 /
       std::max<int64_t>(compactions, 1);
-  const double acked_p50_ms = Percentile(delta_acked_ms, 0.50);
-  const double acked_p99_ms = Percentile(delta_acked_ms, 0.99);
-  const double compacted_p99_ms = Percentile(compact_acked_ms, 0.99);
+  const double acked_p50_ms = PercentileOfSorted(delta_acked_ms, 0.50);
+  const double acked_p99_ms = PercentileOfSorted(delta_acked_ms, 0.99);
+  const double compacted_p99_ms = PercentileOfSorted(compact_acked_ms, 0.99);
   const int64_t wal_bytes = delta_writer->wal_size_bytes();
 
   PrintRow({"metric", "value"}, 28);
@@ -509,8 +513,8 @@ int main(int argc, char** argv) {
     std::sort(all.begin(), all.end());
     row->clients = clients;
     row->qps = static_cast<double>(all.size()) / std::max(seconds, 1e-9);
-    row->p50_ms = Percentile(all, 0.50) * 1e3;
-    row->p99_ms = Percentile(all, 0.99) * 1e3;
+    row->p50_ms = PercentileOfSorted(all, 0.50) * 1e3;
+    row->p99_ms = PercentileOfSorted(all, 0.99) * 1e3;
     row->results_identical = mismatches.load() == 0;
     if (prune_totals != nullptr) {
       prune_totals->bound_tightenings += tightenings.load();
@@ -619,6 +623,170 @@ int main(int argc, char** argv) {
               "overhead %.2f%%\n",
               sharded_sync_qps, sharded_submit_qps, batching_overhead_pct);
 
+  // ---- serving: network front end (KJNP over loopback) -----------------
+  // The same 2-shard collection behind a KJoinServer on a loopback
+  // socket versus the identical in-process router. Queries travel as
+  // token strings and come back as bit-exact f64 similarities, so every
+  // network row must match the in-process answers exactly;
+  // compare_bench.py gates qps_vs_inprocess >= 0.5 at 8 connections and
+  // fails on any identity flip.
+  kjoin::bench::PrintHeader("Network serving (KJNP loopback, 2 shards, top-3)");
+  struct NetRow {
+    int connections = 0;
+    double qps = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double qps_vs_inprocess = 0.0;
+    bool results_identical = false;
+  };
+  std::vector<std::vector<std::string>> net_tokens(*serve_queries);
+  for (int64_t q = 0; q < *serve_queries; ++q) {
+    std::vector<std::string> tokens = wp_data.dataset.records[(q * 97) % *serve_n].tokens;
+    if (tokens.size() > 1) tokens.pop_back();
+    net_tokens[q] = std::move(tokens);
+  }
+  kjoin::MetricsRegistry net_metrics;
+  kjoin::ThreadPool net_pool(2);
+  kjoin::serve::ShardedIndexManager net_sharded(
+      wp_hierarchy, serve_options, wp_prepared.objects, wp_prepared.builder->TokenTable(),
+      wp_data.dataset.synonyms, /*num_shards=*/2, &net_pool, &net_metrics);
+  std::vector<std::unique_ptr<kjoin::serve::LocalShard>> net_backends;
+  std::vector<kjoin::serve::ShardBackend*> net_backend_ptrs;
+  for (int s = 0; s < 2; ++s) {
+    net_backends.push_back(std::make_unique<kjoin::serve::LocalShard>(&net_sharded, s));
+    net_backend_ptrs.push_back(net_backends.back().get());
+  }
+  kjoin::serve::ShardRouterOptions net_router_options;
+  net_router_options.admission.max_in_flight = 4096;  // 64 connections must not shed
+  kjoin::serve::ShardRouter net_router(net_backend_ptrs, &net_pool, net_router_options,
+                                       &net_metrics);
+
+  // Query objects and the reference answers, built BEFORE the server
+  // starts — once it runs, the builder belongs to it.
+  std::vector<kjoin::serve::QueryRequest> net_requests(*serve_queries);
+  for (int64_t q = 0; q < *serve_queries; ++q) {
+    net_requests[q].query = wp_prepared.builder->Build(-1, net_tokens[q]);
+    net_requests[q].top_k = 3;
+  }
+  std::vector<std::vector<kjoin::SearchHit>> net_baseline(net_requests.size());
+  for (size_t q = 0; q < net_requests.size(); ++q) {
+    net_baseline[q] = net_router.Search(net_requests[q]).hits;
+  }
+
+  // In-process reference throughput: 8 threads doing exactly the work
+  // one network request costs — intern the token strings into a query
+  // object, then run the router. The builder is not thread-safe, so the
+  // build step serializes on a mutex, just like the server's own
+  // builder lock; leaving the build out would compare the network
+  // tokens-in/hits-out contract against a cheaper job.
+  double inprocess_qps = 0.0;
+  double inprocess_p50_ms = 0.0;
+  double inprocess_p99_ms = 0.0;
+  {
+    constexpr int kInProcessThreads = 8;
+    std::mutex build_mu;
+    std::vector<std::vector<double>> latencies(kInProcessThreads);
+    kjoin::WallTimer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(kInProcessThreads);
+    for (int c = 0; c < kInProcessThreads; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t q = c; q < net_tokens.size(); q += kInProcessThreads) {
+          kjoin::WallTimer one;
+          kjoin::serve::QueryRequest request;
+          {
+            std::lock_guard<std::mutex> lock(build_mu);
+            request.query = wp_prepared.builder->Build(-1, net_tokens[q]);
+          }
+          request.top_k = 3;
+          (void)net_router.Search(request);
+          latencies[c].push_back(one.ElapsedSeconds());
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double seconds = wall.ElapsedSeconds();
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all.begin(), all.end());
+    inprocess_qps = static_cast<double>(all.size()) / std::max(seconds, 1e-9);
+    inprocess_p50_ms = PercentileOfSorted(all, 0.50) * 1e3;
+    inprocess_p99_ms = PercentileOfSorted(all, 0.99) * 1e3;
+  }
+
+  kjoin::net::ServerOptions net_server_options;
+  net_server_options.num_loops = 2;
+  kjoin::net::KJoinServer net_server(&net_router, &net_sharded, wp_prepared.builder.get(),
+                                     &net_metrics, net_server_options);
+  if (!net_server.Start().ok()) {
+    std::fprintf(stderr, "network bench: server start failed\n");
+    return 1;
+  }
+  PrintRow({"conns", "qps", "p50-ms", "p99-ms", "vs-inproc", "identical"}, 12);
+  PrintRow({"in-proc", Fmt(inprocess_qps, 0), Fmt(inprocess_p50_ms, 3),
+            Fmt(inprocess_p99_ms, 3), "1.000", "true"},
+           12);
+  std::vector<NetRow> net_rows;
+  for (int connections : {1, 8, 64}) {
+    std::vector<std::vector<double>> latencies(connections);
+    std::atomic<int> mismatches{0};
+    std::atomic<int> failures{0};
+    kjoin::WallTimer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        kjoin::net::KJoinClient client;
+        if (!client.Connect("127.0.0.1", net_server.port()).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t q = c; q < net_tokens.size(); q += connections) {
+          kjoin::WallTimer one;
+          kjoin::StatusOr<kjoin::net::NetResponse> got = client.TopK(net_tokens[q], 3);
+          latencies[c].push_back(one.ElapsedSeconds());
+          if (!got.ok() || got->code != 0) {
+            failures.fetch_add(1);
+            continue;
+          }
+          bool identical = got->hits.size() == net_baseline[q].size();
+          for (size_t h = 0; identical && h < net_baseline[q].size(); ++h) {
+            identical = got->hits[h].object_index == net_baseline[q][h].object_index &&
+                        got->hits[h].similarity == net_baseline[q][h].similarity;
+          }
+          if (!identical) mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double seconds = wall.ElapsedSeconds();
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all.begin(), all.end());
+    NetRow row;
+    row.connections = connections;
+    row.qps = static_cast<double>(all.size()) / std::max(seconds, 1e-9);
+    row.p50_ms = PercentileOfSorted(all, 0.50) * 1e3;
+    row.p99_ms = PercentileOfSorted(all, 0.99) * 1e3;
+    row.qps_vs_inprocess = row.qps / std::max(inprocess_qps, 1e-9);
+    row.results_identical = mismatches.load() == 0 && failures.load() == 0;
+    net_rows.push_back(row);
+    PrintRow({std::to_string(connections), Fmt(row.qps, 0), Fmt(row.p50_ms, 3),
+              Fmt(row.p99_ms, 3), Fmt(row.qps_vs_inprocess, 3),
+              JsonBool(row.results_identical)},
+             12);
+  }
+  net_server.Shutdown();
+  std::printf("loopback at 8 connections: %.2fx the in-process router "
+              "(%lld frames served, %lld backpressure stalls)\n",
+              net_rows[1].qps_vs_inprocess,
+              static_cast<long long>(net_metrics.counter("net.frames_written")->value()),
+              static_cast<long long>(net_metrics.counter("net.backpressure_stalls")->value()));
+
   // ---- JSON report (serving sections only; run_bench.sh merges it) -----
   if (!out->empty()) {
     std::FILE* f = std::fopen(out->c_str(), "w");
@@ -700,7 +868,7 @@ int main(int argc, char** argv) {
                  "\"bound_pruned_blocks\": %lld, \"bound_raised_verifies\": %lld, "
                  "\"bound_skipped_verifies\": %lld},\n"
                  "    \"batching\": {\"shards\": 8, \"clients\": 1, \"sync_qps\": %.1f, "
-                 "\"submit_qps\": %.1f, \"overhead_pct\": %.3f}\n  }\n}\n",
+                 "\"submit_qps\": %.1f, \"overhead_pct\": %.3f}\n  },\n",
                  sharded_speedup, static_cast<long long>(prune_totals.bound_tightenings),
                  static_cast<long long>(prune_totals.bound_pruned_lists),
                  static_cast<long long>(prune_totals.bound_pruned_entries),
@@ -708,6 +876,20 @@ int main(int argc, char** argv) {
                  static_cast<long long>(prune_totals.bound_raised_verifies),
                  static_cast<long long>(prune_totals.bound_skipped_verifies),
                  sharded_sync_qps, sharded_submit_qps, batching_overhead_pct);
+    std::fprintf(f,
+                 "  \"serving_network\": {\n    \"in_process\": {\"threads\": 8, "
+                 "\"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f},\n    \"network\": [",
+                 inprocess_qps, inprocess_p50_ms, inprocess_p99_ms);
+    for (size_t i = 0; i < net_rows.size(); ++i) {
+      const NetRow& row = net_rows[i];
+      std::fprintf(f,
+                   "%s\n      {\"connections\": %d, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                   "\"p99_ms\": %.3f, \"qps_vs_inprocess\": %.3f, "
+                   "\"results_identical\": %s}",
+                   i == 0 ? "" : ",", row.connections, row.qps, row.p50_ms, row.p99_ms,
+                   row.qps_vs_inprocess, JsonBool(row.results_identical).c_str());
+    }
+    std::fprintf(f, "\n    ]\n  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out->c_str());
   }

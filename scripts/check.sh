@@ -31,6 +31,17 @@
 #                                    # (core/simd.h) to the scalar
 #                                    # fallbacks — the results must not
 #                                    # change
+#   scripts/check.sh --net           # additionally run the two-process
+#                                    # network smoke under every preset: a
+#                                    # --listen kjoin_server is started on
+#                                    # an ephemeral loopback port, a
+#                                    # --connect process replays queries
+#                                    # and exits non-zero unless every
+#                                    # response is bit-identical to its
+#                                    # own in-process router, then SIGTERM
+#                                    # must drain cleanly (every accepted
+#                                    # request answered, zero connections
+#                                    # left)
 #   scripts/check.sh --chaos         # additionally run the chaos harness
 #                                    # (tests/chaos_test.cc) at full
 #                                    # strength: KJOIN_CHAOS_TRIALS=300
@@ -45,6 +56,7 @@ run_bench=0
 run_recovery=0
 run_no_simd=0
 run_chaos=0
+run_net=0
 chaos_trials="${KJOIN_CHAOS_TRIALS:-300}"
 presets=()
 for arg in "$@"; do
@@ -56,6 +68,8 @@ for arg in "$@"; do
     run_no_simd=1
   elif [[ "$arg" == "--chaos" ]]; then
     run_chaos=1
+  elif [[ "$arg" == "--net" ]]; then
+    run_net=1
   else
     presets+=("$arg")
   fi
@@ -112,6 +126,56 @@ if [[ $run_recovery -eq 1 ]]; then
   "$harness" --dir "$workdir" --mode writer --batches 30
   "$harness" --dir "$workdir" --mode verify
   echo "recovery harness passed"
+fi
+
+if [[ $run_net -eq 1 ]]; then
+  # Two-process loopback smoke over the KJNP front end. The connect-side
+  # process builds its own copy of the dataset and router and fails hard
+  # on any response that is not bit-identical to the in-process answer,
+  # so this covers the full wire path: framing, CRC, request decode,
+  # router dispatch, response encode, and the SIGTERM drain contract.
+  for preset in default asan tsan; do
+    echo "==> [net/$preset] build kjoin_server"
+    cmake --preset "$preset" -S "$repo" >/dev/null
+    cmake --build --preset "$preset" --target kjoin_server -j "$(nproc)" >/dev/null
+    if [[ "$preset" == "default" ]]; then
+      bin="$repo/build/examples/kjoin_server"
+    else
+      bin="$repo/build-$preset/examples/kjoin_server"
+    fi
+    log="$(mktemp /tmp/kjoin_net.XXXXXX.log)"
+    "$bin" --n 400 --listen 0 --loops 2 >"$log" 2>&1 &
+    server_pid=$!
+    port=""
+    for _ in $(seq 1 200); do
+      port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$log" | head -n 1)"
+      [[ -n "$port" ]] && break
+      kill -0 "$server_pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    if [[ -z "$port" ]]; then
+      echo "[net/$preset] server never reported a listen port:" >&2
+      cat "$log" >&2
+      kill "$server_pid" 2>/dev/null || true
+      exit 1
+    fi
+    echo "==> [net/$preset] loopback queries + write path on port $port"
+    if ! "$bin" --n 400 --connect "127.0.0.1:$port" --clients 4 --queries 25; then
+      echo "[net/$preset] connect-side run failed" >&2
+      kill "$server_pid" 2>/dev/null || true
+      exit 1
+    fi
+    echo "==> [net/$preset] SIGTERM drain"
+    kill -TERM "$server_pid"
+    wait "$server_pid"
+    if ! grep -q "drained cleanly" "$log"; then
+      echo "[net/$preset] server did not drain cleanly:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    rm -f "$log"
+  done
+  echo "net smoke passed (default + asan + tsan)"
 fi
 
 if [[ $run_chaos -eq 1 ]]; then

@@ -294,6 +294,40 @@ def main():
         failures.append("serving_sharded/tau_prune/bound_tightenings is zero — "
                         "the progressive bound never engaged")
 
+    # serving_network rows are keyed by connection count. Identity is the
+    # wire contract — loopback answers must be byte-identical to the
+    # in-process router — so any false flag fails absolutely, and the
+    # network path must hold >=0.5x the in-process QPS at 8 connections
+    # regardless of what the baseline measured (docs/serving.md,
+    # "Network protocol").
+    base_net = index_rows(lookup(base, ("serving_network", "network")) or [],
+                          "connections")
+    fresh_net = index_rows(lookup(fresh, ("serving_network", "network")) or [],
+                           "connections")
+    for conns in base_net:
+        compare_scalar(f"serving_network[{conns}]/qps",
+                       base_net[conns].get("qps"),
+                       fresh_net.get(conns, {}).get("qps"),
+                       "higher", args.tolerance, failures)
+    for conns, row in sorted(fresh_net.items()):
+        if row.get("results_identical") is False:
+            failures.append(f"serving_network[{conns}]/results_identical is false")
+    net_floor = 0.5
+    net_row8 = fresh_net.get(8)
+    if isinstance(net_row8, dict) and \
+            isinstance(net_row8.get("qps_vs_inprocess"), (int, float)):
+        ratio = net_row8["qps_vs_inprocess"]
+        if ratio < net_floor:
+            failures.append(f"serving_network[8]/qps_vs_inprocess: {ratio:g} "
+                            f"under absolute floor {net_floor:g}")
+            print(f"  FAIL serving_network[8]/qps_vs_inprocess: {ratio:g} "
+                  f"(absolute floor {net_floor:g})")
+        else:
+            print(f"  ok   serving_network[8]/qps_vs_inprocess: {ratio:g} "
+                  f"(absolute floor {net_floor:g})")
+    elif fresh_net:
+        print("  skip  serving_network[8]/qps_vs_inprocess: absent from fresh run")
+
     for path in IDENTICAL_FLAGS:
         base_flag = lookup(base, path)
         fresh_flag = lookup(fresh, path)

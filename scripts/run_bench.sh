@@ -2,7 +2,7 @@
 # Builds the release tree and runs the bench-regression harness, the
 # serving sections of bench_search and the filter-kernel microbench,
 # merging all three into one machine-readable report (default
-# BENCH_PR9.json in the repo root).
+# BENCH_PR10.json in the repo root).
 #
 #   scripts/run_bench.sh [out.json] [extra bench_regression flags...]
 #
@@ -11,11 +11,11 @@
 # bench_regression schema and the micro_intersect section, and
 # docs/serving.md the serving sections (serving_cold_start, serving_qps,
 # serving_admission, serving_write_path, serving_delta_search,
-# serving_sharded).
+# serving_sharded, serving_network).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="${1:-$repo/BENCH_PR9.json}"
+out="${1:-$repo/BENCH_PR10.json}"
 shift || true
 
 cmake -B "$repo/build" -S "$repo" >/dev/null

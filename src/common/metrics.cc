@@ -121,21 +121,69 @@ std::string MetricsRegistry::ToJson() const {
   // std::map iterates in key order, so the export is stable.
   for (const auto& [name, counter] : counters_) {
     json += (first ? "" : ",");
-    json += "\"" + name + "\":" + std::to_string(counter->value());
+    json += "\"" + JsonEscape(name) + "\":" + std::to_string(counter->value());
     first = false;
   }
   for (const auto& [name, gauge] : gauges_) {
     json += (first ? "" : ",");
-    json += "\"" + name + "\":" + std::to_string(gauge->value());
+    json += "\"" + JsonEscape(name) + "\":" + std::to_string(gauge->value());
     first = false;
   }
   for (const auto& [name, histogram] : histograms_) {
     json += (first ? "" : ",");
-    json += "\"" + name + "\":" + histogram->ToJson();
+    json += "\"" + JsonEscape(name) + "\":" + histogram->ToJson();
     first = false;
   }
   json += "}";
   return json;
+}
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted_ascending, double q) {
+  if (sorted_ascending.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const size_t at =
+      std::min(sorted_ascending.size() - 1,
+               static_cast<size_t>(q * static_cast<double>(sorted_ascending.size() - 1) + 0.5));
+  return sorted_ascending[at];
 }
 
 std::string ShardMetricName(std::string_view prefix, int shard, std::string_view name) {

@@ -120,6 +120,19 @@ class MetricsRegistry {
 // above).
 std::string ShardMetricName(std::string_view prefix, int shard, std::string_view name);
 
+// JSON string-escapes `raw`: quotes and backslashes get a backslash,
+// control characters become \uXXXX. Metric names are free-form
+// (ToJson uses this so a name with a quote can never corrupt the
+// export), and the network METRICS reply embeds the export verbatim.
+std::string JsonEscape(std::string_view raw);
+
+// Sample-exact percentile over an ascending-sorted latency vector
+// (nearest-rank with midpoint rounding; q in [0, 1], 0.5 = p50). The
+// benches and the loopback serving harness share this instead of each
+// interpolating their own — Histogram::Quantile stays the estimate for
+// streaming fixed-bucket data.
+double PercentileOfSorted(const std::vector<double>& sorted_ascending, double q);
+
 }  // namespace kjoin
 
 #endif  // KJOIN_COMMON_METRICS_H_

@@ -1,0 +1,272 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace kjoin::net {
+
+KJoinClient::KJoinClient(ClientOptions options) : options_(options) {}
+
+KJoinClient::~KJoinClient() { Disconnect(); }
+
+bool KJoinClient::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0;
+}
+
+Status KJoinClient::Connect(const std::string& address, int port) {
+  std::thread stale;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) return InternalError("client already connected");
+    // A dead connection's reader has exited (or is failing pending
+    // calls right now); reclaim the handle outside the lock — its final
+    // cleanup takes mu_ itself.
+    stale = std::move(reader_);
+  }
+  if (stale.joinable()) stale.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_fd_ >= 0) {
+      ::close(dead_fd_);
+      dead_fd_ = -1;
+    }
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket failed: ") + std::strerror(errno));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("bad address: " + address);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return UnavailableError("connect(" + address + ":" + std::to_string(port) +
+                            ") failed: " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {  // lost a concurrent Connect race
+    ::close(fd);
+    return InternalError("client already connected");
+  }
+  fd_ = fd;
+  reader_ = std::thread([this, fd]() { ReaderLoop(fd); });
+  return OkStatus();
+}
+
+void KJoinClient::Disconnect() {
+  std::thread reader;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) {
+      // Wakes the blocked reader; it parks the fd in dead_fd_ and fails
+      // pending calls.
+      ::shutdown(fd_, SHUT_RDWR);
+      fd_ = -1;
+    }
+    reader = std::move(reader_);
+  }
+  if (reader.joinable()) reader.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_fd_ >= 0) {
+    ::close(dead_fd_);
+    dead_fd_ = -1;
+  }
+}
+
+void KJoinClient::FailAllPending(const Status& status) {
+  std::map<uint64_t, std::function<void(StatusOr<NetResponse>)>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(pending_);
+  }
+  for (auto& [id, done] : pending) done(status);
+}
+
+void KJoinClient::ReaderLoop(int fd) {
+  FrameDecoder decoder(options_.max_frame_bytes);
+  Status failure = UnavailableError("connection closed by server");
+  char buf[64 << 10];
+  bool running = true;
+  while (running) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failure = UnavailableError(std::string("connection read failed: ") +
+                                 std::strerror(errno));
+      break;
+    }
+    decoder.Append(buf, static_cast<size_t>(n));
+    while (true) {
+      std::string payload;
+      StatusOr<bool> got = decoder.Next(&payload);
+      if (!got.ok()) {
+        failure = got.status();
+        running = false;
+        break;
+      }
+      if (!*got) break;
+      NetResponse response;
+      const Status decoded = DecodeResponsePayload(payload, &response);
+      if (!decoded.ok()) {
+        failure = decoded;
+        running = false;
+        break;
+      }
+      std::function<void(StatusOr<NetResponse>)> done;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = pending_.find(response.id);
+        if (it != pending_.end()) {
+          done = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      if (done) {
+        done(std::move(response));
+      } else {
+        KJOIN_LOG(WARNING) << "response for unknown request id " << response.id;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ == fd) fd_ = -1;  // connection is dead, allow reconnect
+    // Not closed here: a sender may still hold the descriptor. Parked
+    // until the next Connect/Disconnect joins this thread.
+    dead_fd_ = fd;
+  }
+  FailAllPending(failure);
+}
+
+Status KJoinClient::SendFrame(const std::string& frame) {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd = fd_;
+  }
+  if (fd < 0) return UnavailableError("client is not connected");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("connection write failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+void KJoinClient::CallAsync(NetRequest request,
+                            std::function<void(StatusOr<NetResponse>)> done) {
+  uint64_t id = 0;
+  bool registered = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) {
+      id = next_id_++;
+      pending_.emplace(id, std::move(done));
+      registered = true;
+    }
+  }
+  if (!registered) {
+    done(UnavailableError("client is not connected"));
+    return;
+  }
+  request.id = id;
+  const std::string frame = WrapFrame(EncodeRequestPayload(request));
+  const Status sent = SendFrame(frame);
+  if (!sent.ok()) {
+    std::function<void(StatusOr<NetResponse>)> callback;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        callback = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    // The reader may have raced us and already failed it.
+    if (callback) callback(sent);
+  }
+}
+
+StatusOr<NetResponse> KJoinClient::Call(NetRequest request) {
+  std::promise<StatusOr<NetResponse>> promise;
+  std::future<StatusOr<NetResponse>> future = promise.get_future();
+  CallAsync(std::move(request),
+            [&promise](StatusOr<NetResponse> result) { promise.set_value(std::move(result)); });
+  return future.get();
+}
+
+StatusOr<NetResponse> KJoinClient::Search(std::vector<std::string> tokens,
+                                          double min_similarity, uint64_t deadline_ms) {
+  NetRequest request;
+  request.kind = RequestKind::kSearch;
+  request.min_similarity = min_similarity;
+  request.deadline_ms = deadline_ms;
+  request.query_tokens = std::move(tokens);
+  return Call(std::move(request));
+}
+
+StatusOr<NetResponse> KJoinClient::TopK(std::vector<std::string> tokens, int32_t k,
+                                        double min_similarity, uint64_t deadline_ms) {
+  NetRequest request;
+  request.kind = RequestKind::kTopK;
+  request.top_k = k;
+  request.min_similarity = min_similarity;
+  request.deadline_ms = deadline_ms;
+  request.query_tokens = std::move(tokens);
+  return Call(std::move(request));
+}
+
+StatusOr<NetResponse> KJoinClient::Insert(std::vector<InsertRecord> records) {
+  NetRequest request;
+  request.kind = RequestKind::kInsert;
+  request.inserts = std::move(records);
+  return Call(std::move(request));
+}
+
+StatusOr<NetResponse> KJoinClient::Delete(std::vector<int32_t> global_indexes) {
+  NetRequest request;
+  request.kind = RequestKind::kDelete;
+  request.delete_indexes = std::move(global_indexes);
+  return Call(std::move(request));
+}
+
+StatusOr<NetResponse> KJoinClient::Health() {
+  NetRequest request;
+  request.kind = RequestKind::kHealth;
+  return Call(std::move(request));
+}
+
+StatusOr<NetResponse> KJoinClient::Metrics() {
+  NetRequest request;
+  request.kind = RequestKind::kMetrics;
+  return Call(std::move(request));
+}
+
+}  // namespace kjoin::net

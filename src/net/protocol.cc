@@ -1,0 +1,233 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "serve/status_detail.h"
+#include "serve/wire_format.h"
+
+namespace kjoin::net {
+
+using serve::wire::ByteReader;
+using serve::wire::ByteWriter;
+
+bool IsValidRequestKind(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(RequestKind::kSearch) &&
+         raw <= static_cast<uint8_t>(RequestKind::kMetrics);
+}
+
+std::string_view RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSearch:
+      return "SEARCH";
+    case RequestKind::kTopK:
+      return "TOPK";
+    case RequestKind::kInsert:
+      return "INSERT";
+    case RequestKind::kDelete:
+      return "DELETE";
+    case RequestKind::kHealth:
+      return "HEALTH";
+    case RequestKind::kMetrics:
+      return "METRICS";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeRequestPayload(const NetRequest& request) {
+  ByteWriter w;
+  w.U64(request.id);
+  w.U8(static_cast<uint8_t>(request.kind));
+  w.U64(request.deadline_ms);
+  switch (request.kind) {
+    case RequestKind::kSearch:
+      w.F64(request.min_similarity);
+      serve::wire::WriteStringList(request.query_tokens, &w);
+      break;
+    case RequestKind::kTopK:
+      w.F64(request.min_similarity);
+      w.I32(request.top_k);
+      serve::wire::WriteStringList(request.query_tokens, &w);
+      break;
+    case RequestKind::kInsert:
+      w.U64(request.inserts.size());
+      for (const InsertRecord& record : request.inserts) {
+        w.I32(record.external_id);
+        serve::wire::WriteStringList(record.tokens, &w);
+      }
+      break;
+    case RequestKind::kDelete:
+      w.RawVec(request.delete_indexes);
+      break;
+    case RequestKind::kHealth:
+    case RequestKind::kMetrics:
+      break;
+  }
+  return w.Take();
+}
+
+Status DecodeRequestPayload(std::string_view payload, NetRequest* out) {
+  ByteReader r(payload, "net request");
+  *out = NetRequest();
+  KJOIN_RETURN_IF_ERROR(r.U64(&out->id));
+  uint8_t raw_kind;
+  KJOIN_RETURN_IF_ERROR(r.U8(&raw_kind));
+  if (!IsValidRequestKind(raw_kind)) {
+    return InvalidArgumentError("net request: unknown request kind " +
+                                std::to_string(raw_kind));
+  }
+  out->kind = static_cast<RequestKind>(raw_kind);
+  KJOIN_RETURN_IF_ERROR(r.U64(&out->deadline_ms));
+  switch (out->kind) {
+    case RequestKind::kSearch:
+      KJOIN_RETURN_IF_ERROR(r.F64(&out->min_similarity));
+      KJOIN_RETURN_IF_ERROR(
+          serve::wire::ParseStringList(r, /*reject_duplicates=*/false, &out->query_tokens));
+      break;
+    case RequestKind::kTopK:
+      KJOIN_RETURN_IF_ERROR(r.F64(&out->min_similarity));
+      KJOIN_RETURN_IF_ERROR(r.I32(&out->top_k));
+      if (out->top_k < 1) {
+        return InvalidArgumentError("net request: TOPK needs top_k >= 1, got " +
+                                    std::to_string(out->top_k));
+      }
+      KJOIN_RETURN_IF_ERROR(
+          serve::wire::ParseStringList(r, /*reject_duplicates=*/false, &out->query_tokens));
+      break;
+    case RequestKind::kInsert: {
+      uint64_t count;
+      KJOIN_RETURN_IF_ERROR(r.U64(&count));
+      // Each record costs at least its 4-byte id plus the token list's
+      // 8-byte count, so a forged count cannot drive a giant resize.
+      if (count > r.remaining() / 12) {
+        return DataLossError("net request: insert count " + std::to_string(count) +
+                             " exceeds payload size");
+      }
+      out->inserts.resize(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        KJOIN_RETURN_IF_ERROR(r.I32(&out->inserts[i].external_id));
+        KJOIN_RETURN_IF_ERROR(serve::wire::ParseStringList(r, /*reject_duplicates=*/false,
+                                                           &out->inserts[i].tokens));
+      }
+      break;
+    }
+    case RequestKind::kDelete:
+      KJOIN_RETURN_IF_ERROR(r.RawVec(&out->delete_indexes));
+      break;
+    case RequestKind::kHealth:
+    case RequestKind::kMetrics:
+      break;
+  }
+  return r.ExpectEnd();
+}
+
+std::string EncodeResponsePayload(const NetResponse& response) {
+  ByteWriter w;
+  w.U64(response.id);
+  w.U32(response.code);
+  w.I64(response.retry_after_ms);
+  w.Str(response.message);
+  w.U64(response.hits.size());
+  for (const SearchHit& hit : response.hits) {
+    w.I32(hit.object_index);
+    w.F64(hit.similarity);
+  }
+  w.I64(response.epoch_version);
+  w.I64(response.objects_after_insert);
+  w.Str(response.text);
+  return w.Take();
+}
+
+Status DecodeResponsePayload(std::string_view payload, NetResponse* out) {
+  ByteReader r(payload, "net response");
+  *out = NetResponse();
+  KJOIN_RETURN_IF_ERROR(r.U64(&out->id));
+  KJOIN_RETURN_IF_ERROR(r.U32(&out->code));
+  KJOIN_RETURN_IF_ERROR(r.I64(&out->retry_after_ms));
+  KJOIN_RETURN_IF_ERROR(r.Str(&out->message));
+  uint64_t hit_count;
+  KJOIN_RETURN_IF_ERROR(r.U64(&hit_count));
+  // Each hit is 12 payload bytes (i32 + f64).
+  if (hit_count > r.remaining() / 12) {
+    return DataLossError("net response: hit count " + std::to_string(hit_count) +
+                         " exceeds payload size");
+  }
+  out->hits.resize(hit_count);
+  for (uint64_t i = 0; i < hit_count; ++i) {
+    KJOIN_RETURN_IF_ERROR(r.I32(&out->hits[i].object_index));
+    KJOIN_RETURN_IF_ERROR(r.F64(&out->hits[i].similarity));
+  }
+  KJOIN_RETURN_IF_ERROR(r.I64(&out->epoch_version));
+  KJOIN_RETURN_IF_ERROR(r.I64(&out->objects_after_insert));
+  KJOIN_RETURN_IF_ERROR(r.Str(&out->text));
+  return r.ExpectEnd();
+}
+
+std::string WrapFrame(std::string_view payload) {
+  ByteWriter w;
+  w.Raw(kFrameMagic, sizeof(kFrameMagic));
+  w.U32(serve::Crc32(payload));
+  w.U64(payload.size());
+  w.Raw(payload.data(), payload.size());
+  return w.Take();
+}
+
+NetResponse ResponseFromStatus(uint64_t id, const Status& status) {
+  NetResponse response;
+  response.id = id;
+  response.code = static_cast<uint32_t>(status.code());
+  response.message = status.message();
+  if (std::optional<int64_t> hint = serve::RetryAfterMs(status)) {
+    response.retry_after_ms = *hint;
+  }
+  return response;
+}
+
+void FrameDecoder::Append(const char* data, size_t n) {
+  if (!error_.ok()) return;
+  // Drop the already-consumed prefix before growing, so a long-lived
+  // connection's buffer stays bounded by one frame plus readahead.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > (64u << 10))) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+StatusOr<bool> FrameDecoder::Next(std::string* payload) {
+  if (!error_.ok()) return error_;
+  const std::string_view pending =
+      std::string_view(buffer_).substr(consumed_);
+  if (pending.size() < kFrameHeaderBytes) return false;
+  if (std::memcmp(pending.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    error_ = DataLossError("net frame: bad magic (not a KJNP stream)");
+    return error_;
+  }
+  uint32_t expected_crc = 0;
+  uint64_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    expected_crc |= static_cast<uint32_t>(static_cast<uint8_t>(pending[4 + i])) << (8 * i);
+  }
+  for (int i = 0; i < 8; ++i) {
+    size |= static_cast<uint64_t>(static_cast<uint8_t>(pending[8 + i])) << (8 * i);
+  }
+  if (size > max_frame_bytes_) {
+    error_ = DataLossError("net frame: payload of " + std::to_string(size) +
+                           " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+                           "-byte frame cap");
+    return error_;
+  }
+  if (pending.size() < kFrameHeaderBytes + size) return false;
+  const std::string_view body = pending.substr(kFrameHeaderBytes, size);
+  const uint32_t actual_crc = serve::Crc32(body);
+  if (actual_crc != expected_crc) {
+    error_ = DataLossError("net frame: payload CRC mismatch (wire says " +
+                           std::to_string(expected_crc) + ", computed " +
+                           std::to_string(actual_crc) + ")");
+    return error_;
+  }
+  payload->assign(body.data(), body.size());
+  consumed_ += kFrameHeaderBytes + size;
+  return true;
+}
+
+}  // namespace kjoin::net

@@ -1,0 +1,667 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "serve/index_manager.h"
+
+namespace kjoin::net {
+namespace {
+
+void Inc(Counter* counter, int64_t n = 1) {
+  if (counter != nullptr) counter->Increment(n);
+}
+
+std::string_view HealthStateName(serve::HealthState state) {
+  switch (state) {
+    case serve::HealthState::kServing:
+      return "SERVING";
+    case serve::HealthState::kDegradedReadOnly:
+      return "DEGRADED_READ_ONLY";
+    case serve::HealthState::kRecovering:
+      return "RECOVERING";
+  }
+  return "UNKNOWN";
+}
+
+// Little-endian u64 at the front of a payload — the request id, salvaged
+// so a structurally bad payload can still get an error response.
+uint64_t PeekRequestId(std::string_view payload) {
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<uint64_t>(static_cast<uint8_t>(payload[i])) << (8 * i);
+  }
+  return id;
+}
+
+}  // namespace
+
+// One event loop plus everything it owns. `connections` is touched only
+// on the loop thread (the accept handler, connection callbacks, and
+// drain tasks all run there).
+struct LoopContext {
+  explicit LoopContext(KJoinServer* s) : server(s) {}
+  KJoinServer* server;
+  EventLoop loop;
+  std::thread thread;
+  int listen_fd = -1;
+  std::unique_ptr<EventHandler> listener;
+  std::map<int, std::shared_ptr<Connection>> connections;
+};
+
+// A client connection, confined to its accepting loop's thread.
+class Connection : public EventHandler, public std::enable_shared_from_this<Connection> {
+ public:
+  Connection(KJoinServer* server, LoopContext* context, int fd)
+      : server_(server),
+        context_(context),
+        fd_(fd),
+        decoder_(server->options_.max_frame_bytes),
+        last_activity_(std::chrono::steady_clock::now()) {}
+
+  int fd() const { return fd_; }
+  bool closed() const { return closed_; }
+  EventLoop* loop() { return &context_->loop; }
+
+  void OnEvent(uint32_t events) override {
+    // The first thing a handler does is pin itself: Close() erases the
+    // map entry that owns us, and the rest of this frame still runs.
+    std::shared_ptr<Connection> self = shared_from_this();
+    if (closed_) return;
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      Close();
+      return;
+    }
+    if ((events & EPOLLIN) != 0) HandleReadable();
+    if (!closed_ && (events & EPOLLOUT) != 0) FlushWrites();
+  }
+
+  // Loop thread. Counts an in-flight request whose response will arrive
+  // via CompleteResponse.
+  void BeginPending() { ++pending_; }
+
+  // Loop thread (via RunInLoop from the router dispatcher or the writer
+  // thread). Always balances BeginPending, even on a closed connection.
+  void CompleteResponse(std::string frame) {
+    --pending_;
+    if (closed_) return;
+    QueueFrame(std::move(frame));
+  }
+
+  // Loop thread: encode-and-send for responses produced inline.
+  void SendResponse(const NetResponse& response) {
+    if (closed_) return;
+    QueueFrame(WrapFrame(EncodeResponsePayload(response)));
+  }
+
+  // Drain: stop reading; close as soon as nothing is owed.
+  void StartDrain() {
+    if (closed_) return;
+    want_read_ = false;
+    UpdateInterest();
+    MaybeCloseAfterDrain();
+  }
+
+  double idle_seconds(std::chrono::steady_clock::time_point now) const {
+    return std::chrono::duration<double>(now - last_activity_).count();
+  }
+  int pending() const { return pending_; }
+  bool write_buffer_empty() const { return write_offset_ >= write_buffer_.size(); }
+
+  void Close() {
+    if (closed_) return;
+    closed_ = true;
+    context_->loop.Remove(fd_);
+    ::close(fd_);
+    server_->active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    if (server_->active_connections_gauge_ != nullptr) {
+      server_->active_connections_gauge_->Set(server_->active_connections());
+    }
+    context_->connections.erase(fd_);  // may destroy *this — must be last
+  }
+
+ private:
+  void HandleReadable() {
+    last_activity_ = std::chrono::steady_clock::now();
+    char buf[64 << 10];
+    while (true) {
+      if (KJOIN_FAULT_POINT("net/read")) {
+        Close();
+        return;
+      }
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        Inc(server_->bytes_read_, n);
+        decoder_.Append(buf, static_cast<size_t>(n));
+        if (!DrainFrames()) return;
+        if (static_cast<size_t>(n) < sizeof(buf)) break;  // short read: drained
+        if (!want_read_ || read_stalled_) break;          // backpressure tripped
+        continue;
+      }
+      if (n == 0) {  // peer closed
+        Close();
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      Close();
+      return;
+    }
+  }
+
+  // Hands every completed frame to the server. False when the
+  // connection died (framing violation or dispatch closed it).
+  bool DrainFrames() {
+    while (true) {
+      std::string payload;
+      StatusOr<bool> got = decoder_.Next(&payload);
+      if (!got.ok()) {
+        Inc(server_->protocol_errors_);
+        KJOIN_LOG(WARNING) << "closing connection fd=" << fd_ << ": "
+                           << got.status().ToString();
+        Close();
+        return false;
+      }
+      if (!*got) return true;
+      Inc(server_->frames_read_);
+      NetRequest request;
+      Status status = DecodeRequestPayload(payload, &request);
+      if (!status.ok()) {
+        if (payload.size() < 8) {  // not even an id to echo
+          Inc(server_->protocol_errors_);
+          Close();
+          return false;
+        }
+        SendResponse(ResponseFromStatus(PeekRequestId(payload),
+                                        InvalidArgumentError(status.message())));
+        continue;
+      }
+      server_->HandleRequest(shared_from_this(), std::move(request));
+      if (closed_) return false;
+    }
+  }
+
+  void QueueFrame(std::string frame) {
+    Inc(server_->frames_written_);
+    if (write_buffer_empty()) {
+      write_buffer_.clear();
+      write_offset_ = 0;
+    }
+    write_buffer_ += frame;
+    FlushWrites();
+    if (closed_) return;
+    if (!read_stalled_ &&
+        write_buffer_.size() - write_offset_ > server_->options_.write_buffer_cap_bytes) {
+      read_stalled_ = true;
+      Inc(server_->backpressure_stalls_);
+      UpdateInterest();
+    }
+  }
+
+  void FlushWrites() {
+    last_activity_ = std::chrono::steady_clock::now();
+    while (write_offset_ < write_buffer_.size()) {
+      if (KJOIN_FAULT_POINT("net/write")) {
+        Close();
+        return;
+      }
+      const ssize_t n = ::send(fd_, write_buffer_.data() + write_offset_,
+                               write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
+      if (n > 0) {
+        Inc(server_->bytes_written_, n);
+        write_offset_ += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        UpdateInterest();  // need EPOLLOUT to continue
+        return;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      Close();  // EPIPE / ECONNRESET / real error
+      return;
+    }
+    // Fully flushed: compact, unstall the reader, drop EPOLLOUT.
+    write_buffer_.clear();
+    write_offset_ = 0;
+    if (read_stalled_) {
+      read_stalled_ = false;
+      UpdateInterest();
+    } else {
+      UpdateInterest();
+    }
+    MaybeCloseAfterDrain();
+  }
+
+  void MaybeCloseAfterDrain() {
+    if (closed_) return;
+    if (!want_read_ && pending_ == 0 && write_buffer_empty()) Close();
+  }
+
+  void UpdateInterest() {
+    if (closed_) return;
+    uint32_t events = 0;
+    if (want_read_ && !read_stalled_) events |= EPOLLIN;
+    if (!write_buffer_empty()) events |= EPOLLOUT;
+    if (events == interest_) return;
+    interest_ = events;
+    context_->loop.Modify(fd_, events);
+  }
+
+  KJoinServer* server_;
+  LoopContext* context_;
+  int fd_;
+  FrameDecoder decoder_;
+  std::string write_buffer_;
+  size_t write_offset_ = 0;
+  uint32_t interest_ = EPOLLIN;
+  bool want_read_ = true;
+  bool read_stalled_ = false;  // backpressure: EPOLLIN dropped
+  bool closed_ = false;
+  int pending_ = 0;  // dispatched requests whose responses are owed
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+// Accepts until EAGAIN; one per loop, each on its own SO_REUSEPORT
+// listener so the kernel load-balances incoming connections.
+class Listener : public EventHandler {
+ public:
+  explicit Listener(LoopContext* context) : context_(context) {}
+
+  void OnEvent(uint32_t events) override {
+    if ((events & EPOLLIN) == 0) return;
+    KJoinServer* server = context_->server;
+    while (true) {
+      const int fd =
+          ::accept4(context_->listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        // EMFILE & friends: drop this readiness round; level triggering
+        // re-delivers while the backlog persists.
+        return;
+      }
+      if (KJOIN_FAULT_POINT("net/accept")) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto connection = std::make_shared<Connection>(server, context_, fd);
+      Status added = context_->loop.Add(fd, EPOLLIN, connection.get());
+      if (!added.ok()) {
+        ::close(fd);
+        continue;
+      }
+      context_->connections[fd] = connection;
+      server->active_connections_.fetch_add(1, std::memory_order_relaxed);
+      Inc(server->connections_total_);
+      if (server->active_connections_gauge_ != nullptr) {
+        server->active_connections_gauge_->Set(server->active_connections());
+      }
+    }
+  }
+
+ private:
+  LoopContext* context_;
+};
+
+KJoinServer::KJoinServer(serve::ShardRouter* router, serve::ShardedIndexManager* manager,
+                         ObjectBuilder* builder, MetricsRegistry* metrics,
+                         ServerOptions options)
+    : router_(router),
+      manager_(manager),
+      builder_(builder),
+      metrics_(metrics),
+      options_(std::move(options)) {
+  KJOIN_CHECK(router_ != nullptr) << "KJoinServer needs a router";
+  KJOIN_CHECK(builder_ != nullptr) << "KJoinServer needs an object builder";
+  KJOIN_CHECK(options_.num_loops >= 1) << "num_loops must be >= 1";
+  if (metrics_ != nullptr) {
+    connections_total_ = metrics_->counter("net.connections");
+    active_connections_gauge_ = metrics_->gauge("net.active_connections");
+    bytes_read_ = metrics_->counter("net.bytes_read");
+    bytes_written_ = metrics_->counter("net.bytes_written");
+    frames_read_ = metrics_->counter("net.frames_read");
+    frames_written_ = metrics_->counter("net.frames_written");
+    protocol_errors_ = metrics_->counter("net.protocol_errors");
+    backpressure_stalls_ = metrics_->counter("net.backpressure_stalls");
+    idle_closed_ = metrics_->counter("net.idle_closed");
+    requests_ = metrics_->counter("net.requests");
+  }
+}
+
+KJoinServer::~KJoinServer() {
+  if (started_.load() && !stopped_.load()) Shutdown();
+  if (shutdown_fd_ >= 0) ::close(shutdown_fd_);
+}
+
+Status KJoinServer::StartListener(LoopContext* context, bool first) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Every loop binds its own listener to the same port; the kernel
+  // spreads accepts across them.
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(first ? options_.port : port_));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("bind(" + options_.bind_address + ":" +
+                         std::to_string(first ? options_.port : port_) +
+                         ") failed: " + err);
+  }
+  if (first) {
+    // Resolve the ephemeral port so the remaining loops bind to it too.
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return InternalError("getsockname failed: " + err);
+    }
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(fd, 512) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("listen failed: " + err);
+  }
+  context->listen_fd = fd;
+  context->listener = std::make_unique<Listener>(context);
+  return context->loop.Add(fd, EPOLLIN, context->listener.get());
+}
+
+Status KJoinServer::Start() {
+  KJOIN_CHECK(!started_.load()) << "KJoinServer::Start called twice";
+  shutdown_fd_ = ::eventfd(0, EFD_CLOEXEC);  // blocking: Wait() reads it
+  if (shutdown_fd_ < 0) {
+    return InternalError(std::string("eventfd failed: ") + std::strerror(errno));
+  }
+  loops_.reserve(static_cast<size_t>(options_.num_loops));
+  for (int i = 0; i < options_.num_loops; ++i) {
+    loops_.push_back(std::make_unique<LoopContext>(this));
+    LoopContext* context = loops_.back().get();
+    Status status = StartListener(context, /*first=*/i == 0);
+    if (!status.ok()) {
+      for (auto& ctx : loops_) {
+        if (ctx->listen_fd >= 0) ::close(ctx->listen_fd);
+      }
+      loops_.clear();
+      return status;
+    }
+    if (options_.idle_timeout_seconds > 0.0) {
+      context->loop.SetTicker(
+          std::min(1.0, options_.idle_timeout_seconds / 2.0), [this, context]() {
+            const auto now = std::chrono::steady_clock::now();
+            std::vector<std::shared_ptr<Connection>> idle;
+            for (const auto& [fd, connection] : context->connections) {
+              // In-flight work resets the clock when its response
+              // flushes; only truly idle (or stuck mid-frame) peers go.
+              if (connection->pending() == 0 &&
+                  connection->idle_seconds(now) > options_.idle_timeout_seconds) {
+                idle.push_back(connection);
+              }
+            }
+            for (const auto& connection : idle) {
+              Inc(idle_closed_);
+              connection->Close();
+            }
+          });
+    }
+  }
+  for (auto& context : loops_) {
+    context->thread = std::thread([loop = &context->loop]() { loop->Run(); });
+  }
+  writer_ = std::thread([this]() { WriterLoop(); });
+  started_.store(true);
+  return OkStatus();
+}
+
+void KJoinServer::RequestShutdown() {
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(shutdown_fd_, &one, sizeof(one));
+}
+
+void KJoinServer::Wait() {
+  if (!started_.load() || stopped_.load()) return;
+  uint64_t count;
+  while (::read(shutdown_fd_, &count, sizeof(count)) < 0 && errno == EINTR) {
+  }
+  Drain();
+}
+
+void KJoinServer::Shutdown() {
+  RequestShutdown();
+  Wait();
+}
+
+void KJoinServer::Drain() {
+  if (stopped_.exchange(true)) return;
+  draining_.store(true);
+  // Stop accepting and stop reading; everything already read stays in
+  // flight and gets its response.
+  for (auto& context : loops_) {
+    LoopContext* ctx = context.get();
+    ctx->loop.RunInLoop([ctx]() {
+      if (ctx->listen_fd >= 0) {
+        ctx->loop.Remove(ctx->listen_fd);
+        ::close(ctx->listen_fd);
+        ctx->listen_fd = -1;
+      }
+      // StartDrain can Close (erasing from the map): snapshot first.
+      std::vector<std::shared_ptr<Connection>> connections;
+      connections.reserve(ctx->connections.size());
+      for (const auto& [fd, connection] : ctx->connections) {
+        connections.push_back(connection);
+      }
+      for (const auto& connection : connections) connection->StartDrain();
+    });
+  }
+  // In-flight requests finish on the router dispatcher / writer thread
+  // and flush back through the loops; connections self-close when owed
+  // nothing. Bounded wait, then force-close the stragglers.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                std::max(0.0, options_.drain_deadline_seconds)));
+  while (active_connections() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (active_connections() > 0) {
+    KJOIN_LOG(WARNING) << "drain deadline: force-closing " << active_connections()
+                       << " connection(s)";
+    for (auto& context : loops_) {
+      LoopContext* ctx = context.get();
+      ctx->loop.RunInLoop([ctx]() {
+        std::vector<std::shared_ptr<Connection>> connections;
+        connections.reserve(ctx->connections.size());
+        for (const auto& [fd, connection] : ctx->connections) {
+          connections.push_back(connection);
+        }
+        for (const auto& connection : connections) connection->Close();
+      });
+    }
+    const auto force_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    while (active_connections() > 0 && std::chrono::steady_clock::now() < force_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    writer_shutdown_ = true;
+  }
+  writer_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  for (auto& context : loops_) {
+    context->loop.Stop();
+    if (context->thread.joinable()) context->thread.join();
+  }
+}
+
+void KJoinServer::HandleRequest(const std::shared_ptr<Connection>& connection,
+                                NetRequest request) {
+  Inc(requests_);
+  switch (request.kind) {
+    case RequestKind::kSearch:
+    case RequestKind::kTopK:
+      SubmitSearch(connection, std::move(request));
+      return;
+    case RequestKind::kInsert:
+    case RequestKind::kDelete: {
+      if (manager_ == nullptr) {
+        connection->SendResponse(ResponseFromStatus(
+            request.id, UnavailableError("server has no index manager (search-only)")));
+        return;
+      }
+      connection->BeginPending();
+      {
+        std::lock_guard<std::mutex> lock(writer_mu_);
+        writer_queue_.push_back(Mutation{std::move(request), connection});
+      }
+      writer_cv_.notify_one();
+      return;
+    }
+    case RequestKind::kHealth:
+      connection->SendResponse(HandleHealth(request));
+      return;
+    case RequestKind::kMetrics:
+      connection->SendResponse(HandleMetrics(request));
+      return;
+  }
+}
+
+void KJoinServer::SubmitSearch(const std::shared_ptr<Connection>& connection,
+                               NetRequest request) {
+  serve::QueryRequest query;
+  {
+    // Build() interns unseen tokens — every builder access serializes.
+    std::lock_guard<std::mutex> lock(builder_mu_);
+    query.query = builder_->Build(0, request.query_tokens);
+  }
+  query.top_k = request.kind == RequestKind::kTopK ? request.top_k : 0;
+  query.min_similarity = request.min_similarity;
+  // Wire deadline 0 = none; the router treats < 0 as "apply default",
+  // and its default is none unless configured.
+  query.deadline_seconds =
+      request.deadline_ms == 0 ? -1.0 : static_cast<double>(request.deadline_ms) / 1e3;
+
+  connection->BeginPending();
+  const uint64_t id = request.id;
+  EventLoop* loop = connection->loop();
+  std::weak_ptr<Connection> weak = connection;
+  router_->Submit(std::move(query), [id, loop, weak](serve::QueryResponse response) {
+    // Router dispatcher thread: encode here (off the event loop), then
+    // hop the finished frame to the connection's loop.
+    NetResponse net_response = ResponseFromStatus(id, response.status);
+    net_response.hits = std::move(response.hits);
+    net_response.epoch_version = response.epoch_version;
+    std::string frame = WrapFrame(EncodeResponsePayload(net_response));
+    loop->RunInLoop([weak, frame = std::move(frame)]() mutable {
+      if (std::shared_ptr<Connection> connection = weak.lock()) {
+        connection->CompleteResponse(std::move(frame));
+      }
+    });
+  });
+}
+
+void KJoinServer::WriterLoop() {
+  while (true) {
+    Mutation mutation;
+    {
+      std::unique_lock<std::mutex> lock(writer_mu_);
+      writer_cv_.wait(lock,
+                      [this]() { return writer_shutdown_ || !writer_queue_.empty(); });
+      if (writer_queue_.empty()) return;  // shutdown with a drained queue
+      mutation = std::move(writer_queue_.front());
+      writer_queue_.pop_front();
+    }
+    const NetResponse response = mutation.request.kind == RequestKind::kInsert
+                                     ? HandleInsert(mutation.request)
+                                     : HandleDelete(mutation.request);
+    std::shared_ptr<Connection> connection = mutation.connection.lock();
+    if (connection == nullptr) continue;
+    std::string frame = WrapFrame(EncodeResponsePayload(response));
+    std::weak_ptr<Connection> weak = mutation.connection;
+    connection->loop()->RunInLoop([weak, frame = std::move(frame)]() mutable {
+      if (std::shared_ptr<Connection> conn = weak.lock()) {
+        conn->CompleteResponse(std::move(frame));
+      }
+    });
+  }
+}
+
+NetResponse KJoinServer::HandleInsert(const NetRequest& request) {
+  std::vector<Object> objects;
+  std::vector<std::string> tokens;
+  {
+    // One lock hold across the builds and the table snapshot, so the
+    // snapshot covers every token id the batch uses.
+    std::lock_guard<std::mutex> lock(builder_mu_);
+    objects.reserve(request.inserts.size());
+    for (const InsertRecord& record : request.inserts) {
+      objects.push_back(builder_->Build(record.external_id, record.tokens));
+    }
+    tokens = builder_->TokenTable();
+  }
+  const Status status = manager_->InsertBatch(std::move(objects), std::move(tokens));
+  NetResponse response = ResponseFromStatus(request.id, status);
+  if (status.ok()) response.objects_after_insert = manager_->num_objects();
+  return response;
+}
+
+NetResponse KJoinServer::HandleDelete(const NetRequest& request) {
+  const Status status = manager_->DeleteObjects(request.delete_indexes);
+  NetResponse response = ResponseFromStatus(request.id, status);
+  if (status.ok()) response.objects_after_insert = manager_->num_objects();
+  return response;
+}
+
+NetResponse KJoinServer::HandleHealth(const NetRequest& request) {
+  NetResponse response = ResponseFromStatus(request.id, OkStatus());
+  serve::ManagerHealth health;
+  int64_t objects = 0;
+  if (manager_ != nullptr) {
+    health = manager_->HealthSnapshot();
+    objects = manager_->num_objects();
+  }
+  response.text = std::string("state=") + std::string(HealthStateName(health.state)) +
+                  " consecutive_wal_failures=" +
+                  std::to_string(health.consecutive_wal_failures) +
+                  " read_only_trips=" + std::to_string(health.read_only_trips) +
+                  " recoveries=" + std::to_string(health.recoveries) +
+                  " objects=" + std::to_string(objects) +
+                  " active_connections=" + std::to_string(active_connections());
+  return response;
+}
+
+NetResponse KJoinServer::HandleMetrics(const NetRequest& request) {
+  NetResponse response = ResponseFromStatus(request.id, OkStatus());
+  response.text = metrics_ != nullptr ? metrics_->ToJson() : "{}";
+  return response;
+}
+
+}  // namespace kjoin::net

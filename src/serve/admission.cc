@@ -4,13 +4,14 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "serve/status_detail.h"
 
 namespace kjoin::serve {
 namespace {
 
 // Retry hint for shed responses: the estimated wait for load to move —
 // one queue-delay EWMA, floored at 1ms so the hint is never "now".
-int64_t RetryAfterMs(double queue_delay_seconds) {
+int64_t RetryHintMs(double queue_delay_seconds) {
   return std::max<int64_t>(1, static_cast<int64_t>(queue_delay_seconds * 1e3));
 }
 
@@ -98,23 +99,25 @@ Status AdmissionController::ShedStatus(Outcome outcome, double deadline_seconds)
                           : prefix_ + ".shed_deadline_infeasible")
         ->Increment();
   }
+  // The hint field uses the one shared formatter (serve/status_detail.h)
+  // so every consumer — in-process or the network front end — parses one
+  // grammar.
   char message[256];
   if (outcome == Outcome::kShedCap) {
     std::snprintf(message, sizeof(message),
                   "query shed (cap): in_flight=%lld effective_cap=%lld "
-                  "max_in_flight=%d retry_after_ms=%lld",
+                  "max_in_flight=%d %s",
                   static_cast<long long>(in_flight()),
                   static_cast<long long>(effective_cap()), options_.max_in_flight,
-                  static_cast<long long>(RetryAfterMs(queue_delay)));
+                  RetryAfterField(RetryHintMs(queue_delay)).c_str());
   } else {
     std::snprintf(message, sizeof(message),
                   "query shed (deadline-infeasible): queue_delay_ewma_ms=%.3f "
-                  "deadline_ms=%.3f in_flight=%lld effective_cap=%lld "
-                  "retry_after_ms=%lld",
+                  "deadline_ms=%.3f in_flight=%lld effective_cap=%lld %s",
                   queue_delay * 1e3, deadline_seconds * 1e3,
                   static_cast<long long>(in_flight()),
                   static_cast<long long>(effective_cap()),
-                  static_cast<long long>(RetryAfterMs(queue_delay)));
+                  RetryAfterField(RetryHintMs(queue_delay)).c_str());
   }
   return ResourceExhaustedError(message);
 }

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "serve/status_detail.h"
 #include "serve/wire_format.h"
 
 namespace kjoin::serve {
@@ -21,7 +22,7 @@ int64_t PostingBytes(const KJoinIndex& index) {
 
 // Retry hint for writes rejected while degraded: one probe interval —
 // the soonest the state can possibly have changed.
-int64_t RetryAfterMs(const IndexManagerOptions& options) {
+int64_t RetryHintMs(const IndexManagerOptions& options) {
   return std::max<int64_t>(1, static_cast<int64_t>(options.wal_probe_interval_seconds * 1e3));
 }
 
@@ -214,8 +215,7 @@ Status IndexManager::ApplyMutation(MutationBatch batch) {
       if (metrics_ != nullptr) metrics_->counter("manager.writes_rejected")->Increment();
       return UnavailableError(
           "index is read-only after " + std::to_string(consecutive_wal_failures_) +
-          " consecutive WAL failure(s); retry_after_ms=" +
-          std::to_string(RetryAfterMs(manager_options_)));
+          " consecutive WAL failure(s); " + RetryAfterField(RetryHintMs(manager_options_)));
     }
     // Validate against the last *acked* state, not the published epoch —
     // a racing batch's tokens may be acked but not yet swapped in.

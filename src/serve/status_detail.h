@@ -1,0 +1,47 @@
+#ifndef KJOIN_SERVE_STATUS_DETAIL_H_
+#define KJOIN_SERVE_STATUS_DETAIL_H_
+
+// Structured details carried inside Status messages.
+//
+// A Status is a code plus a human-readable message, but some serving
+// responses also carry machine-readable load hints — most importantly
+// retry_after_ms, attached by the admission controller's sheds
+// (kResourceExhausted) and the degraded read-only write rejections
+// (kUnavailable). Before this header, every producer formatted the hint
+// by hand and every consumer re-parsed the message with its own string
+// search; now both sides go through one place:
+//
+//   return UnavailableError("index is read-only; " + RetryAfterField(42));
+//   ...
+//   if (std::optional<int64_t> ms = RetryAfterMs(status)) Backoff(*ms);
+//
+// The field grammar is "retry_after_ms=<decimal>" anywhere in the
+// message, which keeps the hint readable in logs while staying parseable
+// — the network protocol (net/protocol.h) lifts it into its own wire
+// field so remote clients never see the string form at all.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace kjoin::serve {
+
+// "retry_after_ms=<ms>" — the one formatter every producer embeds.
+std::string RetryAfterField(int64_t ms);
+
+// Extracts the retry_after_ms hint from `status`'s message. nullopt when
+// the field is absent or malformed (non-decimal, overflow) — callers
+// fall back to their own backoff policy.
+std::optional<int64_t> RetryAfterMs(const Status& status);
+
+// True for the codes whose responses are worth retrying after a backoff:
+// admission sheds (kResourceExhausted) and degraded read-only /
+// draining-server rejections (kUnavailable). Deadline trips and caller
+// cancellations are not retryable — the caller chose the budget.
+bool IsRetryable(const Status& status);
+
+}  // namespace kjoin::serve
+
+#endif  // KJOIN_SERVE_STATUS_DETAIL_H_

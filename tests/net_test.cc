@@ -1,0 +1,767 @@
+// Network serving tier suite (docs/serving.md, "Network protocol"): the
+// KJNP frame format (truncation at every byte boundary, single-bit-flip
+// CRC rejection, oversized frames), the structured status detail shared
+// by in-process and network callers, the loopback server/client round
+// trip (results byte-identical to the in-process router), backpressure,
+// slow-loris idle close, graceful drain (every request read before
+// SIGTERM gets its response), client recovery after a server dies, and
+// the connection-storm chaos case under injected accept/read/write
+// faults. Runs under the asan and tsan presets (tests/CMakeLists.txt
+// labels).
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "data/benchmark_suite.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "serve/admission.h"
+#include "serve/shard_router.h"
+#include "serve/sharded_index_manager.h"
+#include "serve/status_detail.h"
+
+namespace kjoin {
+namespace {
+
+using net::FrameDecoder;
+using net::KJoinClient;
+using net::KJoinServer;
+using net::NetRequest;
+using net::NetResponse;
+using net::RequestKind;
+using net::ServerOptions;
+
+// ------------------------------------------------ status detail (serve)
+
+TEST(StatusDetailTest, FormatsAndParses) {
+  EXPECT_EQ(serve::RetryAfterField(42), "retry_after_ms=42");
+  const Status status =
+      ResourceExhaustedError("query shed: in_flight=9 " + serve::RetryAfterField(17));
+  const std::optional<int64_t> hint = serve::RetryAfterMs(status);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, 17);
+}
+
+TEST(StatusDetailTest, AbsentAndMalformedAreNullopt) {
+  EXPECT_FALSE(serve::RetryAfterMs(OkStatus()).has_value());
+  EXPECT_FALSE(serve::RetryAfterMs(UnavailableError("busy, retry later")).has_value());
+  EXPECT_FALSE(serve::RetryAfterMs(UnavailableError("retry_after_ms=")).has_value());
+  EXPECT_FALSE(serve::RetryAfterMs(UnavailableError("retry_after_ms=soon")).has_value());
+  // Overflow is treated as absent, not clamped.
+  EXPECT_FALSE(
+      serve::RetryAfterMs(UnavailableError("retry_after_ms=99999999999999999999"))
+          .has_value());
+}
+
+TEST(StatusDetailTest, RetryableCodes) {
+  EXPECT_TRUE(serve::IsRetryable(ResourceExhaustedError("shed")));
+  EXPECT_TRUE(serve::IsRetryable(UnavailableError("read-only")));
+  EXPECT_FALSE(serve::IsRetryable(DeadlineExceededError("late")));
+  EXPECT_FALSE(serve::IsRetryable(InvalidArgumentError("bad")));
+  EXPECT_FALSE(serve::IsRetryable(OkStatus()));
+}
+
+// The admission controller's shed statuses must round-trip through the
+// shared parser — the regression the one-formatter refactor exists for.
+TEST(StatusDetailTest, AdmissionShedStatusCarriesParseableHint) {
+  serve::AdmissionOptions options;
+  options.max_in_flight = 1;
+  serve::AdmissionController admission(options, "test", nullptr);
+  admission.SetQueueDelayEwmaForTest(0.25);
+  for (const auto outcome : {serve::AdmissionController::Outcome::kShedCap,
+                             serve::AdmissionController::Outcome::kShedDeadlineInfeasible}) {
+    const Status status = admission.ShedStatus(outcome, /*deadline_seconds=*/0.1);
+    EXPECT_TRUE(IsResourceExhausted(status));
+    const std::optional<int64_t> hint = serve::RetryAfterMs(status);
+    ASSERT_TRUE(hint.has_value()) << status.ToString();
+    EXPECT_EQ(*hint, 250);
+    EXPECT_TRUE(serve::IsRetryable(status));
+  }
+}
+
+// ---------------------------------------------------- metrics (common)
+
+TEST(MetricsJsonTest, EscapesNames) {
+  EXPECT_EQ(JsonEscape("plain.name"), "plain.name");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01") + "x"), "nul\\u0001x");
+  MetricsRegistry registry;
+  registry.counter("weird\"name")->Increment(3);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"weird\\\"name\":3"), std::string::npos) << json;
+}
+
+TEST(MetricsJsonTest, PercentileOfSorted) {
+  EXPECT_EQ(PercentileOfSorted({}, 0.5), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_EQ(PercentileOfSorted(one, 0.0), 7.0);
+  EXPECT_EQ(PercentileOfSorted(one, 1.0), 7.0);
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) ten.push_back(i);
+  EXPECT_EQ(PercentileOfSorted(ten, 0.0), 1.0);
+  EXPECT_EQ(PercentileOfSorted(ten, 1.0), 10.0);
+  EXPECT_EQ(PercentileOfSorted(ten, 0.5), 6.0);  // nearest-rank, rounded
+  // Out-of-range quantiles clamp instead of indexing out of bounds.
+  EXPECT_EQ(PercentileOfSorted(ten, -1.0), 1.0);
+  EXPECT_EQ(PercentileOfSorted(ten, 2.0), 10.0);
+}
+
+// -------------------------------------------------------- protocol unit
+
+NetRequest SampleSearch() {
+  NetRequest request;
+  request.id = 0x1122334455667788ull;
+  request.kind = RequestKind::kSearch;
+  request.deadline_ms = 250;
+  request.min_similarity = 0.75;
+  request.query_tokens = {"coffee", "house", "berlin"};
+  return request;
+}
+
+TEST(ProtocolTest, RequestRoundTripAllKinds) {
+  std::vector<NetRequest> requests;
+  requests.push_back(SampleSearch());
+  {
+    NetRequest r = SampleSearch();
+    r.kind = RequestKind::kTopK;
+    r.top_k = 5;
+    requests.push_back(r);
+  }
+  {
+    NetRequest r;
+    r.id = 7;
+    r.kind = RequestKind::kInsert;
+    r.inserts = {{101, {"a", "b"}}, {102, {}}, {103, {"c"}}};
+    requests.push_back(r);
+  }
+  {
+    NetRequest r;
+    r.id = 8;
+    r.kind = RequestKind::kDelete;
+    r.delete_indexes = {3, 1, 4, 1, 5};
+    requests.push_back(r);
+  }
+  {
+    NetRequest r;
+    r.id = 9;
+    r.kind = RequestKind::kHealth;
+    requests.push_back(r);
+  }
+  {
+    NetRequest r;
+    r.id = 10;
+    r.kind = RequestKind::kMetrics;
+    requests.push_back(r);
+  }
+  for (const NetRequest& request : requests) {
+    NetRequest decoded;
+    ASSERT_TRUE(net::DecodeRequestPayload(net::EncodeRequestPayload(request), &decoded).ok());
+    EXPECT_EQ(decoded.id, request.id);
+    EXPECT_EQ(decoded.kind, request.kind);
+    EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+    EXPECT_EQ(decoded.min_similarity, request.min_similarity);
+    EXPECT_EQ(decoded.top_k, request.kind == RequestKind::kTopK ? request.top_k : 0);
+    EXPECT_EQ(decoded.query_tokens, request.query_tokens);
+    ASSERT_EQ(decoded.inserts.size(), request.inserts.size());
+    for (size_t i = 0; i < request.inserts.size(); ++i) {
+      EXPECT_EQ(decoded.inserts[i].external_id, request.inserts[i].external_id);
+      EXPECT_EQ(decoded.inserts[i].tokens, request.inserts[i].tokens);
+    }
+    EXPECT_EQ(decoded.delete_indexes, request.delete_indexes);
+  }
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  NetResponse response;
+  response.id = 99;
+  response.code = static_cast<uint32_t>(StatusCode::kResourceExhausted);
+  response.retry_after_ms = 120;
+  response.message = "shed";
+  response.hits = {{4, 0.875}, {9, 0.5}};
+  response.epoch_version = 12;
+  response.objects_after_insert = 240;
+  response.text = "state=SERVING";
+  NetResponse decoded;
+  ASSERT_TRUE(net::DecodeResponsePayload(net::EncodeResponsePayload(response), &decoded).ok());
+  EXPECT_EQ(decoded.id, response.id);
+  EXPECT_EQ(decoded.code, response.code);
+  EXPECT_EQ(decoded.retry_after_ms, response.retry_after_ms);
+  EXPECT_EQ(decoded.message, response.message);
+  ASSERT_EQ(decoded.hits.size(), response.hits.size());
+  for (size_t i = 0; i < response.hits.size(); ++i) {
+    EXPECT_EQ(decoded.hits[i].object_index, response.hits[i].object_index);
+    EXPECT_EQ(decoded.hits[i].similarity, response.hits[i].similarity);
+  }
+  EXPECT_EQ(decoded.epoch_version, response.epoch_version);
+  EXPECT_EQ(decoded.objects_after_insert, response.objects_after_insert);
+  EXPECT_EQ(decoded.text, response.text);
+}
+
+TEST(ProtocolTest, UnknownKindRejected) {
+  NetRequest request = SampleSearch();
+  std::string payload = net::EncodeRequestPayload(request);
+  payload[8] = 99;  // the kind byte follows the u64 id
+  NetRequest decoded;
+  const Status status = net::DecodeRequestPayload(payload, &decoded);
+  EXPECT_TRUE(IsInvalidArgument(status)) << status.ToString();
+}
+
+TEST(ProtocolTest, TruncationAtEveryByteBoundaryNeedsMoreNeverErrors) {
+  const std::string frame = net::WrapFrame(net::EncodeRequestPayload(SampleSearch()));
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Append(frame.data(), cut);
+    std::string payload;
+    StatusOr<bool> got = decoder.Next(&payload);
+    ASSERT_TRUE(got.ok()) << "cut at " << cut << ": " << got.status().ToString();
+    ASSERT_FALSE(*got) << "cut at " << cut;
+    // The rest arrives: exactly one frame completes.
+    decoder.Append(frame.data() + cut, frame.size() - cut);
+    got = decoder.Next(&payload);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(*got);
+    NetRequest decoded;
+    ASSERT_TRUE(net::DecodeRequestPayload(payload, &decoded).ok());
+    EXPECT_EQ(decoded.id, SampleSearch().id);
+  }
+}
+
+TEST(ProtocolTest, SingleBitFlipNeverYieldsAFrame) {
+  const std::string frame = net::WrapFrame(net::EncodeRequestPayload(SampleSearch()));
+  for (size_t at = 0; at < frame.size(); ++at) {
+    std::string corrupt = frame;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x10);
+    FrameDecoder decoder;
+    decoder.Append(corrupt.data(), corrupt.size());
+    std::string payload;
+    StatusOr<bool> got = decoder.Next(&payload);
+    // A flipped size field may leave the decoder waiting for bytes that
+    // never come; every other flip must poison. What can never happen
+    // is a successfully decoded frame.
+    if (got.ok()) {
+      EXPECT_FALSE(*got) << "flip at " << at << " produced a frame";
+    } else {
+      EXPECT_TRUE(IsDataLoss(got.status())) << got.status().ToString();
+    }
+  }
+}
+
+TEST(ProtocolTest, OversizedFrameRejectedBeforeBuffering) {
+  FrameDecoder decoder(/*max_frame_bytes=*/1024);
+  std::string payload(2048, 'x');
+  const std::string frame = net::WrapFrame(payload);
+  decoder.Append(frame.data(), net::kFrameHeaderBytes);  // header alone suffices
+  std::string out;
+  StatusOr<bool> got = decoder.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(IsDataLoss(got.status()));
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(ProtocolTest, PipelinedFramesDecodeInOrder) {
+  NetRequest first = SampleSearch();
+  NetRequest second = SampleSearch();
+  second.id = 2;
+  std::string stream = net::WrapFrame(net::EncodeRequestPayload(first)) +
+                       net::WrapFrame(net::EncodeRequestPayload(second));
+  FrameDecoder decoder;
+  // Worst case: one byte at a time.
+  std::vector<uint64_t> ids;
+  for (char c : stream) {
+    decoder.Append(&c, 1);
+    while (true) {
+      std::string payload;
+      StatusOr<bool> got = decoder.Next(&payload);
+      ASSERT_TRUE(got.ok());
+      if (!*got) break;
+      NetRequest decoded;
+      ASSERT_TRUE(net::DecodeRequestPayload(payload, &decoded).ok());
+      ids.push_back(decoded.id);
+    }
+  }
+  EXPECT_EQ(ids, (std::vector<uint64_t>{SampleSearch().id, 2}));
+}
+
+TEST(ProtocolTest, ResponseFromStatusLiftsRetryHint) {
+  const NetResponse shed = net::ResponseFromStatus(
+      5, ResourceExhaustedError("shed; " + serve::RetryAfterField(90)));
+  EXPECT_EQ(shed.id, 5u);
+  EXPECT_EQ(shed.code, static_cast<uint32_t>(StatusCode::kResourceExhausted));
+  EXPECT_EQ(shed.retry_after_ms, 90);
+  const NetResponse ok = net::ResponseFromStatus(6, OkStatus());
+  EXPECT_EQ(ok.code, 0u);
+  EXPECT_EQ(ok.retry_after_ms, 0);
+}
+
+// ------------------------------------------------- loopback integration
+
+constexpr int64_t kRecords = 120;
+
+struct NetStack {
+  Dataset dataset;
+  std::shared_ptr<const Hierarchy> hierarchy;
+  PreparedObjects prepared;
+};
+
+KJoinOptions Options() {
+  KJoinOptions options;
+  options.delta = 0.8;
+  options.tau = 0.6;
+  options.plus_mode = true;
+  return options;
+}
+
+NetStack& Stack() {
+  static NetStack* stack = [] {
+    auto* s = new NetStack();
+    BenchmarkData data = MakePoiBenchmark(kRecords, /*seed=*/41);
+    s->dataset = std::move(data.dataset);
+    s->hierarchy = std::make_shared<const Hierarchy>(std::move(data.hierarchy));
+    s->prepared = BuildObjects(*s->hierarchy, s->dataset,
+                               /*multi_mapping=*/true, /*min_phi=*/0.8);
+    return s;
+  }();
+  return *stack;
+}
+
+std::vector<std::string> QueryTokens(int q) {
+  const Dataset& dataset = Stack().dataset;
+  std::vector<std::string> tokens = dataset.records[(q * 97) % dataset.records.size()].tokens;
+  if (tokens.size() > 1 && q % 2 == 1) tokens.pop_back();
+  return tokens;
+}
+
+// Everything one serving test needs, torn down in order.
+struct ServerStack {
+  std::unique_ptr<MetricsRegistry> metrics;
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<serve::ShardedIndexManager> manager;
+  std::vector<std::unique_ptr<serve::LocalShard>> backends;
+  std::unique_ptr<serve::ShardRouter> router;
+  std::unique_ptr<KJoinServer> server;
+
+  ~ServerStack() {
+    if (server != nullptr) server->Shutdown();
+    server.reset();
+    router.reset();  // router before manager: dispatcher probes shards
+  }
+};
+
+std::unique_ptr<ServerStack> MakeServer(ServerOptions options = {},
+                                        serve::ShardRouterOptions router_options = {}) {
+  auto stack = std::make_unique<ServerStack>();
+  stack->metrics = std::make_unique<MetricsRegistry>();
+  stack->pool = std::make_unique<ThreadPool>(4);
+  NetStack& data = Stack();
+  stack->manager = std::make_unique<serve::ShardedIndexManager>(
+      data.hierarchy, Options(), data.prepared.objects, data.prepared.builder->TokenTable(),
+      data.dataset.synonyms, /*num_shards=*/2, stack->pool.get(), stack->metrics.get());
+  std::vector<serve::ShardBackend*> shards;
+  for (int s = 0; s < 2; ++s) {
+    stack->backends.push_back(
+        std::make_unique<serve::LocalShard>(stack->manager.get(), s));
+    shards.push_back(stack->backends.back().get());
+  }
+  stack->router = std::make_unique<serve::ShardRouter>(std::move(shards), stack->pool.get(),
+                                                       router_options, stack->metrics.get());
+  stack->server = std::make_unique<KJoinServer>(stack->router.get(), stack->manager.get(),
+                                                data.prepared.builder.get(),
+                                                stack->metrics.get(), options);
+  KJOIN_CHECK(stack->server->Start().ok());
+  return stack;
+}
+
+// A raw loopback socket for protocol-abuse tests the client refuses to
+// produce.
+int RawConnect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  KJOIN_CHECK(fd >= 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  KJOIN_CHECK(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) == 0);
+  return fd;
+}
+
+bool WaitForPeerClose(int fd, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  char buf[256];
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n == 0) return true;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+TEST(NetServerTest, SearchMatchesInProcessRouterExactly) {
+  auto stack = MakeServer();
+  KJoinClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack->server->port()).ok());
+  for (int q = 0; q < 24; ++q) {
+    const std::vector<std::string> tokens = QueryTokens(q);
+    // In-process reference through the same router and builder.
+    serve::QueryRequest reference;
+    reference.query = Stack().prepared.builder->Build(0, tokens);
+    if (q % 3 == 0) reference.top_k = 5;
+    const serve::QueryResponse expected = stack->router->Search(reference);
+
+    StatusOr<NetResponse> got = q % 3 == 0 ? client.TopK(tokens, 5) : client.Search(tokens);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->code, static_cast<uint32_t>(expected.status.code()));
+    ASSERT_EQ(got->hits.size(), expected.hits.size()) << "query " << q;
+    for (size_t i = 0; i < expected.hits.size(); ++i) {
+      EXPECT_EQ(got->hits[i].object_index, expected.hits[i].object_index);
+      // Bitwise: the wire format is a bit-exact f64, and the server ran
+      // the identical code path.
+      EXPECT_EQ(got->hits[i].similarity, expected.hits[i].similarity);
+    }
+  }
+}
+
+TEST(NetServerTest, HealthAndMetrics) {
+  auto stack = MakeServer();
+  KJoinClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack->server->port()).ok());
+  StatusOr<NetResponse> health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->code, 0u);
+  EXPECT_NE(health->text.find("state=SERVING"), std::string::npos) << health->text;
+  EXPECT_NE(health->text.find("objects=" + std::to_string(kRecords)), std::string::npos)
+      << health->text;
+  StatusOr<NetResponse> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->code, 0u);
+  EXPECT_NE(metrics->text.find("\"net.requests\":"), std::string::npos) << metrics->text;
+}
+
+TEST(NetServerTest, InsertDeleteVisibleThroughSearch) {
+  auto stack = MakeServer();
+  KJoinClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack->server->port()).ok());
+  // A record with a distinctive duplicate-free token multiset: itself as
+  // the query matches with similarity 1.0.
+  const std::vector<std::string> tokens = Stack().dataset.records[3].tokens;
+  const int64_t before = stack->manager->num_objects();
+  StatusOr<NetResponse> inserted = client.Insert({{9001, tokens}});
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  ASSERT_EQ(inserted->code, 0u) << inserted->message;
+  EXPECT_EQ(inserted->objects_after_insert, before + 1);
+
+  // Epoch publication is asynchronous: poll until the new object is
+  // searchable.
+  const int32_t global_index = static_cast<int32_t>(before);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool visible = false;
+  while (!visible && std::chrono::steady_clock::now() < deadline) {
+    StatusOr<NetResponse> found = client.Search(tokens);
+    ASSERT_TRUE(found.ok());
+    for (const SearchHit& hit : found->hits) {
+      if (hit.object_index == global_index) visible = true;
+    }
+    if (!visible) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(visible) << "inserted object never became searchable";
+
+  StatusOr<NetResponse> deleted = client.Delete({global_index});
+  ASSERT_TRUE(deleted.ok());
+  ASSERT_EQ(deleted->code, 0u) << deleted->message;
+  bool gone = false;
+  while (!gone && std::chrono::steady_clock::now() < deadline) {
+    StatusOr<NetResponse> found = client.Search(tokens);
+    ASSERT_TRUE(found.ok());
+    gone = true;
+    for (const SearchHit& hit : found->hits) {
+      if (hit.object_index == global_index) gone = false;
+    }
+    if (!gone) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(gone) << "deleted object still searchable";
+}
+
+TEST(NetServerTest, ShedResponseCarriesRetryAfter) {
+  serve::ShardRouterOptions router_options;
+  router_options.admission.max_in_flight = 4;
+  auto stack = MakeServer({}, router_options);
+  // Plant a queue-delay estimate far above the deadline: admission
+  // sheds the query as deadline-infeasible before it queues.
+  stack->router->SetQueueDelayEwmaForTest(5.0);
+  KJoinClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack->server->port()).ok());
+  StatusOr<NetResponse> shed = client.Search(QueryTokens(0), -1.0, /*deadline_ms=*/1);
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->code, static_cast<uint32_t>(StatusCode::kResourceExhausted))
+      << shed->message;
+  EXPECT_GE(shed->retry_after_ms, 1) << shed->message;
+}
+
+TEST(NetServerTest, MalformedPayloadGetsInvalidArgumentResponse) {
+  auto stack = MakeServer();
+  KJoinClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack->server->port()).ok());
+  // A forged kind the decoder rejects — but the frame itself is valid,
+  // so the server answers instead of closing.
+  NetRequest bogus;
+  bogus.kind = static_cast<RequestKind>(99);
+  StatusOr<NetResponse> got = client.Call(std::move(bogus));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->code, static_cast<uint32_t>(StatusCode::kInvalidArgument));
+  // The connection survived: the next call works.
+  StatusOr<NetResponse> health = client.Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->code, 0u);
+}
+
+TEST(NetServerTest, CorruptStreamClosesConnection) {
+  auto stack = MakeServer();
+  const int fd = RawConnect(stack->server->port());
+  const std::string garbage = "this is definitely not a KJNP frame header....";
+  ASSERT_GT(::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL), 0);
+  EXPECT_TRUE(WaitForPeerClose(fd, 5.0)) << "server kept a poisoned stream open";
+  ::close(fd);
+  EXPECT_GE(stack->metrics->counter("net.protocol_errors")->value(), 1);
+}
+
+TEST(NetServerTest, SlowLorisIdleTimeoutClosesPartialFrame) {
+  ServerOptions options;
+  options.idle_timeout_seconds = 0.2;
+  auto stack = MakeServer(options);
+  const int fd = RawConnect(stack->server->port());
+  // A valid frame prefix, then silence.
+  const std::string frame = net::WrapFrame(net::EncodeRequestPayload(SampleSearch()));
+  ASSERT_GT(::send(fd, frame.data(), 10, MSG_NOSIGNAL), 0);
+  EXPECT_TRUE(WaitForPeerClose(fd, 5.0)) << "idle sweep never closed the stalled stream";
+  ::close(fd);
+  EXPECT_GE(stack->metrics->counter("net.idle_closed")->value(), 1);
+}
+
+TEST(NetServerTest, BackpressurePausesReadsWithoutLosingResponses) {
+  ServerOptions options;
+  options.write_buffer_cap_bytes = 2048;  // tiny: stall quickly
+  auto stack = MakeServer(options);
+  const int fd = RawConnect(stack->server->port());
+  // Pipeline many searches without reading a single response: the
+  // server's write buffer fills and it stops reading; once we drain,
+  // every request must still get its response, in order.
+  constexpr int kPipelined = 200;
+  std::string burst;
+  for (int q = 0; q < kPipelined; ++q) {
+    NetRequest request;
+    request.id = static_cast<uint64_t>(q) + 1;
+    request.kind = RequestKind::kSearch;
+    request.query_tokens = QueryTokens(q);
+    burst += net::WrapFrame(net::EncodeRequestPayload(request));
+  }
+  std::thread sender([fd, &burst]() {
+    size_t sent = 0;
+    while (sent < burst.size()) {
+      const ssize_t n =
+          ::send(fd, burst.data() + sent, burst.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (errno == EINTR) continue;
+        // The kernel buffer filled because the server stopped reading —
+        // keep pushing; the reader below drains the responses.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  });
+  FrameDecoder decoder;
+  std::vector<uint64_t> ids;
+  char buf[16 << 10];
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (ids.size() < kPipelined && std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server closed mid-burst";
+    decoder.Append(buf, static_cast<size_t>(n));
+    while (true) {
+      std::string payload;
+      StatusOr<bool> got = decoder.Next(&payload);
+      ASSERT_TRUE(got.ok());
+      if (!*got) break;
+      NetResponse response;
+      ASSERT_TRUE(net::DecodeResponsePayload(payload, &response).ok());
+      ids.push_back(response.id);
+    }
+  }
+  sender.join();
+  ::close(fd);
+  ASSERT_EQ(ids.size(), kPipelined);
+  for (int q = 0; q < kPipelined; ++q) {
+    EXPECT_EQ(ids[static_cast<size_t>(q)], static_cast<uint64_t>(q) + 1);
+  }
+}
+
+TEST(NetServerTest, GracefulDrainAnswersEverythingRead) {
+  auto stack = MakeServer();
+  KJoinClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack->server->port()).ok());
+  constexpr int kInFlight = 32;
+  std::vector<std::future<StatusOr<NetResponse>>> futures;
+  for (int q = 0; q < kInFlight; ++q) {
+    auto promise = std::make_shared<std::promise<StatusOr<NetResponse>>>();
+    futures.push_back(promise->get_future());
+    NetRequest request;
+    request.kind = RequestKind::kSearch;
+    request.query_tokens = QueryTokens(q);
+    client.CallAsync(std::move(request), [promise](StatusOr<NetResponse> result) {
+      promise->set_value(std::move(result));
+    });
+  }
+  // Wait until the server has read and dispatched every request, so the
+  // drain below finds them all in flight.
+  Counter* requests = stack->metrics->counter("net.requests");
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (requests->value() < kInFlight && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(requests->value(), kInFlight);
+  // SIGTERM semantics: async trigger, then drain. Every dispatched
+  // request must get its real response — zero dropped acked requests.
+  stack->server->RequestShutdown();
+  stack->server->Wait();
+  for (auto& future : futures) {
+    StatusOr<NetResponse> result = future.get();
+    ASSERT_TRUE(result.ok()) << "acked request dropped: " << result.status().ToString();
+  }
+  EXPECT_EQ(stack->server->active_connections(), 0);
+}
+
+TEST(NetServerTest, ClientRecoversAfterServerDies) {
+  auto first = MakeServer();
+  KJoinClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", first->server->port()).ok());
+  StatusOr<NetResponse> ok = client.Health();
+  ASSERT_TRUE(ok.ok());
+  first->server->Shutdown();
+  // The dead connection surfaces as transport kUnavailable (possibly
+  // after one in-flight call drains cleanly).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool saw_failure = false;
+  while (!saw_failure && std::chrono::steady_clock::now() < deadline) {
+    StatusOr<NetResponse> dead = client.Health();
+    if (!dead.ok()) {
+      EXPECT_TRUE(IsUnavailable(dead.status())) << dead.status().ToString();
+      saw_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+  first.reset();
+  // A fresh server (new port): the same client reconnects and works.
+  auto second = MakeServer();
+  client.Disconnect();
+  ASSERT_TRUE(client.Connect("127.0.0.1", second->server->port()).ok());
+  StatusOr<NetResponse> revived = client.Health();
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ(revived->code, 0u);
+}
+
+// --------------------------------------------------------------- chaos
+
+int CountOpenFds() {
+  int count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+// Connection storm under injected accept/read/write faults: the event
+// loops must neither wedge nor leak fds, and a clean client must work
+// once the faults stop.
+TEST(NetChaosTest, ConnectionStormWithInjectedFaultsNeverWedges) {
+  if (!fault::Enabled()) {
+    GTEST_SKIP() << "fault points compiled out (release preset)";
+  }
+  const int fds_before = CountOpenFds();
+  {
+    ServerOptions options;
+    options.num_loops = 2;
+    auto stack = MakeServer(options);
+    fault::Scope scope;
+    fault::SetSeed(2026);
+    fault::Enable("net/accept", 0.2);
+    fault::Enable("net/read", 0.05);
+    fault::Enable("net/write", 0.05);
+    constexpr int kThreads = 8;
+    constexpr int kConnectionsPerThread = 6;
+    std::atomic<int> successes{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, port = stack->server->port(), &successes]() {
+        for (int c = 0; c < kConnectionsPerThread; ++c) {
+          KJoinClient client;
+          if (!client.Connect("127.0.0.1", port).ok()) continue;
+          for (int q = 0; q < 4; ++q) {
+            StatusOr<NetResponse> got =
+                q % 2 == 0 ? client.Search(QueryTokens(t * 31 + c * 7 + q))
+                           : client.Health();
+            // Injected faults surface as transport errors; anything the
+            // server actually answered must be well-formed.
+            if (got.ok()) {
+              successes.fetch_add(1);
+            } else if (!IsUnavailable(got.status()) && !IsDataLoss(got.status())) {
+              ADD_FAILURE() << "unexpected failure: " << got.status().ToString();
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    fault::DisarmAll();
+    // The storm is over and the faults are gone: a clean client on a
+    // clean connection must succeed — the loops never wedged.
+    KJoinClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", stack->server->port()).ok());
+    StatusOr<NetResponse> health = client.Health();
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    EXPECT_EQ(health->code, 0u);
+    EXPECT_GT(successes.load(), 0);
+    stack->server->Shutdown();
+    EXPECT_EQ(stack->server->active_connections(), 0);
+  }
+  // Everything torn down: no fd may have leaked. (Exact equality: the
+  // stack owned every socket, epoll, and eventfd it created.)
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  int fds_after = CountOpenFds();
+  while (fds_after > fds_before && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fds_after = CountOpenFds();
+  }
+  EXPECT_EQ(fds_after, fds_before);
+}
+
+}  // namespace
+}  // namespace kjoin
